@@ -1,0 +1,82 @@
+package cod
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// Query pairs a node with a query attribute for batch discovery.
+type Query struct {
+	Node NodeID
+	Attr AttrID
+}
+
+// BatchResult is one query's outcome within DiscoverBatch.
+type BatchResult struct {
+	Query     Query
+	Community Community
+	Err       error
+}
+
+// DiscoverBatch answers many COD queries concurrently over the shared
+// offline state (the hierarchy and HIMOR index are read-only at query
+// time). Results are returned in input order. workers <= 0 picks one
+// worker per query up to 8. Each query gets a deterministic seed derived
+// from Options.Seed and its position, so results are reproducible
+// regardless of scheduling.
+func (s *Searcher) DiscoverBatch(queries []Query, workers int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = len(queries)
+		if workers > 8 {
+			workers = 8
+		}
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	params := core.Params{K: s.opts.K, Theta: s.opts.Theta, Beta: s.opts.Beta,
+		Linkage: s.opts.Linkage, Seed: s.opts.Seed, Model: s.opts.Model}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One pipeline per worker: CODL query state is read-only on the
+			// shared tree/index but samplers are per-call.
+			codl := core.NewCODLWithTree(s.g.internalGraph(), s.codl.Tree(), s.codl.Index(), params)
+			for i := range jobs {
+				q := queries[i]
+				out[i].Query = q
+				if q.Node < 0 || int(q.Node) >= s.g.N() {
+					out[i].Err = fmt.Errorf("cod: query node %d out of range [0,%d)", q.Node, s.g.N())
+					continue
+				}
+				if q.Attr < 0 || (s.g.NumAttrs() > 0 && int(q.Attr) >= s.g.NumAttrs()) {
+					out[i].Err = fmt.Errorf("cod: attribute %d out of range [0,%d)", q.Attr, s.g.NumAttrs())
+					continue
+				}
+				rng := graph.NewRand(s.opts.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15))
+				com, err := codl.Query(q.Node, q.Attr, rng)
+				if err != nil {
+					out[i].Err = err
+					continue
+				}
+				out[i].Community = Community{Nodes: com.Nodes, Found: com.Found, FromIndex: com.FromIndex}
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

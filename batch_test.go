@@ -1,0 +1,75 @@
+package cod
+
+import "testing"
+
+func TestDiscoverBatch(t *testing.T) {
+	g := buildTestGraph(t)
+	s, err := NewSearcher(g, Options{K: 5, Theta: 4, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []Query
+	for v := NodeID(0); int(v) < g.N() && len(queries) < 12; v += 7 {
+		if as := g.Attrs(v); len(as) > 0 {
+			queries = append(queries, Query{Node: v, Attr: as[0]})
+		}
+	}
+	queries = append(queries, Query{Node: -5, Attr: 0})         // bad node
+	queries = append(queries, Query{Node: 0, Attr: AttrID(99)}) // bad attr
+	results := s.DiscoverBatch(queries, 4)
+	if len(results) != len(queries) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results[:len(results)-2] {
+		if r.Err != nil {
+			t.Errorf("query %d errored: %v", i, r.Err)
+			continue
+		}
+		if r.Query != queries[i] {
+			t.Errorf("result %d out of order", i)
+		}
+		if r.Community.Found && !r.Community.Contains(queries[i].Node) {
+			t.Errorf("query %d: community missing node", i)
+		}
+	}
+	if results[len(results)-2].Err == nil {
+		t.Error("bad node accepted")
+	}
+	if results[len(results)-1].Err == nil {
+		t.Error("bad attr accepted")
+	}
+}
+
+func TestDiscoverBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	g := buildTestGraph(t)
+	s, err := NewSearcher(g, Options{K: 3, Theta: 4, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []Query
+	for v := NodeID(0); int(v) < g.N() && len(queries) < 8; v += 11 {
+		if as := g.Attrs(v); len(as) > 0 {
+			queries = append(queries, Query{Node: v, Attr: as[0]})
+		}
+	}
+	r1 := s.DiscoverBatch(queries, 1)
+	r4 := s.DiscoverBatch(queries, 4)
+	for i := range queries {
+		if r1[i].Community.Size() != r4[i].Community.Size() ||
+			r1[i].Community.Found != r4[i].Community.Found {
+			t.Errorf("query %d differs across worker counts: %+v vs %+v",
+				i, r1[i].Community, r4[i].Community)
+		}
+	}
+}
+
+func TestDiscoverBatchEmpty(t *testing.T) {
+	g := buildTestGraph(t)
+	s, err := NewSearcher(g, Options{Theta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := s.DiscoverBatch(nil, 3); len(out) != 0 {
+		t.Error("non-empty result for empty batch")
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseInts(t *testing.T) {
+	got := parseInts("10, 20,40")
+	want := []int{10, 20, 40}
+	if len(got) != len(want) {
+		t.Fatalf("parseInts = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseInts = %v", got)
+		}
+	}
+	if out := parseInts("a,b"); out != nil {
+		t.Errorf("garbage parsed: %v", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("blah", "tiny", 2, 2, "5", 3, 1, 0, time.Second, 10); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunTinyExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	// The cheap experiments on the tiny dataset exercise the full plumbing.
+	for _, exp := range []string{"table1", "fig4", "table2", "case"} {
+		if err := run(exp, "tiny", 3, 2, "2", 2, 1, 0, time.Second, 10); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+	if err := run("fig9", "tiny", 2, 2, "2", 2, 1, 0, 30*time.Second, 10); err != nil {
+		t.Errorf("fig9: %v", err)
+	}
+	if err := run("fig8", "tiny", 2, 2, "2,4", 2, 1, 0, time.Second, 10); err != nil {
+		t.Errorf("fig8: %v", err)
+	}
+	if err := run("fig7", "tiny", 2, 2, "2", 2, 1, 0, time.Second, 10); err != nil {
+		t.Errorf("fig7: %v", err)
+	}
+}

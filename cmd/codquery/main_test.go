@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunOnBuiltinDataset(t *testing.T) {
+	if err := run("", "tiny", 5, -1, 5, 3, 7, "codl"); err != nil {
+		t.Fatalf("codl run: %v", err)
+	}
+	if err := run("", "tiny", 5, 0, 5, 3, 7, "codu"); err != nil {
+		t.Fatalf("codu run: %v", err)
+	}
+	if err := run("", "tiny", 5, 0, 5, 3, 7, "codr"); err != nil {
+		t.Fatalf("codr run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "no-such-dataset", 0, 0, 5, 3, 7, "codl"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("", "tiny", 10_000, 0, 5, 3, 7, "codl"); err == nil {
+		t.Error("out-of-range query node accepted")
+	}
+	if err := run("", "tiny", 5, 0, 5, 3, 7, "warp"); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "absent.txt"), "", 0, 0, 5, 3, 7, "codl"); err == nil {
+		t.Error("missing graph file accepted")
+	}
+}
+
+func TestRunOnGraphFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	content := "cod-graph 1\n4 4 1 0\ne 0 1\ne 1 2\ne 2 3\ne 0 2\na 0 0\na 1 0\na 2 0\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", 0, 0, 2, 20, 1, "codl"); err != nil {
+		t.Fatalf("graph file run: %v", err)
+	}
+	// node without attributes and no -attr
+	if err := run(path, "", 3, -1, 2, 20, 1, "codl"); err == nil {
+		t.Error("attribute-less node without -attr accepted")
+	}
+}

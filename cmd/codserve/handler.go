@@ -1,0 +1,226 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/codsearch/cod"
+)
+
+// Handler serves COD queries over one Searcher. The Searcher is not safe
+// for concurrent use (its per-query seed sequence and CODR cache mutate),
+// so requests serialize on a mutex; the offline state dominates query cost
+// anyway.
+type Handler struct {
+	mu  sync.Mutex
+	g   *cod.Graph
+	s   *cod.Searcher
+	mux *http.ServeMux
+}
+
+// NewHandler wires the endpoints for g and s.
+func NewHandler(g *cod.Graph, s *cod.Searcher) *Handler {
+	h := &Handler{g: g, s: s, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /healthz", h.healthz)
+	h.mux.HandleFunc("GET /stats", h.stats)
+	h.mux.HandleFunc("GET /discover", h.discover)
+	h.mux.HandleFunc("GET /influence", h.influence)
+	h.mux.HandleFunc("POST /batch", h.batch)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok"))
+}
+
+type statsResponse struct {
+	Nodes    int     `json:"nodes"`
+	Edges    int     `json:"edges"`
+	Attrs    int     `json:"attrs"`
+	IndexMB  float64 `json:"index_mb"`
+	Weighted bool    `json:"weighted"`
+}
+
+func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Nodes:   h.g.N(),
+		Edges:   h.g.M(),
+		Attrs:   h.g.NumAttrs(),
+		IndexMB: float64(h.s.IndexBytes()) / (1 << 20),
+	})
+}
+
+type discoverResponse struct {
+	Query       int     `json:"query"`
+	Attr        int     `json:"attr"`
+	Method      string  `json:"method"`
+	Found       bool    `json:"found"`
+	FromIndex   bool    `json:"from_index,omitempty"`
+	Size        int     `json:"size"`
+	Density     float64 `json:"topology_density"`
+	AttrDensity float64 `json:"attribute_density"`
+	Conductance float64 `json:"conductance"`
+	Nodes       []int32 `json:"nodes,omitempty"`
+}
+
+func (h *Handler) discover(w http.ResponseWriter, r *http.Request) {
+	q, ok := intParam(w, r, "q")
+	if !ok {
+		return
+	}
+	attr, ok := intParamDefault(w, r, "attr", 0)
+	if !ok {
+		return
+	}
+	method := r.URL.Query().Get("method")
+	if method == "" {
+		method = "codl"
+	}
+
+	h.mu.Lock()
+	var (
+		com cod.Community
+		err error
+	)
+	switch method {
+	case "codl":
+		com, err = h.s.Discover(cod.NodeID(q), cod.AttrID(attr))
+	case "codu":
+		com, err = h.s.DiscoverUnattributed(cod.NodeID(q))
+	case "codr":
+		com, err = h.s.DiscoverGlobal(cod.NodeID(q), cod.AttrID(attr))
+	default:
+		h.mu.Unlock()
+		httpError(w, http.StatusBadRequest, "unknown method %q", method)
+		return
+	}
+	h.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := discoverResponse{Query: q, Attr: attr, Method: method, Found: com.Found, FromIndex: com.FromIndex}
+	if com.Found {
+		resp.Size = com.Size()
+		resp.Density = h.g.TopologyDensity(com.Nodes)
+		resp.AttrDensity = h.g.AttributeDensity(com.Nodes, cod.AttrID(attr))
+		resp.Conductance = h.g.Conductance(com.Nodes)
+		if resp.Size <= 1000 {
+			resp.Nodes = com.Nodes
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type influenceResponse struct {
+	Query     int     `json:"query"`
+	Influence float64 `json:"influence"`
+}
+
+func (h *Handler) influence(w http.ResponseWriter, r *http.Request) {
+	q, ok := intParam(w, r, "q")
+	if !ok {
+		return
+	}
+	h.mu.Lock()
+	infl, err := h.s.EstimateInfluence(cod.NodeID(q))
+	h.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, influenceResponse{Query: q, Influence: infl})
+}
+
+type batchRequest struct {
+	Queries []struct {
+		Q    int32 `json:"q"`
+		Attr int32 `json:"attr"`
+	} `json:"queries"`
+	Workers int `json:"workers,omitempty"`
+}
+
+type batchItem struct {
+	Query int32  `json:"query"`
+	Attr  int32  `json:"attr"`
+	Found bool   `json:"found"`
+	Size  int    `json:"size"`
+	Error string `json:"error,omitempty"`
+}
+
+// batch answers many queries in one request via the Searcher's concurrent
+// DiscoverBatch (bounded body, capped batch size).
+func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if len(req.Queries) == 0 || len(req.Queries) > 1024 {
+		httpError(w, http.StatusBadRequest, "batch size %d out of range [1,1024]", len(req.Queries))
+		return
+	}
+	queries := make([]cod.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = cod.Query{Node: q.Q, Attr: q.Attr}
+	}
+	h.mu.Lock()
+	results := h.s.DiscoverBatch(queries, req.Workers)
+	h.mu.Unlock()
+	out := make([]batchItem, len(results))
+	for i, res := range results {
+		out[i] = batchItem{Query: res.Query.Node, Attr: res.Query.Attr}
+		if res.Err != nil {
+			out[i].Error = res.Err.Error()
+			continue
+		}
+		out[i].Found = res.Community.Found
+		out[i].Size = res.Community.Size()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func intParam(w http.ResponseWriter, r *http.Request, name string) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		httpError(w, http.StatusBadRequest, "missing parameter %q", name)
+		return 0, false
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parameter %q: %v", name, err)
+		return 0, false
+	}
+	return v, true
+}
+
+func intParamDefault(w http.ResponseWriter, r *http.Request, name string, def int) (int, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, true
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parameter %q: %v", name, err)
+		return 0, false
+	}
+	return v, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

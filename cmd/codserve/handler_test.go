@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/codsearch/cod"
+)
+
+func testServer(t *testing.T) (*httptest.Server, *cod.Graph) {
+	t.Helper()
+	g, err := cod.GenerateDataset("tiny", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cod.NewSearcher(g, cod.Options{K: 5, Theta: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(g, s))
+	t.Cleanup(srv.Close)
+	return srv, g
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	srv, g := testServer(t)
+	var st statsResponse
+	getJSON(t, srv.URL+"/stats", http.StatusOK, &st)
+	if st.Nodes != g.N() || st.Edges != g.M() || st.Attrs != g.NumAttrs() {
+		t.Errorf("stats %+v mismatch graph %d/%d/%d", st, g.N(), g.M(), g.NumAttrs())
+	}
+	if st.IndexMB <= 0 {
+		t.Error("index size missing")
+	}
+}
+
+func TestDiscoverEndpoint(t *testing.T) {
+	srv, g := testServer(t)
+	var q cod.NodeID = -1
+	for v := cod.NodeID(0); int(v) < g.N(); v++ {
+		if len(g.Attrs(v)) > 0 {
+			q = v
+			break
+		}
+	}
+	attr := g.Attrs(q)[0]
+	var dr discoverResponse
+	url := srv.URL + "/discover?q=" + strconv.Itoa(int(q)) + "&attr=" + strconv.Itoa(int(attr))
+	getJSON(t, url, http.StatusOK, &dr)
+	if dr.Method != "codl" || dr.Query != int(q) {
+		t.Errorf("response %+v", dr)
+	}
+	if dr.Found {
+		if dr.Size == 0 || dr.Density < 0 || dr.Density > 1 {
+			t.Errorf("bad measures: %+v", dr)
+		}
+		seen := false
+		for _, v := range dr.Nodes {
+			if v == q {
+				seen = true
+			}
+		}
+		if !seen {
+			t.Error("community missing query node")
+		}
+	}
+	// other methods
+	for _, m := range []string{"codu", "codr"} {
+		getJSON(t, url+"&method="+m, http.StatusOK, &dr)
+		if dr.Method != m {
+			t.Errorf("method echo = %q", dr.Method)
+		}
+	}
+}
+
+func TestDiscoverErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	getJSON(t, srv.URL+"/discover", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/discover?q=abc", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/discover?q=999999", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/discover?q=0&attr=zz", http.StatusBadRequest, nil)
+	getJSON(t, srv.URL+"/discover?q=0&method=warp", http.StatusBadRequest, nil)
+}
+
+func TestInfluenceEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	var ir influenceResponse
+	getJSON(t, srv.URL+"/influence?q=0", http.StatusOK, &ir)
+	if ir.Influence < 1 {
+		t.Errorf("influence = %f", ir.Influence)
+	}
+	getJSON(t, srv.URL+"/influence?q=-3", http.StatusBadRequest, nil)
+}
+
+// Concurrent requests must serialize safely on the handler's mutex.
+func TestConcurrentRequests(t *testing.T) {
+	srv, _ := testServer(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(srv.URL + "/discover?q=" + strconv.Itoa(i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv, g := testServer(t)
+	var q cod.NodeID
+	for v := cod.NodeID(0); int(v) < g.N(); v++ {
+		if len(g.Attrs(v)) > 0 {
+			q = v
+			break
+		}
+	}
+	body := `{"queries":[{"q":` + strconv.Itoa(int(q)) + `,"attr":` + strconv.Itoa(int(g.Attrs(q)[0])) + `},{"q":-4,"attr":0}],"workers":2}`
+	resp, err := http.Post(srv.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var items []batchItem
+	if err := json.NewDecoder(resp.Body).Decode(&items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if items[0].Error != "" {
+		t.Errorf("valid query errored: %s", items[0].Error)
+	}
+	if items[1].Error == "" {
+		t.Error("invalid query did not error")
+	}
+	// malformed and oversized bodies rejected
+	for _, bad := range []string{"{", `{"queries":[]}`} {
+		resp, err := http.Post(srv.URL+"/batch", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d", bad, resp.StatusCode)
+		}
+	}
+}

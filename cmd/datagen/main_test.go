@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/codsearch/cod"
+)
+
+func TestWriteSingleDataset(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "tiny.txt")
+	if err := run("tiny", out, false, dir, 11); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := cod.LoadGraph(f)
+	if err != nil {
+		t.Fatalf("written file not parseable: %v", err)
+	}
+	if g.N() != 120 {
+		t.Errorf("N = %d", g.N())
+	}
+}
+
+func TestDefaultOutputName(t *testing.T) {
+	dir := t.TempDir()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	if err := run("tiny", "", false, ".", 11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat("tiny.txt"); err != nil {
+		t.Errorf("default output missing: %v", err)
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if err := run("nope", "x.txt", false, ".", 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run("tiny", filepath.Join("missing-dir-xyz", "x.txt"), false, ".", 1); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}

@@ -1,0 +1,70 @@
+package cod
+
+import (
+	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/dynamic"
+)
+
+// FlushStrategy selects how DynamicSearcher.Flush rebuilds its state.
+type FlushStrategy = dynamic.Strategy
+
+// FlushStrategy values.
+const (
+	// FlushAuto reclusters locally when the updates are confined to a small
+	// community, fully otherwise.
+	FlushAuto = dynamic.Auto
+	// FlushLocal forces the local subtree recluster.
+	FlushLocal = dynamic.RebuildLocal
+	// FlushFull forces a full recluster.
+	FlushFull = dynamic.RebuildFull
+)
+
+// DynamicSearcher answers COD queries over a graph that receives edge
+// insertions: updates are buffered with AddEdge and folded in with Flush,
+// which reclusters either the affected subtree or the whole graph and
+// rebuilds the influence index (see the paper's future-work discussion on
+// dynamic graphs). Not safe for concurrent use.
+type DynamicSearcher struct {
+	u    *dynamic.Updater
+	opts Options
+	seq  uint64
+}
+
+// NewDynamicSearcher builds the initial state for g.
+func NewDynamicSearcher(g *Graph, opts Options) (*DynamicSearcher, error) {
+	u, err := dynamic.New(g.internalGraph(), core.Params{
+		K: opts.K, Theta: opts.Theta, Beta: opts.Beta,
+		Linkage: opts.Linkage, Seed: opts.Seed, Model: opts.Model,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicSearcher{u: u, opts: opts}, nil
+}
+
+// AddEdge buffers an undirected edge insertion; it becomes visible to
+// queries after the next Flush.
+func (d *DynamicSearcher) AddEdge(u, v NodeID) error { return d.u.AddEdge(u, v) }
+
+// Pending returns the number of buffered insertions.
+func (d *DynamicSearcher) Pending() int { return d.u.Pending() }
+
+// Flush applies buffered insertions and rebuilds the hierarchy and index.
+func (d *DynamicSearcher) Flush(s FlushStrategy) error { return d.u.Flush(s) }
+
+// Discover answers a COD query over the current (flushed) state.
+func (d *DynamicSearcher) Discover(q NodeID, attr AttrID) (Community, error) {
+	d.seq++
+	com, err := d.u.Query(q, attr, d.opts.Seed^(d.seq*0x9e3779b97f4a7c15))
+	if err != nil {
+		return Community{}, err
+	}
+	return Community{Nodes: com.Nodes, Found: com.Found, FromIndex: com.FromIndex}, nil
+}
+
+// N returns the current node count; M the current edge count (excluding
+// pending insertions).
+func (d *DynamicSearcher) N() int { return d.u.Graph().N() }
+
+// M returns the current number of edges, excluding pending insertions.
+func (d *DynamicSearcher) M() int { return d.u.Graph().M() }

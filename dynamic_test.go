@@ -1,0 +1,60 @@
+package cod
+
+import "testing"
+
+func TestDynamicSearcher(t *testing.T) {
+	g := buildTestGraph(t)
+	d, err := NewDynamicSearcher(g, Options{K: 5, Theta: 4, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != g.N() || d.M() != g.M() {
+		t.Fatal("initial state mismatch")
+	}
+	if err := d.AddEdge(0, NodeID(g.N()-1)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 1 {
+		t.Errorf("pending = %d", d.Pending())
+	}
+	// query before flush still works against the old state
+	var q NodeID
+	for v := NodeID(0); int(v) < g.N(); v++ {
+		if len(g.Attrs(v)) > 0 {
+			q = v
+			break
+		}
+	}
+	if _, err := d.Discover(q, g.Attrs(q)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(FlushAuto); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 0 {
+		t.Error("pending survived flush")
+	}
+	if d.M() != g.M()+1 {
+		t.Errorf("M = %d, want %d", d.M(), g.M()+1)
+	}
+	com, err := d.Discover(q, g.Attrs(q)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if com.Found && !com.Contains(q) {
+		t.Error("community missing query node")
+	}
+	// forced strategies must both work
+	if err := d.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(FlushLocal); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(3, NodeID(g.N()-2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(FlushFull); err != nil {
+		t.Fatal(err)
+	}
+}

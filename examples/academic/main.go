@@ -1,0 +1,72 @@
+// Academic: the conference-invitation scenario from the paper (§IV): to
+// organize a workshop on a research area, invite the widest community of
+// researchers in which the organizing PC chair actually carries weight —
+// their characteristic community for the area attribute.
+//
+// The example compares the three hierarchy variants on a citation-network
+// stand-in: CODL (attribute-aware local reclustering), CODU (topology only)
+// and CODR (global reclustering), reproducing the paper's qualitative
+// finding that CODL serves lower-influence query nodes with denser,
+// more on-topic communities.
+//
+// Run with: go run ./examples/academic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/codsearch/cod"
+)
+
+func main() {
+	g, err := cod.GenerateDataset("cora", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("citation network: %d papers, %d citations, %d areas\n", g.N(), g.M(), g.NumAttrs())
+
+	s, err := cod.NewSearcher(g, cod.Options{K: 5, Theta: 10, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a handful of mid-degree "PC chairs": influential locally, but not
+	// global celebrities.
+	var chairs []cod.NodeID
+	for v := cod.NodeID(0); int(v) < g.N() && len(chairs) < 5; v++ {
+		if d := g.Degree(v); d >= 5 && d <= 12 && len(g.Attrs(v)) > 0 {
+			chairs = append(chairs, v)
+		}
+	}
+
+	fmt.Println("\nchair  area  method  found  size  ρ       φ       conductance")
+	for _, q := range chairs {
+		area := g.Attrs(q)[0]
+		for _, m := range []struct {
+			name string
+			run  func() (cod.Community, error)
+		}{
+			{"CODL", func() (cod.Community, error) { return s.Discover(q, area) }},
+			{"CODU", func() (cod.Community, error) { return s.DiscoverUnattributed(q) }},
+			{"CODR", func() (cod.Community, error) { return s.DiscoverGlobal(q, area) }},
+		} {
+			com, err := m.run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !com.Found {
+				fmt.Printf("%5d  %4d  %-6s  no\n", q, area, m.name)
+				continue
+			}
+			fmt.Printf("%5d  %4d  %-6s  yes   %4d  %.4f  %.4f  %.4f\n",
+				q, area, m.name, com.Size(),
+				g.TopologyDensity(com.Nodes),
+				g.AttributeDensity(com.Nodes, area),
+				g.Conductance(com.Nodes))
+		}
+	}
+
+	fmt.Println("\ninterpretation: CODL's community is the invitation list — the widest")
+	fmt.Println("group, dense on the workshop's area, in which the chair is top-5 influential.")
+}

@@ -1,0 +1,126 @@
+// Heterogeneous: COD over a typed bibliographic network (authors, papers,
+// venues) — the paper's future-work direction, §VI. The graph is projected
+// along two meta-paths (co-authorship APA and shared-venue APVPA) and the
+// query author's characteristic community is compared across them.
+//
+// Run with: go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"github.com/codsearch/cod"
+)
+
+const (
+	typeAuthor = int32(0)
+	typePaper  = int32(1)
+	typeVenue  = int32(2)
+	edgeWrites = int32(0)
+	edgePubAt  = int32(1)
+)
+
+func main() {
+	const (
+		nAuthors = 120
+		nPapers  = 300
+		nVenues  = 4
+		nAreas   = 4 // research areas = attributes
+	)
+	schema := cod.HeteroSchema{
+		NodeTypes: []string{"author", "paper", "venue"},
+		EdgeTypes: []cod.HeteroEdgeType{
+			{Name: "writes", From: typeAuthor, To: typePaper},
+			{Name: "published-at", From: typePaper, To: typeVenue},
+		},
+	}
+	types := make([]int32, 0, nAuthors+nPapers+nVenues)
+	for i := 0; i < nAuthors; i++ {
+		types = append(types, typeAuthor)
+	}
+	for i := 0; i < nPapers; i++ {
+		types = append(types, typePaper)
+	}
+	for i := 0; i < nVenues; i++ {
+		types = append(types, typeVenue)
+	}
+	b, err := cod.NewHeteroBuilder(schema, types, nAreas)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Plant research areas: author a belongs to area a / (nAuthors/nAreas);
+	// each paper draws 2-3 authors from one area (10% cross-area guests) and
+	// is published at that area's venue.
+	rng := rand.New(rand.NewPCG(9, 9))
+	areaOf := func(a int) int { return a / (nAuthors / nAreas) }
+	paper0 := cod.NodeID(nAuthors)
+	venue0 := cod.NodeID(nAuthors + nPapers)
+	for p := 0; p < nPapers; p++ {
+		area := p % nAreas
+		pid := paper0 + cod.NodeID(p)
+		for i := 0; i < 2+rng.IntN(2); i++ {
+			var a int
+			if rng.Float64() < 0.1 { // guest author from anywhere
+				a = rng.IntN(nAuthors)
+			} else {
+				a = area*(nAuthors/nAreas) + rng.IntN(nAuthors/nAreas)
+			}
+			if err := b.AddEdge(cod.NodeID(a), pid, edgeWrites); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := b.AddEdge(pid, venue0+cod.NodeID(area), edgePubAt); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for a := 0; a < nAuthors; a++ {
+		if err := b.SetAttrs(cod.NodeID(a), cod.AttrID(areaOf(a))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := b.Build()
+	fmt.Printf("HIN: %d nodes (%d authors, %d papers, %d venues), %d typed edges\n",
+		g.N(), nAuthors, nPapers, nVenues, g.M())
+
+	apa := cod.MetaPath{Edges: []int32{edgeWrites, edgeWrites}, Start: typeAuthor}
+	apvpa := cod.MetaPath{Edges: []int32{edgeWrites, edgePubAt, edgePubAt, edgeWrites}, Start: typeAuthor}
+
+	query := cod.NodeID(7) // an area-0 author
+	area := g.Attrs(query)[0]
+	fmt.Printf("\nquery: author %d, area %d\n", query, area)
+	for _, mp := range []struct {
+		name string
+		path cod.MetaPath
+	}{
+		{"APA (co-authorship)", apa},
+		{"APVPA (shared venue)", apvpa},
+	} {
+		s, err := cod.NewHeteroSearcher(g, mp.path, cod.Options{K: 3, Theta: 20, Seed: 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pn, pm := s.ProjectionSize()
+		com, err := s.Discover(query, area)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !com.Found {
+			fmt.Printf("%-22s projection %d nodes/%d edges: no characteristic community\n",
+				mp.name, pn, pm)
+			continue
+		}
+		sameArea := 0
+		for _, v := range com.Nodes {
+			if areaOf(int(v)) == int(area) {
+				sameArea++
+			}
+		}
+		fmt.Printf("%-22s projection %d nodes/%d edges: community of %d authors, %d%% in area %d\n",
+			mp.name, pn, pm, com.Size(), 100*sameArea/com.Size(), area)
+	}
+	fmt.Println("\nAPA keeps the community among direct collaborators; APVPA widens it to")
+	fmt.Println("everyone orbiting the same venues — the meta-path is the lens.")
+}

@@ -1,0 +1,78 @@
+// Scalability: measure the offline (clustering + HIMOR index) and online
+// (per-query) costs of the Searcher as the network grows, mirroring the
+// paper's §V-D observation that the HIMOR index keeps query latency in the
+// milliseconds while the offline cost and index size grow with the graph
+// and the hierarchy's depth skew.
+//
+// Run with: go run ./examples/scalability          (three smaller datasets)
+//
+//	go run ./examples/scalability -big     (adds amazon and dblp)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/codsearch/cod"
+)
+
+func main() {
+	big := flag.Bool("big", false, "include the 30k-node datasets")
+	flag.Parse()
+
+	names := []string{"small", "cora", "citeseer", "pubmed"}
+	if *big {
+		names = append(names, "retweet", "amazon", "dblp")
+	}
+
+	fmt.Println("dataset      nodes   edges    offline     index MB  avg query   found")
+	for _, name := range names {
+		g, err := cod.GenerateDataset(name, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		s, err := cod.NewSearcher(g, cod.Options{K: 5, Theta: 10, Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		offline := time.Since(start)
+
+		// Query a spread of attributed nodes.
+		const queries = 10
+		var (
+			total time.Duration
+			found int
+			done  int
+		)
+		step := g.N() / queries
+		if step == 0 {
+			step = 1
+		}
+		for v := cod.NodeID(0); int(v) < g.N() && done < queries; v += cod.NodeID(step) {
+			attrs := g.Attrs(v)
+			if len(attrs) == 0 {
+				continue
+			}
+			qs := time.Now()
+			com, err := s.Discover(v, attrs[0])
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += time.Since(qs)
+			done++
+			if com.Found {
+				found++
+			}
+		}
+		avg := time.Duration(0)
+		if done > 0 {
+			avg = total / time.Duration(done)
+		}
+		fmt.Printf("%-11s %7d %7d  %10v  %8.2f  %10v  %d/%d\n",
+			name, g.N(), g.M(), offline.Round(time.Millisecond),
+			float64(s.IndexBytes())/(1<<20), avg.Round(10*time.Microsecond), found, done)
+	}
+}

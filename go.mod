@@ -1,0 +1,3 @@
+module github.com/codsearch/cod
+
+go 1.22

@@ -1,0 +1,130 @@
+package cod
+
+import (
+	"io"
+
+	"github.com/codsearch/cod/internal/dataset"
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// NodeID identifies a node (0..N-1).
+type NodeID = graph.NodeID
+
+// AttrID identifies a categorical attribute (0..NumAttrs-1).
+type AttrID = graph.AttrID
+
+// Graph is an immutable undirected attributed graph. Construct one with a
+// GraphBuilder, LoadGraph, or GenerateDataset.
+type Graph struct {
+	g *graph.Graph
+}
+
+// GraphBuilder accumulates edges and node attributes for a Graph.
+type GraphBuilder struct {
+	b *graph.Builder
+}
+
+// NewGraphBuilder returns a builder for a graph with n nodes and an
+// attribute universe of numAttrs attributes.
+func NewGraphBuilder(n, numAttrs int) *GraphBuilder {
+	return &GraphBuilder{b: graph.NewBuilder(n, numAttrs)}
+}
+
+// AddEdge records the undirected edge (u, v). Self loops and out-of-range
+// endpoints are errors; duplicate edges are merged at Build time.
+func (gb *GraphBuilder) AddEdge(u, v NodeID) error { return gb.b.AddEdge(u, v) }
+
+// AddWeightedEdge records an undirected edge with a positive weight.
+func (gb *GraphBuilder) AddWeightedEdge(u, v NodeID, w float64) error {
+	return gb.b.AddWeightedEdge(u, v, w)
+}
+
+// SetAttrs assigns node v's attribute set, replacing any previous one.
+func (gb *GraphBuilder) SetAttrs(v NodeID, attrs ...AttrID) error { return gb.b.SetAttrs(v, attrs...) }
+
+// AddAttr adds one attribute to node v.
+func (gb *GraphBuilder) AddAttr(v NodeID, a AttrID) error { return gb.b.AddAttr(v, a) }
+
+// Build assembles the immutable Graph.
+func (gb *GraphBuilder) Build() *Graph { return &Graph{g: gb.b.Build()} }
+
+// LoadGraph parses a graph in the text format produced by Graph.WriteTo.
+func LoadGraph(r io.Reader) (*Graph, error) {
+	g, err := graph.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// LoadEdgeList parses a SNAP-style edge list (one "u v" pair per line, '#'
+// or '%' comments, arbitrary integer ids remapped densely) and optionally a
+// second stream of attribute lines ("orig-id attr [attr...]"); pass nil for
+// attrs when the graph is unattributed. The returned map translates
+// original file ids to the Graph's dense NodeIDs.
+func LoadEdgeList(edges io.Reader, attrs io.Reader, numAttrs int) (*Graph, map[int64]NodeID, error) {
+	res, err := graph.ReadEdgeList(edges, numAttrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := res.G
+	if attrs != nil {
+		if g, err = graph.ReadAttrFile(res, attrs); err != nil {
+			return nil, nil, err
+		}
+	}
+	return &Graph{g: g}, res.DenseID, nil
+}
+
+// GenerateDataset generates one of the built-in synthetic benchmark
+// networks ("cora", "citeseer", "pubmed", "retweet", "amazon", "dblp",
+// "livejournal", plus the reduced "tiny" and "small") deterministically for
+// the given seed. See DatasetNames.
+func GenerateDataset(name string, seed uint64) (*Graph, error) {
+	ds, err := dataset.Load(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: ds.G}, nil
+}
+
+// DatasetNames lists the full-scale built-in datasets in Table I order.
+func DatasetNames() []string { return dataset.Names() }
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.g.N() }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.g.M() }
+
+// NumAttrs returns the size of the attribute universe.
+func (g *Graph) NumAttrs() int { return g.g.NumAttrs() }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v NodeID) int { return g.g.Degree(v) }
+
+// Neighbors returns v's neighbors (shared storage; do not modify).
+func (g *Graph) Neighbors(v NodeID) []NodeID { return g.g.Neighbors(v) }
+
+// Attrs returns v's attributes (shared storage; do not modify).
+func (g *Graph) Attrs(v NodeID) []AttrID { return g.g.Attrs(v) }
+
+// HasAttr reports whether v carries attribute a.
+func (g *Graph) HasAttr(v NodeID, a AttrID) bool { return g.g.HasAttr(v, a) }
+
+// WriteTo serializes the graph in the cod text format.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) { return g.g.WriteTo(w) }
+
+// TopologyDensity returns ρ(C) = edges / node pairs for a node set.
+func (g *Graph) TopologyDensity(nodes []NodeID) float64 { return graph.TopologyDensity(g.g, nodes) }
+
+// AttributeDensity returns φ(C): the fraction of nodes carrying attr.
+func (g *Graph) AttributeDensity(nodes []NodeID, attr AttrID) float64 {
+	return graph.AttributeDensity(g.g, nodes, attr)
+}
+
+// Conductance returns the conductance of the cut around the node set.
+func (g *Graph) Conductance(nodes []NodeID) float64 { return graph.Conductance(g.g, nodes) }
+
+// internalGraph exposes the underlying representation to the Searcher.
+func (g *Graph) internalGraph() *graph.Graph { return g.g }

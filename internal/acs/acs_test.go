@@ -1,0 +1,199 @@
+package acs
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// attributedCliques: two K4s bridged by one edge; attribute 0 on the first
+// clique plus the bridge endpoint of the second, attribute 1 elsewhere.
+func attributedCliques(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(8, 2)
+	add := func(u, v graph.NodeID) {
+		if err := b.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			add(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	for i := 4; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			add(graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	add(3, 4)
+	for _, v := range []graph.NodeID{0, 1, 2, 3, 4} {
+		if err := b.SetAttrs(v, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range []graph.NodeID{5, 6, 7} {
+		if err := b.SetAttrs(v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestACQ(t *testing.T) {
+	g := attributedCliques(t)
+	comm, k := ACQ(g, 0, 0)
+	// attr-0 induced subgraph: K4 {0,1,2,3} + pendant 4 -> 3-core is the K4
+	if k != 3 || len(comm) != 4 {
+		t.Errorf("ACQ = %v k=%d, want K4 k=3", comm, k)
+	}
+	for _, v := range comm {
+		if v > 3 {
+			t.Errorf("ACQ leaked outside the attributed clique: %v", comm)
+		}
+	}
+	// query node lacking the attribute
+	if comm, k := ACQ(g, 7, 0); comm != nil || k != 0 {
+		t.Errorf("ACQ without attribute should be empty, got %v", comm)
+	}
+}
+
+func TestCAC(t *testing.T) {
+	g := attributedCliques(t)
+	comm, k := CAC(g, 0, 0)
+	if k != 4 || len(comm) != 4 {
+		t.Errorf("CAC = %v k=%d, want the K4 with k=4", comm, k)
+	}
+	// node 4's attr-0 neighborhood has no triangle: empty answer
+	if comm, _ := CAC(g, 4, 0); comm != nil {
+		t.Errorf("CAC(4) = %v, want empty (no attributed triangle)", comm)
+	}
+}
+
+func TestATC(t *testing.T) {
+	g := attributedCliques(t)
+	comm, k := ATC(g, 0, 0)
+	if k < 3 || len(comm) == 0 {
+		t.Fatalf("ATC = %v k=%d", comm, k)
+	}
+	found := false
+	for _, v := range comm {
+		if v == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ATC community must contain the query node")
+	}
+	// ATC on a high-attribute-density community should keep it intact.
+	if len(comm) != 4 {
+		t.Errorf("ATC = %v, want the K4", comm)
+	}
+}
+
+func TestATCPeeling(t *testing.T) {
+	// K5 where only 3 nodes carry the attribute: peeling should reduce the
+	// community while keeping a 3-truss... K5 minus nodes stays a truss.
+	b := graph.NewBuilder(5, 1)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if err := b.AddEdge(graph.NodeID(i), graph.NodeID(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, v := range []graph.NodeID{0, 1, 2} {
+		if err := b.SetAttrs(v, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	comm, k := ATC(g, 0, 0)
+	if len(comm) == 0 || k < 3 {
+		t.Fatalf("ATC = %v k=%d", comm, k)
+	}
+	// score of K5 = 9/5 = 1.8; removing both attribute-free nodes is blocked
+	// by the k-truss constraint (k=5 needs all five), so the full K5 stays.
+	if len(comm) != 5 {
+		t.Logf("ATC peeled to %v (acceptable if truss holds)", comm)
+		for _, v := range comm {
+			if v > 2 && len(comm) < 3 {
+				t.Errorf("bad peel: %v", comm)
+			}
+		}
+	}
+}
+
+func TestBaselinesOnTrianglelessGraph(t *testing.T) {
+	g, err := graph.FromEdges(4, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// re-add attributes
+	b := graph.NewBuilder(4, 1)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 2)
+	_ = b.AddEdge(2, 3)
+	for v := graph.NodeID(0); v < 4; v++ {
+		_ = b.SetAttrs(v, 0)
+	}
+	g = b.Build()
+	if comm, _ := CAC(g, 1, 0); comm != nil {
+		t.Errorf("CAC on path = %v, want empty", comm)
+	}
+	if comm, _ := ATC(g, 1, 0); comm != nil {
+		t.Errorf("ATC on path = %v, want empty", comm)
+	}
+	comm, k := ACQ(g, 1, 0)
+	if k != 1 || len(comm) != 4 {
+		t.Errorf("ACQ on path = %v k=%d, want whole path k=1", comm, k)
+	}
+}
+
+func TestATCd(t *testing.T) {
+	g := attributedCliques(t)
+	// d=1: only q's direct neighborhood is eligible; the K4 around node 0
+	// lies entirely within distance 1.
+	comm, k := ATCd(g, 0, 0, 1)
+	if k < 3 || len(comm) != 4 {
+		t.Errorf("ATCd(d=1) = %v k=%d, want the K4", comm, k)
+	}
+	for _, v := range comm {
+		if v > 4 {
+			t.Errorf("ATCd leaked outside the ball: %v", comm)
+		}
+	}
+	// d<=0 falls back to plain ATC
+	c1, k1 := ATCd(g, 0, 0, 0)
+	c2, k2 := ATC(g, 0, 0)
+	if k1 != k2 || len(c1) != len(c2) {
+		t.Errorf("ATCd(0) != ATC: %v/%d vs %v/%d", c1, k1, c2, k2)
+	}
+	// a tiny ball has no truss
+	h, err := graph.FromEdges(5, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comm, _ := ATCd(h, 0, 0, 1); comm != nil {
+		t.Errorf("path ball produced %v", comm)
+	}
+}
+
+func TestBallAround(t *testing.T) {
+	g, err := graph.FromEdges(6, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := ballAround(g, 2, 1)
+	if len(b1) != 3 { // {1,2,3}
+		t.Errorf("ball(2,1) = %v", b1)
+	}
+	b2 := ballAround(g, 2, 2)
+	if len(b2) != 5 { // {0,1,2,3,4}
+		t.Errorf("ball(2,2) = %v", b2)
+	}
+	bAll := ballAround(g, 2, 10)
+	if len(bAll) != 6 {
+		t.Errorf("ball(2,10) = %v", bAll)
+	}
+}

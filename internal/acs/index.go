@@ -1,0 +1,96 @@
+package acs
+
+import (
+	"github.com/codsearch/cod/internal/cohesion"
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// Index caches the per-graph and per-attribute decompositions the three
+// baselines rely on, so that evaluating 100 queries does not repeat the
+// O(m^1.5) truss peeling per query. The package-level ACQ/CAC/ATC functions
+// remain the convenient single-shot form.
+type Index struct {
+	g        *graph.Graph
+	truss    *cohesion.TrussIndex // full-graph truss (ATC); lazy
+	attrSubs map[graph.AttrID]*attrSub
+}
+
+type attrSub struct {
+	sub   *graph.Subgraph
+	core  []int                // core numbers of the induced subgraph (ACQ)
+	truss *cohesion.TrussIndex // truss index of the induced subgraph (CAC); lazy
+}
+
+// NewIndex returns an empty cache over g; decompositions are computed on
+// first use.
+func NewIndex(g *graph.Graph) *Index {
+	return &Index{g: g, attrSubs: map[graph.AttrID]*attrSub{}}
+}
+
+func (ix *Index) attr(a graph.AttrID) *attrSub {
+	s, ok := ix.attrSubs[a]
+	if !ok {
+		sub := graph.Induce(ix.g, ix.g.AttrNodes(a))
+		s = &attrSub{sub: sub, core: cohesion.CoreNumbers(sub.G)}
+		ix.attrSubs[a] = s
+	}
+	return s
+}
+
+func (ix *Index) fullTruss() *cohesion.TrussIndex {
+	if ix.truss == nil {
+		ix.truss = cohesion.NewTrussIndex(ix.g)
+	}
+	return ix.truss
+}
+
+func (s *attrSub) trussIndex() *cohesion.TrussIndex {
+	if s.truss == nil {
+		s.truss = cohesion.NewTrussIndex(s.sub.G)
+	}
+	return s.truss
+}
+
+// ACQ is the cached equivalent of the package-level ACQ.
+func (ix *Index) ACQ(q graph.NodeID, attr graph.AttrID) ([]graph.NodeID, int) {
+	if !ix.g.HasAttr(q, attr) {
+		return nil, 0
+	}
+	s := ix.attr(attr)
+	lq := s.sub.Local(q)
+	if lq < 0 {
+		return nil, 0
+	}
+	comp, k := cohesion.CoreComponent(s.sub.G, lq, s.core)
+	if k < 1 || len(comp) < 2 {
+		return nil, 0
+	}
+	return toParent(s.sub, comp), k
+}
+
+// CAC is the cached equivalent of the package-level CAC.
+func (ix *Index) CAC(q graph.NodeID, attr graph.AttrID) ([]graph.NodeID, int) {
+	if !ix.g.HasAttr(q, attr) {
+		return nil, 0
+	}
+	s := ix.attr(attr)
+	lq := s.sub.Local(q)
+	if lq < 0 {
+		return nil, 0
+	}
+	comp, k := s.trussIndex().TriangleConnectedTruss(lq)
+	if k < 3 || len(comp) < 3 {
+		return nil, 0
+	}
+	return toParent(s.sub, comp), k
+}
+
+// ATC is the cached equivalent of the package-level ATC (the greedy peeling
+// still runs per query; only the initial full-graph truss is shared).
+func (ix *Index) ATC(q graph.NodeID, attr graph.AttrID) ([]graph.NodeID, int) {
+	comm, k := ix.fullTruss().MaxTrussCommunity(q)
+	if k < 3 || len(comm) < 3 {
+		return nil, 0
+	}
+	return atcPeel(ix.g, q, attr, comm, k)
+}

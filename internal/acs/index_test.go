@@ -1,0 +1,71 @@
+package acs
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/dataset"
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// The cached Index must agree with the single-shot functions on every
+// query of a realistic workload.
+func TestIndexMatchesFunctions(t *testing.T) {
+	ds, err := dataset.Load("tiny", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ds.G
+	ix := NewIndex(g)
+	qs := dataset.Queries(g, 15, graph.NewRand(12))
+	equal := func(a, b []graph.NodeID) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for _, q := range qs {
+		for _, m := range []struct {
+			name    string
+			indexed func(graph.NodeID, graph.AttrID) ([]graph.NodeID, int)
+			direct  func(*graph.Graph, graph.NodeID, graph.AttrID) ([]graph.NodeID, int)
+		}{
+			{"ACQ", ix.ACQ, ACQ},
+			{"CAC", ix.CAC, CAC},
+			{"ATC", ix.ATC, ATC},
+		} {
+			gi, ki := m.indexed(q.Node, q.Attr)
+			gd, kd := m.direct(g, q.Node, q.Attr)
+			if ki != kd || !equal(gi, gd) {
+				t.Errorf("%s(%d,%d): indexed (%v,k=%d) != direct (%v,k=%d)",
+					m.name, q.Node, q.Attr, gi, ki, gd, kd)
+			}
+		}
+	}
+}
+
+func TestIndexReuse(t *testing.T) {
+	ds, err := dataset.Load("tiny", 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(ds.G)
+	// Two queries against the same attribute should reuse the cached
+	// subgraph (observable only via correctness; this exercises the path).
+	qs := dataset.Queries(ds.G, 6, graph.NewRand(14))
+	for _, q := range qs {
+		ix.ACQ(q.Node, q.Attr)
+		ix.CAC(q.Node, q.Attr)
+		ix.ATC(q.Node, q.Attr)
+	}
+	if len(ix.attrSubs) == 0 {
+		t.Error("no attribute subgraphs cached")
+	}
+	if ix.truss == nil {
+		t.Error("full-graph truss not cached")
+	}
+}

@@ -1,0 +1,268 @@
+package cohesion
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+func mustGraph(t *testing.T, n int, edges [][2]graph.NodeID) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func k4Plus(t *testing.T) *graph.Graph {
+	t.Helper()
+	// K4 on {0,1,2,3} with a pendant path 3-4-5
+	return mustGraph(t, 6, [][2]graph.NodeID{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5},
+	})
+}
+
+func TestCoreNumbers(t *testing.T) {
+	g := k4Plus(t)
+	core := CoreNumbers(g)
+	want := []int{3, 3, 3, 3, 1, 1}
+	for v, w := range want {
+		if core[v] != w {
+			t.Errorf("core(%d) = %d, want %d", v, core[v], w)
+		}
+	}
+}
+
+func TestCoreNumbersCycle(t *testing.T) {
+	g := mustGraph(t, 5, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	for v, c := range CoreNumbers(g) {
+		if c != 2 {
+			t.Errorf("cycle core(%d) = %d, want 2", v, c)
+		}
+	}
+}
+
+func TestKCore(t *testing.T) {
+	g := k4Plus(t)
+	nodes := KCore(g, 3)
+	if len(nodes) != 4 {
+		t.Fatalf("3-core = %v", nodes)
+	}
+	if len(KCore(g, 4)) != 0 {
+		t.Error("4-core should be empty")
+	}
+	if len(KCore(g, 1)) != 6 {
+		t.Error("1-core should be everything")
+	}
+}
+
+func TestMaxCoreComponent(t *testing.T) {
+	g := k4Plus(t)
+	comp, k := MaxCoreComponent(g, 0)
+	if k != 3 || len(comp) != 4 {
+		t.Errorf("MaxCoreComponent(0) = %v, k=%d", comp, k)
+	}
+	comp, k = MaxCoreComponent(g, 5)
+	if k != 1 {
+		t.Errorf("k for pendant = %d, want 1", k)
+	}
+	if len(comp) != 6 {
+		t.Errorf("1-core component = %v", comp)
+	}
+}
+
+func TestTrussnessK4(t *testing.T) {
+	g := mustGraph(t, 4, [][2]graph.NodeID{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	_, truss := Trussness(g)
+	for e, tr := range truss {
+		if tr != 4 {
+			t.Errorf("K4 edge %d trussness = %d, want 4", e, tr)
+		}
+	}
+}
+
+func TestTrussnessTriangleChain(t *testing.T) {
+	// two triangles sharing edge (1,2): every edge is in >= 1 triangle
+	g := mustGraph(t, 4, [][2]graph.NodeID{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}})
+	edges, truss := Trussness(g)
+	for e, tr := range truss {
+		if tr != 3 {
+			t.Errorf("edge %v trussness = %d, want 3", edges[e], tr)
+		}
+	}
+}
+
+func TestTrussnessNoTriangles(t *testing.T) {
+	g := mustGraph(t, 4, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}})
+	_, truss := Trussness(g)
+	for e, tr := range truss {
+		if tr != 2 {
+			t.Errorf("path edge %d trussness = %d, want 2", e, tr)
+		}
+	}
+}
+
+func TestKTruss(t *testing.T) {
+	g := k4Plus(t)
+	edges, nodes := KTruss(g, 4)
+	if len(edges) != 6 || len(nodes) != 4 {
+		t.Errorf("4-truss: %d edges %d nodes", len(edges), len(nodes))
+	}
+	if _, nodes5 := KTruss(g, 5); len(nodes5) != 0 {
+		t.Error("5-truss should be empty")
+	}
+}
+
+func TestMaxTrussCommunity(t *testing.T) {
+	g := k4Plus(t)
+	comm, k := MaxTrussCommunity(g, 1)
+	if k != 4 || len(comm) != 4 {
+		t.Errorf("MaxTrussCommunity(1) = %v k=%d", comm, k)
+	}
+	comm, k = MaxTrussCommunity(g, 5)
+	if k != 2 {
+		t.Errorf("triangle-free node k = %d, want 2", k)
+	}
+	// the 2-truss reachable from node 5 spans the whole graph
+	if len(comm) != 6 {
+		t.Errorf("2-truss community = %v", comm)
+	}
+}
+
+func TestTriangleConnectedTruss(t *testing.T) {
+	// two K4s sharing only node 3 (articulation): triangle connectivity must
+	// not leak across the shared node.
+	g := mustGraph(t, 7, [][2]graph.NodeID{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+		{3, 4}, {3, 5}, {3, 6}, {4, 5}, {4, 6}, {5, 6},
+	})
+	comm, k := TriangleConnectedTruss(g, 0)
+	if k != 4 {
+		t.Fatalf("k = %d, want 4", k)
+	}
+	if len(comm) != 4 {
+		t.Fatalf("community = %v, want one K4", comm)
+	}
+	for _, v := range comm {
+		if v > 3 {
+			t.Errorf("triangle connectivity leaked across articulation: %v", comm)
+		}
+	}
+	// node with no triangle
+	h := mustGraph(t, 3, [][2]graph.NodeID{{0, 1}, {1, 2}})
+	if comm, k := TriangleConnectedTruss(h, 1); comm != nil || k != 0 {
+		t.Errorf("expected empty result, got %v k=%d", comm, k)
+	}
+}
+
+// Property: trussness(e) - 2 never exceeds min core number of endpoints, and
+// trussness >= 2 always.
+func TestTrussCoreRelation(t *testing.T) {
+	check := func(seed uint16) bool {
+		rng := graph.NewRand(uint64(seed))
+		g := graph.ErdosRenyi(30, 90, rng)
+		core := CoreNumbers(g)
+		edges, truss := Trussness(g)
+		for e, tr := range truss {
+			if tr < 2 {
+				return false
+			}
+			u, v := edges[e][0], edges[e][1]
+			minCore := core[u]
+			if core[v] < minCore {
+				minCore = core[v]
+			}
+			if tr-2 > minCore {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the k-truss is edge-monotone — (k+1)-truss edges are a subset of
+// k-truss edges.
+func TestTrussMonotonicity(t *testing.T) {
+	check := func(seed uint16) bool {
+		rng := graph.NewRand(uint64(seed))
+		g := graph.ErdosRenyi(25, 100, rng)
+		_, truss := Trussness(g)
+		maxT := 0
+		for _, tr := range truss {
+			if tr > maxT {
+				maxT = tr
+			}
+		}
+		prev := -1
+		for k := 2; k <= maxT; k++ {
+			cnt := 0
+			for _, tr := range truss {
+				if tr >= k {
+					cnt++
+				}
+			}
+			if prev >= 0 && cnt > prev {
+				return false
+			}
+			prev = cnt
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every edge of the k-truss has >= k-2 triangles inside the truss.
+func TestTrussSupportInvariant(t *testing.T) {
+	check := func(seed uint16) bool {
+		rng := graph.NewRand(uint64(seed))
+		g := graph.ErdosRenyi(20, 70, rng)
+		_, truss := Trussness(g)
+		edges := EdgeList(g)
+		maxT := 0
+		for _, tr := range truss {
+			if tr > maxT {
+				maxT = tr
+			}
+		}
+		for k := 3; k <= maxT; k++ {
+			in := map[[2]graph.NodeID]bool{}
+			for e, tr := range truss {
+				if tr >= k {
+					in[edges[e]] = true
+				}
+			}
+			hasEdge := func(a, b graph.NodeID) bool {
+				if a > b {
+					a, b = b, a
+				}
+				return in[[2]graph.NodeID{a, b}]
+			}
+			for e, tr := range truss {
+				if tr < k {
+					continue
+				}
+				u, v := edges[e][0], edges[e][1]
+				sup := 0
+				for _, w := range g.Neighbors(u) {
+					if w != v && hasEdge(u, w) && hasEdge(v, w) {
+						sup++
+					}
+				}
+				if sup < k-2 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package cohesion implements the cohesive-subgraph machinery needed by the
+// attributed community search baselines: k-core decomposition, k-truss
+// decomposition and triangle-connected truss communities.
+package cohesion
+
+import (
+	"slices"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// CoreNumbers computes the core number (degeneracy) of every node with the
+// linear-time bucket peeling algorithm of Batagelj–Zaveršnik.
+func CoreNumbers(g *graph.Graph) []int {
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(graph.NodeID(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// bin sort by degree
+	bin := make([]int, maxDeg+2)
+	for _, d := range deg {
+		bin[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		num := bin[d]
+		bin[d] = start
+		start += num
+	}
+	pos := make([]int, n)
+	vert := make([]int, n)
+	for v := 0; v < n; v++ {
+		pos[v] = bin[deg[v]]
+		vert[pos[v]] = v
+		bin[deg[v]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	core := make([]int, n)
+	copy(core, deg)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		for _, u := range g.Neighbors(graph.NodeID(v)) {
+			if core[u] > core[v] {
+				// move u one bucket down
+				du := core[u]
+				pu := pos[u]
+				pw := bin[du]
+				w := vert[pw]
+				if u != graph.NodeID(w) {
+					pos[u] = pw
+					pos[w] = pu
+					vert[pu] = w
+					vert[pw] = int(u)
+				}
+				bin[du]++
+				core[u]--
+			}
+		}
+	}
+	return core
+}
+
+// KCore returns the maximal subgraph nodes with core number >= k (the
+// k-core), ascending. It may be disconnected.
+func KCore(g *graph.Graph, k int) []graph.NodeID {
+	core := CoreNumbers(g)
+	var out []graph.NodeID
+	for v, c := range core {
+		if c >= k {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// MaxCoreComponent returns the connected component of q inside the k-core
+// for the largest k that still contains q, together with that k. When q is
+// isolated the result is {q} with k = 0. Callers issuing many queries on
+// the same graph should compute CoreNumbers once and use CoreComponent.
+func MaxCoreComponent(g *graph.Graph, q graph.NodeID) ([]graph.NodeID, int) {
+	return CoreComponent(g, q, CoreNumbers(g))
+}
+
+// CoreComponent is MaxCoreComponent with precomputed core numbers.
+func CoreComponent(g *graph.Graph, q graph.NodeID, core []int) ([]graph.NodeID, int) {
+	k := core[q]
+	// BFS from q over nodes with core number >= k.
+	seen := map[graph.NodeID]bool{q: true}
+	queue := []graph.NodeID{q}
+	var comp []graph.NodeID
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		comp = append(comp, v)
+		for _, u := range g.Neighbors(v) {
+			if !seen[u] && core[u] >= k {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	sortIDs(comp)
+	return comp, k
+}
+
+func sortIDs(s []graph.NodeID) { slices.Sort(s) }

@@ -1,0 +1,293 @@
+package cohesion
+
+import (
+	"slices"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// EdgeID indexes the undirected edges of a graph in the canonical order
+// produced by EdgeList (sorted by (min endpoint, max endpoint)).
+type EdgeID = int32
+
+// EdgeList returns the canonical undirected edge list of g.
+func EdgeList(g *graph.Graph) [][2]graph.NodeID {
+	edges := make([][2]graph.NodeID, 0, g.M())
+	g.ForEachEdge(func(u, v graph.NodeID, _ float64) {
+		edges = append(edges, [2]graph.NodeID{u, v})
+	})
+	return edges
+}
+
+// Trussness computes the truss number of every edge: the largest k such that
+// the edge belongs to the k-truss (every edge in a k-truss participates in
+// at least k-2 triangles within the truss). Returned slice is parallel to
+// EdgeList(g); edges in no triangle have trussness 2.
+func Trussness(g *graph.Graph) ([][2]graph.NodeID, []int) {
+	edges := EdgeList(g)
+	m := len(edges)
+	id := edgeIndex(g, edges)
+
+	// support[e] = number of triangles containing e
+	support := make([]int, m)
+	for e, ep := range edges {
+		u, v := ep[0], ep[1]
+		if g.Degree(u) > g.Degree(v) {
+			u, v = v, u
+		}
+		for _, w := range g.Neighbors(u) {
+			if w == v {
+				continue
+			}
+			if g.HasEdge(v, w) {
+				support[e]++
+			}
+		}
+	}
+
+	// Peel edges in increasing current-support order with the in-place
+	// bucket structure of Batagelj–Zaveršnik (the same mechanics as
+	// CoreNumbers, applied to edges): when edge e is peeled its truss number
+	// is sup(e)+2, and the supports of the two other edges of each triangle
+	// through e drop by one, clamped at sup(e) so values stay monotone.
+	maxSup := 0
+	for _, s := range support {
+		if s > maxSup {
+			maxSup = s
+		}
+	}
+	bin := make([]int, maxSup+2)
+	for _, s := range support {
+		bin[s]++
+	}
+	start := 0
+	for d := 0; d <= maxSup; d++ {
+		num := bin[d]
+		bin[d] = start
+		start += num
+	}
+	pos := make([]int, m)
+	vert := make([]EdgeID, m)
+	for e := 0; e < m; e++ {
+		pos[e] = bin[support[e]]
+		vert[pos[e]] = EdgeID(e)
+		bin[support[e]]++
+	}
+	for d := maxSup; d > 0; d-- {
+		bin[d] = bin[d-1]
+	}
+	bin[0] = 0
+
+	sup := support // peeled in place
+	truss := make([]int, m)
+	processedBefore := make([]bool, m)
+	dec := func(ee EdgeID, floor int) {
+		if sup[ee] > floor {
+			d := sup[ee]
+			p := pos[ee]
+			pw := bin[d]
+			w := vert[pw]
+			if ee != w {
+				pos[ee] = pw
+				pos[w] = p
+				vert[p] = w
+				vert[pw] = ee
+			}
+			bin[d]++
+			sup[ee]--
+		}
+	}
+	for i := 0; i < m; i++ {
+		e := vert[i]
+		truss[e] = sup[e] + 2
+		processedBefore[e] = true
+		u, v := edges[e][0], edges[e][1]
+		if g.Degree(u) > g.Degree(v) {
+			u, v = v, u
+		}
+		for _, w := range g.Neighbors(u) {
+			if w == v {
+				continue
+			}
+			e1, ok1 := id.lookup(u, w)
+			e2, ok2 := id.lookup(v, w)
+			if !ok1 || !ok2 || processedBefore[e1] || processedBefore[e2] {
+				continue
+			}
+			dec(e1, sup[e])
+			dec(e2, sup[e])
+		}
+	}
+	return edges, truss
+}
+
+// edgeIdx maps an edge's canonical endpoints to its EdgeID.
+type edgeIdx struct {
+	g     *graph.Graph
+	adjID []EdgeID // parallel to g's internal adjacency via position lookup
+	byKey map[int64]EdgeID
+}
+
+func edgeIndex(g *graph.Graph, edges [][2]graph.NodeID) *edgeIdx {
+	idx := &edgeIdx{g: g, byKey: make(map[int64]EdgeID, len(edges))}
+	n := int64(g.N())
+	for e, ep := range edges {
+		idx.byKey[int64(ep[0])*n+int64(ep[1])] = EdgeID(e)
+	}
+	return idx
+}
+
+func (i *edgeIdx) lookup(u, v graph.NodeID) (EdgeID, bool) {
+	if u > v {
+		u, v = v, u
+	}
+	e, ok := i.byKey[int64(u)*int64(i.g.N())+int64(v)]
+	return e, ok
+}
+
+// TrussIndex caches a graph's truss decomposition so that repeated
+// community extractions (one per query) skip the O(m^1.5) peeling.
+type TrussIndex struct {
+	g     *graph.Graph
+	edges [][2]graph.NodeID
+	truss []int
+	id    *edgeIdx
+}
+
+// NewTrussIndex computes and caches the truss decomposition of g.
+func NewTrussIndex(g *graph.Graph) *TrussIndex {
+	edges, truss := Trussness(g)
+	return &TrussIndex{g: g, edges: edges, truss: truss, id: edgeIndex(g, edges)}
+}
+
+// EdgeTrussness returns the truss number of edge (u,v) and whether the edge
+// exists.
+func (ti *TrussIndex) EdgeTrussness(u, v graph.NodeID) (int, bool) {
+	e, ok := ti.id.lookup(u, v)
+	if !ok {
+		return 0, false
+	}
+	return ti.truss[e], true
+}
+
+// MaxTrussCommunity is the cached equivalent of the package-level function.
+func (ti *TrussIndex) MaxTrussCommunity(q graph.NodeID) ([]graph.NodeID, int) {
+	k := 0
+	for _, u := range ti.g.Neighbors(q) {
+		if e, ok := ti.id.lookup(q, u); ok && ti.truss[e] > k {
+			k = ti.truss[e]
+		}
+	}
+	if k < 2 {
+		return nil, 0
+	}
+	seen := map[graph.NodeID]bool{q: true}
+	queue := []graph.NodeID{q}
+	var comp []graph.NodeID
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		comp = append(comp, v)
+		for _, u := range ti.g.Neighbors(v) {
+			if seen[u] {
+				continue
+			}
+			if e, ok := ti.id.lookup(v, u); ok && ti.truss[e] >= k {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	slices.Sort(comp)
+	return comp, k
+}
+
+// TriangleConnectedTruss is the cached equivalent of the package-level
+// function.
+func (ti *TrussIndex) TriangleConnectedTruss(q graph.NodeID) ([]graph.NodeID, int) {
+	k := 0
+	var seed EdgeID = -1
+	for _, u := range ti.g.Neighbors(q) {
+		if e, ok := ti.id.lookup(q, u); ok && ti.truss[e] > k {
+			k = ti.truss[e]
+			seed = e
+		}
+	}
+	if k < 3 || seed < 0 {
+		return nil, 0
+	}
+	inTruss := func(e EdgeID) bool { return ti.truss[e] >= k }
+	visited := map[EdgeID]bool{seed: true}
+	queue := []EdgeID{seed}
+	nodes := map[graph.NodeID]bool{}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		u, v := ti.edges[e][0], ti.edges[e][1]
+		nodes[u], nodes[v] = true, true
+		if ti.g.Degree(u) > ti.g.Degree(v) {
+			u, v = v, u
+		}
+		for _, w := range ti.g.Neighbors(u) {
+			if w == v {
+				continue
+			}
+			e1, ok1 := ti.id.lookup(u, w)
+			e2, ok2 := ti.id.lookup(v, w)
+			if !ok1 || !ok2 || !inTruss(e1) || !inTruss(e2) {
+				continue
+			}
+			if !visited[e1] {
+				visited[e1] = true
+				queue = append(queue, e1)
+			}
+			if !visited[e2] {
+				visited[e2] = true
+				queue = append(queue, e2)
+			}
+		}
+	}
+	out := make([]graph.NodeID, 0, len(nodes))
+	for v := range nodes {
+		out = append(out, v)
+	}
+	slices.Sort(out)
+	return out, k
+}
+
+// KTruss returns the edges of the k-truss of g (the maximal subgraph whose
+// every edge has truss number >= k) and the set of nodes they span.
+func KTruss(g *graph.Graph, k int) (edges [][2]graph.NodeID, nodes []graph.NodeID) {
+	all, truss := Trussness(g)
+	seen := map[graph.NodeID]bool{}
+	for e, t := range truss {
+		if t >= k {
+			edges = append(edges, all[e])
+			seen[all[e][0]] = true
+			seen[all[e][1]] = true
+		}
+	}
+	for v := range seen {
+		nodes = append(nodes, v)
+	}
+	slices.Sort(nodes)
+	return edges, nodes
+}
+
+// MaxTrussCommunity returns the connected k-truss community containing q for
+// the largest feasible k: the nodes reachable from q via edges with truss
+// number >= k, where k is the maximum truss number among q's incident edges.
+// Returns (nil, 0) when q has no incident triangle-supported edge. Callers
+// issuing many queries should build a TrussIndex once instead.
+func MaxTrussCommunity(g *graph.Graph, q graph.NodeID) ([]graph.NodeID, int) {
+	return NewTrussIndex(g).MaxTrussCommunity(q)
+}
+
+// TriangleConnectedTruss returns the triangle-connected k-truss community of
+// q for the largest feasible k: starting from q's strongest incident edge,
+// it expands through edges of truss number >= k that share a triangle (all
+// three edges in the k-truss) — the community model of CAC/TCP-style search.
+// Callers issuing many queries should build a TrussIndex once instead.
+func TriangleConnectedTruss(g *graph.Graph, q graph.NodeID) ([]graph.NodeID, int) {
+	return NewTrussIndex(g).TriangleConnectedTruss(q)
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"github.com/codsearch/cod/internal/influence"
+)
+
+// AdaptiveResult reports an adaptive compressed evaluation.
+type AdaptiveResult struct {
+	EvalResult
+	// Samples is the total number of RR graphs drawn.
+	Samples int
+	// Converged is false when the cap was hit before two consecutive
+	// doublings agreed on the characteristic community.
+	Converged bool
+}
+
+// CompressedEvaluateAdaptive runs Algorithm 1 with sample-size doubling
+// instead of a fixed Θ: starting from minSamples RR graphs, the pool is
+// doubled until two consecutive evaluations select the same chain level
+// (or maxSamples is reached). This trades the paper's fixed θ for a
+// stability-driven stopping rule: easy queries (clear influence gaps) stop
+// early, borderline ones get more samples where precision actually needs
+// them (cf. the Fig. 8 discussion of estimation error near the top-k
+// boundary).
+func CompressedEvaluateAdaptive(ch *Chain, sampler influence.GraphSampler, k, minSamples, maxSamples int) AdaptiveResult {
+	if minSamples < 1 {
+		minSamples = 1
+	}
+	if maxSamples < minSamples {
+		maxSamples = minSamples
+	}
+	pool := sampler.Batch(minSamples)
+	prev := CompressedEvaluate(ch, pool, k)
+	for len(pool) < maxSamples {
+		grow := len(pool)
+		if len(pool)+grow > maxSamples {
+			grow = maxSamples - len(pool)
+		}
+		pool = append(pool, sampler.Batch(grow)...)
+		cur := CompressedEvaluate(ch, pool, k)
+		if cur.Level == prev.Level {
+			return AdaptiveResult{EvalResult: cur, Samples: len(pool), Converged: true}
+		}
+		prev = cur
+	}
+	return AdaptiveResult{EvalResult: prev, Samples: len(pool), Converged: false}
+}

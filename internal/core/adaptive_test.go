@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/hac"
+	"github.com/codsearch/cod/internal/influence"
+)
+
+func TestAdaptiveConvergesOnClearCase(t *testing.T) {
+	// A star center is unambiguously top-1 everywhere: the adaptive
+	// evaluation should converge quickly to the whole graph.
+	edges := make([][2]graph.NodeID, 0, 19)
+	for v := graph.NodeID(1); v < 20; v++ {
+		edges = append(edges, [2]graph.NodeID{0, v})
+	}
+	g, err := graph.FromEdges(20, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := hac.Cluster(g, hac.UnweightedAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := ChainFromTree(tr, 0)
+	s := influence.NewSampler(g, influence.NewWeightedCascade(g), graph.NewRand(1))
+	res := CompressedEvaluateAdaptive(ch, s, 1, 50, 100000)
+	if !res.Converged {
+		t.Error("clear case did not converge")
+	}
+	if res.Level != ch.Len()-1 {
+		t.Errorf("level = %d, want root %d", res.Level, ch.Len()-1)
+	}
+	if res.Samples >= 100000 {
+		t.Errorf("used %d samples on a trivial case", res.Samples)
+	}
+}
+
+func TestAdaptiveAgreesWithFixedLargeTheta(t *testing.T) {
+	g := graph.ErdosRenyi(40, 120, graph.NewRand(2))
+	tr, err := hac.Cluster(g, hac.UnweightedAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := ChainFromTree(tr, 5)
+	model := influence.NewWeightedCascade(g)
+
+	big := influence.NewSampler(g, model, graph.NewRand(3))
+	fixed := CompressedEvaluate(ch, big.Batch(40000), 3)
+
+	ad := CompressedEvaluateAdaptive(ch,
+		influence.NewSampler(g, model, graph.NewRand(4)), 3, 200, 40000)
+	// Exact agreement is not guaranteed (different sample streams), but the
+	// chosen community sizes should be close on a 40-node graph.
+	szFixed, szAd := 0, 0
+	if fixed.Level >= 0 {
+		szFixed = ch.Size(fixed.Level)
+	}
+	if ad.Level >= 0 {
+		szAd = ch.Size(ad.Level)
+	}
+	if szFixed == 0 != (szAd == 0) {
+		t.Errorf("found-ness disagrees: fixed %d vs adaptive %d", szFixed, szAd)
+	}
+	if diff := szFixed - szAd; diff < -25 || diff > 25 {
+		t.Errorf("sizes diverge: fixed %d vs adaptive %d (samples %d)", szFixed, szAd, ad.Samples)
+	}
+}
+
+func TestAdaptiveRespectsCap(t *testing.T) {
+	g := graph.ErdosRenyi(30, 90, graph.NewRand(5))
+	tr, err := hac.Cluster(g, hac.UnweightedAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := ChainFromTree(tr, 0)
+	s := influence.NewSampler(g, influence.NewWeightedCascade(g), graph.NewRand(6))
+	res := CompressedEvaluateAdaptive(ch, s, 2, 10, 25)
+	if res.Samples > 25 {
+		t.Errorf("cap exceeded: %d", res.Samples)
+	}
+	// degenerate bounds
+	res = CompressedEvaluateAdaptive(ch, s, 2, 0, 0)
+	if res.Samples != 1 {
+		t.Errorf("min clamp wrong: %d", res.Samples)
+	}
+}

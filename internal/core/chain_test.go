@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/hac"
+	"github.com/codsearch/cod/internal/hier"
+)
+
+// fig2Tree rebuilds the Fig. 2 hierarchy used in the paper's examples (same
+// layout as in package hier's tests).
+func fig2Tree(t *testing.T) *hier.Tree {
+	t.Helper()
+	parent := make([]hier.Vertex, 17)
+	assign := map[int]int{
+		0: 10, 1: 10, 2: 10, 3: 10,
+		6: 11, 7: 11,
+		4: 13, 5: 13,
+		8: 15, 9: 15,
+		10: 12, 11: 12,
+		12: 14, 13: 14,
+		14: 16, 15: 16,
+		16: -1,
+	}
+	for v, p := range assign {
+		parent[v] = hier.Vertex(p)
+	}
+	tr, err := hier.New(10, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func fig2Graph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(10, [][2]graph.NodeID{
+		{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+		{2, 4}, {3, 5}, {3, 7}, {6, 7}, {6, 8}, {7, 8},
+		{4, 5}, {4, 6}, {8, 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestChainFromTree(t *testing.T) {
+	tr := fig2Tree(t)
+	ch := ChainFromTree(tr, 0)
+	if ch.Len() != 4 {
+		t.Fatalf("|H(v0)| = %d, want 4", ch.Len())
+	}
+	wantSizes := []int{4, 6, 8, 10}
+	wantDepths := []int{4, 3, 2, 1}
+	for h := 0; h < 4; h++ {
+		if ch.Size(h) != wantSizes[h] {
+			t.Errorf("size C_%d = %d, want %d", h, ch.Size(h), wantSizes[h])
+		}
+		if ch.Depth(h) != wantDepths[h] {
+			t.Errorf("dep C_%d = %d, want %d", h, ch.Depth(h), wantDepths[h])
+		}
+	}
+	if err := ch.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	// levels: v0..v3 in C_0 (v0 level 0), v6,v7 join at C_1, v4,v5 at C_2,
+	// v8,v9 at C_3
+	wantLevel := []int{0, 0, 0, 0, 2, 2, 1, 1, 3, 3}
+	for u, want := range wantLevel {
+		if got := ch.Level(graph.NodeID(u)); got != want {
+			t.Errorf("level(v%d) = %d, want %d", u, got, want)
+		}
+	}
+	mem := ch.Members(1)
+	want := []graph.NodeID{0, 1, 2, 3, 6, 7}
+	if len(mem) != len(want) {
+		t.Fatalf("Members(1) = %v", mem)
+	}
+	for i := range want {
+		if mem[i] != want[i] {
+			t.Fatalf("Members(1) = %v, want %v", mem, want)
+		}
+	}
+	if !ch.Contains(6, 1) || ch.Contains(6, 0) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestChainFromClusteredGraph(t *testing.T) {
+	g := graph.BarabasiAlbert(60, 2, graph.NewRand(1))
+	tr, err := hac.Cluster(g, hac.UnweightedAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []graph.NodeID{0, 17, 59} {
+		ch := ChainFromTree(tr, q)
+		if err := ch.Validate(); err != nil {
+			t.Errorf("q=%d: %v", q, err)
+		}
+		if ch.Size(ch.Len()-1) != 60 {
+			t.Errorf("q=%d: last community size %d, want 60", q, ch.Size(ch.Len()-1))
+		}
+		if ch.Vertex(0) == -1 {
+			t.Errorf("q=%d: tree-backed chain lost vertices", q)
+		}
+	}
+}
+
+func TestChainSingleNode(t *testing.T) {
+	tr, err := hier.New(1, []hier.Vertex{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := ChainFromTree(tr, 0)
+	if ch.Len() != 1 || ch.Size(0) != 1 {
+		t.Error("degenerate chain wrong")
+	}
+}

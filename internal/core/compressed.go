@@ -1,0 +1,147 @@
+package core
+
+import (
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/influence"
+)
+
+// This file implements Algorithm 1, the compressed COD evaluation: a single
+// pass of hierarchical-first search (HFS) over a shared pool of RR graphs
+// fills one influence bucket per chain community, and an incremental top-k
+// sweep over the buckets finds the largest community where the query node is
+// top-k. The sampling cost is thereby decoupled from |H(q)| (Theorem 4).
+
+// EvalResult reports the outcome of a compressed COD evaluation.
+type EvalResult struct {
+	// Level is the chain index of the characteristic community C*(q), or -1
+	// when the query node is not top-k in any chain community.
+	Level int
+	// QCount is the query node's final RR occurrence count (over the whole
+	// chain), usable as an influence estimate via Theorem 1.
+	QCount int
+	// Buckets is the total number of bucket entries produced by HFS; it is
+	// bounded by the total number of RR-graph nodes (Lemma 2) and is exposed
+	// for tests and instrumentation.
+	Buckets int
+}
+
+// CompressedEvaluate runs Algorithm 1 over the chain using the given shared
+// RR graphs. The RR graphs must have been sampled on the same graph (or the
+// same restricted node set) the chain's levels are defined over. k is the
+// required influence rank (q is top-k iff fewer than k nodes have strictly
+// larger estimated influence).
+func CompressedEvaluate(ch *Chain, rrs []*influence.RRGraph, k int) EvalResult {
+	L := ch.Len()
+	buckets := make([]map[graph.NodeID]int32, L)
+	for h := range buckets {
+		buckets[h] = make(map[graph.NodeID]int32)
+	}
+
+	// Stage 1: shared sample generation (HFS over every RR graph). Every
+	// pushed node lands at the current or a later level, so sweeping h from
+	// the source level upward processes (and then resets) each queue once.
+	queues := make([][]int32, L) // per-level queues of RR positions, reused across RR graphs
+	entries := 0
+	for _, r := range rrs {
+		srcLevel := ch.Level(r.Source())
+		if srcLevel >= L {
+			continue // source outside the chain's universe
+		}
+		visited := make([]bool, r.Len())
+		visited[0] = true
+		queues[srcLevel] = append(queues[srcLevel], 0)
+		for h := srcLevel; h < L; h++ {
+			q := queues[h]
+			for qi := 0; qi < len(q); qi++ {
+				p := q[qi]
+				node := r.Nodes[p]
+				buckets[h][node]++
+				entries++
+				for _, t := range r.Adj[r.Off[p]:r.Off[p+1]] {
+					if visited[t] {
+						continue
+					}
+					visited[t] = true
+					lvl := ch.Level(r.Nodes[t])
+					if lvl >= L {
+						continue
+					}
+					if lvl < h {
+						lvl = h
+					}
+					queues[lvl] = append(queues[lvl], t)
+					q = queues[h] // re-read: the append above may have grown level h
+				}
+			}
+			queues[h] = q[:0]
+		}
+	}
+
+	// Stage 2: incremental top-k evaluation.
+	tau := make(map[graph.NodeID]int32, 64)
+	top := newTopK(k)
+	best := -1
+	for h := 0; h < L; h++ {
+		for v, cnt := range buckets[h] {
+			nv := tau[v] + cnt
+			tau[v] = nv
+			top.offer(v, nv)
+		}
+		if top.isTopK(ch.q, tau[ch.q]) {
+			best = h
+		}
+	}
+	return EvalResult{Level: best, QCount: int(tau[ch.q]), Buckets: entries}
+}
+
+// topK maintains the k nodes with the largest counts seen so far. k is small
+// (the paper uses k <= 5), so linear operations are fastest.
+type topK struct {
+	k     int
+	nodes []graph.NodeID
+	cnts  []int32
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, nodes: make([]graph.NodeID, 0, k), cnts: make([]int32, 0, k)}
+}
+
+// offer updates node v's count or inserts it when it beats the current
+// minimum (strictly; ties keep the incumbent, which is safe because the set
+// still holds k maximal values).
+func (t *topK) offer(v graph.NodeID, cnt int32) {
+	for i, n := range t.nodes {
+		if n == v {
+			t.cnts[i] = cnt
+			return
+		}
+	}
+	if len(t.nodes) < t.k {
+		t.nodes = append(t.nodes, v)
+		t.cnts = append(t.cnts, cnt)
+		return
+	}
+	mi := 0
+	for i := 1; i < len(t.cnts); i++ {
+		if t.cnts[i] < t.cnts[mi] {
+			mi = i
+		}
+	}
+	if cnt > t.cnts[mi] {
+		t.nodes[mi] = v
+		t.cnts[mi] = cnt
+	}
+}
+
+// isTopK reports whether q (with count qCnt) ranks among the top k, i.e.
+// fewer than k tracked nodes have a strictly larger count. Ties favor q,
+// matching rank_C(q) = #{v : σ(v) > σ(q)} < k.
+func (t *topK) isTopK(q graph.NodeID, qCnt int32) bool {
+	larger := 0
+	for i, n := range t.nodes {
+		if n != q && t.cnts[i] > qCnt {
+			larger++
+		}
+	}
+	return larger < t.k
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/hac"
+	"github.com/codsearch/cod/internal/hier"
+	"github.com/codsearch/cod/internal/influence"
+)
+
+// Model selects the influence model driving RR-graph sampling. The COD
+// machinery is model-agnostic as long as the model admits RR-set evaluation
+// (§II); IC with weighted-cascade probabilities is the paper's default.
+type Model int
+
+const (
+	// ICWeightedCascade is the independent cascade model with
+	// p(u,v) = 1/|N(v)| (the paper's setting).
+	ICWeightedCascade Model = iota
+	// LTUniform is the linear threshold model with b(u,v) = 1/|N(v)|.
+	LTUniform
+)
+
+// NewGraphSampler returns a sampler for the model over g driven by rng.
+func NewGraphSampler(g *graph.Graph, m Model, rng *rand.Rand) influence.GraphSampler {
+	if m == LTUniform {
+		return influence.NewLTSampler(g, influence.UniformLT{G: g}, rng)
+	}
+	return influence.NewSampler(g, influence.NewWeightedCascade(g), rng)
+}
+
+// Params bundles the knobs shared by all COD pipelines.
+type Params struct {
+	// K is the required influence rank: q must be top-K in C*(q). Default 5.
+	K int
+	// Theta is the per-node RR multiplier θ (Θ = θ·n samples). Default 10.
+	Theta int
+	// Beta is the extra weight on query-attributed edges in g_ℓ. Default 1.
+	Beta float64
+	// Linkage selects the agglomerative linkage. Default UnweightedAverage.
+	Linkage hac.Linkage
+	// Seed drives all sampling for reproducibility.
+	Seed uint64
+	// Model selects the influence model (default ICWeightedCascade).
+	Model Model
+	// Balanced rebalances the non-attributed hierarchy along heavy paths
+	// (hier.Rebalance), bounding |H(q)| polylogarithmically on hub-skewed
+	// graphs at the cost of exact agglomerative faithfulness.
+	Balanced bool
+	// Workers parallelizes offline RR sampling (HIMOR construction) across
+	// goroutines; <= 1 means sequential. Results stay deterministic for a
+	// fixed (Seed, Workers) pair. Only the IC model parallelizes currently.
+	Workers int
+}
+
+// clusterTree builds the non-attributed hierarchy per the params.
+func clusterTree(g *graph.Graph, p Params) (*hier.Tree, error) {
+	if p.Balanced {
+		return hac.ClusterBalanced(g, p.Linkage)
+	}
+	return hac.Cluster(g, p.Linkage)
+}
+
+// withDefaults fills zero values with the paper's defaults.
+func (p Params) withDefaults() Params {
+	if p.K <= 0 {
+		p.K = 5
+	}
+	if p.Theta <= 0 {
+		p.Theta = 10
+	}
+	if p.Beta <= 0 {
+		p.Beta = 1
+	}
+	return p
+}
+
+// Community is the answer to a COD query.
+type Community struct {
+	// Nodes of C*(q), ascending; nil when Found is false.
+	Nodes []graph.NodeID
+	// Found reports whether any community in the hierarchy had q top-k.
+	Found bool
+	// Level is the chain index of the chosen community (diagnostics).
+	Level int
+	// FromIndex is true when the HIMOR index answered without evaluation.
+	FromIndex bool
+}
+
+// Size returns |C*| (0 when not found).
+func (c Community) Size() int { return len(c.Nodes) }
+
+// CODU answers COD queries over the non-attributed hierarchy (variant CODU
+// of §V-A): agglomerative clustering of g once, then compressed evaluation
+// per query. Construct with NewCODU.
+type CODU struct {
+	g    *graph.Graph
+	tree *hier.Tree
+	p    Params
+}
+
+// NewCODU clusters g and returns a reusable CODU pipeline.
+func NewCODU(g *graph.Graph, p Params) (*CODU, error) {
+	p = p.withDefaults()
+	t, err := clusterTree(g, p)
+	if err != nil {
+		return nil, err
+	}
+	return &CODU{g: g, tree: t, p: p}, nil
+}
+
+// NewCODUWithTree reuses a prebuilt hierarchy (e.g. shared with a CODL
+// pipeline over the same graph).
+func NewCODUWithTree(g *graph.Graph, t *hier.Tree, p Params) *CODU {
+	return &CODU{g: g, tree: t, p: p.withDefaults()}
+}
+
+// Tree exposes the non-attributed hierarchy.
+func (c *CODU) Tree() *hier.Tree { return c.tree }
+
+// Query finds the characteristic community of q ignoring the attribute.
+func (c *CODU) Query(q graph.NodeID, rng *rand.Rand) Community {
+	ch := ChainFromTree(c.tree, q)
+	s := NewGraphSampler(c.g, c.p.Model, rng)
+	rrs := s.Batch(c.p.Theta * c.g.N())
+	res := CompressedEvaluate(ch, rrs, c.p.K)
+	return communityFromChain(ch, res)
+}
+
+// CODR answers COD queries by globally reclustering the attribute-weighted
+// graph g_ℓ per query attribute (variant CODR of §V-A). Hierarchies can be
+// cached per attribute; caching must be off when timing Fig. 9.
+type CODR struct {
+	g     *graph.Graph
+	p     Params
+	cache map[graph.AttrID]*hier.Tree
+	// CacheHierarchies enables the per-attribute hierarchy cache.
+	CacheHierarchies bool
+}
+
+// NewCODR returns a CODR pipeline; no offline work is required.
+func NewCODR(g *graph.Graph, p Params) *CODR {
+	return &CODR{g: g, p: p.withDefaults(), cache: map[graph.AttrID]*hier.Tree{}}
+}
+
+// Hierarchy returns the attribute-aware hierarchy for attr, reclustering
+// from scratch unless cached.
+func (c *CODR) Hierarchy(attr graph.AttrID) (*hier.Tree, error) {
+	if c.CacheHierarchies {
+		if t, ok := c.cache[attr]; ok {
+			return t, nil
+		}
+	}
+	gl := AttributeWeighted(c.g, attr, c.p.Beta)
+	t, err := hac.Cluster(gl, c.p.Linkage)
+	if err != nil {
+		return nil, err
+	}
+	if c.CacheHierarchies {
+		c.cache[attr] = t
+	}
+	return t, nil
+}
+
+// Query finds the characteristic community of q for attribute attr.
+func (c *CODR) Query(q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	t, err := c.Hierarchy(attr)
+	if err != nil {
+		return Community{}, err
+	}
+	ch := ChainFromTree(t, q)
+	s := NewGraphSampler(c.g, c.p.Model, rng)
+	rrs := s.Batch(c.p.Theta * c.g.N())
+	res := CompressedEvaluate(ch, rrs, c.p.K)
+	return communityFromChain(ch, res), nil
+}
+
+// CODL is the fully optimized pipeline (variant CODL of §V-A): LORE local
+// reclustering plus the HIMOR index (Algorithm 3). The hierarchy and index
+// are built once offline; queries recluster only C_ℓ.
+type CODL struct {
+	g     *graph.Graph
+	tree  *hier.Tree
+	index *Himor
+	p     Params
+}
+
+// NewCODL clusters g and builds the HIMOR index.
+func NewCODL(g *graph.Graph, p Params) (*CODL, error) {
+	p = p.withDefaults()
+	t, err := clusterTree(g, p)
+	if err != nil {
+		return nil, err
+	}
+	var idx *Himor
+	if p.Workers > 1 && p.Model == ICWeightedCascade {
+		idx = BuildHimorParallel(g, t, influence.NewWeightedCascade(g), p.Theta, p.Seed^0x51ed, p.Workers)
+	} else {
+		idx = BuildHimorWithSampler(g, t, NewGraphSampler(g, p.Model, graph.NewRand(p.Seed^0x51ed)), p.Theta)
+	}
+	return &CODL{g: g, tree: t, index: idx, p: p}, nil
+}
+
+// NewCODLWithTree reuses a prebuilt hierarchy and index (both may be shared
+// across pipelines built from the same graph and params).
+func NewCODLWithTree(g *graph.Graph, t *hier.Tree, idx *Himor, p Params) *CODL {
+	return &CODL{g: g, tree: t, index: idx, p: p.withDefaults()}
+}
+
+// Tree exposes the non-attributed hierarchy.
+func (c *CODL) Tree() *hier.Tree { return c.tree }
+
+// Index exposes the HIMOR index.
+func (c *CODL) Index() *Himor { return c.index }
+
+// Query runs Algorithm 3: LORE picks C_ℓ; the HIMOR index is scanned
+// top-down over C_ℓ's ancestors for the largest community where q is top-k;
+// only if none qualifies is a compressed evaluation run inside C_ℓ.
+func (c *CODL) Query(q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	rec, err := Lore(c.g, c.tree, q, attr, c.p.Beta, c.p.Linkage)
+	if err != nil {
+		return Community{}, err
+	}
+	// Top-down over ancestors of C_ℓ (root first), including C_ℓ itself.
+	anc := c.tree.Ancestors(rec.CL)
+	for i := len(anc) - 1; i >= -1; i-- {
+		v := rec.CL
+		if i >= 0 {
+			v = anc[i]
+		}
+		if c.index.Rank(q, v) < c.p.K {
+			return Community{Nodes: c.tree.Members(v), Found: true, Level: -1, FromIndex: true}, nil
+		}
+	}
+	// Compressed evaluation restricted to C_ℓ over the reclustered chain.
+	inner := InnerChain(c.g, c.tree, rec, q)
+	members := rec.Sub.ToParent
+	in := make([]bool, c.g.N())
+	for _, v := range members {
+		in[v] = true
+	}
+	member := func(u graph.NodeID) bool { return in[u] }
+	s := NewGraphSampler(c.g, c.p.Model, rng)
+	rrs := make([]*influence.RRGraph, c.p.Theta*len(members))
+	for i := range rrs {
+		rrs[i] = s.RRGraphWithin(members[rng.IntN(len(members))], member)
+	}
+	res := CompressedEvaluate(inner, rrs, c.p.K)
+	return communityFromChain(inner, res), nil
+}
+
+// QueryNoIndex is CODL⁻ (§V-D): LORE reclustering and compressed evaluation
+// over the full merged chain H_ℓ(q), without consulting the HIMOR index.
+func (c *CODL) QueryNoIndex(q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	rec, err := Lore(c.g, c.tree, q, attr, c.p.Beta, c.p.Linkage)
+	if err != nil {
+		return Community{}, err
+	}
+	merged := MergedChain(c.g, c.tree, rec, q)
+	s := NewGraphSampler(c.g, c.p.Model, rng)
+	rrs := s.Batch(c.p.Theta * c.g.N())
+	res := CompressedEvaluate(merged, rrs, c.p.K)
+	return communityFromChain(merged, res), nil
+}
+
+// MergedChainFor exposes H_ℓ(q) for effectiveness experiments (Fig. 4).
+func (c *CODL) MergedChainFor(q graph.NodeID, attr graph.AttrID) (*Chain, error) {
+	rec, err := Lore(c.g, c.tree, q, attr, c.p.Beta, c.p.Linkage)
+	if err != nil {
+		return nil, err
+	}
+	return MergedChain(c.g, c.tree, rec, q), nil
+}
+
+func communityFromChain(ch *Chain, res EvalResult) Community {
+	if res.Level < 0 {
+		return Community{Found: false, Level: -1}
+	}
+	return Community{Nodes: ch.Members(res.Level), Found: true, Level: res.Level}
+}
+
+// ErrNotInGraph is returned by facade-level validation helpers.
+var ErrNotInGraph = fmt.Errorf("core: query node out of range")

@@ -1,0 +1,273 @@
+// Package dataset provides the synthetic stand-ins for the paper's seven
+// evaluation networks (Table I). We do not have the original data files, so
+// each dataset is generated to match the original's node/edge/attribute
+// scale and its structurally relevant properties (community structure,
+// attribute-structure correlation, degree skew); the three SNAP graphs are
+// generated at 1/10–1/40 scale to keep experiments laptop-runnable. See
+// DESIGN.md §4 for the substitution rationale.
+package dataset
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// Dataset is a generated benchmark network.
+type Dataset struct {
+	// Name is the registry key (e.g. "cora").
+	Name string
+	// G is the attributed graph.
+	G *graph.Graph
+	// Comms is the planted ground-truth community of each node; nil when the
+	// generator does not plant communities (retweet).
+	Comms []int
+}
+
+// PaperScale records the original network statistics from Table I for
+// comparison in EXPERIMENTS.md.
+type PaperScale struct {
+	V, E, A int
+	AvgH    float64 // |H̄_ℓ(q)| as reported
+}
+
+// Spec describes how to generate one dataset.
+type Spec struct {
+	Name     string
+	N        int
+	M        int
+	NumAttrs int
+	Kind     kind
+	NumComms int
+	HubBias  float64
+	// Pendants is the fraction of degree-1 nodes per planted community (see
+	// graph.PlantedPartitionSpec.PendantFraction).
+	Pendants float64
+	// AttrFidelity is the probability a node carries its community's primary
+	// attribute (citation-style datasets only).
+	AttrFidelity float64
+	Paper        PaperScale
+	// ScaleNote documents any down-scaling versus the original.
+	ScaleNote string
+}
+
+type kind int
+
+const (
+	citationLike kind = iota // planted partition + noisy per-community attrs
+	retweetLike              // preferential attachment + region-grown attrs
+	groundTruth              // planted partition + one attr per community (paper's rule)
+)
+
+// specs is the dataset registry, ordered as in Table I.
+var specs = []Spec{
+	{Name: "cora", N: 2485, M: 5069, NumAttrs: 7, Kind: citationLike, NumComms: 60, HubBias: 0.3, Pendants: 0.15, AttrFidelity: 0.85,
+		Paper: PaperScale{2485, 5069, 7, 18.5}},
+	{Name: "citeseer", N: 2110, M: 3668, NumAttrs: 6, Kind: citationLike, NumComms: 55, HubBias: 0.3, Pendants: 0.15, AttrFidelity: 0.85,
+		Paper: PaperScale{2110, 3668, 6, 18.9}},
+	{Name: "pubmed", N: 19717, M: 44327, NumAttrs: 3, Kind: citationLike, NumComms: 180, HubBias: 0.55, Pendants: 0.4, AttrFidelity: 0.85,
+		Paper: PaperScale{19717, 44327, 3, 34.2}},
+	{Name: "retweet", N: 18470, M: 48053, NumAttrs: 2, Kind: retweetLike,
+		Paper: PaperScale{18470, 48053, 2, 165.3}},
+	{Name: "amazon", N: 33486, M: 92587, NumAttrs: 33, Kind: groundTruth, NumComms: 2580, HubBias: 0.35,
+		Paper: PaperScale{334863, 925872, 33, 54.8}, ScaleNote: "1/10 of SNAP com-Amazon"},
+	{Name: "dblp", N: 31708, M: 104987, NumAttrs: 31, Kind: groundTruth, NumComms: 1580, HubBias: 0.35,
+		Paper: PaperScale{317080, 1049866, 31, 47.9}, ScaleNote: "1/10 of SNAP com-DBLP"},
+	{Name: "livejournal", N: 99949, M: 867030, NumAttrs: 400, Kind: groundTruth, NumComms: 4000, HubBias: 0.5,
+		Paper: PaperScale{3997962, 34681189, 400, 271.17}, ScaleNote: "1/40 of SNAP com-LiveJournal"},
+	// Reduced-size variants for unit tests and quick benchmarks.
+	{Name: "tiny", N: 120, M: 320, NumAttrs: 4, Kind: citationLike, NumComms: 6, HubBias: 0.2, AttrFidelity: 0.9},
+	{Name: "small", N: 600, M: 1500, NumAttrs: 5, Kind: citationLike, NumComms: 15, HubBias: 0.3, AttrFidelity: 0.85},
+}
+
+// Names returns the registry names in Table I order (excluding test sizes).
+func Names() []string {
+	return []string{"cora", "citeseer", "pubmed", "retweet", "amazon", "dblp", "livejournal"}
+}
+
+// EffectivenessNames returns the six datasets used for the effectiveness and
+// efficiency experiments (LiveJournal is reserved for scalability).
+func EffectivenessNames() []string {
+	return []string{"cora", "citeseer", "pubmed", "retweet", "amazon", "dblp"}
+}
+
+// SpecOf returns the Spec registered under name.
+func SpecOf(name string) (Spec, error) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("dataset: unknown dataset %q", name)
+}
+
+// Load generates the named dataset deterministically for the seed.
+func Load(name string, seed uint64) (*Dataset, error) {
+	spec, err := SpecOf(name)
+	if err != nil {
+		return nil, err
+	}
+	rng := graph.NewRand(seed ^ hashName(name))
+	switch spec.Kind {
+	case retweetLike:
+		return genRetweet(spec, rng), nil
+	case groundTruth:
+		return genGroundTruth(spec, rng), nil
+	default:
+		return genCitation(spec, rng), nil
+	}
+}
+
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// genCitation: planted partition; each community has a primary attribute
+// (round-robin over the universe); each node carries the primary attribute
+// with probability AttrFidelity, otherwise a uniform random one.
+func genCitation(spec Spec, rng *rand.Rand) *Dataset {
+	g, comms := graph.PlantedPartition(graph.PlantedPartitionSpec{
+		N: spec.N, TargetM: spec.M, NumComms: spec.NumComms,
+		CommExponent: 1.4, IntraFraction: 0.82, HubBias: spec.HubBias,
+		PendantFraction: spec.Pendants,
+	}, rng)
+	b := rebuilder(g, spec.NumAttrs)
+	for v := 0; v < g.N(); v++ {
+		primary := graph.AttrID(comms[v] % spec.NumAttrs)
+		a := primary
+		if rng.Float64() >= spec.AttrFidelity {
+			a = graph.AttrID(rng.IntN(spec.NumAttrs))
+		}
+		_ = b.SetAttrs(graph.NodeID(v), a)
+	}
+	return &Dataset{Name: spec.Name, G: b.Build(), Comms: comms}
+}
+
+// genGroundTruth: planted partition; every node of a ground-truth community
+// gets the same random attribute — exactly the paper's assignment rule for
+// Amazon/DBLP/LiveJournal.
+func genGroundTruth(spec Spec, rng *rand.Rand) *Dataset {
+	g, comms := graph.PlantedPartition(graph.PlantedPartitionSpec{
+		N: spec.N, TargetM: spec.M, NumComms: spec.NumComms,
+		CommExponent: 1.2, IntraFraction: 0.85, HubBias: spec.HubBias,
+		PendantFraction: spec.Pendants,
+	}, rng)
+	attrOf := make([]graph.AttrID, spec.NumComms)
+	for c := range attrOf {
+		attrOf[c] = graph.AttrID(rng.IntN(spec.NumAttrs))
+	}
+	b := rebuilder(g, spec.NumAttrs)
+	for v := 0; v < g.N(); v++ {
+		_ = b.SetAttrs(graph.NodeID(v), attrOf[comms[v]])
+	}
+	return &Dataset{Name: spec.Name, G: b.Build(), Comms: comms}
+}
+
+// genRetweet: star-burst preferential attachment (hub-dominated with many
+// degree-1 leaves, like a retweet cascade network), with two attributes
+// grown as regions from random seeds so the attribute correlates with
+// topology. The degree-1 leaves are what skew the agglomerative dendrogram
+// (|H̄_ℓ(q)| = 165.3 on the real Retweet, an order of magnitude above
+// log₂|V|), which Fig. 4 and Table II depend on.
+func genRetweet(spec Spec, rng *rand.Rand) *Dataset {
+	// 30% of nodes are degree-1 retweeters of twenty mega-hubs; the rest
+	// wire preferentially so the overall density hits the target:
+	// hubProb·1 + (1-hubProb)·(p1 + (1-p1)·burst) = M/N.
+	const (
+		numHubs = 20
+		hubProb = 0.30
+		burst   = 5
+	)
+	density := float64(spec.M) / float64(spec.N)
+	rest := (density - hubProb) / (1 - hubProb)
+	p1 := (float64(burst) - rest) / float64(burst-1)
+	if p1 < 0 {
+		p1 = 0
+	}
+	if p1 > 1 {
+		p1 = 1
+	}
+	g := graph.HubBurst(spec.N, numHubs, hubProb, p1, burst, rng)
+	b := rebuilder(g, spec.NumAttrs)
+	label := regionLabels(g, spec.NumAttrs, rng)
+	for v := 0; v < g.N(); v++ {
+		_ = b.SetAttrs(graph.NodeID(v), label[v])
+	}
+	return &Dataset{Name: spec.Name, G: b.Build()}
+}
+
+// regionLabels partitions nodes into numLabels contiguous regions by
+// multi-source BFS from random seeds.
+func regionLabels(g *graph.Graph, numLabels int, rng *rand.Rand) []graph.AttrID {
+	n := g.N()
+	label := make([]graph.AttrID, n)
+	for i := range label {
+		label[i] = -1
+	}
+	var queue []graph.NodeID
+	perm := rng.Perm(n)
+	for i := 0; i < numLabels && i < n; i++ {
+		s := graph.NodeID(perm[i])
+		label[s] = graph.AttrID(i)
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if label[u] == -1 {
+				label[u] = label[v]
+				queue = append(queue, u)
+			}
+		}
+	}
+	for v := range label {
+		if label[v] == -1 {
+			label[v] = graph.AttrID(rng.IntN(numLabels))
+		}
+	}
+	return label
+}
+
+// rebuilder copies g's edges into a fresh Builder with a new attribute
+// universe so attributes can be (re)assigned.
+func rebuilder(g *graph.Graph, numAttrs int) *graph.Builder {
+	b := graph.NewBuilder(g.N(), numAttrs)
+	g.ForEachEdge(func(u, v graph.NodeID, w float64) { _ = b.AddWeightedEdge(u, v, w) })
+	return b
+}
+
+// Query is a COD query: a node plus one of its attributes.
+type Query struct {
+	Node graph.NodeID
+	Attr graph.AttrID
+}
+
+// Queries samples count query nodes uniformly among nodes with at least one
+// attribute, picking a random attribute of each (the paper's protocol).
+func Queries(g *graph.Graph, count int, rng *rand.Rand) []Query {
+	var eligible []graph.NodeID
+	for v := 0; v < g.N(); v++ {
+		if len(g.Attrs(graph.NodeID(v))) > 0 {
+			eligible = append(eligible, graph.NodeID(v))
+		}
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	out := make([]Query, 0, count)
+	for len(out) < count {
+		v := eligible[rng.IntN(len(eligible))]
+		as := g.Attrs(v)
+		out = append(out, Query{Node: v, Attr: as[rng.IntN(len(as))]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}

@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+func TestSpecRegistry(t *testing.T) {
+	if len(Names()) != 7 {
+		t.Fatalf("Names() = %v", Names())
+	}
+	if len(EffectivenessNames()) != 6 {
+		t.Fatalf("EffectivenessNames() = %v", EffectivenessNames())
+	}
+	for _, n := range Names() {
+		if _, err := SpecOf(n); err != nil {
+			t.Errorf("SpecOf(%s): %v", n, err)
+		}
+	}
+	if _, err := SpecOf("bogus"); err == nil {
+		t.Error("bogus spec accepted")
+	}
+	if _, err := Load("bogus", 1); err == nil {
+		t.Error("bogus load accepted")
+	}
+}
+
+func TestTinyAndSmallShapes(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		n    int
+	}{
+		{"tiny", 120}, {"small", 600},
+	} {
+		ds, err := Load(tc.name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.G.N() != tc.n {
+			t.Errorf("%s: N = %d, want %d", tc.name, ds.G.N(), tc.n)
+		}
+		if !ds.G.Connected() {
+			t.Errorf("%s: not connected", tc.name)
+		}
+		if ds.Comms == nil {
+			t.Errorf("%s: missing planted communities", tc.name)
+		}
+	}
+}
+
+func TestCitationScaleMatchesPaper(t *testing.T) {
+	for _, name := range []string{"cora", "citeseer"} {
+		spec, _ := SpecOf(name)
+		ds, err := Load(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.G.N() != spec.Paper.V {
+			t.Errorf("%s: N = %d, want %d", name, ds.G.N(), spec.Paper.V)
+		}
+		if ds.G.NumAttrs() != spec.Paper.A {
+			t.Errorf("%s: A = %d, want %d", name, ds.G.NumAttrs(), spec.Paper.A)
+		}
+		// edge count within 5% of the original
+		lo, hi := int(0.95*float64(spec.Paper.E)), int(1.05*float64(spec.Paper.E))
+		if ds.G.M() < lo || ds.G.M() > hi {
+			t.Errorf("%s: M = %d, want within [%d,%d]", name, ds.G.M(), lo, hi)
+		}
+		if !ds.G.Connected() {
+			t.Errorf("%s: not connected", name)
+		}
+		// every node has exactly one attribute (citation-like rule)
+		for v := 0; v < ds.G.N(); v++ {
+			if len(ds.G.Attrs(graph.NodeID(v))) != 1 {
+				t.Fatalf("%s: node %d has %d attrs", name, v, len(ds.G.Attrs(graph.NodeID(v))))
+			}
+		}
+	}
+}
+
+func TestGroundTruthAttributeRule(t *testing.T) {
+	ds, err := Load("amazon", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// paper's rule: all nodes of a ground-truth community share one attr
+	attrOf := map[int]graph.AttrID{}
+	for v := 0; v < ds.G.N(); v++ {
+		as := ds.G.Attrs(graph.NodeID(v))
+		if len(as) != 1 {
+			t.Fatalf("node %d has %d attrs", v, len(as))
+		}
+		c := ds.Comms[v]
+		if prev, ok := attrOf[c]; ok && prev != as[0] {
+			t.Fatalf("community %d has two attrs: %d and %d", c, prev, as[0])
+		}
+		attrOf[c] = as[0]
+	}
+}
+
+func TestRetweetSkew(t *testing.T) {
+	ds, err := Load("retweet", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg1 := 0
+	for v := 0; v < ds.G.N(); v++ {
+		if ds.G.Degree(graph.NodeID(v)) == 1 {
+			deg1++
+		}
+	}
+	// the generator plants ~30% degree-1 retweeters plus preferential leaves
+	if frac := float64(deg1) / float64(ds.G.N()); frac < 0.25 {
+		t.Errorf("degree-1 fraction = %.2f, want >= 0.25", frac)
+	}
+	if maxd := graph.MaxDegree(ds.G); maxd < 200 {
+		t.Errorf("max degree = %d, want a mega-hub", maxd)
+	}
+	if ds.G.NumAttrs() != 2 {
+		t.Errorf("attrs = %d", ds.G.NumAttrs())
+	}
+}
+
+func TestLoadDeterminism(t *testing.T) {
+	a, err := Load("tiny", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("tiny", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G.M() != b.G.M() {
+		t.Fatal("edge counts differ across loads")
+	}
+	for v := 0; v < a.G.N(); v++ {
+		na, nb := a.G.Neighbors(graph.NodeID(v)), b.G.Neighbors(graph.NodeID(v))
+		if len(na) != len(nb) {
+			t.Fatalf("node %d adjacency differs", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("node %d adjacency differs", v)
+			}
+		}
+	}
+	c, err := Load("tiny", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.G.M() == a.G.M() {
+		t.Log("different seeds produced same M (possible but unusual)")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	ds, err := Load("tiny", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := Queries(ds.G, 10, graph.NewRand(6))
+	if len(qs) != 10 {
+		t.Fatalf("queries = %d", len(qs))
+	}
+	for _, q := range qs {
+		if !ds.G.HasAttr(q.Node, q.Attr) {
+			t.Errorf("query (%d,%d): node lacks attribute", q.Node, q.Attr)
+		}
+	}
+	// no attributes -> no queries
+	plain, err := graph.FromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs := Queries(plain, 5, graph.NewRand(7)); qs != nil {
+		t.Errorf("expected nil queries, got %v", qs)
+	}
+}

@@ -1,0 +1,167 @@
+// Package dynamic maintains COD state over a mutating graph — the paper's
+// stated future-work direction (§IV Discussion, §VI). Edge insertions are
+// buffered; a flush rebuilds the affected state using one of two
+// strategies:
+//
+//   - RebuildLocal re-clusters only the smallest hierarchy community
+//     containing all touched endpoints and splices the fresh subtree back
+//     (cheap when updates are localized, the common case for social
+//     graphs);
+//   - RebuildFull re-clusters from scratch (the fallback when updates touch
+//     a large fraction of the graph).
+//
+// The HIMOR index is rebuilt on every flush in both strategies: influence
+// counts are global (an RR graph may cross the whole graph), so a sound
+// incremental rank maintenance needs per-sample provenance — exactly the
+// non-trivial extension the paper defers. The rebuild is still the
+// compressed construction, so flushes are O(Θ·ω + sort) rather than
+// per-community.
+package dynamic
+
+import (
+	"fmt"
+
+	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/hac"
+	"github.com/codsearch/cod/internal/hier"
+)
+
+// Strategy selects how Flush rebuilds the hierarchy.
+type Strategy int
+
+const (
+	// Auto picks RebuildLocal when the affected community covers less than
+	// half the graph, RebuildFull otherwise.
+	Auto Strategy = iota
+	// RebuildLocal re-clusters only the affected subtree.
+	RebuildLocal
+	// RebuildFull re-clusters the whole graph.
+	RebuildFull
+)
+
+// Updater owns a graph plus the COD offline state and applies edge
+// insertions incrementally. It is not safe for concurrent use.
+type Updater struct {
+	g      *graph.Graph
+	params core.Params
+	tree   *hier.Tree
+	index  *core.Himor
+
+	pending [][2]graph.NodeID
+	flushes int
+	locals  int
+}
+
+// New builds the initial state (clustering + HIMOR) for g.
+func New(g *graph.Graph, params core.Params) (*Updater, error) {
+	codl, err := core.NewCODL(g, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Updater{g: g, params: params, tree: codl.Tree(), index: codl.Index()}, nil
+}
+
+// Graph returns the current graph (pending edges excluded until Flush).
+func (u *Updater) Graph() *graph.Graph { return u.g }
+
+// Tree returns the current hierarchy.
+func (u *Updater) Tree() *hier.Tree { return u.tree }
+
+// Pending returns the number of buffered edge insertions.
+func (u *Updater) Pending() int { return len(u.pending) }
+
+// Stats reports (total flushes, local flushes) for instrumentation.
+func (u *Updater) Stats() (flushes, localFlushes int) { return u.flushes, u.locals }
+
+// AddEdge buffers the undirected edge (a, b) for the next Flush. Both
+// endpoints must already exist; duplicate edges are merged at flush time.
+func (u *Updater) AddEdge(a, b graph.NodeID) error {
+	if a == b {
+		return fmt.Errorf("dynamic: self loop on %d", a)
+	}
+	if a < 0 || int(a) >= u.g.N() || b < 0 || int(b) >= u.g.N() {
+		return fmt.Errorf("dynamic: edge (%d,%d) out of range [0,%d)", a, b, u.g.N())
+	}
+	u.pending = append(u.pending, [2]graph.NodeID{a, b})
+	return nil
+}
+
+// Flush applies the buffered edges and rebuilds the hierarchy per the
+// strategy, then rebuilds the HIMOR index. A flush with no pending edges is
+// a no-op.
+func (u *Updater) Flush(s Strategy) error {
+	if len(u.pending) == 0 {
+		return nil
+	}
+	ng := u.applyPending()
+
+	// Affected community: lca over every touched endpoint.
+	affected := u.tree.LeafOf(u.pending[0][0])
+	for _, e := range u.pending {
+		affected = u.tree.LCA(affected, u.tree.LeafOf(e[0]))
+		affected = u.tree.LCA(affected, u.tree.LeafOf(e[1]))
+	}
+	if s == Auto {
+		if !u.tree.IsLeaf(affected) && u.tree.Size(affected)*2 < ng.N() {
+			s = RebuildLocal
+		} else {
+			s = RebuildFull
+		}
+	}
+
+	var nt *hier.Tree
+	var err error
+	if s == RebuildLocal && !u.tree.IsLeaf(affected) && affected != u.tree.Root() {
+		members := u.tree.Members(affected)
+		sub := graph.Induce(ng, members)
+		local, cerr := hac.Cluster(sub.G, u.params.Linkage)
+		if cerr != nil {
+			return fmt.Errorf("dynamic: local recluster: %w", cerr)
+		}
+		nt, err = hier.Splice(u.tree, affected, local, sub.ToParent)
+		if err != nil {
+			return fmt.Errorf("dynamic: splice: %w", err)
+		}
+		u.locals++
+	} else {
+		nt, err = hac.Cluster(ng, u.params.Linkage)
+		if err != nil {
+			return fmt.Errorf("dynamic: full recluster: %w", err)
+		}
+	}
+
+	theta := u.params.Theta
+	if theta <= 0 {
+		theta = 10
+	}
+	sampler := core.NewGraphSampler(ng, u.params.Model, graph.NewRand(u.params.Seed^uint64(u.flushes+1)*0x9e3779b97f4a7c15))
+	u.index = core.BuildHimorWithSampler(ng, nt, sampler, theta)
+	u.g = ng
+	u.tree = nt
+	u.pending = u.pending[:0]
+	u.flushes++
+	return nil
+}
+
+// applyPending materializes the graph with buffered edges merged in.
+func (u *Updater) applyPending() *graph.Graph {
+	b := graph.NewBuilder(u.g.N(), u.g.NumAttrs())
+	u.g.ForEachEdge(func(x, y graph.NodeID, w float64) { _ = b.AddWeightedEdge(x, y, w) })
+	for v := graph.NodeID(0); int(v) < u.g.N(); v++ {
+		if as := u.g.Attrs(v); len(as) > 0 {
+			_ = b.SetAttrs(v, as...)
+		}
+	}
+	for _, e := range u.pending {
+		_ = b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Query answers a COD query over the current state (Algorithm 3). Pending
+// edges are not visible until Flush.
+func (u *Updater) Query(q graph.NodeID, attr graph.AttrID, seed uint64) (core.Community, error) {
+	codl := core.NewCODLWithTree(u.g, u.tree, u.index, u.params)
+	return codl.Query(q, attr, graph.NewRand(seed))
+}

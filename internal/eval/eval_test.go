@@ -1,0 +1,220 @@
+package eval
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Dataset:       "tiny",
+		Seed:          1,
+		NumQueries:    8,
+		Theta:         5,
+		Ks:            []int{1, 3, 5},
+		PrecisionSets: 40,
+	}
+}
+
+func TestRunEffectivenessTiny(t *testing.T) {
+	res, err := RunEffectiveness(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dataset != "tiny" || len(res.PerMethod) != 6 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	for _, m := range AllMethods() {
+		perK := res.PerMethod[m]
+		if len(perK) != 3 {
+			t.Errorf("%s: %d ks", m, len(perK))
+		}
+		// Monotonicity of |C*| in k for hierarchical methods: a looser rank
+		// requirement can only enlarge the characteristic community.
+		if m == MethodCODU || m == MethodCODL {
+			if perK[1].AvgSize > perK[5].AvgSize+1e-9 {
+				t.Errorf("%s: avg size not monotone in k: k1=%.2f k5=%.2f",
+					m, perK[1].AvgSize, perK[5].AvgSize)
+			}
+		}
+		for k, meas := range perK {
+			if meas.Total != 8 {
+				t.Errorf("%s k=%d: total %d", m, k, meas.Total)
+			}
+			if meas.Served > meas.Total {
+				t.Errorf("%s k=%d: served > total", m, k)
+			}
+			if meas.AvgTopoDensity < 0 || meas.AvgTopoDensity > 1 ||
+				meas.AvgAttrDensity < 0 || meas.AvgAttrDensity > 1 {
+				t.Errorf("%s k=%d: densities out of range: %+v", m, k, meas)
+			}
+		}
+	}
+	// The hierarchical methods must serve queries on this easy dataset.
+	if res.PerMethod[MethodCODL][5].Served == 0 {
+		t.Error("CODL served no queries at k=5")
+	}
+	var buf bytes.Buffer
+	WriteEffectiveness(&buf, res)
+	if !strings.Contains(buf.String(), "CODL") {
+		t.Error("report missing CODL")
+	}
+}
+
+func TestRunFiveDeepestTiny(t *testing.T) {
+	res, err := RunFiveDeepest(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{MethodCODU, MethodCODR, MethodCODL} {
+		s, ok := res.AvgSize[m]
+		if !ok {
+			t.Fatalf("missing %s", m)
+		}
+		for i := 1; i < 5; i++ {
+			if s[i] < s[i-1]-1e-9 {
+				t.Errorf("%s: five-deepest sizes not monotone: %v", m, s)
+			}
+		}
+		if s[0] < 1 {
+			t.Errorf("%s: deepest community smaller than 1: %v", m, s)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig4(&buf, res)
+	if !strings.Contains(buf.String(), "Fig.4") {
+		t.Error("report header missing")
+	}
+}
+
+func TestRunNetworkStatsTiny(t *testing.T) {
+	res, err := RunNetworkStats(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 120 {
+		t.Errorf("N = %d", res.N)
+	}
+	if res.AvgHLen <= 1 {
+		t.Errorf("avg |H| = %f", res.AvgHLen)
+	}
+	var buf bytes.Buffer
+	WriteTableI(&buf, []*HierarchyStats{res})
+	if !strings.Contains(buf.String(), "tiny") {
+		t.Error("table I missing row")
+	}
+}
+
+func TestRunCompressedVsIndependentTiny(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumQueries = 4
+	cfg.Thetas = []int{5, 10}
+	rows, err := RunCompressedVsIndependent(cfg, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (2 thetas x 2 methods)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total != 4 {
+			t.Errorf("%s θ=%d: total %d", r.Method, r.Theta, r.Total)
+		}
+		if r.Precision < 0 || r.Precision > 1 {
+			t.Errorf("precision out of range: %v", r.Precision)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFig8(&buf, rows)
+	if !strings.Contains(buf.String(), "Compressed") {
+		t.Error("fig8 report missing")
+	}
+}
+
+func TestRunRuntimeTiny(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.NumQueries = 4
+	rows, err := RunRuntime(cfg, 5, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Method] = true
+		if r.Queries == 0 && !r.TimedOut {
+			t.Errorf("%s: no queries processed", r.Method)
+		}
+	}
+	if !names[MethodCODL] || !names[MethodCODLMinus] || !names[MethodCODR] {
+		t.Errorf("missing method rows: %v", names)
+	}
+	var buf bytes.Buffer
+	WriteFig9(&buf, rows)
+	if !strings.Contains(buf.String(), "CODL") {
+		t.Error("fig9 report missing")
+	}
+}
+
+func TestRunIndexOverheadTiny(t *testing.T) {
+	row, err := RunIndexOverhead(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.IndexMB <= 0 || row.InputMB <= 0 || row.BuildTime <= 0 {
+		t.Errorf("degenerate overhead row: %+v", row)
+	}
+	var buf bytes.Buffer
+	WriteTableII(&buf, []*TableIIRow{row})
+	if !strings.Contains(buf.String(), "tiny") {
+		t.Error("table II missing row")
+	}
+}
+
+func TestRunCaseStudyTiny(t *testing.T) {
+	cfg := tinyConfig()
+	cases, err := RunCaseStudy(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range cases {
+		if len(cs.Results) != 4 {
+			t.Errorf("case q=%d has %d results", cs.Query, len(cs.Results))
+		}
+		if cs.Results[0].Method != MethodCODL || !cs.Results[0].Found {
+			t.Errorf("first result must be a found CODL community: %+v", cs.Results[0])
+		}
+	}
+	var buf bytes.Buffer
+	WriteCaseStudies(&buf, cases)
+	_ = buf
+}
+
+func TestGlobalInfluences(t *testing.T) {
+	cfg := tinyConfig()
+	e, err := newEnv(cfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infl := e.glInfl
+	if len(infl) != e.g.N() {
+		t.Fatalf("length %d", len(infl))
+	}
+	for v, x := range infl {
+		if x < 0 || x > float64(e.g.N()) {
+			t.Errorf("influence(%d) = %f out of range", v, x)
+		}
+	}
+	// influence is at least ~1 in expectation for any node (it activates itself)
+	sum := 0.0
+	for _, x := range infl {
+		sum += x
+	}
+	if sum/float64(len(infl)) < 0.5 {
+		t.Errorf("average influence %.2f implausibly low", sum/float64(len(infl)))
+	}
+}

@@ -1,0 +1,92 @@
+// Package eval implements the paper's experimental harness: the evaluation
+// measures of §V-A (community size, topology density ρ, attribute density
+// φ, query influence I(q), top-k precision) and one runner per table and
+// figure of the evaluation section. The runners are shared between the
+// codbench CLI and the repository-level benchmarks.
+package eval
+
+import (
+	"math/rand/v2"
+
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/influence"
+)
+
+// Measures aggregates the per-query effectiveness measures over a query set,
+// following the paper's protocol: queries for which a method finds no
+// characteristic community contribute 0 to every measure; I(q) is averaged
+// only over served queries.
+type Measures struct {
+	// AvgSize is the mean |C*| over all queries (0 for unserved).
+	AvgSize float64
+	// AvgTopoDensity is the mean ρ(C*) over all queries.
+	AvgTopoDensity float64
+	// AvgAttrDensity is the mean φ(C*) over all queries.
+	AvgAttrDensity float64
+	// AvgQueryInfluence is the mean I(q) over the *served* queries.
+	AvgQueryInfluence float64
+	// Served counts queries with a characteristic community.
+	Served int
+	// Total counts all queries.
+	Total int
+}
+
+// Accumulator builds Measures incrementally.
+type Accumulator struct {
+	g       *graph.Graph
+	m       Measures
+	sumSize float64
+	sumRho  float64
+	sumPhi  float64
+	sumInfl float64
+}
+
+// NewAccumulator returns an accumulator over graph g.
+func NewAccumulator(g *graph.Graph) *Accumulator { return &Accumulator{g: g} }
+
+// Add records one query outcome. nodes is nil/empty when the method found no
+// characteristic community; qInfluence is I(q) on the whole graph.
+func (a *Accumulator) Add(nodes []graph.NodeID, attr graph.AttrID, qInfluence float64) {
+	a.m.Total++
+	if len(nodes) == 0 {
+		return
+	}
+	a.m.Served++
+	a.sumSize += float64(len(nodes))
+	a.sumRho += graph.TopologyDensity(a.g, nodes)
+	a.sumPhi += graph.AttributeDensity(a.g, nodes, attr)
+	a.sumInfl += qInfluence
+}
+
+// Result finalizes the averages.
+func (a *Accumulator) Result() Measures {
+	m := a.m
+	if m.Total > 0 {
+		m.AvgSize = a.sumSize / float64(m.Total)
+		m.AvgTopoDensity = a.sumRho / float64(m.Total)
+		m.AvgAttrDensity = a.sumPhi / float64(m.Total)
+	}
+	if m.Served > 0 {
+		m.AvgQueryInfluence = a.sumInfl / float64(m.Served)
+	}
+	return m
+}
+
+// GlobalInfluences estimates σ_g(v) for every node with a shared pool of
+// theta·n RR sets (Theorem 1), returning per-node influence values.
+func GlobalInfluences(g *graph.Graph, theta int, rng *rand.Rand) []float64 {
+	model := influence.NewWeightedCascade(g)
+	s := influence.NewSampler(g, model, rng)
+	counts := make([]int, g.N())
+	total := theta * g.N()
+	for i := 0; i < total; i++ {
+		for _, v := range s.RRSet() {
+			counts[v]++
+		}
+	}
+	out := make([]float64, g.N())
+	for v, c := range counts {
+		out[v] = influence.InfluenceFromCount(c, total, g.N())
+	}
+	return out
+}

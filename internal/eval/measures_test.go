@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+func TestAccumulator(t *testing.T) {
+	b := graph.NewBuilder(4, 2)
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 2)
+	_ = b.AddEdge(0, 2)
+	_ = b.AddEdge(2, 3)
+	_ = b.SetAttrs(0, 1)
+	_ = b.SetAttrs(1, 1)
+	_ = b.SetAttrs(2, 0)
+	g := b.Build()
+
+	acc := NewAccumulator(g)
+	acc.Add([]graph.NodeID{0, 1, 2}, 1, 2.5) // triangle, φ=2/3
+	acc.Add(nil, 1, 99)                      // unserved: contributes zeros
+	m := acc.Result()
+
+	if m.Total != 2 || m.Served != 1 {
+		t.Fatalf("counts: %+v", m)
+	}
+	if math.Abs(m.AvgSize-1.5) > 1e-12 { // (3+0)/2
+		t.Errorf("AvgSize = %f", m.AvgSize)
+	}
+	if math.Abs(m.AvgTopoDensity-0.5) > 1e-12 { // (1.0+0)/2
+		t.Errorf("AvgTopoDensity = %f", m.AvgTopoDensity)
+	}
+	if math.Abs(m.AvgAttrDensity-(2.0/3)/2) > 1e-12 {
+		t.Errorf("AvgAttrDensity = %f", m.AvgAttrDensity)
+	}
+	// I(q) averaged over served only
+	if math.Abs(m.AvgQueryInfluence-2.5) > 1e-12 {
+		t.Errorf("AvgQueryInfluence = %f", m.AvgQueryInfluence)
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	g, err := graph.FromEdges(2, [][2]graph.NodeID{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewAccumulator(g).Result()
+	if m.Total != 0 || m.AvgSize != 0 || m.AvgQueryInfluence != 0 {
+		t.Errorf("empty accumulator: %+v", m)
+	}
+}

@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// This file renders experiment results as the aligned text tables printed by
+// cmd/codbench and recorded in EXPERIMENTS.md.
+
+// WriteEffectiveness renders a Fig. 7 block (one dataset, all methods × ks).
+func WriteEffectiveness(w io.Writer, r *EffectivenessResult) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Fig.7 %s\tmeasure", r.Dataset)
+	for _, k := range r.Ks {
+		fmt.Fprintf(tw, "\tk=%d", k)
+	}
+	fmt.Fprintln(tw)
+	for _, m := range AllMethods() {
+		perK := r.PerMethod[m]
+		for _, row := range []struct {
+			label string
+			get   func(Measures) float64
+		}{
+			{"|C*|", func(x Measures) float64 { return x.AvgSize }},
+			{"rho", func(x Measures) float64 { return x.AvgTopoDensity }},
+			{"phi", func(x Measures) float64 { return x.AvgAttrDensity }},
+			{"I(q)", func(x Measures) float64 { return x.AvgQueryInfluence }},
+		} {
+			fmt.Fprintf(tw, "%s\t%s", m, row.label)
+			for _, k := range r.Ks {
+				fmt.Fprintf(tw, "\t%.3f", row.get(perK[k]))
+			}
+			fmt.Fprintln(tw)
+		}
+	}
+	tw.Flush()
+}
+
+// WriteFig4 renders the five-deepest-community table.
+func WriteFig4(w io.Writer, r *Fig4Result) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "Fig.4 %s\t1st\t2nd\t3rd\t4th\t5th\n", r.Dataset)
+	for _, m := range []string{MethodCODU, MethodCODR, MethodCODL} {
+		s := r.AvgSize[m]
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n", m, s[0], s[1], s[2], s[3], s[4])
+	}
+	tw.Flush()
+}
+
+// WriteFig8 renders the Compressed-vs-Independent rows.
+func WriteFig8(w io.Writer, rows []Fig8Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Fig.8\ttheta\tmethod\tprecision\tavg|C*|\tmin\tmax\tavg time\tserved\ttimeouts")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%.3f\t%.1f\t%d\t%d\t%v\t%d/%d\t%d\n",
+			r.Dataset, r.Theta, r.Method, r.Precision, r.AvgSize, r.MinSize, r.MaxSize,
+			r.AvgTime.Round(timeUnit(r.AvgTime)), r.Served, r.Total, r.TimedOut)
+	}
+	tw.Flush()
+}
+
+// WriteFig9 renders the runtime rows.
+func WriteFig9(w io.Writer, rows []Fig9Row) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Fig.9\tmethod\tavg query time\tqueries\ttimed out")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%d\t%t\n",
+			r.Dataset, r.Method, r.AvgTime.Round(timeUnit(r.AvgTime)), r.Queries, r.TimedOut)
+	}
+	tw.Flush()
+}
+
+// WriteTableII renders the index-overhead row.
+func WriteTableII(w io.Writer, rows []*TableIIRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table II\tbuild time\tindex MB\tinput MB\tsum-depth")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%v\t%.2f\t%.2f\t%d\n",
+			r.Dataset, r.BuildTime.Round(timeUnit(r.BuildTime)), r.IndexMB, r.InputMB, r.SumDepth)
+	}
+	tw.Flush()
+}
+
+// WriteTableI renders the network-statistics rows with the paper's values.
+func WriteTableI(w io.Writer, rows []*HierarchyStats) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table I\t|V|\t|E|\t|A|\t|H|avg\tpaper |V|\tpaper |E|\tpaper |H|avg")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.1f\t%d\t%d\t%.1f\n",
+			r.Dataset, r.N, r.M, r.A, r.AvgHLen, r.Paper.V, r.Paper.E, r.Paper.AvgH)
+	}
+	tw.Flush()
+}
+
+// WriteCaseStudies renders §V-E comparisons.
+func WriteCaseStudies(w io.Writer, cases []CaseStudy) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, cs := range cases {
+		fmt.Fprintf(tw, "case q=%d attr=%d\tsize\trank(q)\tconductance\n", cs.Query, cs.Attr)
+		for _, r := range cs.Results {
+			if !r.Found {
+				fmt.Fprintf(tw, "%s\t-\t-\t-\n", r.Method)
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\n", r.Method, r.Size, r.QueryRank, r.Conductance)
+		}
+		fmt.Fprintln(tw, strings.Repeat("-", 8))
+	}
+	tw.Flush()
+}
+
+// timeUnit picks a rounding granularity that keeps durations readable.
+func timeUnit(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return 10 * time.Millisecond
+	case d >= time.Millisecond:
+		return 10 * time.Microsecond
+	default:
+		return time.Microsecond
+	}
+}

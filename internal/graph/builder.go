@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Builder accumulates edges and attributes and produces an immutable Graph.
+// Duplicate edges are merged (weights summed for weighted builders); self
+// loops are rejected. A Builder must be created with NewBuilder.
+type Builder struct {
+	n        int
+	us, vs   []NodeID
+	ws       []float64
+	weighted bool
+	attrs    [][]AttrID
+	numAttr  int
+}
+
+// NewBuilder returns a Builder for a graph with n nodes and an attribute
+// universe of numAttr attributes (0 for an unattributed graph).
+func NewBuilder(n, numAttr int) *Builder {
+	return &Builder{n: n, attrs: make([][]AttrID, n), numAttr: numAttr}
+}
+
+// AddEdge records the undirected edge (u,v) with weight 1.
+func (b *Builder) AddEdge(u, v NodeID) error { return b.AddWeightedEdge(u, v, 1) }
+
+// AddWeightedEdge records the undirected edge (u,v) with weight w. Adding any
+// edge with weight != 1 makes the built graph weighted.
+func (b *Builder) AddWeightedEdge(u, v NodeID, w float64) error {
+	if u == v {
+		return fmt.Errorf("graph: self loop on node %d", u)
+	}
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if w <= 0 {
+		return fmt.Errorf("graph: edge (%d,%d) has non-positive weight %g", u, v, w)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+	if w != 1 {
+		b.weighted = true
+	}
+	return nil
+}
+
+// SetAttrs assigns the attribute set of node v, replacing any previous one.
+func (b *Builder) SetAttrs(v NodeID, attrs ...AttrID) error {
+	if v < 0 || int(v) >= b.n {
+		return fmt.Errorf("graph: node %d out of range [0,%d)", v, b.n)
+	}
+	for _, a := range attrs {
+		if a < 0 || int(a) >= b.numAttr {
+			return fmt.Errorf("graph: attribute %d out of range [0,%d)", a, b.numAttr)
+		}
+	}
+	cp := slices.Clone(attrs)
+	slices.Sort(cp)
+	b.attrs[v] = slices.Compact(cp)
+	return nil
+}
+
+// AddAttr adds one attribute to node v, keeping previous ones.
+func (b *Builder) AddAttr(v NodeID, a AttrID) error {
+	if v < 0 || int(v) >= b.n {
+		return fmt.Errorf("graph: node %d out of range [0,%d)", v, b.n)
+	}
+	if a < 0 || int(a) >= b.numAttr {
+		return fmt.Errorf("graph: attribute %d out of range [0,%d)", a, b.numAttr)
+	}
+	if !slices.Contains(b.attrs[v], a) {
+		b.attrs[v] = append(b.attrs[v], a)
+		slices.Sort(b.attrs[v])
+	}
+	return nil
+}
+
+// Build assembles the immutable Graph. Parallel edges are merged: the merged
+// weight is the sum of the duplicates' weights.
+func (b *Builder) Build() *Graph {
+	type edge struct {
+		u, v NodeID
+		w    float64
+	}
+	edges := make([]edge, len(b.us))
+	for i := range b.us {
+		edges[i] = edge{b.us[i], b.vs[i], b.ws[i]}
+	}
+	slices.SortFunc(edges, func(a, c edge) int {
+		if a.u != c.u {
+			return int(a.u - c.u)
+		}
+		return int(a.v - c.v)
+	})
+	// Merge duplicates.
+	out := edges[:0]
+	for _, e := range edges {
+		if len(out) > 0 && out[len(out)-1].u == e.u && out[len(out)-1].v == e.v {
+			out[len(out)-1].w += e.w
+			b.weighted = b.weighted || out[len(out)-1].w != 1
+			continue
+		}
+		out = append(out, e)
+	}
+	edges = out
+
+	g := &Graph{numAttr: b.numAttr, m: len(edges)}
+	deg := make([]int32, b.n)
+	for _, e := range edges {
+		deg[e.u]++
+		deg[e.v]++
+	}
+	g.off = make([]int32, b.n+1)
+	for v := 0; v < b.n; v++ {
+		g.off[v+1] = g.off[v] + deg[v]
+	}
+	g.adj = make([]NodeID, 2*len(edges))
+	if b.weighted {
+		g.wts = make([]float64, 2*len(edges))
+	}
+	cursor := make([]int32, b.n)
+	copy(cursor, g.off[:b.n])
+	place := func(u, v NodeID, w float64) {
+		i := cursor[u]
+		cursor[u]++
+		g.adj[i] = v
+		if g.wts != nil {
+			g.wts[i] = w
+		}
+	}
+	// Edges are sorted by (u,v); placing (u,v) then (v,u) in this order keeps
+	// every adjacency list sorted ascending because for a fixed row r the
+	// entries arrive in increasing order of the opposite endpoint.
+	for _, e := range edges {
+		place(e.u, e.v, e.w)
+	}
+	// Second pass for the reverse direction, ordered by (v,u).
+	rev := slices.Clone(edges)
+	slices.SortFunc(rev, func(a, c edge) int {
+		if a.v != c.v {
+			return int(a.v - c.v)
+		}
+		return int(a.u - c.u)
+	})
+	for _, e := range rev {
+		place(e.v, e.u, e.w)
+	}
+	// Interleaving the two passes can break per-row ordering (forward entries
+	// v>u were placed before reverse entries u'<v could arrive), so fix up by
+	// sorting each row, keeping weights aligned.
+	for v := 0; v < b.n; v++ {
+		lo, hi := g.off[v], g.off[v+1]
+		row := g.adj[lo:hi]
+		if slices.IsSorted(row) {
+			continue
+		}
+		if g.wts == nil {
+			slices.Sort(row)
+			continue
+		}
+		wrow := g.wts[lo:hi]
+		idx := make([]int, len(row))
+		for i := range idx {
+			idx[i] = i
+		}
+		slices.SortFunc(idx, func(a, c int) int { return int(row[a] - row[c]) })
+		nr := make([]NodeID, len(row))
+		nw := make([]float64, len(row))
+		for i, j := range idx {
+			nr[i], nw[i] = row[j], wrow[j]
+		}
+		copy(row, nr)
+		copy(wrow, nw)
+	}
+
+	// Attributes.
+	g.attrOff = make([]int32, b.n+1)
+	total := 0
+	for v := 0; v < b.n; v++ {
+		total += len(b.attrs[v])
+	}
+	g.attrs = make([]AttrID, 0, total)
+	for v := 0; v < b.n; v++ {
+		g.attrOff[v+1] = g.attrOff[v] + int32(len(b.attrs[v]))
+		g.attrs = append(g.attrs, b.attrs[v]...)
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor for tests and examples: it builds an
+// unattributed, unweighted graph with n nodes from an edge list.
+func FromEdges(n int, edges [][2]NodeID) (*Graph, error) {
+	b := NewBuilder(n, 0)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Loaders for common external formats, so the library runs on the paper's
+// real datasets when they are available: SNAP-style edge lists (one
+// "u<TAB>v" pair per line, '#' comments) and simple per-line attribute
+// files. Node ids in the wild are arbitrary integers; they are remapped to
+// a dense 0..n-1 space and the mapping is returned.
+
+// EdgeListResult is the outcome of ReadEdgeList.
+type EdgeListResult struct {
+	// G is the loaded graph (attributes empty unless added later).
+	G *Graph
+	// OrigID maps dense node ids back to the file's original ids.
+	OrigID []int64
+	// DenseID maps original ids to dense ids.
+	DenseID map[int64]NodeID
+}
+
+// ReadEdgeList parses a SNAP-style undirected edge list: every non-comment
+// line holds two whitespace-separated integer node ids. Self loops are
+// skipped, duplicates merged. numAttrs sizes the attribute universe of the
+// resulting graph (attributes can be attached afterwards via ReadAttrFile
+// or programmatically).
+func ReadEdgeList(r io.Reader, numAttrs int) (*EdgeListResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<26)
+	res := &EdgeListResult{DenseID: make(map[int64]NodeID)}
+	type rawEdge struct{ u, v int64 }
+	var edges []rawEdge
+	dense := func(x int64) NodeID {
+		id, ok := res.DenseID[x]
+		if !ok {
+			id = NodeID(len(res.OrigID))
+			res.DenseID[x] = id
+			res.OrigID = append(res.OrigID, x)
+		}
+		return id
+	}
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") || strings.HasPrefix(s, "%") {
+			continue
+		}
+		fields := strings.Fields(s)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: edge list line %d: %q", line, s)
+		}
+		u, err1 := strconv.ParseInt(fields[0], 10, 64)
+		v, err2 := strconv.ParseInt(fields[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: edge list line %d: %q", line, s)
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, rawEdge{u, v})
+		dense(u)
+		dense(v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(res.OrigID) == 0 {
+		return nil, fmt.Errorf("graph: empty edge list")
+	}
+	b := NewBuilder(len(res.OrigID), numAttrs)
+	for _, e := range edges {
+		if err := b.AddEdge(res.DenseID[e.u], res.DenseID[e.v]); err != nil {
+			return nil, err
+		}
+	}
+	res.G = b.Build()
+	return res, nil
+}
+
+// ReadAttrFile attaches attributes from a file with lines
+// "<orig-node-id> <attr> [attr...]" to a graph loaded by ReadEdgeList.
+// Unknown node ids are reported as errors; attribute ids must fit the
+// graph's universe. It returns a new Graph (graphs are immutable).
+func ReadAttrFile(res *EdgeListResult, r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<26)
+	attrs := make([][]AttrID, res.G.N())
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") || strings.HasPrefix(s, "%") {
+			continue
+		}
+		fields := strings.Fields(s)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: attr line %d: %q", line, s)
+		}
+		orig, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: attr line %d: %q", line, s)
+		}
+		v, ok := res.DenseID[orig]
+		if !ok {
+			return nil, fmt.Errorf("graph: attr line %d: unknown node %d", line, orig)
+		}
+		for _, f := range fields[1:] {
+			a, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("graph: attr line %d: %q", line, s)
+			}
+			attrs[v] = append(attrs[v], AttrID(a))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	b := NewBuilder(res.G.N(), res.G.NumAttrs())
+	res.G.ForEachEdge(func(u, v NodeID, w float64) { _ = b.AddWeightedEdge(u, v, w) })
+	for v, as := range attrs {
+		if len(as) == 0 {
+			continue
+		}
+		if err := b.SetAttrs(NodeID(v), as...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

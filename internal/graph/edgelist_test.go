@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadEdgeList(t *testing.T) {
+	in := `# SNAP-style comment
+% pajek-style comment
+100	200
+200	300
+100	300
+300	300
+100	200
+`
+	res, err := ReadEdgeList(strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.G.N() != 3 {
+		t.Fatalf("N = %d, want 3 (dense remap)", res.G.N())
+	}
+	if res.G.M() != 3 {
+		t.Fatalf("M = %d, want 3 (self loop skipped, dup merged)", res.G.M())
+	}
+	// dense mapping round-trips
+	for dense, orig := range res.OrigID {
+		if res.DenseID[orig] != NodeID(dense) {
+			t.Fatalf("mapping broken at %d", dense)
+		}
+	}
+	u, v := res.DenseID[100], res.DenseID[300]
+	if !res.G.HasEdge(u, v) {
+		t.Error("edge (100,300) lost")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"1\n",
+		"a b\n",
+		"# only comments\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in), 0); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReadAttrFile(t *testing.T) {
+	res, err := ReadEdgeList(strings.NewReader("10 20\n20 30\n"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadAttrFile(res, strings.NewReader("# attrs\n10 0 2\n30 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasAttr(res.DenseID[10], 0) || !g.HasAttr(res.DenseID[10], 2) {
+		t.Error("attrs of node 10 lost")
+	}
+	if !g.HasAttr(res.DenseID[30], 1) {
+		t.Error("attr of node 30 lost")
+	}
+	if len(g.Attrs(res.DenseID[20])) != 0 {
+		t.Error("node 20 should have no attrs")
+	}
+	// topology preserved
+	if g.M() != res.G.M() || g.N() != res.G.N() {
+		t.Error("attr attach changed topology")
+	}
+}
+
+func TestReadAttrFileErrors(t *testing.T) {
+	res, err := ReadEdgeList(strings.NewReader("1 2\n"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range []string{
+		"99 0\n",  // unknown node
+		"1 7\n",   // attr out of universe
+		"1\n",     // missing attr
+		"x 0\n",   // bad id
+		"1 zzz\n", // bad attr
+	} {
+		if _, err := ReadAttrFile(res, strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

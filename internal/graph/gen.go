@@ -1,0 +1,395 @@
+package graph
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+)
+
+// This file provides the synthetic graph generators that stand in for the
+// paper's real datasets (see DESIGN.md §4). All generators are deterministic
+// given a seed and always return a connected graph (a spanning backbone is
+// added when random wiring leaves components behind).
+
+// NewRand returns the repository-wide deterministic PRNG for a seed.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// ErdosRenyi samples G(n, m): m distinct uniform random edges over n nodes,
+// then connects stray components.
+func ErdosRenyi(n, m int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n, 0)
+	seen := make(map[int64]struct{}, m)
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(m) > maxEdges {
+		m = int(maxEdges)
+	}
+	for len(seen) < m {
+		u := NodeID(rng.IntN(n))
+		v := NodeID(rng.IntN(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		mustAddEdge(b, u, v)
+	}
+	return connect(b.Build(), rng)
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: each new node
+// attaches to mAttach existing nodes chosen proportionally to degree. The
+// result is connected by construction and has hub-dominated degrees.
+func BarabasiAlbert(n, mAttach int, rng *rand.Rand) *Graph {
+	if mAttach < 1 {
+		mAttach = 1
+	}
+	b := NewBuilder(n, 0)
+	// Repeated-endpoint list implements preferential attachment in O(1).
+	var targets []NodeID
+	start := mAttach + 1
+	if start > n {
+		start = n
+	}
+	for u := 0; u < start; u++ {
+		for v := 0; v < u; v++ {
+			mustAddEdge(b, NodeID(u), NodeID(v))
+			targets = append(targets, NodeID(u), NodeID(v))
+		}
+	}
+	for u := start; u < n; u++ {
+		chosen := make([]NodeID, 0, mAttach)
+		for len(chosen) < mAttach {
+			t := targets[rng.IntN(len(targets))]
+			if !slices.Contains(chosen, t) {
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			mustAddEdge(b, NodeID(u), t)
+			targets = append(targets, NodeID(u), t)
+		}
+	}
+	return b.Build()
+}
+
+// PreferentialMixed grows a scale-free graph where each new node attaches
+// to a single degree-biased target with probability p1 and to burst targets
+// otherwise. p1 near 1 yields star-burst, retweet-like topologies: many
+// degree-1 leaves hanging off heavy hubs, which is what makes agglomerative
+// dendrograms on such graphs deep and skewed.
+func PreferentialMixed(n int, p1 float64, burst int, rng *rand.Rand) *Graph {
+	if burst < 1 {
+		burst = 1
+	}
+	b := NewBuilder(n, 0)
+	targets := []NodeID{0, 1, 0, 1}
+	mustAddEdge(b, 0, 1)
+	for u := 2; u < n; u++ {
+		attach := 1
+		if rng.Float64() >= p1 {
+			attach = burst
+		}
+		chosen := make([]NodeID, 0, attach)
+		for len(chosen) < attach {
+			t := targets[rng.IntN(len(targets))]
+			if !slices.Contains(chosen, t) {
+				chosen = append(chosen, t)
+			}
+			if len(chosen) >= u { // cannot pick more distinct targets
+				break
+			}
+		}
+		for _, t := range chosen {
+			mustAddEdge(b, NodeID(u), t)
+			targets = append(targets, NodeID(u), t)
+		}
+	}
+	return b.Build()
+}
+
+// HubBurst grows a retweet-like network: numHubs designated mega-hubs each
+// collect a share of degree-1 "retweeter" leaves (a node becomes a hub leaf
+// with probability hubProb, attaching by a single edge to a uniformly
+// chosen hub), while the remaining nodes wire preferentially like
+// PreferentialMixed(p1, burst). The hub caterpillars are what give real
+// retweet graphs their deeply skewed agglomerative dendrograms.
+func HubBurst(n, numHubs int, hubProb, p1 float64, burst int, rng *rand.Rand) *Graph {
+	if numHubs < 1 {
+		numHubs = 1
+	}
+	if numHubs > n-1 {
+		numHubs = n - 1
+	}
+	b := NewBuilder(n, 0)
+	// Hubs are nodes 0..numHubs-1, wired in a path so the graph connects.
+	for h := 1; h < numHubs; h++ {
+		mustAddEdge(b, NodeID(h-1), NodeID(h))
+	}
+	targets := make([]NodeID, 0, 4*n)
+	for h := 0; h < numHubs; h++ {
+		targets = append(targets, NodeID(h))
+	}
+	for u := numHubs; u < n; u++ {
+		if rng.Float64() < hubProb {
+			mustAddEdge(b, NodeID(u), NodeID(rng.IntN(numHubs)))
+			continue // pure leaf: not a future attachment target
+		}
+		attach := 1
+		if rng.Float64() >= p1 {
+			attach = burst
+		}
+		chosen := make([]NodeID, 0, attach)
+		for len(chosen) < attach && len(chosen) < len(targets) {
+			t := targets[rng.IntN(len(targets))]
+			if !slices.Contains(chosen, t) {
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			mustAddEdge(b, NodeID(u), t)
+			targets = append(targets, NodeID(u), t)
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz builds a ring lattice with k neighbors per side and rewires
+// each edge with probability p, then connects stray components.
+func WattsStrogatz(n, k int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n, 0)
+	seen := make(map[int64]struct{})
+	add := func(u, v NodeID) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := int64(u)*int64(n) + int64(v)
+		if _, ok := seen[key]; ok {
+			return false
+		}
+		seen[key] = struct{}{}
+		mustAddEdge(b, u, v)
+		return true
+	}
+	for u := 0; u < n; u++ {
+		for j := 1; j <= k; j++ {
+			v := (u + j) % n
+			if rng.Float64() < p {
+				for tries := 0; tries < 32; tries++ {
+					if add(NodeID(u), NodeID(rng.IntN(n))) {
+						break
+					}
+				}
+			} else {
+				add(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return connect(b.Build(), rng)
+}
+
+// PlantedPartitionSpec configures PlantedPartition.
+type PlantedPartitionSpec struct {
+	N             int     // number of nodes
+	TargetM       int     // approximate number of edges
+	NumComms      int     // number of planted ground-truth communities
+	CommExponent  float64 // power-law exponent for community sizes (e.g. 1.5)
+	IntraFraction float64 // fraction of edges placed inside communities (e.g. 0.8)
+	HubBias       float64 // 0 = uniform endpoints; 1 = strongly preferential (skewed hubs)
+	// PendantFraction is the fraction of each community's nodes attached by
+	// a single hub-biased edge. Pendants make agglomerative dendrograms
+	// caterpillar-like (one node absorbed at a time), reproducing the
+	// hierarchy skew the paper observes on PubMed/Retweet.
+	PendantFraction float64
+}
+
+// PlantedPartition generates a graph with power-law-sized ground-truth
+// communities, mostly-intra-community wiring and optional hub bias, and
+// returns the graph plus the community assignment of each node. This is the
+// stand-in for the paper's citation/co-purchase/social datasets: what the
+// evaluation depends on is community structure, attribute correlation (the
+// caller assigns attributes per community) and degree skew.
+func PlantedPartition(spec PlantedPartitionSpec, rng *rand.Rand) (*Graph, []int) {
+	n := spec.N
+	if spec.NumComms < 1 {
+		spec.NumComms = 1
+	}
+	if spec.CommExponent <= 0 {
+		spec.CommExponent = 1.5
+	}
+	sizes := powerLawSizes(n, spec.NumComms, spec.CommExponent, rng)
+	comm := make([]int, n)
+	members := make([][]NodeID, len(sizes))
+	v := NodeID(0)
+	for c, sz := range sizes {
+		members[c] = make([]NodeID, 0, sz)
+		for i := 0; i < sz; i++ {
+			comm[v] = c
+			members[c] = append(members[c], v)
+			v++
+		}
+	}
+
+	b := NewBuilder(n, 0)
+	seen := make(map[int64]struct{}, spec.TargetM)
+	// Hub bias: endpoint sampled as floor(U^(1/(1+bias*3)) * len) skews toward
+	// low indices within each community, creating stable hubs.
+	pick := func(set []NodeID) NodeID {
+		if spec.HubBias <= 0 {
+			return set[rng.IntN(len(set))]
+		}
+		x := math.Pow(rng.Float64(), 1+3*spec.HubBias)
+		return set[int(x*float64(len(set)))]
+	}
+	add := func(u, w NodeID) bool {
+		if u == w {
+			return false
+		}
+		if u > w {
+			u, w = w, u
+		}
+		key := int64(u)*int64(n) + int64(w)
+		if _, ok := seen[key]; ok {
+			return false
+		}
+		seen[key] = struct{}{}
+		mustAddEdge(b, u, w)
+		return true
+	}
+	// Split each community into a wired core and pendant nodes; pendants get
+	// exactly one hub-biased edge into the core.
+	cores := make([][]NodeID, len(members))
+	edges := 0
+	for c, set := range members {
+		nPend := int(spec.PendantFraction * float64(len(set)))
+		if nPend > len(set)-1 {
+			nPend = len(set) - 1
+		}
+		core := set[:len(set)-nPend]
+		cores[c] = core
+		// Spanning path within the core guarantees intra-connectivity.
+		for i := 1; i < len(core); i++ {
+			if add(core[i-1], core[i]) {
+				edges++
+			}
+		}
+		for _, p := range set[len(set)-nPend:] {
+			if add(p, pick(core)) {
+				edges++
+			}
+		}
+	}
+	intra := int(float64(spec.TargetM) * spec.IntraFraction)
+	for tries := 0; edges < intra && tries < 20*spec.TargetM; tries++ {
+		set := cores[weightedCommunity(sizes, rng)]
+		if len(set) < 2 {
+			continue
+		}
+		if add(pick(set), pick(set)) {
+			edges++
+		}
+	}
+	for tries := 0; edges < spec.TargetM && tries < 20*spec.TargetM; tries++ {
+		c1 := weightedCommunity(sizes, rng)
+		c2 := weightedCommunity(sizes, rng)
+		if c1 == c2 || len(cores[c1]) == 0 || len(cores[c2]) == 0 {
+			continue
+		}
+		if add(pick(cores[c1]), pick(cores[c2])) {
+			edges++
+		}
+	}
+	return connect(b.Build(), rng), comm
+}
+
+// powerLawSizes splits n into k parts with sizes proportional to
+// rank^(-exponent), each at least 2 where possible.
+func powerLawSizes(n, k int, exponent float64, rng *rand.Rand) []int {
+	if k > n {
+		k = n
+	}
+	weights := make([]float64, k)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -exponent)
+		sum += weights[i]
+	}
+	sizes := make([]int, k)
+	used := 0
+	for i := range sizes {
+		sizes[i] = int(float64(n) * weights[i] / sum)
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		used += sizes[i]
+	}
+	// Fix rounding drift by adjusting the largest communities.
+	i := 0
+	for used < n {
+		sizes[i%k]++
+		used++
+		i++
+	}
+	for used > n {
+		j := i % k
+		if sizes[j] > 1 {
+			sizes[j]--
+			used--
+		}
+		i++
+	}
+	return sizes
+}
+
+func weightedCommunity(sizes []int, rng *rand.Rand) int {
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	x := rng.IntN(total)
+	for c, s := range sizes {
+		if x < s {
+			return c
+		}
+		x -= s
+	}
+	return len(sizes) - 1
+}
+
+// connect links the components of g (if more than one) by adding one random
+// edge between consecutive components, returning a connected graph.
+func connect(g *Graph, rng *rand.Rand) *Graph {
+	comps := g.Components()
+	if len(comps) <= 1 {
+		return g
+	}
+	b := NewBuilder(g.N(), g.NumAttrs())
+	g.ForEachEdge(func(u, v NodeID, w float64) { _ = b.AddWeightedEdge(u, v, w) })
+	for v := NodeID(0); v < NodeID(g.N()); v++ {
+		if as := g.Attrs(v); len(as) > 0 {
+			_ = b.SetAttrs(v, as...)
+		}
+	}
+	for i := 1; i < len(comps); i++ {
+		u := comps[i-1][rng.IntN(len(comps[i-1]))]
+		v := comps[i][rng.IntN(len(comps[i]))]
+		mustAddEdge(b, u, v)
+	}
+	return b.Build()
+}
+
+func mustAddEdge(b *Builder, u, v NodeID) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic(err) // generator bug: endpoints are constructed in range
+	}
+}

@@ -1,0 +1,232 @@
+// Package graph provides the attributed-graph substrate used throughout the
+// COD library: a compact CSR (compressed sparse row) representation of an
+// undirected graph whose nodes carry categorical attributes and whose edges
+// carry optional weights.
+//
+// The representation is immutable after construction (see Builder), which
+// lets hierarchies, influence samplers and indexes share one Graph value
+// across goroutines without locking.
+package graph
+
+import (
+	"fmt"
+	"slices"
+)
+
+// NodeID identifies a node. Nodes of a Graph with n nodes are 0..n-1.
+type NodeID = int32
+
+// AttrID identifies a categorical attribute. Attributes of a Graph with a
+// attributes are 0..a-1.
+type AttrID = int32
+
+// Graph is an undirected attributed graph in CSR form. The zero value is an
+// empty graph; use a Builder to construct non-trivial graphs.
+type Graph struct {
+	off     []int32   // off[v]..off[v+1] bounds v's slice of adj/wts; len n+1
+	adj     []NodeID  // concatenated neighbor lists, each sorted ascending
+	wts     []float64 // parallel to adj; nil means every edge has weight 1
+	attrOff []int32   // attrOff[v]..attrOff[v+1] bounds v's attribute slice
+	attrs   []AttrID  // concatenated per-node attribute lists, sorted
+	numAttr int       // size of the attribute universe
+	m       int       // number of undirected edges
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int {
+	if g.off == nil {
+		return 0
+	}
+	return len(g.off) - 1
+}
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.m }
+
+// NumAttrs returns the size of the attribute universe |A|.
+func (g *Graph) NumAttrs() int { return g.numAttr }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v NodeID) int { return int(g.off[v+1] - g.off[v]) }
+
+// Neighbors returns the sorted neighbor list of v. The returned slice aliases
+// the graph's storage and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID { return g.adj[g.off[v]:g.off[v+1]] }
+
+// Weights returns edge weights parallel to Neighbors(v), or nil when the
+// graph is unweighted (all weights 1).
+func (g *Graph) Weights(v NodeID) []float64 {
+	if g.wts == nil {
+		return nil
+	}
+	return g.wts[g.off[v]:g.off[v+1]]
+}
+
+// Weighted reports whether the graph carries explicit edge weights.
+func (g *Graph) Weighted() bool { return g.wts != nil }
+
+// EdgeWeight returns the weight of edge (u,v), or 0 if the edge is absent.
+func (g *Graph) EdgeWeight(u, v NodeID) float64 {
+	i, ok := g.findNeighbor(u, v)
+	if !ok {
+		return 0
+	}
+	if g.wts == nil {
+		return 1
+	}
+	return g.wts[i]
+}
+
+// HasEdge reports whether (u,v) is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	_, ok := g.findNeighbor(u, v)
+	return ok
+}
+
+// findNeighbor binary-searches v in u's neighbor list, returning the global
+// adjacency index.
+func (g *Graph) findNeighbor(u, v NodeID) (int, bool) {
+	lo, hi := int(g.off[u]), int(g.off[u+1])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case g.adj[mid] < v:
+			lo = mid + 1
+		case g.adj[mid] > v:
+			hi = mid
+		default:
+			return mid, true
+		}
+	}
+	return 0, false
+}
+
+// Attrs returns the sorted attribute list of v. The returned slice aliases
+// the graph's storage and must not be modified.
+func (g *Graph) Attrs(v NodeID) []AttrID {
+	if g.attrOff == nil {
+		return nil
+	}
+	return g.attrs[g.attrOff[v]:g.attrOff[v+1]]
+}
+
+// HasAttr reports whether node v carries attribute a.
+func (g *Graph) HasAttr(v NodeID, a AttrID) bool {
+	as := g.Attrs(v)
+	lo, hi := 0, len(as)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case as[mid] < a:
+			lo = mid + 1
+		case as[mid] > a:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// AttrNodes returns all nodes carrying attribute a, in ascending order.
+func (g *Graph) AttrNodes(a AttrID) []NodeID {
+	var out []NodeID
+	for v := NodeID(0); v < NodeID(g.N()); v++ {
+		if g.HasAttr(v, a) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d attrs=%d weighted=%t}", g.N(), g.M(), g.numAttr, g.Weighted())
+}
+
+// ForEachEdge calls fn once per undirected edge (u < v) with its weight.
+func (g *Graph) ForEachEdge(fn func(u, v NodeID, w float64)) {
+	for u := NodeID(0); u < NodeID(g.N()); u++ {
+		ns := g.Neighbors(u)
+		ws := g.Weights(u)
+		for i, v := range ns {
+			if u < v {
+				w := 1.0
+				if ws != nil {
+					w = ws[i]
+				}
+				fn(u, v, w)
+			}
+		}
+	}
+}
+
+// BFS traverses the component of src, invoking visit for every reached node
+// (including src). It allocates a visited bitmap per call.
+func (g *Graph) BFS(src NodeID, visit func(v NodeID)) {
+	seen := make([]bool, g.N())
+	queue := []NodeID{src}
+	seen[src] = true
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		visit(v)
+		for _, u := range g.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+}
+
+// Component returns the connected component containing src, ascending order.
+func (g *Graph) Component(src NodeID) []NodeID {
+	var comp []NodeID
+	g.BFS(src, func(v NodeID) { comp = append(comp, v) })
+	sortNodeIDs(comp)
+	return comp
+}
+
+// Connected reports whether the graph is connected (true for empty graphs).
+func (g *Graph) Connected() bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	count := 0
+	g.BFS(0, func(NodeID) { count++ })
+	return count == n
+}
+
+// Components returns all connected components, each sorted ascending, in
+// order of their smallest member.
+func (g *Graph) Components() [][]NodeID {
+	n := g.N()
+	seen := make([]bool, n)
+	var comps [][]NodeID
+	for s := NodeID(0); s < NodeID(n); s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []NodeID
+		queue := []NodeID{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for _, u := range g.Neighbors(v) {
+				if !seen[u] {
+					seen[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+		sortNodeIDs(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func sortNodeIDs(s []NodeID) { slices.Sort(s) }

@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format ("cod graph v1"):
+//
+//	cod-graph 1
+//	<n> <m> <numAttrs> <weighted:0|1>
+//	e <u> <v> [w]        (m lines)
+//	a <v> <attr> ...     (one line per node that has attributes)
+//
+// Lines starting with '#' and blank lines are ignored on read.
+
+// WriteTo serializes g in the text format above and returns the number of
+// bytes written.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	count := func(n int, err error) error {
+		total += int64(n)
+		return err
+	}
+	weighted := 0
+	if g.Weighted() {
+		weighted = 1
+	}
+	if err := count(fmt.Fprintf(bw, "cod-graph 1\n%d %d %d %d\n", g.N(), g.M(), g.NumAttrs(), weighted)); err != nil {
+		return total, err
+	}
+	var werr error
+	g.ForEachEdge(func(u, v NodeID, wt float64) {
+		if werr != nil {
+			return
+		}
+		if g.Weighted() {
+			werr = count(fmt.Fprintf(bw, "e %d %d %g\n", u, v, wt))
+		} else {
+			werr = count(fmt.Fprintf(bw, "e %d %d\n", u, v))
+		}
+	})
+	if werr != nil {
+		return total, werr
+	}
+	for v := NodeID(0); v < NodeID(g.N()); v++ {
+		as := g.Attrs(v)
+		if len(as) == 0 {
+			continue
+		}
+		sb := strings.Builder{}
+		fmt.Fprintf(&sb, "a %d", v)
+		for _, a := range as {
+			fmt.Fprintf(&sb, " %d", a)
+		}
+		sb.WriteByte('\n')
+		if err := count(bw.WriteString(sb.String())); err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// Read parses a graph in the text format written by WriteTo.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	line := func() (string, bool) {
+		for sc.Scan() {
+			s := strings.TrimSpace(sc.Text())
+			if s == "" || strings.HasPrefix(s, "#") {
+				continue
+			}
+			return s, true
+		}
+		return "", false
+	}
+	hdr, ok := line()
+	if !ok || !strings.HasPrefix(hdr, "cod-graph ") {
+		return nil, fmt.Errorf("graph: missing cod-graph header")
+	}
+	meta, ok := line()
+	if !ok {
+		return nil, fmt.Errorf("graph: missing size line")
+	}
+	var n, m, na, weighted int
+	if _, err := fmt.Sscanf(meta, "%d %d %d %d", &n, &m, &na, &weighted); err != nil {
+		return nil, fmt.Errorf("graph: bad size line %q: %w", meta, err)
+	}
+	b := NewBuilder(n, na)
+	edges := 0
+	for {
+		s, ok := line()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(s)
+		switch fields[0] {
+		case "e":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: bad edge line %q", s)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: bad edge line %q", s)
+			}
+			w := 1.0
+			if len(fields) >= 4 {
+				var err error
+				if w, err = strconv.ParseFloat(fields[3], 64); err != nil {
+					return nil, fmt.Errorf("graph: bad edge weight in %q", s)
+				}
+			}
+			if err := b.AddWeightedEdge(NodeID(u), NodeID(v), w); err != nil {
+				return nil, err
+			}
+			edges++
+		case "a":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: bad attribute line %q", s)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad attribute line %q", s)
+			}
+			attrs := make([]AttrID, 0, len(fields)-2)
+			for _, f := range fields[2:] {
+				a, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("graph: bad attribute line %q", s)
+				}
+				attrs = append(attrs, AttrID(a))
+			}
+			if err := b.SetAttrs(NodeID(v), attrs...); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("graph: unknown record %q", s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if edges != m {
+		return nil, fmt.Errorf("graph: header declares %d edges, file has %d", m, edges)
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,145 @@
+package graph
+
+import "slices"
+
+// This file implements the community quality measures used by the paper's
+// evaluation: topology density ρ, attribute density φ, and conductance.
+
+// EdgesWithin counts the edges of g with both endpoints in the node set.
+func EdgesWithin(g *Graph, nodes []NodeID) int {
+	in := make(map[NodeID]struct{}, len(nodes))
+	for _, v := range nodes {
+		in[v] = struct{}{}
+	}
+	cnt := 0
+	for _, v := range nodes {
+		for _, u := range g.Neighbors(v) {
+			if u > v {
+				if _, ok := in[u]; ok {
+					cnt++
+				}
+			}
+		}
+	}
+	return cnt
+}
+
+// TopologyDensity returns ρ(C) = |E_C| / (|C| choose 2), the ratio between
+// the number of edges and the number of node pairs in the community. A
+// community with fewer than two nodes has density 0.
+func TopologyDensity(g *Graph, nodes []NodeID) float64 {
+	n := len(nodes)
+	if n < 2 {
+		return 0
+	}
+	pairs := float64(n) * float64(n-1) / 2
+	return float64(EdgesWithin(g, nodes)) / pairs
+}
+
+// AttributeDensity returns φ(C) = (# nodes in C carrying attr) / |C|.
+func AttributeDensity(g *Graph, nodes []NodeID, attr AttrID) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	cnt := 0
+	for _, v := range nodes {
+		if g.HasAttr(v, attr) {
+			cnt++
+		}
+	}
+	return float64(cnt) / float64(len(nodes))
+}
+
+// Conductance returns the conductance of the cut (nodes, V\nodes):
+// cut(C) / min(vol(C), vol(V\C)). Lower is better; it is 0 for a whole
+// component and defined as 1 when either side has zero volume.
+func Conductance(g *Graph, nodes []NodeID) float64 {
+	in := make(map[NodeID]struct{}, len(nodes))
+	for _, v := range nodes {
+		in[v] = struct{}{}
+	}
+	cut, vol := 0, 0
+	for _, v := range nodes {
+		vol += g.Degree(v)
+		for _, u := range g.Neighbors(v) {
+			if _, ok := in[u]; !ok {
+				cut++
+			}
+		}
+	}
+	total := 2 * g.M()
+	volOut := total - vol
+	minVol := vol
+	if volOut < minVol {
+		minVol = volOut
+	}
+	if minVol == 0 {
+		if cut == 0 {
+			return 0
+		}
+		return 1
+	}
+	return float64(cut) / float64(minVol)
+}
+
+// AvgDegree returns the average degree 2m/n (0 for the empty graph).
+func AvgDegree(g *Graph) float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.M()) / float64(g.N())
+}
+
+// MaxDegree returns the maximum degree of g.
+func MaxDegree(g *Graph) int {
+	max := 0
+	for v := NodeID(0); v < NodeID(g.N()); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TriangleCount returns the number of triangles in g, counting each once.
+// It uses the standard degree-ordered intersection method.
+func TriangleCount(g *Graph) int {
+	n := g.N()
+	rank := make([]int32, n)
+	order := make([]NodeID, n)
+	for i := range order {
+		order[i] = NodeID(i)
+	}
+	// Order by (degree, id) ascending; rank[v] is v's position.
+	slices.SortFunc(order, func(a, b NodeID) int {
+		if da, db := g.Degree(a), g.Degree(b); da != db {
+			return da - db
+		}
+		return int(a - b)
+	})
+	for i, v := range order {
+		rank[v] = int32(i)
+	}
+	count := 0
+	marked := make([]bool, n)
+	for _, v := range order {
+		var fwd []NodeID
+		for _, u := range g.Neighbors(v) {
+			if rank[u] > rank[v] {
+				fwd = append(fwd, u)
+				marked[u] = true
+			}
+		}
+		for _, u := range fwd {
+			for _, w := range g.Neighbors(u) {
+				if rank[w] > rank[u] && marked[w] {
+					count++
+				}
+			}
+		}
+		for _, u := range fwd {
+			marked[u] = false
+		}
+	}
+	return count
+}

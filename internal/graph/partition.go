@@ -1,0 +1,77 @@
+package graph
+
+import "math"
+
+// Partition-quality measures used to validate the synthetic dataset
+// generators (and available to library users for community evaluation).
+
+// Modularity returns the Newman–Girvan modularity of a node partition:
+// Q = Σ_c (e_c/m - (d_c/2m)²), where e_c is the number of intra-community
+// edges and d_c the total degree of community c. comm[v] is v's community.
+func Modularity(g *Graph, comm []int) float64 {
+	if g.M() == 0 {
+		return 0
+	}
+	intra := map[int]int{}
+	deg := map[int]int{}
+	g.ForEachEdge(func(u, v NodeID, _ float64) {
+		if comm[u] == comm[v] {
+			intra[comm[u]]++
+		}
+	})
+	for v := 0; v < g.N(); v++ {
+		deg[comm[v]] += g.Degree(NodeID(v))
+	}
+	m := float64(g.M())
+	q := 0.0
+	for c, e := range intra {
+		q += float64(e) / m
+		_ = c
+	}
+	for _, d := range deg {
+		x := float64(d) / (2 * m)
+		q -= x * x
+	}
+	return q
+}
+
+// NMI returns the normalized mutual information between two partitions of
+// the same node set (1 = identical up to relabeling, ~0 = independent).
+func NMI(a, b []int) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	n := float64(len(a))
+	ca := map[int]int{}
+	cb := map[int]int{}
+	joint := map[[2]int]int{}
+	for i := range a {
+		ca[a[i]]++
+		cb[b[i]]++
+		joint[[2]int{a[i], b[i]}]++
+	}
+	mi := 0.0
+	for k, nij := range joint {
+		pij := float64(nij) / n
+		pi := float64(ca[k[0]]) / n
+		pj := float64(cb[k[1]]) / n
+		mi += pij * math.Log(pij/(pi*pj))
+	}
+	ha, hb := entropy(ca, n), entropy(cb, n)
+	if ha == 0 || hb == 0 {
+		if ha == hb {
+			return 1 // both partitions are single-cluster and identical
+		}
+		return 0
+	}
+	return mi / math.Sqrt(ha*hb)
+}
+
+func entropy(counts map[int]int, n float64) float64 {
+	h := 0.0
+	for _, c := range counts {
+		p := float64(c) / n
+		h -= p * math.Log(p)
+	}
+	return h
+}

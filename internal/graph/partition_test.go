@@ -1,0 +1,69 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModularityTwoCliques(t *testing.T) {
+	// two triangles joined by a single edge; perfect partition has high Q
+	g := mustGraph(t, 6, [][2]NodeID{
+		{0, 1}, {1, 2}, {0, 2},
+		{3, 4}, {4, 5}, {3, 5},
+		{2, 3},
+	})
+	good := []int{0, 0, 0, 1, 1, 1}
+	bad := []int{0, 1, 0, 1, 0, 1}
+	qGood := Modularity(g, good)
+	qBad := Modularity(g, bad)
+	if qGood <= qBad {
+		t.Errorf("Q(good)=%.3f should exceed Q(bad)=%.3f", qGood, qBad)
+	}
+	if qGood < 0.3 {
+		t.Errorf("Q(good)=%.3f implausibly low", qGood)
+	}
+	// single community: Q = 0 (all edges intra, (2m/2m)² subtracted)
+	all := []int{0, 0, 0, 0, 0, 0}
+	if q := Modularity(g, all); math.Abs(q) > 1e-12 {
+		t.Errorf("Q(single) = %f, want 0", q)
+	}
+}
+
+func TestNMI(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if v := NMI(a, a); math.Abs(v-1) > 1e-9 {
+		t.Errorf("NMI(a,a) = %f", v)
+	}
+	relabeled := []int{7, 7, 3, 3, 9, 9}
+	if v := NMI(a, relabeled); math.Abs(v-1) > 1e-9 {
+		t.Errorf("NMI under relabeling = %f", v)
+	}
+	single := []int{0, 0, 0, 0, 0, 0}
+	if v := NMI(a, single); v != 0 {
+		t.Errorf("NMI vs single cluster = %f, want 0", v)
+	}
+	if v := NMI(single, single); v != 1 {
+		t.Errorf("NMI(single,single) = %f, want 1", v)
+	}
+	if v := NMI(a, []int{0}); v != 0 {
+		t.Errorf("NMI on mismatched lengths = %f, want 0", v)
+	}
+	// independent-ish partitions score below identical ones
+	b := []int{0, 1, 2, 0, 1, 2}
+	if v := NMI(a, b); v >= 0.99 {
+		t.Errorf("NMI of scrambled partition = %f, should be < 1", v)
+	}
+}
+
+// The planted-partition generator must actually plant detectable structure:
+// its ground-truth partition should have solid modularity.
+func TestPlantedPartitionModularity(t *testing.T) {
+	rng := NewRand(19)
+	g, comms := PlantedPartition(PlantedPartitionSpec{
+		N: 500, TargetM: 1500, NumComms: 10, IntraFraction: 0.85, HubBias: 0.3,
+	}, rng)
+	q := Modularity(g, comms)
+	if q < 0.4 {
+		t.Errorf("planted modularity = %.3f, want >= 0.4", q)
+	}
+}

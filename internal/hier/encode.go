@@ -1,0 +1,69 @@
+package hier
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary serialization of a Tree: magic, leaf count, vertex count, parent
+// array. Everything else (children, sizes, depths, LCA tables) is
+// recomputed on load, so the format stays small and version-stable.
+
+var treeMagic = [8]byte{'c', 'o', 'd', 't', 'r', 'e', 'e', '1'}
+
+// WriteTo serializes the tree.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		total += int64(binary.Size(v))
+		return nil
+	}
+	if err := write(treeMagic); err != nil {
+		return total, err
+	}
+	if err := write(int64(t.n)); err != nil {
+		return total, err
+	}
+	if err := write(int64(len(t.parent))); err != nil {
+		return total, err
+	}
+	if err := write(t.parent); err != nil {
+		return total, err
+	}
+	return total, bw.Flush()
+}
+
+// ReadTree deserializes a tree written by WriteTo, revalidating it. It
+// reads exactly the tree's bytes, so the reader can carry trailing data
+// (e.g. a HIMOR index saved to the same stream).
+func ReadTree(r io.Reader) (*Tree, error) {
+	br := r // binary.Read consumes exact sizes; no read-ahead allowed here
+	var magic [8]byte
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("hier: reading magic: %w", err)
+	}
+	if magic != treeMagic {
+		return nil, fmt.Errorf("hier: bad magic %q", magic)
+	}
+	var n, total int64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &total); err != nil {
+		return nil, err
+	}
+	if n < 1 || total < n || total > (1<<31) {
+		return nil, fmt.Errorf("hier: implausible sizes n=%d total=%d", n, total)
+	}
+	parent := make([]Vertex, total)
+	if err := binary.Read(br, binary.LittleEndian, parent); err != nil {
+		return nil, err
+	}
+	return New(int(n), parent)
+}

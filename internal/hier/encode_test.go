@@ -1,0 +1,75 @@
+package hier
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTreeRoundTrip(t *testing.T) {
+	tr := paperTree(t)
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != tr.N() || got.NumVertices() != tr.NumVertices() || got.Root() != tr.Root() {
+		t.Fatal("shape changed in round trip")
+	}
+	for v := 0; v < tr.NumVertices(); v++ {
+		if got.Parent(Vertex(v)) != tr.Parent(Vertex(v)) {
+			t.Fatalf("parent of %d changed", v)
+		}
+		if got.Depth(Vertex(v)) != tr.Depth(Vertex(v)) || got.Size(Vertex(v)) != tr.Size(Vertex(v)) {
+			t.Fatalf("derived data of %d changed", v)
+		}
+	}
+	// LCA must be rebuilt correctly.
+	if got.LCANodes(0, 6) != tr.LCANodes(0, 6) {
+		t.Error("LCA differs after reload")
+	}
+}
+
+func TestReadTreeLeavesTrailingData(t *testing.T) {
+	tr := paperTree(t)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("TRAILER")
+	if _, err := ReadTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "TRAILER" {
+		t.Errorf("ReadTree consumed trailing data; %q left", buf.String())
+	}
+}
+
+func TestReadTreeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("not a tree at all"),
+		append([]byte("codtree1"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff), // absurd n
+	}
+	for i, raw := range cases {
+		if _, err := ReadTree(bytes.NewReader(raw)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// valid header but truncated parent array
+	tr := paperTree(t)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadTree(bytes.NewReader(raw[:len(raw)-4])); err == nil {
+		t.Error("truncated tree accepted")
+	}
+}

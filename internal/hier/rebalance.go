@@ -1,0 +1,117 @@
+package hier
+
+// Rebalance restructures a dendrogram along its heavy paths: each maximal
+// heavy path's hanging (light) subtrees are recombined under a balanced
+// binary tree instead of the original one-at-a-time chain. The leaf set and
+// the subtree *contents* hanging off each heavy path are preserved, but the
+// merge order along the path is not — this is the usual
+// balance-versus-faithfulness trade of balanced hierarchical clustering
+// (the paper cites it as the orthogonal fix for HIMOR's Σ dep(v) cost on
+// skewed graphs like Retweet).
+//
+// The result has depth O(log²n) regardless of the input's skew, so the
+// per-node ancestor chains |H(q)| — and with them HIMOR construction time
+// and index size — shrink from O(n) to polylogarithmic on caterpillar
+// dendrograms.
+func Rebalance(t *Tree) (*Tree, error) {
+	n := t.N()
+	// The rebuilt tree is always full binary: 2n-1 vertices, even when the
+	// input had multiway internal vertices.
+	total := 2*n - 1
+	if n == 1 {
+		total = 1
+	}
+	parent := make([]Vertex, total)
+	for i := range parent {
+		parent[i] = -1
+	}
+	next := Vertex(n)
+	newInternal := func() Vertex {
+		v := next
+		next++
+		return v
+	}
+
+	// Iterative post-order rebuild to avoid recursion depth limits on
+	// heavily skewed inputs. For each original subtree root we compute the
+	// id of its rebuilt root.
+	type frame struct {
+		v    Vertex
+		hang []Vertex // light subtrees along v's heavy path, plus final leaf
+		idx  int      // next hang entry to rebuild
+		out  []Vertex // rebuilt roots of hang entries
+	}
+	var rebuilt = make(map[Vertex]Vertex)
+	var stack []frame
+	push := func(v Vertex) {
+		if t.IsLeaf(v) {
+			rebuilt[v] = v
+			return
+		}
+		// walk the heavy path from v collecting light children
+		var hang []Vertex
+		cur := v
+		for !t.IsLeaf(cur) {
+			ch := t.Children(cur)
+			heavy := ch[0]
+			for _, c := range ch[1:] {
+				if t.Size(c) > t.Size(heavy) {
+					heavy = c
+				}
+			}
+			for _, c := range ch {
+				if c != heavy {
+					hang = append(hang, c)
+				}
+			}
+			cur = heavy
+		}
+		hang = append(hang, cur) // terminal leaf of the heavy path
+		stack = append(stack, frame{v: v, hang: hang})
+	}
+	combine := func(roots []Vertex) Vertex {
+		// pairwise-combine adjacent roots until one remains, preserving the
+		// deep-to-shallow order so nearby communities stay nearby
+		for len(roots) > 1 {
+			var nextLevel []Vertex
+			for i := 0; i+1 < len(roots); i += 2 {
+				p := newInternal()
+				parent[roots[i]] = p
+				parent[roots[i+1]] = p
+				nextLevel = append(nextLevel, p)
+			}
+			if len(roots)%2 == 1 {
+				nextLevel = append(nextLevel, roots[len(roots)-1])
+			}
+			roots = nextLevel
+		}
+		return roots[0]
+	}
+
+	push(t.Root())
+	if t.IsLeaf(t.Root()) {
+		return New(n, parent[:1])
+	}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.idx < len(f.hang) {
+			h := f.hang[f.idx]
+			if r, ok := rebuilt[h]; ok {
+				f.out = append(f.out, r)
+				f.idx++
+				continue
+			}
+			push(h)
+			if t.IsLeaf(h) {
+				continue // rebuilt immediately; retry this entry
+			}
+			continue
+		}
+		rebuilt[f.v] = combine(f.out)
+		stack = stack[:len(stack)-1]
+	}
+	root := rebuilt[t.Root()]
+	parent = parent[:next]
+	_ = root // root already has parent -1
+	return New(n, parent)
+}

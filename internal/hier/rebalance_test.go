@@ -1,0 +1,139 @@
+package hier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// caterpillarTree builds the worst case: node i merges into the running
+// cluster one at a time (depths O(n)).
+func caterpillarTree(t *testing.T, n int) *Tree {
+	t.Helper()
+	parent := make([]Vertex, 2*n-1)
+	// internal vertices n..2n-2; vertex n = merge(leaf0, leaf1),
+	// vertex n+i = merge(vertex n+i-1, leaf i+1)
+	parent[0], parent[1] = Vertex(n), Vertex(n)
+	for i := 2; i < n; i++ {
+		parent[i] = Vertex(n + i - 1)
+	}
+	for v := n; v < 2*n-2; v++ {
+		parent[v] = Vertex(v + 1)
+	}
+	parent[2*n-2] = -1
+	tr, err := New(n, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRebalanceCaterpillar(t *testing.T) {
+	const n = 256
+	tr := caterpillarTree(t, n)
+	if tr.SumLeafDepths() < int64(n)*int64(n)/4 {
+		t.Fatal("caterpillar not skewed enough to test")
+	}
+	bal, err := Rebalance(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.N() != n || bal.Size(bal.Root()) != n {
+		t.Fatal("rebalance lost leaves")
+	}
+	if bal.NumVertices() != 2*n-1 {
+		t.Fatalf("vertices = %d, want %d", bal.NumVertices(), 2*n-1)
+	}
+	// depth must drop from O(n) to O(log² n); allow a generous constant
+	maxDepth := 0
+	for v := 0; v < n; v++ {
+		if d := bal.Depth(Vertex(v)); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	if maxDepth > 40 { // log2(256)=8; heavy-path bound ~ log² = 64, real ~10
+		t.Errorf("max depth after rebalance = %d", maxDepth)
+	}
+}
+
+func TestRebalancePreservesLightSubtrees(t *testing.T) {
+	tr := paperTree(t)
+	bal, err := Rebalance(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Light subtrees hanging off heavy paths survive intact as communities
+	// (only the merge order *along* each heavy path is restructured). In
+	// paperTree the light subtrees include C5={8,9}, C1={4,5} and C2'={6,7}.
+	for _, want := range [][]graph.NodeID{{8, 9}, {4, 5}, {6, 7}} {
+		found := false
+		for v := bal.N(); v < bal.NumVertices(); v++ {
+			m := bal.Members(Vertex(v))
+			if len(m) == 2 && m[0] == want[0] && m[1] == want[1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("light subtree %v not preserved", want)
+		}
+	}
+}
+
+func TestRebalanceSingleLeaf(t *testing.T) {
+	tr, err := New(1, []Vertex{-1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bal, err := Rebalance(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal.N() != 1 || bal.NumVertices() != 1 {
+		t.Error("degenerate rebalance wrong")
+	}
+}
+
+// Property: rebalancing preserves the leaf set and yields a valid full
+// binary dendrogram with never-worse total depth.
+func TestRebalanceProperty(t *testing.T) {
+	check := func(seed uint16) bool {
+		rng := graph.NewRand(uint64(seed))
+		n := 3 + rng.IntN(60)
+		// random agglomeration order (often skewed)
+		parent := make([]Vertex, 2*n-1)
+		for i := range parent {
+			parent[i] = -1
+		}
+		roots := make([]Vertex, n)
+		for i := range roots {
+			roots[i] = Vertex(i)
+		}
+		next := Vertex(n)
+		for len(roots) > 1 {
+			// biased: always merge the first root with a random one to skew
+			j := 1 + rng.IntN(len(roots)-1)
+			a, b := roots[0], roots[j]
+			parent[a], parent[b] = next, next
+			roots[j] = roots[len(roots)-1]
+			roots = roots[:len(roots)-1]
+			roots[0] = next
+			next++
+		}
+		tr, err := New(n, parent)
+		if err != nil {
+			return false
+		}
+		bal, err := Rebalance(tr)
+		if err != nil {
+			return false
+		}
+		if bal.N() != n || bal.NumVertices() != 2*n-1 || bal.Size(bal.Root()) != n {
+			return false
+		}
+		return bal.SumLeafDepths() <= tr.SumLeafDepths()+int64(n) // allow slack on tiny trees
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package hier
+
+import (
+	"fmt"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// Splice replaces the subtree rooted at community vertex `at` with a
+// hierarchy `local` built over exactly the same set of graph nodes (local
+// leaf i corresponds to global node toGlobal[i]). The result is a fresh
+// Tree; t and local are unchanged. Splicing is how LORE's reclustered
+// community and the dynamic updater's re-clustered regions are folded back
+// into a full hierarchy.
+func Splice(t *Tree, at Vertex, local *Tree, toGlobal []graph.NodeID) (*Tree, error) {
+	if t.IsLeaf(at) {
+		return nil, fmt.Errorf("hier: cannot splice at leaf %d", at)
+	}
+	if local.N() != t.Size(at) || len(toGlobal) != local.N() {
+		return nil, fmt.Errorf("hier: local tree has %d leaves, community has %d (mapping %d)",
+			local.N(), t.Size(at), len(toGlobal))
+	}
+	members := t.Members(at)
+	inSub := make(map[graph.NodeID]bool, len(members))
+	for _, v := range members {
+		inSub[v] = true
+	}
+	for _, gv := range toGlobal {
+		if !inSub[gv] {
+			return nil, fmt.Errorf("hier: mapping node %d not in community %d", gv, at)
+		}
+	}
+
+	n := t.N()
+	// Old internal vertices: keep those outside the subtree of `at`
+	// (including `at`'s ancestors); drop `at` and its internal descendants.
+	drop := make([]bool, t.NumVertices())
+	var mark func(v Vertex)
+	mark = func(v Vertex) {
+		drop[v] = true
+		for _, c := range t.Children(v) {
+			if !t.IsLeaf(c) {
+				mark(c)
+			}
+		}
+	}
+	mark(at)
+
+	// New vertex ids: leaves 0..n-1 stay; surviving old internals are
+	// renumbered first, then local's internals.
+	oldToNew := make([]Vertex, t.NumVertices())
+	next := Vertex(n)
+	for v := n; v < t.NumVertices(); v++ {
+		if drop[v] {
+			oldToNew[v] = -1
+			continue
+		}
+		oldToNew[v] = next
+		next++
+	}
+	localToNew := make([]Vertex, local.NumVertices())
+	for v := local.N(); v < local.NumVertices(); v++ {
+		localToNew[v] = next
+		next++
+	}
+	total := int(next)
+	parent := make([]Vertex, total)
+	for i := range parent {
+		parent[i] = -1
+	}
+
+	// Parent of the spliced root: `at`'s old parent (or root).
+	atParent := t.Parent(at)
+	localRoot := local.Root()
+	newLocalRoot := localToNew[localRoot]
+	if local.IsLeaf(localRoot) {
+		// degenerate: single-node community; its leaf is the global node
+		newLocalRoot = Vertex(toGlobal[localRoot])
+	}
+
+	// Old edges outside the dropped subtree.
+	for v := 0; v < t.NumVertices(); v++ {
+		if drop[v] {
+			continue
+		}
+		nv := Vertex(v)
+		if t.IsLeaf(nv) {
+			if inSub[t.NodeOf(nv)] {
+				continue // its parent comes from the local tree
+			}
+		} else {
+			nv = oldToNew[v]
+		}
+		p := t.Parent(Vertex(v))
+		switch {
+		case p == -1:
+			parent[nv] = -1
+		case drop[p]:
+			// the only non-dropped vertices with dropped parents are leaves
+			// inside the community, already skipped above; internal vertices
+			// with dropped parents cannot exist (drop is a full subtree)
+			return nil, fmt.Errorf("hier: internal splice inconsistency at vertex %d", v)
+		default:
+			parent[nv] = oldToNew[p]
+		}
+	}
+	// Edge from spliced root to at's parent.
+	if atParent == -1 {
+		parent[newLocalRoot] = -1
+	} else {
+		parent[newLocalRoot] = oldToNew[atParent]
+	}
+	// Local tree edges.
+	for v := 0; v < local.NumVertices(); v++ {
+		p := local.Parent(Vertex(v))
+		if p == -1 {
+			continue // local root handled above
+		}
+		child := localToNew[v]
+		if local.IsLeaf(Vertex(v)) {
+			child = Vertex(toGlobal[v])
+		}
+		parent[child] = localToNew[p]
+	}
+	return New(n, parent)
+}

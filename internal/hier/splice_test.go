@@ -1,0 +1,114 @@
+package hier
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// localPair builds a 2-leaf local tree (leaves 0,1 under one root).
+func localPair(t *testing.T) *Tree {
+	t.Helper()
+	tr, err := New(2, []Vertex{2, 2, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSpliceReplacesSubtree(t *testing.T) {
+	tr := paperTree(t)
+	// Replace C1 = vertex 13 = {4,5} with a (trivially identical) local pair
+	// mapped in swapped order.
+	local := localPair(t)
+	got, err := Splice(tr, 13, local, []graph.NodeID{5, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 10 || got.NumVertices() != tr.NumVertices() {
+		t.Fatalf("shape changed: %d vertices", got.NumVertices())
+	}
+	// Membership structure must be preserved: {4,5} still meet below C4.
+	l := got.LCANodes(4, 5)
+	if got.Size(l) != 2 {
+		t.Errorf("lca(4,5) spans %d nodes, want 2", got.Size(l))
+	}
+	// Unrelated parts unchanged semantically.
+	if got.Size(got.LCANodes(0, 1)) != 4 {
+		t.Error("C0 region disturbed")
+	}
+	if got.Size(got.Root()) != 10 {
+		t.Error("root lost leaves")
+	}
+}
+
+func TestSpliceDeeperLocalTree(t *testing.T) {
+	tr := paperTree(t)
+	// Replace C3 = vertex 12 = {0,1,2,3,6,7} with a left-deep local chain.
+	// local leaves 0..5 map to global 0,1,2,3,6,7.
+	parent := []Vertex{6, 6, 7, 8, 9, 10, 7, 8, 9, 10, -1}
+	local, err := New(6, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Splice(tr, 12, local, []graph.NodeID{0, 1, 2, 3, 6, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size(got.Root()) != 10 {
+		t.Fatal("root lost leaves")
+	}
+	// the deep chain: lca(0,1) has size 2, then adding 2 gives 3, etc.
+	if got.Size(got.LCANodes(0, 1)) != 2 {
+		t.Errorf("deep chain base = %d", got.Size(got.LCANodes(0, 1)))
+	}
+	if got.Size(got.LCANodes(0, 7)) != 6 {
+		t.Errorf("community top = %d, want 6", got.Size(got.LCANodes(0, 7)))
+	}
+	// depth of leaf 0 grew (chain is deeper than the old 2-level shape)
+	if got.Depth(got.LeafOf(0)) <= tr.Depth(tr.LeafOf(0)) {
+		t.Error("expected deeper leaf after chain splice")
+	}
+}
+
+func TestSpliceAtRoot(t *testing.T) {
+	tr := paperTree(t)
+	// Replace the whole tree with a star of all 10 leaves under one root.
+	parent := make([]Vertex, 11)
+	for i := 0; i < 10; i++ {
+		parent[i] = 10
+	}
+	parent[10] = -1
+	local, err := New(10, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping := make([]graph.NodeID, 10)
+	for i := range mapping {
+		mapping[i] = graph.NodeID(i)
+	}
+	got, err := Splice(tr, tr.Root(), local, mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != 11 {
+		t.Errorf("vertices = %d, want 11", got.NumVertices())
+	}
+	if got.Depth(got.LeafOf(3)) != 2 {
+		t.Errorf("leaf depth = %d, want 2", got.Depth(got.LeafOf(3)))
+	}
+}
+
+func TestSpliceRejectsBadInput(t *testing.T) {
+	tr := paperTree(t)
+	local := localPair(t)
+	if _, err := Splice(tr, 3, local, []graph.NodeID{4, 5}); err == nil {
+		t.Error("splice at leaf accepted")
+	}
+	if _, err := Splice(tr, 12, local, []graph.NodeID{4, 5}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, err := Splice(tr, 13, local, []graph.NodeID{4, 9}); err == nil {
+		t.Error("mapping outside community accepted")
+	}
+}

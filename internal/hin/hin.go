@@ -1,0 +1,223 @@
+// Package hin extends COD to heterogeneous information networks — the
+// paper's first stated future-work direction (§VI): graphs with multiple
+// node and edge types, such as bibliographic networks with authors, papers
+// and venues. The classic reduction applies: a symmetric meta-path (e.g.
+// Author–Paper–Author) projects the HIN onto a weighted homogeneous graph
+// over the anchor type, where edge weights count meta-path instances; COD
+// then runs on the projection with instance counts informing both the
+// hierarchy (via weighted linkage) and the influence model (via weighted
+// probabilities).
+package hin
+
+import (
+	"fmt"
+	"slices"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// NodeType identifies a node type of the schema (e.g. author/paper/venue).
+type NodeType = int32
+
+// EdgeType identifies an edge type of the schema. Each edge type connects
+// one source node type to one target node type (symmetrically traversable).
+type EdgeType = int32
+
+// Schema declares the node and edge types of a HeteroGraph.
+type Schema struct {
+	// NodeTypes names each node type; index = NodeType.
+	NodeTypes []string
+	// EdgeTypes declares each edge type's name and endpoint types.
+	EdgeTypes []EdgeTypeSpec
+}
+
+// EdgeTypeSpec is one edge type of the schema.
+type EdgeTypeSpec struct {
+	Name string
+	From NodeType
+	To   NodeType
+}
+
+// Validate checks internal consistency.
+func (s Schema) Validate() error {
+	if len(s.NodeTypes) == 0 {
+		return fmt.Errorf("hin: schema with no node types")
+	}
+	for i, et := range s.EdgeTypes {
+		if et.From < 0 || int(et.From) >= len(s.NodeTypes) ||
+			et.To < 0 || int(et.To) >= len(s.NodeTypes) {
+			return fmt.Errorf("hin: edge type %d (%s) references unknown node types", i, et.Name)
+		}
+	}
+	return nil
+}
+
+// HeteroGraph is an undirected typed multigraph with categorical attributes
+// on nodes. Build with NewBuilder.
+type HeteroGraph struct {
+	schema   Schema
+	nodeType []NodeType
+	// typed adjacency: adj[v] holds (neighbor, edgeType) pairs, sorted
+	off     []int32
+	adj     []graph.NodeID
+	adjType []EdgeType
+	attrs   [][]graph.AttrID
+	numAttr int
+	m       int
+}
+
+// Schema returns the graph's schema.
+func (h *HeteroGraph) Schema() Schema { return h.schema }
+
+// N returns the number of nodes.
+func (h *HeteroGraph) N() int { return len(h.nodeType) }
+
+// M returns the number of typed undirected edges.
+func (h *HeteroGraph) M() int { return h.m }
+
+// NumAttrs returns the attribute universe size.
+func (h *HeteroGraph) NumAttrs() int { return h.numAttr }
+
+// TypeOf returns the node type of v.
+func (h *HeteroGraph) TypeOf(v graph.NodeID) NodeType { return h.nodeType[v] }
+
+// NodesOfType returns all nodes of the given type, ascending.
+func (h *HeteroGraph) NodesOfType(t NodeType) []graph.NodeID {
+	var out []graph.NodeID
+	for v, nt := range h.nodeType {
+		if nt == t {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// Neighbors returns v's neighbors restricted to one edge type.
+func (h *HeteroGraph) Neighbors(v graph.NodeID, et EdgeType) []graph.NodeID {
+	var out []graph.NodeID
+	for i := h.off[v]; i < h.off[v+1]; i++ {
+		if h.adjType[i] == et {
+			out = append(out, h.adj[i])
+		}
+	}
+	return out
+}
+
+// Attrs returns v's attributes.
+func (h *HeteroGraph) Attrs(v graph.NodeID) []graph.AttrID { return h.attrs[v] }
+
+// HasAttr reports whether v carries attribute a.
+func (h *HeteroGraph) HasAttr(v graph.NodeID, a graph.AttrID) bool {
+	return slices.Contains(h.attrs[v], a)
+}
+
+// Builder accumulates a HeteroGraph.
+type Builder struct {
+	schema   Schema
+	nodeType []NodeType
+	edges    [][3]int32 // u, v, edgeType
+	attrs    [][]graph.AttrID
+	numAttr  int
+}
+
+// NewBuilder starts a HeteroGraph with the given schema, node-type
+// assignment (one entry per node) and attribute universe size.
+func NewBuilder(schema Schema, nodeTypes []NodeType, numAttrs int) (*Builder, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	for v, t := range nodeTypes {
+		if t < 0 || int(t) >= len(schema.NodeTypes) {
+			return nil, fmt.Errorf("hin: node %d has unknown type %d", v, t)
+		}
+	}
+	return &Builder{
+		schema:   schema,
+		nodeType: slices.Clone(nodeTypes),
+		attrs:    make([][]graph.AttrID, len(nodeTypes)),
+		numAttr:  numAttrs,
+	}, nil
+}
+
+// AddEdge records a typed undirected edge. The endpoint node types must
+// match the edge type's declaration (in either orientation).
+func (b *Builder) AddEdge(u, v graph.NodeID, et EdgeType) error {
+	if u == v {
+		return fmt.Errorf("hin: self loop on %d", u)
+	}
+	if u < 0 || int(u) >= len(b.nodeType) || v < 0 || int(v) >= len(b.nodeType) {
+		return fmt.Errorf("hin: edge (%d,%d) out of range", u, v)
+	}
+	if et < 0 || int(et) >= len(b.schema.EdgeTypes) {
+		return fmt.Errorf("hin: unknown edge type %d", et)
+	}
+	spec := b.schema.EdgeTypes[et]
+	tu, tv := b.nodeType[u], b.nodeType[v]
+	if !(tu == spec.From && tv == spec.To) && !(tu == spec.To && tv == spec.From) {
+		return fmt.Errorf("hin: edge (%d,%d) types (%d,%d) do not match edge type %q (%d-%d)",
+			u, v, tu, tv, spec.Name, spec.From, spec.To)
+	}
+	b.edges = append(b.edges, [3]int32{u, v, et})
+	return nil
+}
+
+// SetAttrs assigns node v's attributes.
+func (b *Builder) SetAttrs(v graph.NodeID, attrs ...graph.AttrID) error {
+	if v < 0 || int(v) >= len(b.nodeType) {
+		return fmt.Errorf("hin: node %d out of range", v)
+	}
+	for _, a := range attrs {
+		if a < 0 || int(a) >= b.numAttr {
+			return fmt.Errorf("hin: attribute %d out of range", a)
+		}
+	}
+	cp := slices.Clone(attrs)
+	slices.Sort(cp)
+	b.attrs[v] = slices.Compact(cp)
+	return nil
+}
+
+// Build assembles the HeteroGraph (duplicate typed edges are merged).
+func (b *Builder) Build() *HeteroGraph {
+	n := len(b.nodeType)
+	// canonicalize endpoint order, sort, dedup
+	canon := make([][3]int32, len(b.edges))
+	for i, e := range b.edges {
+		canon[i] = [3]int32{min(e[0], e[1]), max(e[0], e[1]), e[2]}
+	}
+	slices.SortFunc(canon, func(a, c [3]int32) int {
+		for i := 0; i < 3; i++ {
+			if a[i] != c[i] {
+				return int(a[i] - c[i])
+			}
+		}
+		return 0
+	})
+	dedup := slices.Compact(canon)
+
+	h := &HeteroGraph{schema: b.schema, nodeType: b.nodeType, numAttr: b.numAttr, m: len(dedup)}
+	deg := make([]int32, n)
+	for _, e := range dedup {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	h.off = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		h.off[v+1] = h.off[v] + deg[v]
+	}
+	h.adj = make([]graph.NodeID, 2*len(dedup))
+	h.adjType = make([]EdgeType, 2*len(dedup))
+	cursor := slices.Clone(h.off[:n])
+	place := func(u, v graph.NodeID, et EdgeType) {
+		i := cursor[u]
+		cursor[u]++
+		h.adj[i] = v
+		h.adjType[i] = et
+	}
+	for _, e := range dedup {
+		place(e[0], e[1], e[2])
+		place(e[1], e[0], e[2])
+	}
+	h.attrs = b.attrs
+	return h
+}

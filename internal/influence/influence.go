@@ -1,0 +1,87 @@
+// Package influence implements the influence-propagation substrate of COD:
+// the independent cascade (IC) and linear threshold (LT) models, forward
+// Monte-Carlo simulation, reverse-reachable (RR) sets and the paper's RR
+// graphs (Definition 2) together with induced RR graphs (Definition 3).
+//
+// Edge probabilities follow a Model: the default is the weighted cascade
+// model of the paper, p(u,v) = 1/|N(v)| — the probability that u activates
+// its neighbor v.
+package influence
+
+import (
+	"math/rand/v2"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// Model assigns the probability p(u, v) that an active u activates v.
+type Model interface {
+	// Prob returns p(u, v) for the directed activation u -> v. Implementations
+	// may assume (u, v) is an edge of the graph they were built for.
+	Prob(u, v graph.NodeID) float64
+}
+
+// WeightedCascade is the paper's default model: p(u,v) = 1/|N(v)|.
+type WeightedCascade struct{ g *graph.Graph }
+
+// NewWeightedCascade returns the weighted cascade model for g.
+func NewWeightedCascade(g *graph.Graph) WeightedCascade { return WeightedCascade{g} }
+
+// Prob implements Model.
+func (m WeightedCascade) Prob(_, v graph.NodeID) float64 {
+	return 1 / float64(m.g.Degree(v))
+}
+
+// Uniform assigns the same probability to every directed activation.
+type Uniform struct{ P float64 }
+
+// Prob implements Model.
+func (m Uniform) Prob(_, _ graph.NodeID) float64 { return m.P }
+
+// EdgeWeight uses the graph's edge weight, clamped to [0,1], as p(u,v).
+type EdgeWeight struct{ G *graph.Graph }
+
+// Prob implements Model.
+func (m EdgeWeight) Prob(u, v graph.NodeID) float64 {
+	w := m.G.EdgeWeight(u, v)
+	if w > 1 {
+		return 1
+	}
+	return w
+}
+
+// Spread runs one forward IC simulation from seed and returns the activated
+// set size (including the seed).
+func Spread(g *graph.Graph, model Model, seed graph.NodeID, rng *rand.Rand) int {
+	active := make([]bool, g.N())
+	active[seed] = true
+	frontier := []graph.NodeID{seed}
+	count := 1
+	for len(frontier) > 0 {
+		var next []graph.NodeID
+		for _, u := range frontier {
+			for _, v := range g.Neighbors(u) {
+				if active[v] {
+					continue
+				}
+				if rng.Float64() < model.Prob(u, v) {
+					active[v] = true
+					count++
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return count
+}
+
+// MonteCarloInfluence estimates σ_g(seed) as the mean spread over rounds
+// forward simulations. It is the slow ground-truth estimator used in tests.
+func MonteCarloInfluence(g *graph.Graph, model Model, seed graph.NodeID, rounds int, rng *rand.Rand) float64 {
+	total := 0
+	for i := 0; i < rounds; i++ {
+		total += Spread(g, model, seed, rng)
+	}
+	return float64(total) / float64(rounds)
+}

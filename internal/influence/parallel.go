@@ -1,0 +1,46 @@
+package influence
+
+import (
+	"sync"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// ParallelBatch samples count RR graphs across workers goroutines, each with
+// its own Sampler seeded deterministically from seed, so the result is
+// reproducible for a fixed (seed, workers, count) triple. Samples are
+// returned grouped by worker (worker w produces the w-th contiguous block).
+func ParallelBatch(g *graph.Graph, model Model, count int, seed uint64, workers int) []*RRGraph {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > count {
+		workers = count
+	}
+	out := make([]*RRGraph, count)
+	if count == 0 {
+		return out
+	}
+	per := count / workers
+	extra := count % workers
+	var wg sync.WaitGroup
+	start := 0
+	for w := 0; w < workers; w++ {
+		n := per
+		if w < extra {
+			n++
+		}
+		lo, hi := start, start+n
+		start = hi
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := NewSampler(g, model, graph.NewRand(seed^(uint64(w)+1)*0x9e3779b97f4a7c15))
+			for i := lo; i < hi; i++ {
+				out[i] = s.RRGraph()
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,55 @@
+package influence
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+func TestParallelBatchDeterministic(t *testing.T) {
+	g := graph.ErdosRenyi(50, 150, graph.NewRand(1))
+	model := NewWeightedCascade(g)
+	a := ParallelBatch(g, model, 200, 7, 4)
+	b := ParallelBatch(g, model, 200, 7, 4)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] == nil || b[i] == nil {
+			t.Fatalf("nil sample at %d", i)
+		}
+		if a[i].Source() != b[i].Source() || a[i].Len() != b[i].Len() {
+			t.Fatalf("sample %d differs across runs", i)
+		}
+	}
+}
+
+func TestParallelBatchEdgeCases(t *testing.T) {
+	g := graph.ErdosRenyi(10, 20, graph.NewRand(2))
+	model := NewWeightedCascade(g)
+	if got := ParallelBatch(g, model, 0, 1, 4); len(got) != 0 {
+		t.Error("count 0 should return empty")
+	}
+	if got := ParallelBatch(g, model, 3, 1, 16); len(got) != 3 {
+		t.Error("workers > count mishandled")
+	}
+	if got := ParallelBatch(g, model, 5, 1, 0); len(got) != 5 {
+		t.Error("workers 0 mishandled")
+	}
+}
+
+func TestParallelBatchStatisticallySane(t *testing.T) {
+	g := graph.BarabasiAlbert(40, 2, graph.NewRand(3))
+	model := NewWeightedCascade(g)
+	rrs := ParallelBatch(g, model, 4000, 9, 8)
+	counts := EstimateAll(g, rrs)
+	// node 0 is a hub in BA graphs: its count should be well above average
+	avg := 0
+	for _, c := range counts {
+		avg += c
+	}
+	avg /= len(counts)
+	if counts[0] <= avg {
+		t.Errorf("hub count %d not above average %d", counts[0], avg)
+	}
+}

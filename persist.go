@@ -1,0 +1,52 @@
+package cod
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/hier"
+)
+
+// SaveIndex persists the Searcher's offline state (the community hierarchy
+// and the HIMOR index) so a later process can skip the offline phase with
+// LoadSearcher. The graph itself is not included; persist it separately
+// with Graph.WriteTo.
+func (s *Searcher) SaveIndex(w io.Writer) error {
+	if _, err := s.codl.Tree().WriteTo(w); err != nil {
+		return fmt.Errorf("cod: saving hierarchy: %w", err)
+	}
+	if _, err := s.codl.Index().WriteTo(w); err != nil {
+		return fmt.Errorf("cod: saving index: %w", err)
+	}
+	return nil
+}
+
+// LoadSearcher reconstructs a Searcher for g from state saved by SaveIndex.
+// opts must carry the same K/Theta/Beta/Model intent as the saving Searcher
+// (they govern query-time behavior; the offline state is what is loaded).
+func LoadSearcher(g *Graph, r io.Reader, opts Options) (*Searcher, error) {
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("cod: empty graph")
+	}
+	t, err := hier.ReadTree(r)
+	if err != nil {
+		return nil, fmt.Errorf("cod: loading hierarchy: %w", err)
+	}
+	if t.N() != g.N() {
+		return nil, fmt.Errorf("cod: hierarchy spans %d nodes, graph has %d", t.N(), g.N())
+	}
+	idx, err := core.ReadHimor(r, t)
+	if err != nil {
+		return nil, fmt.Errorf("cod: loading index: %w", err)
+	}
+	params := core.Params{K: opts.K, Theta: opts.Theta, Beta: opts.Beta, Linkage: opts.Linkage,
+		Seed: opts.Seed, Model: opts.Model, Balanced: opts.Balanced, Workers: opts.Workers}
+	return &Searcher{
+		g:    g,
+		opts: opts,
+		codl: core.NewCODLWithTree(g.internalGraph(), t, idx, params),
+		codu: core.NewCODUWithTree(g.internalGraph(), t, params),
+		codr: core.NewCODR(g.internalGraph(), params),
+	}, nil
+}

@@ -1,0 +1,93 @@
+package cod
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadIndexRoundTrip(t *testing.T) {
+	g := buildTestGraph(t)
+	opts := Options{K: 3, Theta: 5, Seed: 21}
+	s1, err := NewSearcher(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s1.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadSearcher(g, &buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The loaded searcher must expose identical index state...
+	if s1.IndexBytes() != s2.IndexBytes() {
+		t.Errorf("index size changed: %d vs %d", s1.IndexBytes(), s2.IndexBytes())
+	}
+	for q := NodeID(0); int(q) < g.N(); q++ {
+		d1, _ := s1.HierarchyDepth(q)
+		d2, _ := s2.HierarchyDepth(q)
+		if d1 != d2 {
+			t.Fatalf("hierarchy depth differs for %d: %d vs %d", q, d1, d2)
+		}
+		for i := 0; i < d1; i++ {
+			r1, sz1, _ := s1.InfluenceRank(q, i)
+			r2, sz2, _ := s2.InfluenceRank(q, i)
+			if r1 != r2 || sz1 != sz2 {
+				t.Fatalf("rank differs for node %d level %d: (%d,%d) vs (%d,%d)", q, i, r1, sz1, r2, sz2)
+			}
+		}
+	}
+
+	// ...and answer queries identically for identical seeds.
+	q := NodeID(0)
+	attr := g.Attrs(q)[0]
+	c1, err := s1.Discover(q, attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := s2.Discover(q, attr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Found != c2.Found || c1.Size() != c2.Size() {
+		t.Errorf("answers differ after reload: %+v vs %+v", c1, c2)
+	}
+}
+
+func TestLoadSearcherRejectsCorruption(t *testing.T) {
+	g := buildTestGraph(t)
+	s, err := NewSearcher(g, Options{Theta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// truncated
+	if _, err := LoadSearcher(g, bytes.NewReader(raw[:len(raw)/2]), Options{}); err == nil {
+		t.Error("truncated index accepted")
+	}
+	// bad magic
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	if _, err := LoadSearcher(g, bytes.NewReader(bad), Options{}); err == nil {
+		t.Error("corrupted magic accepted")
+	}
+	// wrong graph
+	other, err := GenerateDataset("small", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSearcher(other, bytes.NewReader(raw), Options{}); err == nil {
+		t.Error("index for a different graph accepted")
+	}
+	// empty graph
+	if _, err := LoadSearcher(nil, bytes.NewReader(raw), Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+}

@@ -1,0 +1,250 @@
+package cod
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/hac"
+	"github.com/codsearch/cod/internal/im"
+	"github.com/codsearch/cod/internal/influence"
+)
+
+// Linkage selects the agglomerative clustering linkage used to build the
+// community hierarchy.
+type Linkage = hac.Linkage
+
+// Linkage values.
+const (
+	// UnweightedAverage (UPGMA) is the paper's default linkage.
+	UnweightedAverage = hac.UnweightedAverage
+	// WeightedAverage is WPGMA.
+	WeightedAverage = hac.WeightedAverage
+	// Single is single linkage.
+	Single = hac.Single
+)
+
+// Model selects the influence model used for sampling.
+type Model = core.Model
+
+// Model values.
+const (
+	// ModelIC is the independent cascade model with weighted-cascade
+	// probabilities p(u,v) = 1/deg(v) — the paper's default.
+	ModelIC = core.ICWeightedCascade
+	// ModelLT is the linear threshold model with b(u,v) = 1/deg(v).
+	ModelLT = core.LTUniform
+)
+
+// Options configures a Searcher. The zero value uses the paper's defaults:
+// k = 5, θ = 10 RR graphs per node, β = 1, UPGMA linkage, IC model, seed 0.
+type Options struct {
+	// K is the required influence rank: the query node must be among the
+	// top-K influential nodes of its characteristic community.
+	K int
+	// Theta is the per-node sampling multiplier θ (Θ = θ·N RR graphs).
+	Theta int
+	// Beta is the extra weight applied to query-attributed edges when LORE
+	// derives the attribute-weighted graph g_ℓ.
+	Beta float64
+	// Linkage is the agglomerative linkage function.
+	Linkage Linkage
+	// Seed drives all randomness; equal seeds give identical results.
+	Seed uint64
+	// Model is the influence model (ModelIC or ModelLT).
+	Model Model
+	// Balanced rebalances the hierarchy along heavy paths, bounding every
+	// node's community chain polylogarithmically on hub-skewed graphs (at
+	// the cost of exact agglomerative faithfulness). It cuts HIMOR size and
+	// build time dramatically on retweet-like topologies.
+	Balanced bool
+	// Workers parallelizes the offline sampling phase across goroutines
+	// (<= 1 = sequential). Deterministic for a fixed (Seed, Workers) pair.
+	Workers int
+}
+
+// Community is the result of a characteristic-community query.
+type Community struct {
+	// Nodes of C*(q) in ascending order; empty when Found is false.
+	Nodes []NodeID
+	// Found reports whether any hierarchy community had the query top-k.
+	Found bool
+	// FromIndex is true when the HIMOR index answered the query directly.
+	FromIndex bool
+}
+
+// Size returns |C*| (0 when not found).
+func (c Community) Size() int { return len(c.Nodes) }
+
+// Contains reports whether v belongs to the community.
+func (c Community) Contains(v NodeID) bool {
+	for _, u := range c.Nodes {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Searcher answers COD queries over one graph. Construction runs the
+// offline phase: agglomerative hierarchical clustering of the graph and
+// compressed HIMOR index construction. A Searcher is safe for sequential
+// reuse across many queries; distinct goroutines should use distinct
+// Searchers or synchronize externally.
+type Searcher struct {
+	g    *Graph
+	opts Options
+	codl *core.CODL
+	codu *core.CODU
+	codr *core.CODR
+	seq  uint64
+}
+
+// NewSearcher builds the hierarchy and HIMOR index for g.
+func NewSearcher(g *Graph, opts Options) (*Searcher, error) {
+	if g == nil || g.N() == 0 {
+		return nil, fmt.Errorf("cod: empty graph")
+	}
+	params := core.Params{K: opts.K, Theta: opts.Theta, Beta: opts.Beta, Linkage: opts.Linkage,
+		Seed: opts.Seed, Model: opts.Model, Balanced: opts.Balanced, Workers: opts.Workers}
+	codl, err := core.NewCODL(g.internalGraph(), params)
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{
+		g:    g,
+		opts: opts,
+		codl: codl,
+		codu: core.NewCODUWithTree(g.internalGraph(), codl.Tree(), params),
+		codr: core.NewCODR(g.internalGraph(), params),
+	}, nil
+}
+
+// Discover finds the characteristic community of q for the query attribute
+// using the fully optimized CODL pipeline (LORE + HIMOR, Algorithm 3).
+func (s *Searcher) Discover(q NodeID, attr AttrID) (Community, error) {
+	if err := s.validate(q, attr); err != nil {
+		return Community{}, err
+	}
+	com, err := s.codl.Query(q, attr, s.nextRand())
+	if err != nil {
+		return Community{}, err
+	}
+	return Community{Nodes: com.Nodes, Found: com.Found, FromIndex: com.FromIndex}, nil
+}
+
+// DiscoverUnattributed finds the characteristic community of q ignoring
+// attributes (the paper's CODU variant).
+func (s *Searcher) DiscoverUnattributed(q NodeID) (Community, error) {
+	if err := s.validate(q, 0); err != nil {
+		return Community{}, err
+	}
+	com := s.codu.Query(q, s.nextRand())
+	return Community{Nodes: com.Nodes, Found: com.Found}, nil
+}
+
+// DiscoverGlobal finds the characteristic community of q by globally
+// reclustering the attribute-weighted graph (the paper's CODR variant).
+// It is substantially slower than Discover on large graphs.
+func (s *Searcher) DiscoverGlobal(q NodeID, attr AttrID) (Community, error) {
+	if err := s.validate(q, attr); err != nil {
+		return Community{}, err
+	}
+	com, err := s.codr.Query(q, attr, s.nextRand())
+	if err != nil {
+		return Community{}, err
+	}
+	return Community{Nodes: com.Nodes, Found: com.Found}, nil
+}
+
+// EstimateInfluence estimates σ_g(v), the expected IC spread of v over the
+// whole graph, from θ·N shared RR sets.
+func (s *Searcher) EstimateInfluence(v NodeID) (float64, error) {
+	if err := s.validate(v, 0); err != nil {
+		return 0, err
+	}
+	theta := s.opts.Theta
+	if theta <= 0 {
+		theta = 10
+	}
+	sampler := core.NewGraphSampler(s.g.internalGraph(), s.opts.Model, s.nextRand())
+	total := theta * s.g.N()
+	count := 0
+	for i := 0; i < total; i++ {
+		for _, u := range sampler.RRGraph().Nodes {
+			if u == v {
+				count++
+				break
+			}
+		}
+	}
+	return influence.InfluenceFromCount(count, total, s.g.N()), nil
+}
+
+// MaximizeInfluence runs RIS-based influence maximization: it returns up to
+// k seed nodes greedily maximizing expected IC spread over the whole graph,
+// plus the estimated spread of that seed set. This is the global
+// counterpart to Discover: IM asks "who matters most overall", COD asks
+// "where does this node matter". Selection stops early when additional
+// seeds bring no marginal coverage.
+func (s *Searcher) MaximizeInfluence(k int) ([]NodeID, float64, error) {
+	if k < 1 || k > s.g.N() {
+		return nil, 0, fmt.Errorf("cod: k = %d out of range [1,%d]", k, s.g.N())
+	}
+	theta := s.opts.Theta
+	if theta <= 0 {
+		theta = 10
+	}
+	sampler := core.NewGraphSampler(s.g.internalGraph(), s.opts.Model, s.nextRand())
+	pool := sampler.Batch(theta * s.g.N())
+	res, err := im.Select(s.g.internalGraph(), pool, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Seeds, res.Spread(s.g.N()), nil
+}
+
+// InfluenceRank returns the precomputed HIMOR rank of q inside its i-th
+// enclosing community (0 = smallest), plus that community's size; it errors
+// when i is out of range. This exposes the index for inspection.
+func (s *Searcher) InfluenceRank(q NodeID, i int) (rank, size int, err error) {
+	if err := s.validate(q, 0); err != nil {
+		return 0, 0, err
+	}
+	t := s.codl.Tree()
+	anc := t.Ancestors(t.LeafOf(q))
+	if i < 0 || i >= len(anc) {
+		return 0, 0, fmt.Errorf("cod: ancestor index %d out of range [0,%d)", i, len(anc))
+	}
+	return s.codl.Index().Rank(q, anc[i]), t.Size(anc[i]), nil
+}
+
+// HierarchyDepth returns |H(q)|: the number of communities containing q in
+// the non-attributed hierarchy.
+func (s *Searcher) HierarchyDepth(q NodeID) (int, error) {
+	if err := s.validate(q, 0); err != nil {
+		return 0, err
+	}
+	t := s.codl.Tree()
+	return len(t.Ancestors(t.LeafOf(q))), nil
+}
+
+// IndexBytes reports the approximate HIMOR index memory footprint.
+func (s *Searcher) IndexBytes() int64 { return s.codl.Index().ApproxBytes() }
+
+func (s *Searcher) validate(q NodeID, attr AttrID) error {
+	if q < 0 || int(q) >= s.g.N() {
+		return fmt.Errorf("cod: query node %d out of range [0,%d)", q, s.g.N())
+	}
+	if attr < 0 || (s.g.NumAttrs() > 0 && int(attr) >= s.g.NumAttrs()) {
+		return fmt.Errorf("cod: attribute %d out of range [0,%d)", attr, s.g.NumAttrs())
+	}
+	return nil
+}
+
+// nextRand derives a fresh deterministic stream per query.
+func (s *Searcher) nextRand() *rand.Rand {
+	s.seq++
+	return graph.NewRand(s.opts.Seed ^ (s.seq * 0x9e3779b97f4a7c15))
+}
