@@ -1,0 +1,61 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# targets, so a green `make check` locally means a green pipeline.
+
+GO      ?= go
+BIN     := bin
+CODVET  := $(BIN)/codvet
+PKGS    := ./...
+FUZZTIME ?= 10s
+
+.PHONY: all build test race lint vet codvet codvet-path fmt fmt-check bench fuzz check clean
+
+all: build
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+# The determinism-replay tests exercise the concurrent query and sampling
+# paths, so running them under the race detector gates both contracts.
+race:
+	$(GO) test -race $(PKGS)
+
+$(CODVET): $(wildcard internal/analysis/*.go internal/analysis/*/*.go cmd/codvet/*.go)
+	@mkdir -p $(BIN)
+	$(GO) build -o $(CODVET) ./cmd/codvet
+
+codvet: $(CODVET)
+
+# Absolute tool path for `go vet -vettool=$$(make -s codvet-path)`.
+codvet-path: $(CODVET)
+	@echo $(abspath $(CODVET))
+
+vet:
+	$(GO) vet $(PKGS)
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+lint: fmt-check vet $(CODVET)
+	$(GO) vet -vettool=$(abspath $(CODVET)) $(PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Short smoke of each parser fuzz target; regressions caught by the seed
+# corpus and a few seconds of mutation. Raise FUZZTIME for a deeper run.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzRead$$ -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run=^$$ -fuzz=FuzzReadEdgeList$$ -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run=^$$ -fuzz=FuzzReadAttrFile$$ -fuzztime=$(FUZZTIME) ./internal/graph/
+
+check: build lint test race
+
+clean:
+	rm -rf $(BIN)

@@ -63,7 +63,7 @@ func (s *Searcher) DiscoverBatch(queries []Query, workers int) []BatchResult {
 					out[i].Err = fmt.Errorf("cod: attribute %d out of range [0,%d)", q.Attr, s.g.NumAttrs())
 					continue
 				}
-				rng := graph.NewRand(s.opts.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15))
+				rng := graph.NewRand(graph.ItemSeed(s.opts.Seed, i))
 				com, err := codl.Query(q.Node, q.Attr, rng)
 				if err != nil {
 					out[i].Err = err

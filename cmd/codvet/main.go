@@ -1,0 +1,33 @@
+// Command codvet is the repository's static-analysis suite: a multichecker
+// enforcing the determinism and concurrency contracts documented in
+// DESIGN.md ("Determinism & concurrency contract").
+//
+// Usage:
+//
+//	codvet ./...                      # standalone (delegates to go vet)
+//	go vet -vettool=$(which codvet) ./...
+//	make lint                         # builds and runs it with the rest
+//
+// Analyzers: detrand (no global randomness or time-derived seeds in library
+// code), maporder (no order-dependent map iteration), sharedwrite (no
+// unsynchronized writes to captured variables in goroutines), floatcmp (no
+// equality comparison of computed floats). Suppress a deliberate violation
+// with `//codvet:ignore <analyzer> <reason>` on or above the line.
+package main
+
+import (
+	"github.com/codsearch/cod/internal/analysis"
+	"github.com/codsearch/cod/internal/analysis/detrand"
+	"github.com/codsearch/cod/internal/analysis/floatcmp"
+	"github.com/codsearch/cod/internal/analysis/maporder"
+	"github.com/codsearch/cod/internal/analysis/sharedwrite"
+)
+
+func main() {
+	analysis.Main(
+		detrand.Analyzer,
+		maporder.Analyzer,
+		sharedwrite.Analyzer,
+		floatcmp.Analyzer,
+	)
+}

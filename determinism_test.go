@@ -1,0 +1,85 @@
+package cod
+
+import (
+	"fmt"
+	"testing"
+)
+
+// This file is the determinism-replay suite: the same seeded workload must
+// produce byte-identical output regardless of the worker count, both for the
+// offline phase (Options.Workers drives parallel RR sampling) and the online
+// batch path (DiscoverBatch's worker pool). Run it under -race (`make race`):
+// the replay exercises the concurrent paths, so the two gates compose.
+
+// batchBytes serializes batch results exactly (order, membership, flags,
+// errors), so two runs compare byte-for-byte.
+func batchBytes(results []BatchResult) string {
+	out := ""
+	for i, r := range results {
+		errText := "<nil>"
+		if r.Err != nil {
+			errText = r.Err.Error()
+		}
+		out += fmt.Sprintf("%d: q=%+v found=%t fromIndex=%t nodes=%v err=%s\n",
+			i, r.Query, r.Community.Found, r.Community.FromIndex, r.Community.Nodes, errText)
+	}
+	return out
+}
+
+func determinismQueries(g *Graph) []Query {
+	var queries []Query
+	for v := NodeID(0); int(v) < g.N() && len(queries) < 16; v += 3 {
+		if as := g.Attrs(v); len(as) > 0 {
+			queries = append(queries, Query{Node: v, Attr: as[0]})
+		}
+	}
+	return queries
+}
+
+func TestDiscoverBatchReplayByteIdentical(t *testing.T) {
+	g := buildTestGraph(t)
+	s, err := NewSearcher(g, Options{K: 3, Theta: 4, Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := determinismQueries(g)
+	if len(queries) == 0 {
+		t.Fatal("no attributed query nodes in test graph")
+	}
+	want := batchBytes(s.DiscoverBatch(queries, 1))
+	for _, workers := range []int{2, 8} {
+		got := batchBytes(s.DiscoverBatch(queries, workers))
+		if got != want {
+			t.Errorf("workers=%d batch differs from sequential run:\n--- sequential\n%s--- workers=%d\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+func TestSearcherReplayAcrossOfflineWorkerCounts(t *testing.T) {
+	// Two Searchers built independently with the same seed but different
+	// offline sampling parallelism must answer identically: construction
+	// re-runs clustering and HIMOR indexing from scratch, so this also
+	// catches any map-iteration-order leak in the offline phase.
+	g := buildTestGraph(t)
+	queries := determinismQueries(g)
+	if len(queries) == 0 {
+		t.Fatal("no attributed query nodes in test graph")
+	}
+	var want string
+	for i, workers := range []int{1, 8} {
+		s, err := NewSearcher(g, Options{K: 3, Theta: 4, Seed: 97, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batchBytes(s.DiscoverBatch(queries, 4))
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("offline workers=%d produces different answers:\n--- workers=1\n%s--- workers=%d\n%s",
+				workers, want, workers, got)
+		}
+	}
+}

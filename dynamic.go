@@ -3,6 +3,7 @@ package cod
 import (
 	"github.com/codsearch/cod/internal/core"
 	"github.com/codsearch/cod/internal/dynamic"
+	"github.com/codsearch/cod/internal/graph"
 )
 
 // FlushStrategy selects how DynamicSearcher.Flush rebuilds its state.
@@ -54,8 +55,9 @@ func (d *DynamicSearcher) Flush(s FlushStrategy) error { return d.u.Flush(s) }
 
 // Discover answers a COD query over the current (flushed) state.
 func (d *DynamicSearcher) Discover(q NodeID, attr AttrID) (Community, error) {
+	seed := graph.ItemSeed(d.opts.Seed, int(d.seq))
 	d.seq++
-	com, err := d.u.Query(q, attr, d.opts.Seed^(d.seq*0x9e3779b97f4a7c15))
+	com, err := d.u.Query(q, attr, seed)
 	if err != nil {
 		return Community{}, err
 	}

@@ -1,0 +1,247 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary, built only on the standard
+// library so the repository's static-analysis suite (cmd/codvet) compiles
+// without network access to x/tools.
+//
+// The package provides three things:
+//
+//   - the Analyzer/Pass/Diagnostic types that individual checkers
+//     (internal/analysis/detrand, maporder, sharedwrite, floatcmp) are
+//     written against;
+//   - a driver implementing the `go vet -vettool` unit-checking protocol
+//     (see unit.go), so the multichecker runs under the standard build
+//     system with full type information from export data;
+//   - shared policy helpers: which packages count as "library" code, how
+//     `//codvet:ignore` suppression comments work, and small AST/type
+//     utilities used by more than one checker.
+//
+// The determinism and concurrency contracts the checkers enforce are
+// documented in DESIGN.md ("Determinism & concurrency contract").
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //codvet:ignore comments. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored at a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// A Pass provides one analyzer with the parsed and type-checked syntax of a
+// single package, and collects its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	ignores map[string][]ignoreDirective // file name -> directives
+	diags   *[]Diagnostic
+}
+
+// ignoreDirective is one parsed //codvet:ignore comment.
+type ignoreDirective struct {
+	line  int    // line the comment ends on
+	which string // analyzer name, or "all"
+}
+
+// Reportf records a diagnostic at pos unless a //codvet:ignore directive for
+// this analyzer covers the position (same line, or the line above).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.ignored(pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) ignored(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	for _, d := range p.ignores[position.Filename] {
+		if d.which != "all" && d.which != p.Analyzer.Name {
+			continue
+		}
+		if d.line == position.Line || d.line == position.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsLibraryPackage reports whether the package under analysis is library
+// code: the determinism checkers only apply there. Binaries (package main),
+// anything under a cmd/ or examples/ path element, and testdata trees are
+// exempt.
+func (p *Pass) IsLibraryPackage() bool {
+	if p.Pkg != nil && p.Pkg.Name() == "main" {
+		return false
+	}
+	path := ""
+	if p.Pkg != nil {
+		path = p.Pkg.Path()
+	}
+	for _, seg := range strings.Split(path, "/") {
+		switch seg {
+		case "cmd", "examples", "testdata":
+			return false
+		}
+	}
+	return true
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// Test code may use ad-hoc randomness and map iteration freely; the runtime
+// race detector and the determinism-replay tests cover it instead.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// SourceFiles yields the pass's non-test files; most analyzers iterate these.
+func (p *Pass) SourceFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		if !p.IsTestFile(f.Pos()) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// parseIgnores scans every comment of every file for
+// "//codvet:ignore <name>[,<name>...] [reason]" directives.
+func parseIgnores(fset *token.FileSet, files []*ast.File) map[string][]ignoreDirective {
+	out := make(map[string][]ignoreDirective)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//") {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(c.Text[2:]), "codvet:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				position := fset.Position(c.End())
+				for _, name := range strings.Split(fields[0], ",") {
+					out[position.Filename] = append(out[position.Filename],
+						ignoreDirective{line: position.Line, which: name})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run type-checks nothing itself: callers supply the parsed files, package
+// and types.Info, and Run applies every analyzer, returning diagnostics
+// sorted by position.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	ignores := parseIgnores(fset, files)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			ignores:   ignores,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// NewInfo returns a types.Info with every map the checkers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// PkgFuncCall resolves call's callee: when the callee is a selector on an
+// imported package name (e.g. rand.IntN), it returns the imported package's
+// path and the function name; otherwise it returns "", "".
+func PkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// ObjectOf returns the types.Object an identifier denotes (use or def).
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// IsMapType reports whether e's type has a map underlying type.
+func IsMapType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// IsFloat reports whether e's type is a floating-point basic type.
+func IsFloat(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

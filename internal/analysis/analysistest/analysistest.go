@@ -1,0 +1,172 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against "// want" comment
+// expectations, mirroring the x/tools package of the same name with only
+// the standard library.
+//
+// A fixture line may carry one or more expectations:
+//
+//	_ = rand.Int() // want `global math/rand`
+//
+// Each backquoted or double-quoted string is a regular expression that must
+// match the message of a diagnostic reported on that line. Diagnostics
+// without a matching expectation, and expectations without a matching
+// diagnostic, fail the test. Fixture packages may import only the standard
+// library (they are type-checked with the stdlib source importer, which
+// needs no pre-compiled export data).
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/codsearch/cod/internal/analysis"
+)
+
+// expectation is one `// want` regexp attached to a fixture line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("(?:`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")")
+
+// TestData returns the analyzer package's testdata directory.
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run applies a to each fixture package (a path under testdata/src) and
+// reports mismatches between diagnostics and expectations on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		runPackage(t, testdata, a, pkgPath)
+	}
+}
+
+func runPackage(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", pkgPath, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no fixture files in %s", pkgPath, dir)
+	}
+
+	var tcErrs []error
+	tc := &types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(err error) { tcErrs = append(tcErrs, err) },
+	}
+	info := analysis.NewInfo()
+	pkg, _ := tc.Check(pkgPath, fset, files, info)
+	if len(tcErrs) > 0 {
+		for _, err := range tcErrs {
+			t.Errorf("%s: typecheck: %v", pkgPath, err)
+		}
+		return
+	}
+
+	diags, err := analysis.Run(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+
+	expects := collectExpectations(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(expects, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pkgPath, pos, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+				pkgPath, filepath.Base(e.file), e.line, e.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering (file, line, msg).
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == file && e.line == line && e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(rest, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range matches {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		return out[i].line < out[j].line
+	})
+	return out
+}

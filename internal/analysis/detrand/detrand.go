@@ -1,0 +1,155 @@
+// Package detrand forbids nondeterministic randomness in library packages.
+//
+// The COD API contract ("equal Options.Seed values give identical results")
+// requires every random draw in the IC/LT Monte-Carlo, RR-graph and HIMOR
+// pipelines to come from an injected *rand.Rand seeded from Options.Seed
+// (see graph.NewRand). The analyzer therefore reports, in library packages:
+//
+//   - calls to package-level functions of math/rand or math/rand/v2 (such
+//     as rand.IntN or rand.Shuffle), which draw from the process-global,
+//     randomly-seeded source;
+//   - seeds derived from time.Now (or os.Getpid), whether passed to a rand
+//     constructor or stored in a seed-named variable or field.
+//
+// Constructors that take an explicit source or seed (rand.New,
+// rand.NewSource, rand.NewPCG, rand.NewChaCha8, rand.NewZipf) are allowed.
+// Binaries under cmd/ and examples/, and _test.go files, are exempt.
+package detrand
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/codsearch/cod/internal/analysis"
+)
+
+// Analyzer is the detrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "forbid global math/rand sources and time-derived seeds in library packages",
+	Run:  run,
+}
+
+// randPkgs are the package paths whose package-level draws are forbidden.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// seededConstructors take an explicit source or seed and are therefore
+// compatible with seed-threaded determinism.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.IsLibraryPackage() {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					rhs := n.Rhs[0]
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					checkSeedStore(pass, seedTargetName(lhs), rhs)
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						checkSeedStore(pass, name.Name, n.Values[i])
+					}
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					checkSeedStore(pass, id.Name, n.Value)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags forbidden package-level draws and time-seeded constructors.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	pkg, name := analysis.PkgFuncCall(pass.TypesInfo, call)
+	if !randPkgs[pkg] {
+		return
+	}
+	if !seededConstructors[name] {
+		pass.Reportf(call.Pos(),
+			"%s.%s draws from the global, nondeterministically seeded source; thread a *rand.Rand derived from Options.Seed (graph.NewRand) instead",
+			pkg, name)
+		return
+	}
+	// Seeded constructor: its arguments must not smuggle in wall-clock time.
+	for _, arg := range call.Args {
+		if bad := findClockCall(pass, arg); bad != nil {
+			pass.Reportf(bad.Pos(),
+				"%s-derived seed passed to %s.%s breaks reproducibility; derive seeds from Options.Seed instead",
+				clockName(pass, bad), pkg, name)
+		}
+	}
+}
+
+// checkSeedStore flags time-derived values stored under a seed-like name.
+func checkSeedStore(pass *analysis.Pass, target string, rhs ast.Expr) {
+	if !strings.Contains(strings.ToLower(target), "seed") {
+		return
+	}
+	if bad := findClockCall(pass, rhs); bad != nil {
+		pass.Reportf(bad.Pos(),
+			"%s-derived value assigned to %q breaks seed reproducibility; derive seeds from Options.Seed instead",
+			clockName(pass, bad), target)
+	}
+}
+
+// seedTargetName extracts the assignable's name: an identifier or the final
+// selector element (opts.Seed -> "Seed").
+func seedTargetName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// findClockCall returns the first time.Now or os.Getpid call within e.
+func findClockCall(pass *analysis.Pass, e ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := analysis.PkgFuncCall(pass.TypesInfo, call)
+		if (pkg == "time" && name == "Now") || (pkg == "os" && name == "Getpid") {
+			found = call
+			return false
+		}
+		// A nested seeded constructor (rand.New(rand.NewSource(...))) is
+		// checked by its own checkCall; don't report it twice.
+		return !(randPkgs[pkg] && seededConstructors[name])
+	})
+	return found
+}
+
+func clockName(pass *analysis.Pass, call *ast.CallExpr) string {
+	pkg, name := analysis.PkgFuncCall(pass.TypesInfo, call)
+	return pkg + "." + name
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/analysis/analysistest"
+	"github.com/codsearch/cod/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), detrand.Analyzer, "detrandtest", "a/cmd/tool")
+}

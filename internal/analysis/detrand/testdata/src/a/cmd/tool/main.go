@@ -1,0 +1,12 @@
+// Command tool shows that cmd/ binaries are exempt from detrand.
+package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() {
+	rand.Seed(time.Now().UnixNano())
+	_ = rand.Int()
+}

@@ -1,0 +1,59 @@
+// Package detrandtest exercises the detrand analyzer: global math/rand
+// draws and time-derived seeds are flagged; explicitly seeded sources pass.
+package detrandtest
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"os"
+	"time"
+)
+
+type options struct {
+	Seed uint64
+}
+
+func globalDraws() {
+	_ = rand.Int()                     // want `math/rand.Int draws from the global`
+	_ = rand.Intn(7)                   // want `math/rand.Intn draws from the global`
+	_ = rand.Float64()                 // want `math/rand.Float64 draws from the global`
+	rand.Shuffle(2, func(i, j int) {}) // want `math/rand.Shuffle draws from the global`
+	_ = randv2.IntN(3)                 // want `math/rand/v2.IntN draws from the global`
+	_ = randv2.Uint64()                // want `math/rand/v2.Uint64 draws from the global`
+	_ = randv2.N(int(5))               // want `math/rand/v2.N draws from the global`
+}
+
+func timeSeeds() {
+	r := rand.New(rand.NewSource(time.Now().UnixNano())) // want `time.Now-derived seed passed to math/rand.NewSource`
+	_ = r.Intn(5)
+	seed := uint64(time.Now().UnixNano()) // want `time.Now-derived value assigned to "seed"`
+	_ = seed
+	var o options
+	o.Seed = uint64(time.Now().UnixNano())         // want `time.Now-derived value assigned to "Seed"`
+	o2 := options{Seed: uint64(time.Now().Unix())} // want `time.Now-derived value assigned to "Seed"`
+	_, _ = o, o2
+	pidSeed := int64(os.Getpid()) // want `os.Getpid-derived value assigned to "pidSeed"`
+	_ = pidSeed
+}
+
+func seededSources(seed uint64) {
+	r := rand.New(rand.NewSource(int64(seed)))
+	_ = r.Intn(5)
+	r2 := randv2.New(randv2.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	_ = r2.IntN(5)
+	z := randv2.NewZipf(r2, 1.5, 1, 100)
+	_ = z.Uint64()
+	var o options
+	o.Seed = seed
+}
+
+func timingIsFine() time.Duration {
+	start := time.Now()
+	elapsed := time.Since(start)
+	now := time.Now()
+	return elapsed + time.Until(now)
+}
+
+func ignored() {
+	_ = rand.Int() //codvet:ignore detrand jitter for retry backoff, reproducibility not needed
+}

@@ -1,0 +1,8 @@
+package detrandtest
+
+import "math/rand"
+
+// Test files may use ad-hoc randomness: no diagnostics expected here.
+func shuffleForTest(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,73 @@
+// Package floatcmp flags == and != comparisons between computed
+// floating-point values in library packages.
+//
+// Linkage distances, densities and conductances are accumulated floating
+// point: two mathematically equal values routinely differ in the last ulp
+// depending on summation order, so equality comparisons silently change
+// cluster merges and community picks. The analyzer reports float equality
+// except when one operand is a compile-time constant — comparisons against
+// sentinels such as 0 or -1 ("unset", "empty community") are exact and
+// deliberate — or when both operands are syntactically identical (the
+// x != x NaN test).
+//
+// Use an explicit epsilon (or compare integer surrogates such as edge
+// counts) instead; a deliberate exact comparison can be annotated with
+// `//codvet:ignore floatcmp <reason>`. Binaries under cmd/ and examples/,
+// and _test.go files, are exempt.
+package floatcmp
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+
+	"github.com/codsearch/cod/internal/analysis"
+)
+
+// Analyzer is the floatcmp analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag ==/!= between computed floating-point values",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.IsLibraryPackage() {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !analysis.IsFloat(pass.TypesInfo, be.X) && !analysis.IsFloat(pass.TypesInfo, be.Y) {
+				return true
+			}
+			if isConst(pass, be.X) || isConst(pass, be.Y) {
+				return true
+			}
+			if exprString(pass.Fset, be.X) == exprString(pass.Fset, be.Y) {
+				return true // x != x: the portable NaN check
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison between computed values; use an epsilon or an integer surrogate", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

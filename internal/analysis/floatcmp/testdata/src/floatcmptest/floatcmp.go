@@ -1,0 +1,61 @@
+// Package floatcmptest exercises the floatcmp analyzer: equality between
+// computed floats is flagged; sentinel and NaN comparisons pass.
+package floatcmptest
+
+type dist float64
+
+func equalComputed(a, b float64) bool {
+	return a == b // want `floating-point == comparison between computed values`
+}
+
+func notEqualComputed(a, b float64) bool {
+	return a != b // want `floating-point != comparison between computed values`
+}
+
+func namedFloatType(a, b dist) bool {
+	return a == b // want `floating-point == comparison between computed values`
+}
+
+func sumsCompared(xs, ys []float64) bool {
+	sx, sy := 0.0, 0.0
+	for _, x := range xs {
+		sx += x
+	}
+	for _, y := range ys {
+		sy += y
+	}
+	return sx == sy // want `floating-point == comparison between computed values`
+}
+
+func sentinelZero(a float64) bool {
+	return a == 0
+}
+
+func sentinelConst(a float64) bool {
+	const unset = -1.0
+	return a != unset
+}
+
+func nanCheck(a float64) bool {
+	return a != a
+}
+
+func orderedComparisons(a, b float64) bool {
+	return a < b || a >= b*2
+}
+
+func intEquality(a, b int) bool {
+	return a == b
+}
+
+func epsilonCompare(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func ignored(a, b float64) bool {
+	return a == b //codvet:ignore floatcmp both sides copied from the same untouched source
+}

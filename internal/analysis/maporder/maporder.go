@@ -1,0 +1,377 @@
+// Package maporder flags map iteration whose result depends on Go's
+// randomized map iteration order, in library packages.
+//
+// Order-independent uses of `for k, v := range m` — commutative accumulation
+// (counters, sums, map/set writes) — are allowed. The analyzer reports three
+// order-dependent shapes:
+//
+//   - appending to a slice declared outside the loop, unless the slice is
+//     visibly sorted later in the same statement list (the standard
+//     "collect keys, then sort" idiom);
+//   - letting the iteration key escape the loop (an argmax/rank selection
+//     such as `if c > best { bestNode = k }`) without a tie-break: a guard
+//     that compares the key itself (`c > best || (c == best && k < bestNode)`);
+//   - writing to an io.Writer or fmt output stream from inside the loop.
+//
+// Intentional order-dependence can be suppressed with a
+// `//codvet:ignore maporder <reason>` comment on or above the offending
+// line. Binaries under cmd/ and examples/, and _test.go files, are exempt.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/codsearch/cod/internal/analysis"
+)
+
+// Analyzer is the maporder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration with order-dependent effects (unsorted appends, argmax without tie-break, output writes)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.IsLibraryPackage() {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		containers := stmtContainers(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !analysis.IsMapType(pass.TypesInfo, rs.X) {
+				return true
+			}
+			checkMapRange(pass, rs, containers[rs])
+			return true
+		})
+	}
+	return nil
+}
+
+// container locates a statement within its enclosing statement list, so the
+// checker can look at what happens to a collected slice after the loop.
+type container struct {
+	list []ast.Stmt
+	idx  int
+}
+
+func stmtContainers(f *ast.File) map[ast.Stmt]container {
+	out := make(map[ast.Stmt]container)
+	ast.Inspect(f, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			out[s] = container{list, i}
+		}
+		return true
+	})
+	return out
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, where container) {
+	keyObj := declaredVar(pass.TypesInfo, rs.Key)
+
+	var walk func(s ast.Stmt, guards []ast.Expr)
+	walkBody := func(list []ast.Stmt, guards []ast.Expr) {
+		for _, s := range list {
+			walk(s, guards)
+		}
+	}
+	walk = func(s ast.Stmt, guards []ast.Expr) {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, where, s, keyObj, guards)
+			for _, rhs := range s.Rhs {
+				checkExprWrites(pass, rs, rhs)
+			}
+		case *ast.ExprStmt:
+			checkExprWrites(pass, rs, s.X)
+		case *ast.IfStmt:
+			// The whole if/else-if chain decides the selection together, so
+			// a tie-break in any branch condition covers every branch.
+			conds := guards
+			var bodies []*ast.BlockStmt
+			var last ast.Stmt
+			for chain := s; ; {
+				conds = append(conds, chain.Cond)
+				bodies = append(bodies, chain.Body)
+				next, ok := chain.Else.(*ast.IfStmt)
+				if !ok {
+					last = chain.Else
+					break
+				}
+				chain = next
+			}
+			for _, b := range bodies {
+				walkBody(b.List, conds)
+			}
+			if last != nil {
+				walk(last, conds)
+			}
+		case *ast.BlockStmt:
+			walkBody(s.List, guards)
+		case *ast.ForStmt:
+			walkBody(s.Body.List, guards)
+		case *ast.RangeStmt:
+			walkBody(s.Body.List, guards)
+		case *ast.SwitchStmt:
+			// All case expressions participate in one selection decision.
+			conds := guards
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					conds = append(conds, cc.List...)
+				}
+			}
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkBody(cc.Body, conds)
+				}
+			}
+		case *ast.LabeledStmt:
+			walk(s.Stmt, guards)
+		case *ast.DeferStmt:
+			checkExprWrites(pass, rs, s.Call)
+		case *ast.GoStmt:
+			checkExprWrites(pass, rs, s.Call)
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				checkExprWrites(pass, rs, r)
+			}
+		}
+	}
+	walkBody(rs.Body.List, nil)
+}
+
+// checkAssign handles the append-to-outer-slice and key-escape shapes.
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, where container, as *ast.AssignStmt, keyObj *types.Var, guards []ast.Expr) {
+	for i, lhs := range as.Lhs {
+		rhs := as.Rhs[0]
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		}
+		target := rootVar(pass.TypesInfo, lhs)
+		if target == nil || declaredWithin(target, rs) {
+			continue
+		}
+		if _, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); isIndex {
+			// m2[k] = v / counts[v]++ style writes are commutative across
+			// iteration orders (each key is visited once).
+			continue
+		}
+		if isAppendCall(pass.TypesInfo, rhs) {
+			if !sortedLater(pass.TypesInfo, where, target) {
+				pass.Reportf(as.Pos(),
+					"append to %s in map-iteration order; sort it afterwards, or iterate sorted keys", target.Name())
+			}
+			continue
+		}
+		if keyObj != nil && mentionsVar(pass.TypesInfo, rhs, keyObj) {
+			if !guardsBreakTies(pass.TypesInfo, guards, keyObj) {
+				pass.Reportf(as.Pos(),
+					"map-iteration key %s escapes the loop via %s without a deterministic tie-break; compare the key in the guard (e.g. cnt > best || (cnt == best && key < bestKey))",
+					keyObj.Name(), target.Name())
+			}
+		}
+	}
+}
+
+// checkExprWrites reports output written during map iteration.
+func checkExprWrites(pass *analysis.Pass, rs *ast.RangeStmt, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name := analysis.PkgFuncCall(pass.TypesInfo, call); pkg == "fmt" &&
+			(strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")) {
+			pass.Reportf(call.Pos(), "fmt.%s inside map iteration emits output in random order; iterate sorted keys", name)
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Encode" && !strings.HasPrefix(name, "Write") {
+			return true
+		}
+		recv := rootVar(pass.TypesInfo, sel.X)
+		if recv != nil && !declaredWithin(recv, rs) && isWriterish(pass.TypesInfo, sel.X) {
+			pass.Reportf(call.Pos(), "%s.%s inside map iteration emits output in random order; iterate sorted keys", recv.Name(), name)
+		}
+		return true
+	})
+}
+
+// isWriterish reports whether e's method set plausibly writes a byte stream:
+// it has a Write([]byte) (int, error) method or is a known encoder type.
+func isWriterish(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if strings.HasSuffix(t.String(), "Encoder") {
+		return true
+	}
+	for _, t := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			m := ms.At(i).Obj()
+			if m.Name() != "Write" {
+				continue
+			}
+			sig, ok := m.Type().(*types.Signature)
+			if ok && sig.Params().Len() == 1 && sig.Results().Len() == 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sortedLater reports whether a later statement in the same list passes
+// target to a sort-like call (sort.*, slices.Sort*, or any helper whose name
+// contains "sort"), which restores determinism for collected slices.
+func sortedLater(info *types.Info, where container, target *types.Var) bool {
+	if where.list == nil {
+		return false
+	}
+	for _, s := range where.list[where.idx+1:] {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			name := calleeName(call)
+			if !strings.Contains(strings.ToLower(name), "sort") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentionsVar(info, arg, target) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// guardsBreakTies reports whether any enclosing guard condition compares the
+// iteration key itself, i.e. contains a comparison with the key on either
+// side — the shape of an explicit tie-break.
+func guardsBreakTies(info *types.Info, guards []ast.Expr, key *types.Var) bool {
+	for _, g := range guards {
+		tieBroken := false
+		ast.Inspect(g, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+				if mentionsVar(info, be.X, key) || mentionsVar(info, be.Y, key) {
+					tieBroken = true
+					return false
+				}
+			}
+			return true
+		})
+		if tieBroken {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredVar returns the *types.Var a range clause declares or assigns.
+func declaredVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	v, _ := analysis.ObjectOf(info, id).(*types.Var)
+	return v
+}
+
+// rootVar walks x.f[i].g down to its base identifier's variable.
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := analysis.ObjectOf(info, x).(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether v is declared inside node n's extent.
+func declaredWithin(v *types.Var, n ast.Node) bool {
+	return v.Pos() >= n.Pos() && v.Pos() <= n.End()
+}
+
+// mentionsVar reports whether e references v.
+func mentionsVar(info *types.Info, e ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && analysis.ObjectOf(info, id) == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isAppendCall reports whether e is a call to the append builtin.
+func isAppendCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := analysis.ObjectOf(info, id).(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// calleeName returns a call's callee as written, qualifier included, so
+// that sort.Ints and slices.SortFunc both read as sort-like.
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return ""
+}

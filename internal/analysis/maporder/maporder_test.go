@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/analysis/analysistest"
+	"github.com/codsearch/cod/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), maporder.Analyzer, "mapordertest")
+}

@@ -1,0 +1,166 @@
+// Package mapordertest exercises the maporder analyzer: order-dependent map
+// iteration is flagged; commutative accumulation and sorted collection pass.
+package mapordertest
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+func collectUnsorted(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `append to keys in map-iteration order`
+	}
+	return keys
+}
+
+func collectSorted(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func collectSortFunc(m map[int]string) []string {
+	var vals []string
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func argmaxNoTieBreak(m map[int]int) int {
+	best, bestK := -1, -1
+	for k, v := range m {
+		if v > best {
+			best = v
+			bestK = k // want `map-iteration key k escapes the loop via bestK without a deterministic tie-break`
+		}
+	}
+	return bestK
+}
+
+func argmaxTieBreak(m map[int]int) int {
+	best, bestK := -1, -1
+	for k, v := range m {
+		if v > best || (v == best && k < bestK) {
+			best = v
+			bestK = k
+		}
+	}
+	return bestK
+}
+
+func argmaxSwitchTieBreak(m map[int32]float64) int32 {
+	best := int32(-1)
+	bestSim := 0.0
+	for b, s := range m {
+		switch {
+		case best == -1, s > bestSim:
+			best, bestSim = b, s
+		case s == bestSim && b < best:
+			best = b
+		}
+	}
+	return best
+}
+
+func argmaxElseIfTieBreak(m map[int]int) int {
+	best, bestK := -1, -1
+	for k, v := range m {
+		if v > best {
+			best, bestK = v, k
+		} else if v == best && k < bestK {
+			bestK = k
+		}
+	}
+	return bestK
+}
+
+func argmaxSwitchNoTieBreak(m map[int]int) int {
+	best, bestK := -1, -1
+	for k, v := range m {
+		switch {
+		case v > best:
+			best, bestK = v, k // want `map-iteration key k escapes the loop via bestK`
+		}
+	}
+	return bestK
+}
+
+func unguardedKeyEscape(m map[int]int) int {
+	last := 0
+	for k := range m {
+		last = k // want `map-iteration key k escapes the loop via last`
+	}
+	return last
+}
+
+func printDuringIteration(m map[int]int) {
+	for k := range m {
+		fmt.Println(k) // want `fmt.Println inside map iteration`
+	}
+}
+
+func writeDuringIteration(m map[int]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(fmt.Sprint(k)) // want `buf.WriteString inside map iteration`
+	}
+}
+
+func commutativeAccumulation(m map[int]int) (int, map[int]bool) {
+	total := 0
+	set := make(map[int]bool, len(m))
+	for k, v := range m {
+		total += v
+		set[k] = true
+	}
+	return total, set
+}
+
+func maxValueOnly(m map[int]int) int {
+	best := -1
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func innerCollectionsAreLocal(m map[int][]int) int {
+	longest := 0
+	for _, vs := range m {
+		var evens []int
+		for _, v := range vs {
+			if v%2 == 0 {
+				evens = append(evens, v)
+			}
+		}
+		if len(evens) > longest {
+			longest = len(evens)
+		}
+	}
+	return longest
+}
+
+func ignored(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) //codvet:ignore maporder callers treat this as an unordered set
+	}
+	return keys
+}
+
+func sliceRangeIsFine(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*x)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package sharedwrite_test
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/analysis/analysistest"
+	"github.com/codsearch/cod/internal/analysis/sharedwrite"
+)
+
+func TestSharedwrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), sharedwrite.Analyzer, "sharedwritetest")
+}

@@ -1,0 +1,146 @@
+// Package sharedwritetest exercises the sharedwrite analyzer: goroutine
+// literals mutating captured state race unless they write disjoint slice
+// indices, hold a lock, or use channels.
+package sharedwritetest
+
+import "sync"
+
+func disjointIndexFanout(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out[w] = w * w
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+func structFieldViaSliceIndex(n int) []struct{ V int } {
+	out := make([]struct{ V int }, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i].V = i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func scalarRace() int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			total += i // want `goroutine writes captured variable total`
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+func incDecRace() int {
+	count := 0
+	done := make(chan struct{})
+	go func() {
+		count++ // want `goroutine writes captured variable count`
+		close(done)
+	}()
+	<-done
+	return count
+}
+
+func mapRace(keys []int) map[int]int {
+	m := make(map[int]int)
+	var wg sync.WaitGroup
+	for _, k := range keys {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			m[k] = k * k // want `goroutine writes captured map m`
+		}(k)
+	}
+	wg.Wait()
+	return m
+}
+
+func appendRace(n int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out = append(out, i) // want `goroutine appends to captured slice out`
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+func mutexGuarded(n int) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			total += i
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+func channelCollection(n int) int {
+	ch := make(chan int)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			ch <- i
+		}(i)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += <-ch
+	}
+	return total
+}
+
+func goroutineLocalState(res []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		local := make([]int, 0, 4)
+		local = append(local, 1)
+		sum := 0
+		for _, v := range local {
+			sum += v
+		}
+		res[0] = sum
+	}()
+	wg.Wait()
+}
+
+func ignoredHappensBefore() int {
+	total := 0
+	done := make(chan struct{})
+	go func() {
+		//codvet:ignore sharedwrite close(done) publishes the write before any read
+		total = 42
+		close(done)
+	}()
+	<-done
+	return total
+}

@@ -1,0 +1,216 @@
+package analysis
+
+// This file implements the `go vet -vettool` unit-checking protocol, the
+// same contract x/tools' unitchecker fulfils, using only the standard
+// library. cmd/go drives a vet tool in three ways:
+//
+//  1. `tool -V=full` — print an identity line used as a cache key;
+//  2. `tool -flags`  — print a JSON description of supported flags;
+//  3. `tool <file>.cfg` — analyze one package unit: the JSON config names
+//     the unit's Go files and maps each import to the export-data file the
+//     compiler produced, so the unit can be type-checked without rebuilding
+//     its dependencies.
+//
+// Invoked any other way, Main falls back to standalone mode and re-executes
+// itself through `go vet -vettool=<self> <args>`, which makes `codvet ./...`
+// work directly.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// unitConfig mirrors the JSON object cmd/go writes for each vet unit. Only
+// the fields this driver consumes are declared; unknown fields are ignored.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of a vet-tool multichecker built from analyzers.
+func Main(analyzers ...*Analyzer) {
+	progname := "codvet"
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	vFlag := fs.String("V", "", "print version information ('full' prints a cache key)")
+	flagsFlag := fs.Bool("flags", false, "print flags in JSON (vet protocol)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [package ...]  (or via go vet -vettool=%s)\n\n", progname, progname)
+		fmt.Fprintln(os.Stderr, "Registered analyzers:")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstSentence(a.Doc))
+		}
+	}
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *vFlag == "full":
+		printVersion(progname)
+	case *vFlag != "":
+		fmt.Printf("%s version devel\n", progname)
+	case *flagsFlag:
+		// No analyzer-specific flags; the protocol wants a JSON array.
+		fmt.Println("[]")
+	case fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg"):
+		if err := runUnit(fs.Arg(0), analyzers); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		os.Exit(standalone(fs.Args()))
+	}
+}
+
+// printVersion emits the `-V=full` identity line. cmd/go hashes the
+// executable into the build cache key, so the line embeds a digest of the
+// binary: rebuilding codvet invalidates stale vet results.
+func printVersion(progname string) {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}
+
+// standalone re-executes the tool through `go vet` so that cmd/go computes
+// the package graph and export data, then returns go vet's exit code.
+func standalone(args []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		log.Print(err)
+		return 1
+	}
+	return 0
+}
+
+// runUnit analyzes one vet unit described by cfgFile.
+func runUnit(cfgFile string, analyzers []*Analyzer) error {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return err
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return fmt.Errorf("cannot decode vet config %s: %w", cfgFile, err)
+	}
+
+	// cmd/go requires the output facts file to exist even though this suite
+	// defines no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil
+			}
+			return err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a canonical package path; cmd/go points it at the export
+		// data the compiler already produced for this build.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.(types.ImporterFrom).ImportFrom(path, cfg.Dir, 0)
+	})
+	tc := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return fmt.Errorf("typecheck: %v", err)
+	}
+
+	diags, err := Run(fset, files, pkg, info, analyzers)
+	if err != nil {
+		return err
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+		os.Exit(2)
+	}
+	return nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func firstSentence(s string) string {
+	if i := strings.IndexAny(s, ".\n"); i >= 0 {
+		return s[:i+1]
+	}
+	return s
+}

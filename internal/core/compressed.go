@@ -106,9 +106,10 @@ func newTopK(k int) *topK {
 	return &topK{k: k, nodes: make([]graph.NodeID, 0, k), cnts: make([]int32, 0, k)}
 }
 
-// offer updates node v's count or inserts it when it beats the current
-// minimum (strictly; ties keep the incumbent, which is safe because the set
-// still holds k maximal values).
+// offer updates node v's count or inserts it when it outranks the current
+// minimum under the canonical influence order (count descending, ties by
+// smaller node ID). The tie-break makes the retained set independent of map
+// iteration order, so the evaluation is deterministic even on count ties.
 func (t *topK) offer(v graph.NodeID, cnt int32) {
 	for i, n := range t.nodes {
 		if n == v {
@@ -123,25 +124,25 @@ func (t *topK) offer(v graph.NodeID, cnt int32) {
 	}
 	mi := 0
 	for i := 1; i < len(t.cnts); i++ {
-		if t.cnts[i] < t.cnts[mi] {
+		if t.cnts[i] < t.cnts[mi] || (t.cnts[i] == t.cnts[mi] && t.nodes[i] > t.nodes[mi]) {
 			mi = i
 		}
 	}
-	if cnt > t.cnts[mi] {
+	if cnt > t.cnts[mi] || (cnt == t.cnts[mi] && v < t.nodes[mi]) {
 		t.nodes[mi] = v
 		t.cnts[mi] = cnt
 	}
 }
 
-// isTopK reports whether q (with count qCnt) ranks among the top k, i.e.
-// fewer than k tracked nodes have a strictly larger count. Ties favor q,
-// matching rank_C(q) = #{v : σ(v) > σ(q)} < k.
+// isTopK reports whether q (with count qCnt) ranks among the top k: fewer
+// than k tracked nodes are ahead of q under the canonical influence order
+// (count descending, ties by smaller node ID), matching rankOf.
 func (t *topK) isTopK(q graph.NodeID, qCnt int32) bool {
-	larger := 0
+	ahead := 0
 	for i, n := range t.nodes {
-		if n != q && t.cnts[i] > qCnt {
-			larger++
+		if n != q && (t.cnts[i] > qCnt || (t.cnts[i] == qCnt && n < q)) {
+			ahead++
 		}
 	}
-	return larger < t.k
+	return ahead < t.k
 }

@@ -28,18 +28,19 @@ func referenceCounts(ch *Chain, rrs []*influence.RRGraph) []map[graph.NodeID]int
 }
 
 // referenceBest finds the largest level where q is top-k under the reference
-// counts (ties favoring q), mirroring CompressedEvaluate's semantics.
+// counts and the canonical influence order (count descending, count ties by
+// smaller node ID), mirroring CompressedEvaluate's semantics.
 func referenceBest(ch *Chain, ref []map[graph.NodeID]int, k int) int {
 	best := -1
 	for h := range ref {
-		larger := 0
+		ahead := 0
 		cq := ref[h][ch.Q()]
 		for v, c := range ref[h] {
-			if v != ch.Q() && c > cq {
-				larger++
+			if v != ch.Q() && (c > cq || (c == cq && v < ch.Q())) {
+				ahead++
 			}
 		}
-		if larger < k {
+		if ahead < k {
 			best = h
 		}
 	}
@@ -172,9 +173,14 @@ func TestTopKStructure(t *testing.T) {
 	if tk.isTopK(2, 3) {
 		t.Error("node 2 should not be top-2 (two strictly larger)")
 	}
-	// ties favor the query
-	if !tk.isTopK(9, 4) {
-		t.Error("count-4 query ties node 3, only node 1 strictly larger -> top-2")
+	// count ties resolve by node ID: tied node 3 has the smaller ID, so it
+	// ranks ahead of query 9 and pushes it out of the top-2...
+	if tk.isTopK(9, 4) {
+		t.Error("count-4 query 9 loses the tie to node 3 -> nodes 1 and 3 ahead, not top-2")
+	}
+	// ...while a query with the smaller ID wins the same tie.
+	if !tk.isTopK(0, 4) {
+		t.Error("count-4 query 0 wins the tie against node 3 -> top-2")
 	}
 	// updating an existing member must not duplicate it
 	tk.offer(3, 10)
@@ -183,6 +189,16 @@ func TestTopKStructure(t *testing.T) {
 	}
 	if tk.isTopK(9, 4) {
 		t.Error("after update, counts 10 and 5 both beat 4")
+	}
+	// eviction on count ties is deterministic: the tracked node with the
+	// largest ID is the minimum, and an equal-count candidate with a smaller
+	// ID replaces it regardless of arrival order.
+	tk2 := newTopK(2)
+	tk2.offer(5, 4)
+	tk2.offer(7, 4)
+	tk2.offer(3, 4)
+	if !tk2.isTopK(3, 4) || tk2.isTopK(7, 4) {
+		t.Error("equal-count eviction should retain the smaller node IDs")
 	}
 }
 

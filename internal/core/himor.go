@@ -47,7 +47,8 @@ func BuildHimorWithSampler(g *graph.Graph, t *hier.Tree, sampler influence.Graph
 // BuildHimorParallel constructs the index from an RR pool sampled across
 // workers goroutines under the IC model (sampling dominates construction
 // cost, so parallelizing it captures most of the speedup; the HFS and
-// bottom-up merge stay single-threaded and deterministic).
+// bottom-up merge stay single-threaded and deterministic). Each pool sample
+// is seeded from its index, so the index is byte-identical for any workers.
 func BuildHimorParallel(g *graph.Graph, t *hier.Tree, model influence.Model, theta int, seed uint64, workers int) *Himor {
 	pool := influence.ParallelBatch(g, model, theta*g.N(), seed, workers)
 	i := 0
@@ -162,8 +163,10 @@ func buildHimor(g *graph.Graph, t *hier.Tree, theta int, next func() *influence.
 		cum[v] = merged
 		h.nnz[v] = int32(len(merged))
 
-		// Rank assignment: sort by count descending; rank = number of nodes
-		// with strictly larger count.
+		// Rank assignment under the canonical influence order (count
+		// descending, ties by smaller node ID): rank = sorted position, i.e.
+		// the number of nodes ranked ahead. Matching rankOf keeps online and
+		// index-based ranks identical even on count ties.
 		scratch = scratch[:0]
 		for node, cnt := range merged {
 			scratch = append(scratch, entry{node, cnt})
@@ -175,20 +178,17 @@ func buildHimor(g *graph.Graph, t *hier.Tree, theta int, next func() *influence.
 			return scratch[i].node < scratch[j].node
 		})
 		depthV := t.Depth(v)
-		rank := int32(0)
 		for i, e := range scratch {
-			if i > 0 && e.cnt < scratch[i-1].cnt {
-				rank = int32(i)
-			}
 			idx := (t.Depth(t.LeafOf(e.node)) - 1) - depthV
-			h.rank[e.node][idx] = rank
+			h.rank[e.node][idx] = int32(i)
 		}
 	}
 	return h
 }
 
 // Rank returns rank_C(q) for a community vertex v that contains q: the
-// number of nodes in C with a strictly larger estimated influence.
+// number of nodes in C ranked ahead of q under the canonical influence order
+// (estimated influence descending, ties by smaller node ID).
 func (h *Himor) Rank(q graph.NodeID, v hier.Vertex) int {
 	idx := (h.t.Depth(h.t.LeafOf(q)) - 1) - h.t.Depth(v)
 	if idx < 0 || idx >= len(h.rank[q]) {

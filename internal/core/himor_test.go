@@ -28,13 +28,13 @@ func referenceHimorRank(t *hier.Tree, rrs []*influence.RRGraph, q graph.NodeID, 
 		}
 	}
 	cq := counts[q]
-	larger := 0
+	ahead := 0
 	for u, c := range counts {
-		if u != q && c > cq {
-			larger++
+		if u != q && (c > cq || (c == cq && u < q)) {
+			ahead++
 		}
 	}
-	return larger
+	return ahead
 }
 
 func TestHimorMatchesReference(t *testing.T) {

@@ -46,16 +46,19 @@ func IndependentEvaluate(g *graph.Graph, model influence.Model, ch *Chain, k, th
 	return res, true
 }
 
-// rankOf returns the number of nodes with a strictly larger count than q.
+// rankOf returns the number of nodes ranked ahead of q under the canonical
+// influence order: count descending, ties broken by smaller node ID. The
+// tie-break keeps ranks stable across runs (and map iteration orders) and
+// matches the ordering used by HIMOR construction and the top-k sweep.
 func rankOf(counts map[graph.NodeID]int, q graph.NodeID) int {
 	cq := counts[q]
-	larger := 0
+	ahead := 0
 	for v, c := range counts {
-		if v != q && c > cq {
-			larger++
+		if v != q && (c > cq || (c == cq && v < q)) {
+			ahead++
 		}
 	}
-	return larger
+	return ahead
 }
 
 // ExactRankWithin estimates rank_C(q) with a dedicated pool of RR sets per

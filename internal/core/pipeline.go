@@ -50,8 +50,10 @@ type Params struct {
 	// graphs at the cost of exact agglomerative faithfulness.
 	Balanced bool
 	// Workers parallelizes offline RR sampling (HIMOR construction) across
-	// goroutines; <= 1 means sequential. Results stay deterministic for a
-	// fixed (Seed, Workers) pair. Only the IC model parallelizes currently.
+	// goroutines; <= 1 means sequential. Purely a performance knob: each RR
+	// graph draws from a stream seeded by its pool index, so the output is
+	// identical for every Workers value. Only the IC model parallelizes
+	// currently.
 	Workers int
 }
 
@@ -195,7 +197,9 @@ func NewCODL(g *graph.Graph, p Params) (*CODL, error) {
 		return nil, err
 	}
 	var idx *Himor
-	if p.Workers > 1 && p.Model == ICWeightedCascade {
+	if p.Model == ICWeightedCascade {
+		// The pooled sampler seeds each RR graph from its index, so the index
+		// (and every query answer) is identical for any Workers value.
 		idx = BuildHimorParallel(g, t, influence.NewWeightedCascade(g), p.Theta, p.Seed^0x51ed, p.Workers)
 	} else {
 		idx = BuildHimorWithSampler(g, t, NewGraphSampler(g, p.Model, graph.NewRand(p.Seed^0x51ed)), p.Theta)

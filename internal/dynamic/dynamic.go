@@ -135,7 +135,7 @@ func (u *Updater) Flush(s Strategy) error {
 	if theta <= 0 {
 		theta = 10
 	}
-	sampler := core.NewGraphSampler(ng, u.params.Model, graph.NewRand(u.params.Seed^uint64(u.flushes+1)*0x9e3779b97f4a7c15))
+	sampler := core.NewGraphSampler(ng, u.params.Model, graph.NewRand(graph.ItemSeed(u.params.Seed, u.flushes)))
 	u.index = core.BuildHimorWithSampler(ng, nt, sampler, theta)
 	u.g = ng
 	u.tree = nt

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"slices"
 )
 
@@ -35,8 +36,9 @@ func (b *Builder) AddWeightedEdge(u, v NodeID, w float64) error {
 	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
 		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
 	}
-	if w <= 0 {
-		return fmt.Errorf("graph: edge (%d,%d) has non-positive weight %g", u, v, w)
+	if !(w > 0) || math.IsInf(w, 1) {
+		// !(w > 0) also rejects NaN, which w <= 0 would let through.
+		return fmt.Errorf("graph: edge (%d,%d) has non-positive or non-finite weight %g", u, v, w)
 	}
 	if u > v {
 		u, v = v, u

@@ -112,7 +112,9 @@ func ReadAttrFile(res *EdgeListResult, r io.Reader) (*Graph, error) {
 		}
 		for _, f := range fields[1:] {
 			a, err := strconv.Atoi(f)
-			if err != nil {
+			// Range-check before the int32 conversion so oversized attribute
+			// ids error out instead of wrapping into the universe.
+			if err != nil || a < 0 || a >= res.G.NumAttrs() {
 				return nil, fmt.Errorf("graph: attr line %d: %q", line, s)
 			}
 			attrs[v] = append(attrs[v], AttrID(a))

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the text parsers. The contract under test: arbitrary
+// input never panics — it either parses into a well-formed graph or returns
+// an error. Run the smoke pass with `make fuzz`.
+
+// headerTooBig cheaply pre-parses a cod-graph header and reports whether it
+// declares sizes large enough to make Read's up-front allocations dominate
+// the fuzz run. Such inputs are valid, just too expensive to execute en
+// masse; the parser itself still guards against them (32-bit id space).
+func headerTooBig(data []byte, cap int64) bool {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		if !strings.HasPrefix(s, "cod-graph ") {
+			return false // Read will reject it before allocating
+		}
+		if !sc.Scan() {
+			return false
+		}
+		var n, m, na int64
+		for i, f := range strings.Fields(strings.TrimSpace(sc.Text())) {
+			var x int64
+			for _, c := range f {
+				if c < '0' || c > '9' || x > cap {
+					break
+				}
+				x = x*10 + int64(c-'0')
+			}
+			switch i {
+			case 0:
+				n = x
+			case 1:
+				m = x
+			case 2:
+				na = x
+			}
+		}
+		return n > cap || m > cap || na > cap
+	}
+	return false
+}
+
+func FuzzRead(f *testing.F) {
+	f.Add([]byte("cod-graph 1\n3 2 2 0\ne 0 1\ne 1 2\na 0 1\n"))
+	f.Add([]byte("cod-graph 1\n3 2 0 1\ne 0 1 0.5\ne 1 2 2\n"))
+	f.Add([]byte("cod-graph 1\n2 1 1 0\n# comment\ne 0 1\na 1 0\n"))
+	f.Add([]byte("cod-graph 1\n-1 0 0 0\n"))
+	f.Add([]byte("cod-graph 1\n3 1 0 0\ne 0 1 NaN\n"))
+	f.Add([]byte("cod-graph 1\n3 1 0 0\ne 0 99999999999\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 || headerTooBig(data, 1<<20) {
+			t.Skip()
+		}
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Round-trip invariant: re-serializing and re-reading an accepted
+		// graph is a fixed point.
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo on accepted graph: %v", err)
+		}
+		g2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading serialized graph: %v\n%s", err, buf.Bytes())
+		}
+		var buf2 bytes.Buffer
+		if _, err := g2.WriteTo(&buf2); err != nil {
+			t.Fatalf("WriteTo on round-tripped graph: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatalf("round-trip is not a fixed point:\n--- first\n%s--- second\n%s", buf.Bytes(), buf2.Bytes())
+		}
+	})
+}
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add([]byte("# snap comment\n0\t1\n1\t2\n2\t0\n"))
+	f.Add([]byte("% konect comment\n10 20\n20 30\n"))
+	f.Add([]byte("5 5\n"))
+	f.Add([]byte("-3 4\n4 -3\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		res, err := ReadEdgeList(bytes.NewReader(data), 4)
+		if err != nil {
+			return
+		}
+		if res.G == nil || res.G.N() != len(res.OrigID) || len(res.DenseID) != len(res.OrigID) {
+			t.Fatalf("inconsistent id mapping: N=%d orig=%d dense=%d",
+				res.G.N(), len(res.OrigID), len(res.DenseID))
+		}
+		for dense, orig := range res.OrigID {
+			if res.DenseID[orig] != NodeID(dense) {
+				t.Fatalf("id mapping not a bijection at dense id %d", dense)
+			}
+		}
+	})
+}
+
+func FuzzReadAttrFile(f *testing.F) {
+	edges := "0 1\n1 2\n2 3\n3 0\n"
+	f.Add([]byte("0 0\n1 1 2\n"))
+	f.Add([]byte("# comment\n3 0 0 0\n"))
+	f.Add([]byte("7 0\n"))
+	f.Add([]byte("0 99999999999\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		res, err := ReadEdgeList(strings.NewReader(edges), 4)
+		if err != nil {
+			t.Fatalf("fixed edge list rejected: %v", err)
+		}
+		g, err := ReadAttrFile(res, bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if g.N() != res.G.N() || g.M() != res.G.M() {
+			t.Fatalf("attr attach changed topology: %d/%d -> %d/%d",
+				res.G.N(), res.G.M(), g.N(), g.M())
+		}
+		for v := NodeID(0); int(v) < g.N(); v++ {
+			for _, a := range g.Attrs(v) {
+				if a < 0 || int(a) >= g.NumAttrs() {
+					t.Fatalf("node %d has out-of-universe attribute %d", v, a)
+				}
+			}
+		}
+	})
+}

@@ -13,7 +13,29 @@ import (
 
 // NewRand returns the repository-wide deterministic PRNG for a seed.
 func NewRand(seed uint64) *rand.Rand {
-	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	return rand.New(NewPCG(seed))
+}
+
+// NewPCG returns the PCG source NewRand wraps, for callers that keep the
+// source around to reseed it per deterministic work item (see SeedPCG).
+func NewPCG(seed uint64) *rand.PCG {
+	return rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)
+}
+
+// SeedPCG reseeds p exactly as NewPCG(seed) would initialize it, so a stream
+// restarted mid-flight is indistinguishable from a freshly built one. Work
+// distributed across goroutines can thereby draw per-item streams (seed
+// derived from the item index) and produce output independent of the worker
+// count and schedule.
+func SeedPCG(p *rand.PCG, seed uint64) {
+	p.Seed(seed, seed^0x9e3779b97f4a7c15)
+}
+
+// ItemSeed derives the canonical per-item seed for deterministic fan-out:
+// item i of a computation seeded with base draws from ItemSeed(base, i).
+// The golden-ratio multiplier decorrelates consecutive indices.
+func ItemSeed(base uint64, i int) uint64 {
+	return base ^ (uint64(i)+1)*0x9e3779b97f4a7c15
 }
 
 // ErdosRenyi samples G(n, m): m distinct uniform random edges over n nodes,

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -16,6 +17,14 @@ import (
 //	a <v> <attr> ...     (one line per node that has attributes)
 //
 // Lines starting with '#' and blank lines are ignored on read.
+
+// ReadMaxNodes bounds the node count Read accepts. The builder allocates
+// per-node state before any edge line is parsed, so without a bound a
+// 40-byte header demanding ~2 billion nodes forces gigabytes of allocation
+// (a denial of service when reading untrusted files). The default admits
+// graphs well beyond the paper's largest dataset; callers loading genuinely
+// larger graphs can raise it before calling Read.
+var ReadMaxNodes = 1 << 26
 
 // WriteTo serializes g in the text format above and returns the number of
 // bytes written.
@@ -91,6 +100,21 @@ func Read(r io.Reader) (*Graph, error) {
 	if _, err := fmt.Sscanf(meta, "%d %d %d %d", &n, &m, &na, &weighted); err != nil {
 		return nil, fmt.Errorf("graph: bad size line %q: %w", meta, err)
 	}
+	if n < 0 || m < 0 || na < 0 {
+		return nil, fmt.Errorf("graph: negative size in header %q", meta)
+	}
+	if n > math.MaxInt32 || na > math.MaxInt32 {
+		return nil, fmt.Errorf("graph: header %q exceeds the 32-bit id space", meta)
+	}
+	if n > ReadMaxNodes {
+		return nil, fmt.Errorf("graph: header declares %d nodes, above ReadMaxNodes (%d)", n, ReadMaxNodes)
+	}
+	if maxM := int64(n) * int64(n-1) / 2; int64(m) > maxM {
+		return nil, fmt.Errorf("graph: header declares %d edges, %d nodes admit at most %d", m, n, maxM)
+	}
+	if weighted != 0 && weighted != 1 {
+		return nil, fmt.Errorf("graph: bad weighted flag in header %q", meta)
+	}
 	b := NewBuilder(n, na)
 	edges := 0
 	for {
@@ -109,6 +133,11 @@ func Read(r io.Reader) (*Graph, error) {
 			if err1 != nil || err2 != nil {
 				return nil, fmt.Errorf("graph: bad edge line %q", s)
 			}
+			// Range-check before the int32 conversion: an id beyond the node
+			// count must not wrap into range.
+			if u < 0 || u >= n || v < 0 || v >= n {
+				return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, n)
+			}
 			w := 1.0
 			if len(fields) >= 4 {
 				var err error
@@ -125,13 +154,13 @@ func Read(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("graph: bad attribute line %q", s)
 			}
 			v, err := strconv.Atoi(fields[1])
-			if err != nil {
+			if err != nil || v < 0 || v >= n {
 				return nil, fmt.Errorf("graph: bad attribute line %q", s)
 			}
 			attrs := make([]AttrID, 0, len(fields)-2)
 			for _, f := range fields[2:] {
 				a, err := strconv.Atoi(f)
-				if err != nil {
+				if err != nil || a < 0 || a >= na {
 					return nil, fmt.Errorf("graph: bad attribute line %q", s)
 				}
 				attrs = append(attrs, AttrID(a))

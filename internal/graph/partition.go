@@ -59,7 +59,7 @@ func NMI(a, b []int) float64 {
 	}
 	ha, hb := entropy(ca, n), entropy(cb, n)
 	if ha == 0 || hb == 0 {
-		if ha == hb {
+		if ha == 0 && hb == 0 {
 			return 1 // both partitions are single-cluster and identical
 		}
 		return 0

@@ -140,6 +140,7 @@ func (c *clusterer) nn(a int32, prefer int32) (best int32, bestSim float64, ok b
 		switch {
 		case best == -1, s > bestSim:
 			best, bestSim = b, s
+		//codvet:ignore floatcmp exact tie detection: equal linkage states must take the tie-break path
 		case s == bestSim && (b == prefer || (best != prefer && b < best)):
 			best = b
 		}

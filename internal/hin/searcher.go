@@ -57,8 +57,9 @@ func (s *Searcher) Discover(q graph.NodeID, attr graph.AttrID) (Community, error
 		return Community{}, fmt.Errorf("hin: query node %d is not of the meta-path anchor type %d",
 			q, s.path.Start)
 	}
+	rng := graph.NewRand(graph.ItemSeed(s.seed, int(s.seq)))
 	s.seq++
-	com, err := s.codl.Query(lq, attr, graph.NewRand(s.seed^(s.seq*0x9e3779b97f4a7c15)))
+	com, err := s.codl.Query(lq, attr, rng)
 	if err != nil {
 		return Community{}, err
 	}

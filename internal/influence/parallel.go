@@ -1,15 +1,17 @@
 package influence
 
 import (
+	"math/rand/v2"
 	"sync"
 
 	"github.com/codsearch/cod/internal/graph"
 )
 
-// ParallelBatch samples count RR graphs across workers goroutines, each with
-// its own Sampler seeded deterministically from seed, so the result is
-// reproducible for a fixed (seed, workers, count) triple. Samples are
-// returned grouped by worker (worker w produces the w-th contiguous block).
+// ParallelBatch samples count RR graphs across workers goroutines. Each
+// sample i draws from its own PRNG stream seeded by graph.ItemSeed(seed, i),
+// so out[i] depends only on (g, model, seed, i): the result is byte-for-byte
+// identical for any worker count or goroutine schedule. Workers reuse one
+// Sampler (its scratch arrays are O(|V|)) and reseed its source per sample.
 func ParallelBatch(g *graph.Graph, model Model, count int, seed uint64, workers int) []*RRGraph {
 	if workers < 1 {
 		workers = 1
@@ -33,13 +35,15 @@ func ParallelBatch(g *graph.Graph, model Model, count int, seed uint64, workers 
 		lo, hi := start, start+n
 		start = hi
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(lo, hi int) {
 			defer wg.Done()
-			s := NewSampler(g, model, graph.NewRand(seed^(uint64(w)+1)*0x9e3779b97f4a7c15))
+			src := graph.NewPCG(0)
+			s := NewSampler(g, model, rand.New(src))
 			for i := lo; i < hi; i++ {
+				graph.SeedPCG(src, graph.ItemSeed(seed, i))
 				out[i] = s.RRGraph()
 			}
-		}(w, lo, hi)
+		}(lo, hi)
 	}
 	wg.Wait()
 	return out

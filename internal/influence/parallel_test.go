@@ -1,6 +1,7 @@
 package influence
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/codsearch/cod/internal/graph"
@@ -20,6 +21,32 @@ func TestParallelBatchDeterministic(t *testing.T) {
 		}
 		if a[i].Source() != b[i].Source() || a[i].Len() != b[i].Len() {
 			t.Fatalf("sample %d differs across runs", i)
+		}
+	}
+}
+
+// rrBytes serializes a batch of RR graphs exactly (nodes, offsets, adjacency),
+// so two batches compare byte-for-byte.
+func rrBytes(t *testing.T, rrs []*RRGraph) string {
+	t.Helper()
+	out := ""
+	for i, r := range rrs {
+		if r == nil {
+			t.Fatalf("nil sample at %d", i)
+		}
+		out += fmt.Sprintf("%d:%v|%v|%v\n", i, r.Nodes, r.Off, r.Adj)
+	}
+	return out
+}
+
+func TestParallelBatchWorkerCountInvariant(t *testing.T) {
+	g := graph.BarabasiAlbert(60, 3, graph.NewRand(4))
+	model := NewWeightedCascade(g)
+	want := rrBytes(t, ParallelBatch(g, model, 300, 11, 1))
+	for _, workers := range []int{2, 3, 8} {
+		got := rrBytes(t, ParallelBatch(g, model, 300, 11, workers))
+		if got != want {
+			t.Fatalf("workers=%d batch differs from sequential batch", workers)
 		}
 	}
 }

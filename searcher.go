@@ -60,7 +60,8 @@ type Options struct {
 	// build time dramatically on retweet-like topologies.
 	Balanced bool
 	// Workers parallelizes the offline sampling phase across goroutines
-	// (<= 1 = sequential). Deterministic for a fixed (Seed, Workers) pair.
+	// (<= 1 = sequential). Purely a performance knob: results are identical
+	// for every Workers value under a fixed Seed.
 	Workers int
 }
 
@@ -245,6 +246,7 @@ func (s *Searcher) validate(q NodeID, attr AttrID) error {
 
 // nextRand derives a fresh deterministic stream per query.
 func (s *Searcher) nextRand() *rand.Rand {
+	r := graph.NewRand(graph.ItemSeed(s.opts.Seed, int(s.seq)))
 	s.seq++
-	return graph.NewRand(s.opts.Seed ^ (s.seq * 0x9e3779b97f4a7c15))
+	return r
 }
