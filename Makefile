@@ -7,7 +7,7 @@ CODVET  := $(BIN)/codvet
 PKGS    := ./...
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint vet codvet codvet-path fmt fmt-check bench fuzz check clean
+.PHONY: all build test race lint vet codvet codvet-path fmt fmt-check bench fuzz serve-smoke check clean
 
 all: build
 
@@ -55,7 +55,12 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReadEdgeList$$ -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run=^$$ -fuzz=FuzzReadAttrFile$$ -fuzztime=$(FUZZTIME) ./internal/graph/
 
-check: build lint test race
+# Boots codserve on a random port and drives the serving contract end to
+# end: readiness split, query endpoints, JSON errors, SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+check: build lint test race serve-smoke
 
 clean:
 	rm -rf $(BIN)

@@ -1,7 +1,7 @@
 package cod
 
 import (
-	"fmt"
+	"context"
 	"sync"
 
 	"github.com/codsearch/cod/internal/core"
@@ -28,9 +28,27 @@ type BatchResult struct {
 // from Options.Seed and its position, so results are reproducible
 // regardless of scheduling.
 func (s *Searcher) DiscoverBatch(queries []Query, workers int) []BatchResult {
+	return s.DiscoverBatchCtx(context.Background(), queries, workers)
+}
+
+// DiscoverBatchCtx is DiscoverBatch with cancellation. All queries are
+// validated up front with the same error shape as Discover (out-of-range
+// nodes and attributes are reported identically and consume no query work).
+// Workers check the context before starting each query and inside each
+// query's sampling loops; when the context ends, queries already completed
+// keep their results — per-item seeding makes them identical to an
+// uncancelled run — and every unstarted or interrupted query reports an
+// error wrapping the context error.
+func (s *Searcher) DiscoverBatchCtx(ctx context.Context, queries []Query, workers int) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	if len(queries) == 0 {
 		return out
+	}
+	// Up-front validation: one error shape for node and attribute, applied
+	// before any pipeline is consulted.
+	for i, q := range queries {
+		out[i].Query = q
+		out[i].Err = s.validate(q.Node, q.Attr)
 	}
 	if workers <= 0 {
 		workers = len(queries)
@@ -53,18 +71,16 @@ func (s *Searcher) DiscoverBatch(queries []Query, workers int) []BatchResult {
 			// shared tree/index but samplers are per-call.
 			codl := core.NewCODLWithTree(s.g.internalGraph(), s.codl.Tree(), s.codl.Index(), params)
 			for i := range jobs {
+				if out[i].Err != nil {
+					continue // rejected by up-front validation
+				}
+				if err := ctx.Err(); err != nil {
+					out[i].Err = &CanceledError{Op: "cod: batch query", Done: 0, Total: 1, Cause: err}
+					continue
+				}
 				q := queries[i]
-				out[i].Query = q
-				if q.Node < 0 || int(q.Node) >= s.g.N() {
-					out[i].Err = fmt.Errorf("cod: query node %d out of range [0,%d)", q.Node, s.g.N())
-					continue
-				}
-				if q.Attr < 0 || (s.g.NumAttrs() > 0 && int(q.Attr) >= s.g.NumAttrs()) {
-					out[i].Err = fmt.Errorf("cod: attribute %d out of range [0,%d)", q.Attr, s.g.NumAttrs())
-					continue
-				}
 				rng := graph.NewRand(graph.ItemSeed(s.opts.Seed, i))
-				com, err := codl.Query(q.Node, q.Attr, rng)
+				com, err := codl.QueryCtx(ctx, q.Node, q.Attr, rng)
 				if err != nil {
 					out[i].Err = err
 					continue

@@ -1,43 +1,153 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/codsearch/cod"
 )
 
-// Handler serves COD queries over one Searcher. The Searcher is not safe
-// for concurrent use (its per-query seed sequence and CODR cache mutate),
-// so requests serialize on a mutex; the offline state dominates query cost
-// anyway.
-type Handler struct {
-	mu  sync.Mutex
-	g   *cod.Graph
-	s   *cod.Searcher
-	mux *http.ServeMux
+// Config tunes the Handler's serving guards.
+type Config struct {
+	// QueryTimeout bounds each query request's context; 0 means no
+	// per-request deadline. Expired queries return 504 with the partial
+	// progress recorded in the error body.
+	QueryTimeout time.Duration
+	// MaxInFlight caps concurrently admitted query requests; excess load is
+	// shed with 429 + Retry-After instead of queueing without bound.
+	// <= 0 selects the default of 64.
+	MaxInFlight int
 }
 
-// NewHandler wires the endpoints for g and s.
-func NewHandler(g *cod.Graph, s *cod.Searcher) *Handler {
-	h := &Handler{g: g, s: s, mux: http.NewServeMux()}
+const defaultMaxInFlight = 64
+
+// Handler serves COD queries over one Searcher. The Searcher is not safe
+// for concurrent use (its per-query seed sequence and CODR cache mutate),
+// so query execution serializes on a mutex; admission control above the
+// mutex sheds load instead of queueing unboundedly. The Searcher may be
+// attached after the Handler starts serving (SetSearcher): until then the
+// process is live (/healthz) but not ready (/readyz and all query routes
+// answer 503), which lets the offline phase run while probes see progress.
+type Handler struct {
+	mu       sync.Mutex
+	g        *cod.Graph
+	searcher atomic.Pointer[cod.Searcher]
+	mux      *http.ServeMux
+	inflight chan struct{}
+	timeout  time.Duration
+}
+
+// routeMethods drives the JSON 404/405 catch-all in ServeHTTP.
+var routeMethods = map[string][]string{
+	"/healthz":   {http.MethodGet},
+	"/readyz":    {http.MethodGet},
+	"/stats":     {http.MethodGet},
+	"/discover":  {http.MethodGet},
+	"/influence": {http.MethodGet},
+	"/batch":     {http.MethodPost},
+}
+
+// NewHandler wires the endpoints for g. s may be nil; the Handler then
+// reports not-ready until SetSearcher delivers the offline state.
+func NewHandler(g *cod.Graph, s *cod.Searcher, cfg Config) *Handler {
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = defaultMaxInFlight
+	}
+	h := &Handler{
+		g:        g,
+		mux:      http.NewServeMux(),
+		inflight: make(chan struct{}, maxInFlight),
+		timeout:  cfg.QueryTimeout,
+	}
+	if s != nil {
+		h.searcher.Store(s)
+	}
 	h.mux.HandleFunc("GET /healthz", h.healthz)
-	h.mux.HandleFunc("GET /stats", h.stats)
-	h.mux.HandleFunc("GET /discover", h.discover)
-	h.mux.HandleFunc("GET /influence", h.influence)
-	h.mux.HandleFunc("POST /batch", h.batch)
+	h.mux.HandleFunc("GET /readyz", h.readyz)
+	h.mux.HandleFunc("GET /stats", h.guard(h.stats))
+	h.mux.HandleFunc("GET /discover", h.guard(h.discover))
+	h.mux.HandleFunc("GET /influence", h.guard(h.influence))
+	h.mux.HandleFunc("POST /batch", h.guard(h.batch))
 	return h
 }
 
-// ServeHTTP implements http.Handler.
-func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+// SetSearcher attaches the offline state, flipping the Handler to ready.
+func (h *Handler) SetSearcher(s *cod.Searcher) { h.searcher.Store(s) }
+
+// ServeHTTP implements http.Handler: panic recovery around every route,
+// and JSON bodies for unknown paths (404) and wrong methods (405) so every
+// response the server emits is machine-readable.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			log.Printf("codserve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			httpError(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	if _, pattern := h.mux.Handler(r); pattern == "" {
+		if allowed, known := routeMethods[r.URL.Path]; known {
+			w.Header().Set("Allow", strings.Join(allowed, ", "))
+			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed for %s", r.Method, r.URL.Path)
+			return
+		}
+		httpError(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
+		return
+	}
+	h.mux.ServeHTTP(w, r)
+}
+
+// guard is the admission pipeline for query routes: readiness check, then
+// load shedding, then the per-request deadline. Only admitted requests
+// reach next, with a context the query pipelines poll.
+func (h *Handler) guard(next func(http.ResponseWriter, *http.Request, *cod.Searcher)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s := h.searcher.Load()
+		if s == nil {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "offline phase in progress; not ready")
+			return
+		}
+		select {
+		case h.inflight <- struct{}{}:
+			defer func() { <-h.inflight }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "server at capacity (%d requests in flight)", cap(h.inflight))
+			return
+		}
+		if h.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), h.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next(w, r, s)
+	}
+}
 
 func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = w.Write([]byte("ok"))
+}
+
+func (h *Handler) readyz(w http.ResponseWriter, _ *http.Request) {
+	if h.searcher.Load() == nil {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "offline phase in progress; not ready")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ready"))
 }
 
 type statsResponse struct {
@@ -48,12 +158,12 @@ type statsResponse struct {
 	Weighted bool    `json:"weighted"`
 }
 
-func (h *Handler) stats(w http.ResponseWriter, _ *http.Request) {
+func (h *Handler) stats(w http.ResponseWriter, _ *http.Request, s *cod.Searcher) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		Nodes:   h.g.N(),
 		Edges:   h.g.M(),
 		Attrs:   h.g.NumAttrs(),
-		IndexMB: float64(h.s.IndexBytes()) / (1 << 20),
+		IndexMB: float64(s.IndexBytes()) / (1 << 20),
 	})
 }
 
@@ -70,7 +180,7 @@ type discoverResponse struct {
 	Nodes       []int32 `json:"nodes,omitempty"`
 }
 
-func (h *Handler) discover(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) discover(w http.ResponseWriter, r *http.Request, s *cod.Searcher) {
 	q, ok := intParam(w, r, "q")
 	if !ok {
 		return
@@ -83,7 +193,14 @@ func (h *Handler) discover(w http.ResponseWriter, r *http.Request) {
 	if method == "" {
 		method = "codl"
 	}
+	switch method {
+	case "codl", "codu", "codr":
+	default:
+		httpError(w, http.StatusBadRequest, "unknown method %q (want codl, codu, or codr)", method)
+		return
+	}
 
+	ctx := r.Context()
 	h.mu.Lock()
 	var (
 		com cod.Community
@@ -91,19 +208,15 @@ func (h *Handler) discover(w http.ResponseWriter, r *http.Request) {
 	)
 	switch method {
 	case "codl":
-		com, err = h.s.Discover(cod.NodeID(q), cod.AttrID(attr))
+		com, err = s.DiscoverCtx(ctx, cod.NodeID(q), cod.AttrID(attr))
 	case "codu":
-		com, err = h.s.DiscoverUnattributed(cod.NodeID(q))
+		com, err = s.DiscoverUnattributedCtx(ctx, cod.NodeID(q))
 	case "codr":
-		com, err = h.s.DiscoverGlobal(cod.NodeID(q), cod.AttrID(attr))
-	default:
-		h.mu.Unlock()
-		httpError(w, http.StatusBadRequest, "unknown method %q", method)
-		return
+		com, err = s.DiscoverGlobalCtx(ctx, cod.NodeID(q), cod.AttrID(attr))
 	}
 	h.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		queryError(w, err)
 		return
 	}
 	resp := discoverResponse{Query: q, Attr: attr, Method: method, Found: com.Found, FromIndex: com.FromIndex}
@@ -124,16 +237,16 @@ type influenceResponse struct {
 	Influence float64 `json:"influence"`
 }
 
-func (h *Handler) influence(w http.ResponseWriter, r *http.Request) {
+func (h *Handler) influence(w http.ResponseWriter, r *http.Request, s *cod.Searcher) {
 	q, ok := intParam(w, r, "q")
 	if !ok {
 		return
 	}
 	h.mu.Lock()
-	infl, err := h.s.EstimateInfluence(cod.NodeID(q))
+	infl, err := s.EstimateInfluenceCtx(r.Context(), cod.NodeID(q))
 	h.mu.Unlock()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		queryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, influenceResponse{Query: q, Influence: infl})
@@ -156,8 +269,10 @@ type batchItem struct {
 }
 
 // batch answers many queries in one request via the Searcher's concurrent
-// DiscoverBatch (bounded body, capped batch size).
-func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
+// DiscoverBatchCtx (bounded body, capped batch size). Invalid items are
+// rejected by the same up-front validation Discover applies — one error
+// shape across the scalar and batch routes — without consuming query work.
+func (h *Handler) batch(w http.ResponseWriter, r *http.Request, s *cod.Searcher) {
 	var req batchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
@@ -173,8 +288,17 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 		queries[i] = cod.Query{Node: q.Q, Attr: q.Attr}
 	}
 	h.mu.Lock()
-	results := h.s.DiscoverBatch(queries, req.Workers)
+	results := s.DiscoverBatchCtx(r.Context(), queries, req.Workers)
 	h.mu.Unlock()
+	// A deadline that fires mid-batch leaves every unfinished item carrying
+	// the context error; report the whole request as timed out rather than
+	// a 200 with silently missing answers.
+	for _, res := range results {
+		if res.Err != nil && errors.Is(res.Err, context.DeadlineExceeded) {
+			queryError(w, res.Err)
+			return
+		}
+	}
 	out := make([]batchItem, len(results))
 	for i, res := range results {
 		out[i] = batchItem{Query: res.Query.Node, Attr: res.Query.Attr}
@@ -186,6 +310,21 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request) {
 		out[i].Size = res.Community.Size()
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// queryError maps a query failure onto the serving contract: deadline
+// expiry is 504, cancellation (shutdown) is 503, anything else is caller
+// error. Partial-progress detail from cod.CanceledError rides along in the
+// JSON body.
+func queryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "query timed out: %v", err)
+	case errors.Is(err, context.Canceled):
+		httpError(w, http.StatusServiceUnavailable, "query canceled: %v", err)
+	default:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	}
 }
 
 func intParam(w http.ResponseWriter, r *http.Request, name string) (int, bool) {

@@ -8,11 +8,12 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/codsearch/cod"
 )
 
-func testServer(t *testing.T) (*httptest.Server, *cod.Graph) {
+func testHandler(t *testing.T, cfg Config) (*Handler, *cod.Graph) {
 	t.Helper()
 	g, err := cod.GenerateDataset("tiny", 7)
 	if err != nil {
@@ -22,7 +23,13 @@ func testServer(t *testing.T) (*httptest.Server, *cod.Graph) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(NewHandler(g, s))
+	return NewHandler(g, s, cfg), g
+}
+
+func testServer(t *testing.T) (*httptest.Server, *cod.Graph) {
+	t.Helper()
+	h, g := testHandler(t, Config{})
+	srv := httptest.NewServer(h)
 	t.Cleanup(srv.Close)
 	return srv, g
 }
@@ -36,6 +43,20 @@ func getJSON(t *testing.T, url string, wantStatus int, out any) {
 	defer resp.Body.Close()
 	if resp.StatusCode != wantStatus {
 		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct == "" {
+		t.Errorf("GET %s: missing Content-Type", url)
+	}
+	// Every non-2xx body is a JSON error object per the serving contract.
+	if wantStatus >= 400 {
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("GET %s: non-JSON error body: %v", url, err)
+		}
+		if body["error"] == "" {
+			t.Errorf("GET %s: error body without message", url)
+		}
+		return
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -186,5 +207,161 @@ func TestBatchEndpoint(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("body %q: status %d", bad, resp.StatusCode)
 		}
+	}
+}
+
+func TestBatchValidationMatchesDiscoverShape(t *testing.T) {
+	// The /batch route must reject an out-of-range node with the same error
+	// text /discover produces for it: one validation shape across routes.
+	srv, _ := testServer(t)
+	resp, err := http.Post(srv.URL+"/batch", "application/json",
+		strings.NewReader(`{"queries":[{"q":999999,"attr":0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var items []batchItem
+	if err := json.NewDecoder(resp.Body).Decode(&items); err != nil {
+		t.Fatal(err)
+	}
+	discResp, err := http.Get(srv.URL + "/discover?q=999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer discResp.Body.Close()
+	var discBody map[string]string
+	if err := json.NewDecoder(discResp.Body).Decode(&discBody); err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Error == "" || items[0].Error != discBody["error"] {
+		t.Errorf("validation shapes differ:\n batch:    %q\n discover: %q", items[0].Error, discBody["error"])
+	}
+}
+
+func TestNotReadyUntilSearcherAttached(t *testing.T) {
+	g, err := cod.GenerateDataset("tiny", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(g, nil, Config{})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// Live but not ready: probes split.
+	getJSON(t, srv.URL+"/healthz", http.StatusOK, nil)
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz before ready: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("/readyz 503 without Retry-After")
+	}
+	getJSON(t, srv.URL+"/discover?q=0", http.StatusServiceUnavailable, nil)
+	getJSON(t, srv.URL+"/stats", http.StatusServiceUnavailable, nil)
+
+	s, err := cod.NewSearcher(g, cod.Options{K: 5, Theta: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.SetSearcher(s)
+	getJSON(t, srv.URL+"/readyz", http.StatusOK, nil)
+	getJSON(t, srv.URL+"/discover?q=0", http.StatusOK, nil)
+}
+
+func TestQueryTimeoutReturns504(t *testing.T) {
+	h, g := testHandler(t, Config{QueryTimeout: time.Nanosecond})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	var q cod.NodeID
+	for v := cod.NodeID(0); int(v) < g.N(); v++ {
+		if len(g.Attrs(v)) > 0 {
+			q = v
+			break
+		}
+	}
+	start := time.Now()
+	url := srv.URL + "/discover?q=" + strconv.Itoa(int(q)) + "&method=codr"
+	getJSON(t, url, http.StatusGatewayTimeout, nil)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("504 took %v", elapsed)
+	}
+	// Batch requests share the deadline and must not 200 with missing
+	// answers.
+	resp, err := http.Post(srv.URL+"/batch", "application/json",
+		strings.NewReader(`{"queries":[{"q":`+strconv.Itoa(int(q))+`,"attr":0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("timed-out batch: status %d, want 504", resp.StatusCode)
+	}
+}
+
+func TestLoadShedReturns429(t *testing.T) {
+	h, _ := testHandler(t, Config{MaxInFlight: 1})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	// Occupy the only admission slot, then probe: deterministic shedding
+	// without racing a slow request.
+	h.inflight <- struct{}{}
+	resp, err := http.Get(srv.URL + "/discover?q=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("non-JSON 429 body: %v", err)
+	}
+	<-h.inflight
+	// Slot freed: queries admitted again, and the slot is returned after
+	// each request (a second probe still succeeds).
+	getJSON(t, srv.URL+"/influence?q=0", http.StatusOK, nil)
+	getJSON(t, srv.URL+"/influence?q=0", http.StatusOK, nil)
+}
+
+func TestPanicRecoveryReturns500(t *testing.T) {
+	h, _ := testHandler(t, Config{})
+	// A route that panics exercises the recovery middleware without
+	// depending on any real handler misbehaving.
+	h.mux.HandleFunc("GET /panic", func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	getJSON(t, srv.URL+"/panic", http.StatusInternalServerError, nil)
+	// The server survives the panic.
+	getJSON(t, srv.URL+"/healthz", http.StatusOK, nil)
+}
+
+func TestUnknownRouteAndMethodAreJSON(t *testing.T) {
+	srv, _ := testServer(t)
+	getJSON(t, srv.URL+"/nope", http.StatusNotFound, nil)
+	// Wrong method on a known path: 405 with Allow.
+	resp, err := http.Post(srv.URL+"/discover", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /discover: status %d, want 405", resp.StatusCode)
+	}
+	if resp.Header.Get("Allow") == "" {
+		t.Error("405 without Allow header")
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("non-JSON 405 body: %v", err)
 	}
 }

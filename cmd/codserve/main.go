@@ -1,54 +1,139 @@
 // Command codserve exposes a COD Searcher over HTTP. The offline phase
-// (clustering + HIMOR) runs at startup; queries are then served as JSON.
+// (clustering + HIMOR) runs in the background after the listener is up:
+// the process is immediately live for probes, and flips ready when the
+// index is built. Queries are served as JSON with per-request deadlines,
+// bounded concurrency, and graceful drain on SIGINT/SIGTERM.
 //
 //	codserve -dataset cora -addr :8080
-//	codserve -graph data/mygraph.txt -k 3
+//	codserve -graph data/mygraph.txt -k 3 -query-timeout 5s
 //
 // Endpoints:
 //
-//	GET  /healthz                        -> 200 "ok"
+//	GET  /healthz                        -> 200 while the process lives
+//	GET  /readyz                         -> 200 once the offline phase is done, else 503
 //	GET  /stats                          -> graph/index statistics
 //	GET  /discover?q=42&attr=1[&method=codl|codu|codr]
 //	GET  /influence?q=42
 //	POST /batch                          -> {"queries":[{"q":42,"attr":1},...]}
+//
+// Serving contract: malformed input is 400, not-ready is 503, shed load is
+// 429 with Retry-After, an expired -query-timeout is 504, and every
+// response carries a Content-Type (JSON error bodies everywhere but the
+// probe endpoints).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/codsearch/cod"
 )
 
 func main() {
 	var (
-		graphFile = flag.String("graph", "", "graph file in cod text format (overrides -dataset)")
-		datasetN  = flag.String("dataset", "cora", "built-in dataset name")
-		addr      = flag.String("addr", ":8080", "listen address")
-		k         = flag.Int("k", 5, "required influence rank k")
-		theta     = flag.Int("theta", 10, "RR graphs per node (θ)")
-		seed      = flag.Uint64("seed", 42, "random seed")
+		graphFile    = flag.String("graph", "", "graph file in cod text format (overrides -dataset)")
+		datasetN     = flag.String("dataset", "cora", "built-in dataset name")
+		addr         = flag.String("addr", ":8080", "listen address")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening")
+		k            = flag.Int("k", 5, "required influence rank k")
+		theta        = flag.Int("theta", 10, "RR graphs per node (θ)")
+		seed         = flag.Uint64("seed", 42, "random seed")
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-request query deadline (0 = none)")
+		maxInFlight  = flag.Int("max-inflight", 64, "concurrent query cap before shedding with 429")
+		grace        = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight queries on shutdown")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	g, err := loadGraph(*graphFile, *datasetN, *seed)
 	if err != nil {
 		log.Fatal("codserve: ", err)
 	}
 	log.Printf("graph loaded: n=%d m=%d attrs=%d", g.N(), g.M(), g.NumAttrs())
-	s, err := cod.NewSearcher(g, cod.Options{K: *k, Theta: *theta, Seed: *seed})
+
+	h := NewHandler(g, nil, Config{QueryTimeout: *queryTimeout, MaxInFlight: *maxInFlight})
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal("codserve: ", err)
 	}
-	log.Printf("offline phase done; index %.2f MB", float64(s.IndexBytes())/(1<<20))
-
-	log.Printf("listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, NewHandler(g, s)); err != nil {
-		log.Fatal("codserve: ", err)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatal("codserve: writing addr file: ", err)
+		}
 	}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      writeTimeoutFor(*queryTimeout),
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("listening on %s (queries answer 503 until the offline phase completes)", ln.Addr())
+
+	// The offline phase polls ctx, so a shutdown signal during warmup
+	// abandons the build instead of blocking the drain.
+	buildDone := make(chan error, 1)
+	go func() {
+		s, err := cod.NewSearcherCtx(ctx, g, cod.Options{K: *k, Theta: *theta, Seed: *seed})
+		if err != nil {
+			buildDone <- err
+			return
+		}
+		h.SetSearcher(s)
+		log.Printf("offline phase done; index %.2f MB; ready", float64(s.IndexBytes())/(1<<20))
+		buildDone <- nil
+	}()
+
+	select {
+	case err := <-serveErr:
+		log.Fatal("codserve: ", err)
+	case <-ctx.Done():
+	case err := <-buildDone:
+		if err != nil {
+			if ctx.Err() == nil {
+				log.Fatal("codserve: offline phase: ", err)
+			}
+			log.Printf("offline phase abandoned on shutdown: %v", err)
+		}
+		if ctx.Err() == nil {
+			select {
+			case err := <-serveErr:
+				log.Fatal("codserve: ", err)
+			case <-ctx.Done():
+			}
+		}
+	}
+
+	stop() // a second signal now kills the process immediately
+	log.Printf("shutdown signal received; draining in-flight queries (grace %v)", *grace)
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Fatal("codserve: drain incomplete: ", err)
+	}
+	log.Printf("drained cleanly; exiting")
+}
+
+// writeTimeoutFor keeps the server-side write deadline safely above the
+// per-query deadline so 504 bodies are written by the handler, not cut off
+// by the connection.
+func writeTimeoutFor(queryTimeout time.Duration) time.Duration {
+	if queryTimeout <= 0 {
+		return 0 // no bound: match the unbounded query deadline
+	}
+	return queryTimeout + 15*time.Second
 }
 
 func loadGraph(graphFile, datasetN string, seed uint64) (*cod.Graph, error) {

@@ -11,12 +11,15 @@
 // Analyzers: detrand (no global randomness or time-derived seeds in library
 // code), maporder (no order-dependent map iteration), sharedwrite (no
 // unsynchronized writes to captured variables in goroutines), floatcmp (no
-// equality comparison of computed floats). Suppress a deliberate violation
+// equality comparison of computed floats), ctxpoll (no work loops that
+// ignore an accepted context in the core/influence pipelines). Suppress a
+// deliberate violation
 // with `//codvet:ignore <analyzer> <reason>` on or above the line.
 package main
 
 import (
 	"github.com/codsearch/cod/internal/analysis"
+	"github.com/codsearch/cod/internal/analysis/ctxpoll"
 	"github.com/codsearch/cod/internal/analysis/detrand"
 	"github.com/codsearch/cod/internal/analysis/floatcmp"
 	"github.com/codsearch/cod/internal/analysis/maporder"
@@ -29,5 +32,6 @@ func main() {
 		maporder.Analyzer,
 		sharedwrite.Analyzer,
 		floatcmp.Analyzer,
+		ctxpoll.Analyzer,
 	)
 }

@@ -1,0 +1,121 @@
+package cod
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// The public *Ctx APIs must fail fast on a dead context, report typed
+// partial-progress errors, and keep the validation error shape identical to
+// the plain APIs.
+
+func TestDiscoverCtxCancellation(t *testing.T) {
+	g := buildTestGraph(t)
+	s, err := NewSearcher(g, Options{K: 3, Theta: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := determinismQueries(g)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	start := time.Now()
+	if _, err := s.DiscoverCtx(ctx, q.Node, q.Attr); !errors.Is(err, context.Canceled) {
+		t.Errorf("DiscoverCtx error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("canceled DiscoverCtx took %v", elapsed)
+	}
+	if _, err := s.DiscoverUnattributedCtx(ctx, q.Node); !errors.Is(err, context.Canceled) {
+		t.Errorf("DiscoverUnattributedCtx error = %v", err)
+	}
+	if _, err := s.DiscoverGlobalCtx(ctx, q.Node, q.Attr); !errors.Is(err, context.Canceled) {
+		t.Errorf("DiscoverGlobalCtx error = %v", err)
+	}
+	var ce *CanceledError
+	if _, err := s.EstimateInfluenceCtx(ctx, q.Node); !errors.As(err, &ce) {
+		t.Errorf("EstimateInfluenceCtx error %T carries no progress", err)
+	} else if ce.Total == 0 || ce.Done != 0 {
+		t.Errorf("unexpected progress %d/%d", ce.Done, ce.Total)
+	}
+	if _, _, err := s.MaximizeInfluenceCtx(ctx, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("MaximizeInfluenceCtx error = %v", err)
+	}
+
+	// Validation still runs before the context check, with the plain shape.
+	_, errPlain := s.Discover(-1, 0)
+	_, errCtx := s.DiscoverCtx(ctx, -1, 0)
+	if errPlain == nil || errCtx == nil || errPlain.Error() != errCtx.Error() {
+		t.Errorf("validation error shape differs: %v vs %v", errPlain, errCtx)
+	}
+}
+
+func TestDiscoverCtxDeadline(t *testing.T) {
+	g := buildTestGraph(t)
+	s, err := NewSearcher(g, Options{K: 3, Theta: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := determinismQueries(g)[0]
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	if _, err := s.DiscoverCtx(ctx, q.Node, q.Attr); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired deadline error = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestDiscoverBatchCtxCancellation(t *testing.T) {
+	g := buildTestGraph(t)
+	s, err := NewSearcher(g, Options{K: 3, Theta: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := determinismQueries(g)
+	queries = append(queries, Query{Node: -1, Attr: 0})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := s.DiscoverBatchCtx(ctx, queries, 4)
+	for i, r := range results {
+		if r.Err == nil {
+			t.Fatalf("item %d: canceled batch item returned no error", i)
+		}
+		if i == len(results)-1 {
+			// The invalid query must be rejected by validation, not the
+			// context: validation is checked first.
+			if errors.Is(r.Err, context.Canceled) {
+				t.Errorf("invalid query reported context error: %v", r.Err)
+			}
+			continue
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("item %d: error %v does not unwrap to context.Canceled", i, r.Err)
+		}
+	}
+}
+
+func TestDiscoverBatchValidationMatchesDiscover(t *testing.T) {
+	g := buildTestGraph(t)
+	s, err := NewSearcher(g, Options{K: 3, Theta: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node and attribute range errors must share one shape between the
+	// scalar and batch APIs (and Validate).
+	cases := []Query{{Node: NodeID(g.N()), Attr: 0}, {Node: 0, Attr: AttrID(g.NumAttrs())}}
+	for _, q := range cases {
+		_, scalarErr := s.Discover(q.Node, q.Attr)
+		batch := s.DiscoverBatch([]Query{q}, 1)
+		if scalarErr == nil || batch[0].Err == nil {
+			t.Fatalf("invalid query %+v accepted", q)
+		}
+		if scalarErr.Error() != batch[0].Err.Error() {
+			t.Errorf("error shapes differ for %+v:\n scalar: %v\n batch:  %v", q, scalarErr, batch[0].Err)
+		}
+		if vErr := s.Validate(q.Node, q.Attr); vErr == nil || vErr.Error() != scalarErr.Error() {
+			t.Errorf("Validate shape differs for %+v: %v vs %v", q, vErr, scalarErr)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package cod
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -52,6 +53,70 @@ func TestDiscoverBatchReplayByteIdentical(t *testing.T) {
 		if got != want {
 			t.Errorf("workers=%d batch differs from sequential run:\n--- sequential\n%s--- workers=%d\n%s",
 				workers, want, workers, got)
+		}
+	}
+}
+
+// TestDiscoverCtxByteIdenticalToDiscover locks the context-plumbing
+// contract: an uncancelled DiscoverCtx must answer byte-identically to
+// Discover — the bounded-interval ctx polling consumes no randomness. Two
+// independently built Searchers isolate the per-query seed sequence.
+func TestDiscoverCtxByteIdenticalToDiscover(t *testing.T) {
+	g := buildTestGraph(t)
+	queries := determinismQueries(g)
+	if len(queries) == 0 {
+		t.Fatal("no attributed query nodes in test graph")
+	}
+	opts := Options{K: 3, Theta: 4, Seed: 97}
+	s1, err := NewSearcher(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSearcherCtx(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		want, err1 := s1.Discover(q.Node, q.Attr)
+		got, err2 := s2.DiscoverCtx(context.Background(), q.Node, q.Attr)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("query %+v errored: %v / %v", q, err1, err2)
+		}
+		if fmt.Sprintf("%+v", want) != fmt.Sprintf("%+v", got) {
+			t.Errorf("query %+v: DiscoverCtx %+v differs from Discover %+v", q, got, want)
+		}
+	}
+	// The unattributed and global variants share the same contract.
+	u1, _ := s1.DiscoverUnattributed(queries[0].Node)
+	u2, _ := s2.DiscoverUnattributedCtx(context.Background(), queries[0].Node)
+	if fmt.Sprintf("%+v", u1) != fmt.Sprintf("%+v", u2) {
+		t.Errorf("DiscoverUnattributedCtx %+v differs from DiscoverUnattributed %+v", u2, u1)
+	}
+	g1, _ := s1.DiscoverGlobal(queries[0].Node, queries[0].Attr)
+	g2, _ := s2.DiscoverGlobalCtx(context.Background(), queries[0].Node, queries[0].Attr)
+	if fmt.Sprintf("%+v", g1) != fmt.Sprintf("%+v", g2) {
+		t.Errorf("DiscoverGlobalCtx %+v differs from DiscoverGlobal %+v", g2, g1)
+	}
+}
+
+// TestDiscoverBatchCtxByteIdentical extends the replay suite to the ctx
+// batch path: uncancelled DiscoverBatchCtx must equal DiscoverBatch for
+// every worker count.
+func TestDiscoverBatchCtxByteIdentical(t *testing.T) {
+	g := buildTestGraph(t)
+	s, err := NewSearcher(g, Options{K: 3, Theta: 4, Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := determinismQueries(g)
+	// Include invalid entries: up-front validation must report them the same
+	// way on both paths.
+	queries = append(queries, Query{Node: -1, Attr: 0}, Query{Node: 0, Attr: 9999})
+	want := batchBytes(s.DiscoverBatch(queries, 1))
+	for _, workers := range []int{1, 2, 8} {
+		got := batchBytes(s.DiscoverBatchCtx(context.Background(), queries, workers))
+		if got != want {
+			t.Errorf("ctx batch workers=%d differs:\n--- plain\n%s--- ctx\n%s", workers, want, got)
 		}
 	}
 }

@@ -1,0 +1,191 @@
+// Package ctxpoll enforces the cancellation contract in the query and
+// sampling pipelines.
+//
+// The *Ctx entry points of internal/core and internal/influence promise
+// bounded-latency cancellation: every long-running loop polls ctx.Err() at
+// bounded intervals (influence.PollEvery samples, hac's merge-step stride).
+// The cheapest way to break that promise is to accept a context.Context and
+// then never look at it — the signature claims cancellation that the body
+// does not implement. The analyzer reports, in packages under internal/core
+// and internal/influence, every loop that does real work (contains a
+// non-builtin call) inside a function whose context parameter is never
+// referenced anywhere in the function body — neither checked via ctx.Err(),
+// selected on, nor forwarded to a callee.
+//
+// Loops in functions that do observe their context somewhere are accepted:
+// a single up-front check before a cheap bounded loop is a legitimate
+// pattern (see core.LoreCtx), and distinguishing it from a missing poll is
+// a judgment the determinism-replay and cancellation tests make. Suppress a
+// deliberate exception with //codvet:ignore ctxpoll and a reason.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/codsearch/cod/internal/analysis"
+)
+
+// Analyzer is the ctxpoll analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "forbid loops that ignore an accepted context.Context in the core/influence pipelines",
+	Run:  run,
+}
+
+// scopedPaths limits the check to the packages that carry the cancellation
+// contract; elsewhere an unused context parameter is a style question, not
+// a correctness one.
+var scopedPaths = []string{"internal/core", "internal/influence"}
+
+func run(pass *analysis.Pass) error {
+	if !pass.IsLibraryPackage() || !inScope(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func inScope(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	for _, p := range scopedPaths {
+		if strings.Contains(pkg.Path(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc reports work loops in fn when fn accepts a context it never
+// observes.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ctxVars := contextParams(pass.TypesInfo, fn)
+	if len(ctxVars) == 0 {
+		return
+	}
+	if referencesAny(pass.TypesInfo, fn.Body, ctxVars) {
+		return
+	}
+	// The context is dead weight: every loop that does real work is a
+	// cancellation gap. Report outermost loops only — fixing the function
+	// fixes them all.
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if containsWork(pass.TypesInfo, n.Body) {
+				pass.Reportf(n.Pos(),
+					"loop never observes the context accepted by %s; poll ctx.Err() at a bounded interval (e.g. influence.PollEvery) or drop the parameter",
+					fn.Name.Name)
+				return false
+			}
+		case *ast.RangeStmt:
+			if containsWork(pass.TypesInfo, n.Body) {
+				pass.Reportf(n.Pos(),
+					"loop never observes the context accepted by %s; poll ctx.Err() at a bounded interval (e.g. influence.PollEvery) or drop the parameter",
+					fn.Name.Name)
+				return false
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, visit)
+}
+
+// contextParams returns the declared objects of fn's context.Context
+// parameters.
+func contextParams(info *types.Info, fn *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// referencesAny reports whether any identifier in body resolves to one of
+// objs. A reference inside a nested function literal counts: forwarding ctx
+// into a worker closure observes it.
+func referencesAny(info *types.Info, body ast.Node, objs []types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		use := info.Uses[id]
+		if use == nil {
+			return true
+		}
+		for _, obj := range objs {
+			if use == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// containsWork reports whether body contains at least one call that is not
+// a builtin (append/len/cap/... loops are bookkeeping, not cancellation
+// gaps) and not a conversion.
+func containsWork(info *types.Info, body ast.Node) bool {
+	work := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if work {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			switch analysis.ObjectOf(info, fun).(type) {
+			case *types.Builtin, *types.TypeName, nil:
+				return true
+			}
+		case *ast.SelectorExpr:
+			if obj := analysis.ObjectOf(info, fun.Sel); obj != nil {
+				if _, isType := obj.(*types.TypeName); isType {
+					return true
+				}
+			}
+		}
+		work = true
+		return false
+	})
+	return work
+}

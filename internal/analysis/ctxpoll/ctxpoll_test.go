@@ -1,0 +1,13 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/analysis/analysistest"
+	"github.com/codsearch/cod/internal/analysis/ctxpoll"
+)
+
+func TestCtxpoll(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxpoll.Analyzer,
+		"internal/core/ctxpolltest", "other/ctxpolltest")
+}

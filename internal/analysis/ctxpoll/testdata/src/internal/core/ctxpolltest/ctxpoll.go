@@ -1,0 +1,106 @@
+// Package ctxpolltest exercises the ctxpoll analyzer inside its scoped
+// import-path space (internal/core/...).
+package ctxpolltest
+
+import "context"
+
+func sampleOne(i int) int { return i * i }
+
+// BadSampler accepts a context and never looks at it: every work loop is a
+// cancellation gap.
+func BadSampler(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want `loop never observes the context accepted by BadSampler`
+		total += sampleOne(i)
+	}
+	return total
+}
+
+// BadRange is the range-loop variant.
+func BadRange(ctx context.Context, items []int) int {
+	total := 0
+	for _, v := range items { // want `loop never observes the context accepted by BadRange`
+		total += sampleOne(v)
+	}
+	return total
+}
+
+// BadNested reports the outermost loop only.
+func BadNested(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // want `loop never observes the context accepted by BadNested`
+		for j := 0; j < n; j++ {
+			total += sampleOne(i + j)
+		}
+	}
+	return total
+}
+
+// GoodPolling observes the context inside the loop.
+func GoodPolling(ctx context.Context, n int) (int, error) {
+	total := 0
+	for i := 0; i < n; i++ {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return total, err
+			}
+		}
+		total += sampleOne(i)
+	}
+	return total, nil
+}
+
+// GoodUpFront checks once before a bounded loop; accepted (the analyzer
+// only rejects contexts that are never observed at all).
+func GoodUpFront(ctx context.Context, items []int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, v := range items {
+		total += sampleOne(v)
+	}
+	return total, nil
+}
+
+// GoodForwarding passes the context to a worker closure.
+func GoodForwarding(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		func(c context.Context) {
+			if c.Err() == nil {
+				total += sampleOne(i)
+			}
+		}(ctx)
+	}
+	return total
+}
+
+// NoContext has no context parameter; out of the analyzer's reach.
+func NoContext(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += sampleOne(i)
+	}
+	return total
+}
+
+// BookkeepingOnly ignores its context but the loop does no real work (only
+// builtin calls), so it is not a cancellation gap.
+func BookkeepingOnly(ctx context.Context, items []int) []int {
+	out := make([]int, 0, len(items))
+	for _, v := range items {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Suppressed documents a deliberate exception.
+func Suppressed(ctx context.Context, n int) int {
+	total := 0
+	//codvet:ignore ctxpoll bounded by a small constant at every call site
+	for i := 0; i < n; i++ {
+		total += sampleOne(i)
+	}
+	return total
+}

@@ -1,0 +1,18 @@
+// Package ctxpolltest holds the same offending shape as the scoped fixture
+// but lives outside internal/core and internal/influence, where the
+// cancellation contract does not apply: no diagnostics.
+package ctxpolltest
+
+import "context"
+
+func work(i int) int { return i + 1 }
+
+// OutOfScope ignores its context in a work loop, but this package is not
+// under the analyzer's scoped import paths.
+func OutOfScope(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += work(i)
+	}
+	return total
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"github.com/codsearch/cod/internal/graph"
 	"github.com/codsearch/cod/internal/influence"
 )
@@ -31,6 +33,15 @@ type EvalResult struct {
 // required influence rank (q is top-k iff fewer than k nodes have strictly
 // larger estimated influence).
 func CompressedEvaluate(ch *Chain, rrs []*influence.RRGraph, k int) EvalResult {
+	res, _ := CompressedEvaluateCtx(context.Background(), ch, rrs, k)
+	return res
+}
+
+// CompressedEvaluateCtx is CompressedEvaluate with cancellation: the HFS
+// pass polls ctx.Err() once per influence.PollEvery RR graphs and aborts
+// with a *influence.CanceledError counting the RR graphs folded in so far.
+// An uncancelled call returns exactly CompressedEvaluate's result.
+func CompressedEvaluateCtx(ctx context.Context, ch *Chain, rrs []*influence.RRGraph, k int) (EvalResult, error) {
 	L := ch.Len()
 	buckets := make([]map[graph.NodeID]int32, L)
 	for h := range buckets {
@@ -42,7 +53,13 @@ func CompressedEvaluate(ch *Chain, rrs []*influence.RRGraph, k int) EvalResult {
 	// the source level upward processes (and then resets) each queue once.
 	queues := make([][]int32, L) // per-level queues of RR positions, reused across RR graphs
 	entries := 0
-	for _, r := range rrs {
+	for ri, r := range rrs {
+		if ri%influence.PollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return EvalResult{Level: -1}, &influence.CanceledError{
+					Op: "core: compressed evaluation", Done: ri, Total: len(rrs), Cause: err}
+			}
+		}
 		srcLevel := ch.Level(r.Source())
 		if srcLevel >= L {
 			continue // source outside the chain's universe
@@ -91,7 +108,7 @@ func CompressedEvaluate(ch *Chain, rrs []*influence.RRGraph, k int) EvalResult {
 			best = h
 		}
 	}
-	return EvalResult{Level: best, QCount: int(tau[ch.q]), Buckets: entries}
+	return EvalResult{Level: best, QCount: int(tau[ch.q]), Buckets: entries}, nil
 }
 
 // topK maintains the k nodes with the largest counts seen so far. k is small

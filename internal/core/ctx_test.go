@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/influence"
+)
+
+func comBytes(c Community) string {
+	return fmt.Sprintf("found=%t level=%d fromIndex=%t nodes=%v", c.Found, c.Level, c.FromIndex, c.Nodes)
+}
+
+func TestQueryCtxMatchesQueryWhenUncancelled(t *testing.T) {
+	g, q := attrGraph(t, 3)
+	p := Params{K: 3, Theta: 4, Seed: 5}
+
+	codl, err := NewCODL(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := codl.Query(q, 0, graph.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := codl.QueryCtx(context.Background(), q, 0, graph.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comBytes(got) != comBytes(want) {
+		t.Errorf("CODL QueryCtx differs:\n got %s\nwant %s", comBytes(got), comBytes(want))
+	}
+
+	codu := NewCODUWithTree(g, codl.Tree(), p)
+	wantU := codu.Query(q, graph.NewRand(7))
+	gotU, err := codu.QueryCtx(context.Background(), q, graph.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comBytes(gotU) != comBytes(wantU) {
+		t.Errorf("CODU QueryCtx differs:\n got %s\nwant %s", comBytes(gotU), comBytes(wantU))
+	}
+
+	codr := NewCODR(g, p)
+	wantR, err := codr.Query(q, 0, graph.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := codr.QueryCtx(context.Background(), q, 0, graph.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comBytes(gotR) != comBytes(wantR) {
+		t.Errorf("CODR QueryCtx differs:\n got %s\nwant %s", comBytes(gotR), comBytes(wantR))
+	}
+}
+
+func TestQueryCtxCancellationIsFastAndTyped(t *testing.T) {
+	g, q := attrGraph(t, 3)
+	p := Params{K: 3, Theta: 10, Seed: 5}
+	codl, err := NewCODL(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err = codl.QueryCtx(ctx, q, 0, graph.NewRand(7))
+	if err == nil {
+		t.Fatal("canceled query returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not unwrap to context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("canceled query took %v", elapsed)
+	}
+
+	codr := NewCODR(g, p)
+	if _, err := codr.QueryCtx(ctx, q, 0, graph.NewRand(7)); !errors.Is(err, context.Canceled) {
+		t.Errorf("CODR canceled error = %v", err)
+	}
+	codu := NewCODUWithTree(g, codl.Tree(), p)
+	if _, err := codu.QueryCtx(ctx, q, graph.NewRand(7)); !errors.Is(err, context.Canceled) {
+		t.Errorf("CODU canceled error = %v", err)
+	}
+	var ce *influence.CanceledError
+	if _, err := codu.QueryCtx(ctx, q, graph.NewRand(7)); !errors.As(err, &ce) {
+		t.Errorf("CODU canceled error %T carries no progress", err)
+	} else if ce.Total == 0 {
+		t.Error("CanceledError.Total missing")
+	}
+}
+
+func TestNewCODLCtxCancellation(t *testing.T) {
+	g, _ := attrGraph(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewCODLCtx(ctx, g, Params{Theta: 4}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled offline build error = %v", err)
+	}
+}
+
+func TestCompressedEvaluateCtxMatches(t *testing.T) {
+	g, q := attrGraph(t, 3)
+	tr, err := NewCODU(g, Params{K: 3, Theta: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := ChainFromTree(tr.Tree(), q)
+	rrs := influence.NewSampler(g, influence.NewWeightedCascade(g), graph.NewRand(8)).Batch(400)
+	want := CompressedEvaluate(ch, rrs, 3)
+	got, err := CompressedEvaluateCtx(context.Background(), ch, rrs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("CompressedEvaluateCtx = %+v, want %+v", got, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompressedEvaluateCtx(ctx, ch, rrs, 3); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled evaluation error = %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -44,19 +45,47 @@ func BuildHimorWithSampler(g *graph.Graph, t *hier.Tree, sampler influence.Graph
 	return buildHimor(g, t, theta, func() *influence.RRGraph { return sampler.RRGraph() })
 }
 
+// BuildHimorWithSamplerCtx is BuildHimorWithSampler with cancellation: the
+// sampling runs through influence.BatchCtx, which polls ctx.Err() at a
+// bounded interval. Uncancelled builds are identical.
+func BuildHimorWithSamplerCtx(ctx context.Context, g *graph.Graph, t *hier.Tree, sampler influence.GraphSampler, theta int) (*Himor, error) {
+	pool, err := influence.BatchCtx(ctx, sampler, theta*g.N())
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	return buildHimor(g, t, theta, func() *influence.RRGraph {
+		r := pool[i]
+		i++
+		return r
+	}), nil
+}
+
 // BuildHimorParallel constructs the index from an RR pool sampled across
 // workers goroutines under the IC model (sampling dominates construction
 // cost, so parallelizing it captures most of the speedup; the HFS and
 // bottom-up merge stay single-threaded and deterministic). Each pool sample
 // is seeded from its index, so the index is byte-identical for any workers.
 func BuildHimorParallel(g *graph.Graph, t *hier.Tree, model influence.Model, theta int, seed uint64, workers int) *Himor {
-	pool := influence.ParallelBatch(g, model, theta*g.N(), seed, workers)
+	h, _ := BuildHimorParallelCtx(context.Background(), g, t, model, theta, seed, workers)
+	return h
+}
+
+// BuildHimorParallelCtx is BuildHimorParallel with cancellation: every
+// sampling worker polls ctx.Err() at a bounded interval (see
+// influence.ParallelBatchCtx), so shutdown can abandon a warmup in flight.
+// Uncancelled builds are byte-identical for any worker count.
+func BuildHimorParallelCtx(ctx context.Context, g *graph.Graph, t *hier.Tree, model influence.Model, theta int, seed uint64, workers int) (*Himor, error) {
+	pool, err := influence.ParallelBatchCtx(ctx, g, model, theta*g.N(), seed, workers)
+	if err != nil {
+		return nil, err
+	}
 	i := 0
 	return buildHimor(g, t, theta, func() *influence.RRGraph {
 		r := pool[i]
 		i++
 		return r
-	})
+	}), nil
 }
 
 // buildHimor runs the compressed construction, drawing Θ = theta·|V| RR

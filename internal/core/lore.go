@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/codsearch/cod/internal/graph"
@@ -97,12 +98,26 @@ type Reclustering struct {
 // (edge weights depend only on endpoint attributes) but costs O(|C_ℓ|)
 // instead of O(|E_g|) per query.
 func Lore(g *graph.Graph, t *hier.Tree, q graph.NodeID, attr graph.AttrID, beta float64, linkage hac.Linkage) (*Reclustering, error) {
+	return LoreCtx(context.Background(), g, t, q, attr, beta, linkage)
+}
+
+// LoreCtx is Lore with cancellation: ctx is checked at every phase boundary
+// (before scoring, before inducing, inside the recluster's merge loop via
+// hac.ClusterCtx), so a canceled query never starts the expensive local
+// clustering. Uncancelled results are identical to Lore.
+func LoreCtx(ctx context.Context, g *graph.Graph, t *hier.Tree, q graph.NodeID, attr graph.AttrID, beta float64, linkage hac.Linkage) (*Reclustering, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: lore canceled before scoring: %w", err)
+	}
 	scores, best := ReclusterScores(g, t, q, attr)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: lore canceled before reclustering: %w", err)
+	}
 	ch := ChainFromTree(t, q)
 	cl := ch.Vertex(best)
 	sub := graph.Induce(g, t.Members(cl))
 	weighted := AttributeWeighted(sub.G, attr, beta)
-	local, err := hac.Cluster(weighted, linkage)
+	local, err := hac.ClusterCtx(ctx, weighted, linkage)
 	if err != nil {
 		return nil, fmt.Errorf("core: reclustering C_ℓ: %w", err)
 	}

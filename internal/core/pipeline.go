@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -58,14 +59,19 @@ type Params struct {
 }
 
 // clusterTree builds the non-attributed hierarchy per the params.
-func clusterTree(g *graph.Graph, p Params) (*hier.Tree, error) {
+func clusterTree(ctx context.Context, g *graph.Graph, p Params) (*hier.Tree, error) {
 	if p.Balanced {
-		return hac.ClusterBalanced(g, p.Linkage)
+		return hac.ClusterBalancedCtx(ctx, g, p.Linkage)
 	}
-	return hac.Cluster(g, p.Linkage)
+	return hac.ClusterCtx(ctx, g, p.Linkage)
 }
 
 // withDefaults fills zero values with the paper's defaults.
+// WithDefaults returns p with zero-value tuning fields replaced by the
+// paper's defaults. Persistence uses it to compare saved and requested
+// parameters in canonical form.
+func (p Params) WithDefaults() Params { return p.withDefaults() }
+
 func (p Params) withDefaults() Params {
 	if p.K <= 0 {
 		p.K = 5
@@ -105,8 +111,13 @@ type CODU struct {
 
 // NewCODU clusters g and returns a reusable CODU pipeline.
 func NewCODU(g *graph.Graph, p Params) (*CODU, error) {
+	return NewCODUCtx(context.Background(), g, p)
+}
+
+// NewCODUCtx is NewCODU with a cancellable offline phase.
+func NewCODUCtx(ctx context.Context, g *graph.Graph, p Params) (*CODU, error) {
 	p = p.withDefaults()
-	t, err := clusterTree(g, p)
+	t, err := clusterTree(ctx, g, p)
 	if err != nil {
 		return nil, err
 	}
@@ -124,11 +135,26 @@ func (c *CODU) Tree() *hier.Tree { return c.tree }
 
 // Query finds the characteristic community of q ignoring the attribute.
 func (c *CODU) Query(q graph.NodeID, rng *rand.Rand) Community {
+	com, _ := c.QueryCtx(context.Background(), q, rng)
+	return com
+}
+
+// QueryCtx is Query with cancellation: the sampling loop and the compressed
+// evaluation poll ctx.Err() at bounded intervals; on cancellation the error
+// wraps a *influence.CanceledError with the completed sample count. An
+// uncancelled call returns exactly Query's community.
+func (c *CODU) QueryCtx(ctx context.Context, q graph.NodeID, rng *rand.Rand) (Community, error) {
 	ch := ChainFromTree(c.tree, q)
 	s := NewGraphSampler(c.g, c.p.Model, rng)
-	rrs := s.Batch(c.p.Theta * c.g.N())
-	res := CompressedEvaluate(ch, rrs, c.p.K)
-	return communityFromChain(ch, res)
+	rrs, err := influence.BatchCtx(ctx, s, c.p.Theta*c.g.N())
+	if err != nil {
+		return Community{Level: -1}, err
+	}
+	res, err := CompressedEvaluateCtx(ctx, ch, rrs, c.p.K)
+	if err != nil {
+		return Community{Level: -1}, err
+	}
+	return communityFromChain(ch, res), nil
 }
 
 // CODR answers COD queries by globally reclustering the attribute-weighted
@@ -150,13 +176,19 @@ func NewCODR(g *graph.Graph, p Params) *CODR {
 // Hierarchy returns the attribute-aware hierarchy for attr, reclustering
 // from scratch unless cached.
 func (c *CODR) Hierarchy(attr graph.AttrID) (*hier.Tree, error) {
+	return c.HierarchyCtx(context.Background(), attr)
+}
+
+// HierarchyCtx is Hierarchy with a cancellable recluster. Canceled builds
+// are not cached.
+func (c *CODR) HierarchyCtx(ctx context.Context, attr graph.AttrID) (*hier.Tree, error) {
 	if c.CacheHierarchies {
 		if t, ok := c.cache[attr]; ok {
 			return t, nil
 		}
 	}
 	gl := AttributeWeighted(c.g, attr, c.p.Beta)
-	t, err := hac.Cluster(gl, c.p.Linkage)
+	t, err := hac.ClusterCtx(ctx, gl, c.p.Linkage)
 	if err != nil {
 		return nil, err
 	}
@@ -168,14 +200,28 @@ func (c *CODR) Hierarchy(attr graph.AttrID) (*hier.Tree, error) {
 
 // Query finds the characteristic community of q for attribute attr.
 func (c *CODR) Query(q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
-	t, err := c.Hierarchy(attr)
+	return c.QueryCtx(context.Background(), q, attr, rng)
+}
+
+// QueryCtx is Query with cancellation across all three phases: the global
+// recluster (hac merge loop), the sampling loop and the compressed
+// evaluation all poll ctx.Err() at bounded intervals. Uncancelled results
+// are identical to Query.
+func (c *CODR) QueryCtx(ctx context.Context, q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	t, err := c.HierarchyCtx(ctx, attr)
 	if err != nil {
 		return Community{}, err
 	}
 	ch := ChainFromTree(t, q)
 	s := NewGraphSampler(c.g, c.p.Model, rng)
-	rrs := s.Batch(c.p.Theta * c.g.N())
-	res := CompressedEvaluate(ch, rrs, c.p.K)
+	rrs, err := influence.BatchCtx(ctx, s, c.p.Theta*c.g.N())
+	if err != nil {
+		return Community{Level: -1}, err
+	}
+	res, err := CompressedEvaluateCtx(ctx, ch, rrs, c.p.K)
+	if err != nil {
+		return Community{Level: -1}, err
+	}
 	return communityFromChain(ch, res), nil
 }
 
@@ -191,8 +237,16 @@ type CODL struct {
 
 // NewCODL clusters g and builds the HIMOR index.
 func NewCODL(g *graph.Graph, p Params) (*CODL, error) {
+	return NewCODLCtx(context.Background(), g, p)
+}
+
+// NewCODLCtx is NewCODL with a cancellable offline phase: both the
+// clustering merge loop and the HIMOR RR sampling poll ctx.Err() at bounded
+// intervals, so a server can abandon warmup on shutdown. Uncancelled builds
+// are identical to NewCODL for the same params.
+func NewCODLCtx(ctx context.Context, g *graph.Graph, p Params) (*CODL, error) {
 	p = p.withDefaults()
-	t, err := clusterTree(g, p)
+	t, err := clusterTree(ctx, g, p)
 	if err != nil {
 		return nil, err
 	}
@@ -200,9 +254,12 @@ func NewCODL(g *graph.Graph, p Params) (*CODL, error) {
 	if p.Model == ICWeightedCascade {
 		// The pooled sampler seeds each RR graph from its index, so the index
 		// (and every query answer) is identical for any Workers value.
-		idx = BuildHimorParallel(g, t, influence.NewWeightedCascade(g), p.Theta, p.Seed^0x51ed, p.Workers)
+		idx, err = BuildHimorParallelCtx(ctx, g, t, influence.NewWeightedCascade(g), p.Theta, p.Seed^0x51ed, p.Workers)
 	} else {
-		idx = BuildHimorWithSampler(g, t, NewGraphSampler(g, p.Model, graph.NewRand(p.Seed^0x51ed)), p.Theta)
+		idx, err = BuildHimorWithSamplerCtx(ctx, g, t, NewGraphSampler(g, p.Model, graph.NewRand(p.Seed^0x51ed)), p.Theta)
+	}
+	if err != nil {
+		return nil, err
 	}
 	return &CODL{g: g, tree: t, index: idx, p: p}, nil
 }
@@ -223,7 +280,15 @@ func (c *CODL) Index() *Himor { return c.index }
 // top-down over C_ℓ's ancestors for the largest community where q is top-k;
 // only if none qualifies is a compressed evaluation run inside C_ℓ.
 func (c *CODL) Query(q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
-	rec, err := Lore(c.g, c.tree, q, attr, c.p.Beta, c.p.Linkage)
+	return c.QueryCtx(context.Background(), q, attr, rng)
+}
+
+// QueryCtx is Query with cancellation: LORE's phases, the restricted
+// sampling loop and the compressed evaluation all poll ctx.Err() at bounded
+// intervals, so a deadline aborts the query long before the full Monte-Carlo
+// run completes. Uncancelled results are byte-identical to Query.
+func (c *CODL) QueryCtx(ctx context.Context, q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	rec, err := LoreCtx(ctx, c.g, c.tree, q, attr, c.p.Beta, c.p.Linkage)
 	if err != nil {
 		return Community{}, err
 	}
@@ -247,25 +312,47 @@ func (c *CODL) Query(q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Communi
 	}
 	member := func(u graph.NodeID) bool { return in[u] }
 	s := NewGraphSampler(c.g, c.p.Model, rng)
-	rrs := make([]*influence.RRGraph, c.p.Theta*len(members))
-	for i := range rrs {
-		rrs[i] = s.RRGraphWithin(members[rng.IntN(len(members))], member)
+	total := c.p.Theta * len(members)
+	rrs := make([]*influence.RRGraph, 0, total)
+	for i := 0; i < total; i++ {
+		if i%influence.PollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Community{Level: -1}, &influence.CanceledError{
+					Op: "core: restricted rr sampling", Done: i, Total: total, Cause: err}
+			}
+		}
+		rrs = append(rrs, s.RRGraphWithin(members[rng.IntN(len(members))], member))
 	}
-	res := CompressedEvaluate(inner, rrs, c.p.K)
+	res, err := CompressedEvaluateCtx(ctx, inner, rrs, c.p.K)
+	if err != nil {
+		return Community{Level: -1}, err
+	}
 	return communityFromChain(inner, res), nil
 }
 
 // QueryNoIndex is CODL⁻ (§V-D): LORE reclustering and compressed evaluation
 // over the full merged chain H_ℓ(q), without consulting the HIMOR index.
 func (c *CODL) QueryNoIndex(q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
-	rec, err := Lore(c.g, c.tree, q, attr, c.p.Beta, c.p.Linkage)
+	return c.QueryNoIndexCtx(context.Background(), q, attr, rng)
+}
+
+// QueryNoIndexCtx is QueryNoIndex with the same cancellation points as
+// QueryCtx.
+func (c *CODL) QueryNoIndexCtx(ctx context.Context, q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	rec, err := LoreCtx(ctx, c.g, c.tree, q, attr, c.p.Beta, c.p.Linkage)
 	if err != nil {
 		return Community{}, err
 	}
 	merged := MergedChain(c.g, c.tree, rec, q)
 	s := NewGraphSampler(c.g, c.p.Model, rng)
-	rrs := s.Batch(c.p.Theta * c.g.N())
-	res := CompressedEvaluate(merged, rrs, c.p.K)
+	rrs, err := influence.BatchCtx(ctx, s, c.p.Theta*c.g.N())
+	if err != nil {
+		return Community{Level: -1}, err
+	}
+	res, err := CompressedEvaluateCtx(ctx, merged, rrs, c.p.K)
+	if err != nil {
+		return Community{Level: -1}, err
+	}
 	return communityFromChain(merged, res), nil
 }
 

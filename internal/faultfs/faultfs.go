@@ -1,0 +1,179 @@
+// Package faultfs provides fault-injecting io.Reader and io.Writer wrappers
+// for exercising persistence and serving failure paths in tests: hard I/O
+// errors after a byte budget, short writes, silent truncation, single-bit
+// corruption, and per-call latency. The wrappers are deterministic — faults
+// trigger at exact byte offsets, never randomly — so failure tests replay
+// identically.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"time"
+)
+
+// ErrInjected is the default fault returned by ErrWriter and ErrReader when
+// no explicit error is configured.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrWriter passes writes through to W until FailAfter total bytes have been
+// written, then fails every subsequent write with Err (ErrInjected when nil).
+// A write straddling the budget is partially applied, modeling a disk that
+// fills or dies mid-write.
+type ErrWriter struct {
+	W         io.Writer
+	FailAfter int64
+	Err       error
+
+	written int64
+}
+
+// Write implements io.Writer.
+func (w *ErrWriter) Write(p []byte) (int, error) {
+	fail := w.Err
+	if fail == nil {
+		fail = ErrInjected
+	}
+	remain := w.FailAfter - w.written
+	if remain <= 0 {
+		return 0, fail
+	}
+	if int64(len(p)) <= remain {
+		n, err := w.W.Write(p)
+		w.written += int64(n)
+		return n, err
+	}
+	n, err := w.W.Write(p[:remain])
+	w.written += int64(n)
+	if err == nil {
+		err = fail
+	}
+	return n, err
+}
+
+// ShortWriter writes at most Max bytes of each call to W and reports
+// io.ErrShortWrite for the remainder, modeling a transport that cannot
+// accept a full buffer.
+type ShortWriter struct {
+	W   io.Writer
+	Max int
+}
+
+// Write implements io.Writer.
+func (w *ShortWriter) Write(p []byte) (int, error) {
+	if len(p) <= w.Max {
+		return w.W.Write(p)
+	}
+	n, err := w.W.Write(p[:w.Max])
+	if err == nil {
+		err = io.ErrShortWrite
+	}
+	return n, err
+}
+
+// LatencyWriter sleeps Delay before every write, modeling a slow device;
+// combine with context deadlines to test bounded-latency contracts.
+type LatencyWriter struct {
+	W     io.Writer
+	Delay time.Duration
+}
+
+// Write implements io.Writer.
+func (w *LatencyWriter) Write(p []byte) (int, error) {
+	time.Sleep(w.Delay)
+	return w.W.Write(p)
+}
+
+// ErrReader passes reads through to R until FailAfter total bytes have been
+// read, then fails with Err (ErrInjected when nil). A read straddling the
+// budget returns the bytes up to it together with the error.
+type ErrReader struct {
+	R         io.Reader
+	FailAfter int64
+	Err       error
+
+	read int64
+}
+
+// Read implements io.Reader.
+func (r *ErrReader) Read(p []byte) (int, error) {
+	fail := r.Err
+	if fail == nil {
+		fail = ErrInjected
+	}
+	remain := r.FailAfter - r.read
+	if remain <= 0 {
+		return 0, fail
+	}
+	if int64(len(p)) > remain {
+		p = p[:remain]
+	}
+	n, err := r.R.Read(p)
+	r.read += int64(n)
+	if err == nil && int64(n) == remain {
+		// The next call fails; this one delivers the last healthy bytes.
+		return n, nil
+	}
+	return n, err
+}
+
+// TruncateReader yields at most N bytes of R and then reports io.EOF,
+// modeling a file truncated by a crash: the reader ends cleanly, and the
+// consumer must detect the missing tail itself.
+type TruncateReader struct {
+	R io.Reader
+	N int64
+
+	read int64
+}
+
+// Read implements io.Reader.
+func (r *TruncateReader) Read(p []byte) (int, error) {
+	remain := r.N - r.read
+	if remain <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > remain {
+		p = p[:remain]
+	}
+	n, err := r.R.Read(p)
+	r.read += int64(n)
+	return n, err
+}
+
+// FlipReader passes R through with a single bit inverted: bit Mask of the
+// byte at stream offset Offset, modeling silent media corruption. Mask 0
+// flips the low bit.
+type FlipReader struct {
+	R      io.Reader
+	Offset int64
+	Mask   byte
+
+	read int64
+}
+
+// Read implements io.Reader.
+func (r *FlipReader) Read(p []byte) (int, error) {
+	n, err := r.R.Read(p)
+	if i := r.Offset - r.read; i >= 0 && i < int64(n) {
+		mask := r.Mask
+		if mask == 0 {
+			mask = 1
+		}
+		p[i] ^= mask
+	}
+	r.read += int64(n)
+	return n, err
+}
+
+// LatencyReader sleeps Delay before every read, modeling a slow device.
+type LatencyReader struct {
+	R     io.Reader
+	Delay time.Duration
+}
+
+// Read implements io.Reader.
+func (r *LatencyReader) Read(p []byte) (int, error) {
+	time.Sleep(r.Delay)
+	return r.R.Read(p)
+}

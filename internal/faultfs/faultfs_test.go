@@ -1,0 +1,136 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestErrWriterFailsAfterBudget(t *testing.T) {
+	var buf bytes.Buffer
+	w := &ErrWriter{W: &buf, FailAfter: 5}
+	n, err := w.Write([]byte("abc"))
+	if n != 3 || err != nil {
+		t.Fatalf("first write: n=%d err=%v", n, err)
+	}
+	n, err = w.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("straddling write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "abcde" {
+		t.Errorf("written %q, want abcde", buf.String())
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Errorf("post-budget write err = %v", err)
+	}
+}
+
+func TestErrWriterCustomError(t *testing.T) {
+	sentinel := errors.New("disk on fire")
+	w := &ErrWriter{W: io.Discard, FailAfter: 0, Err: sentinel}
+	if _, err := w.Write([]byte("a")); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+}
+
+func TestShortWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := &ShortWriter{W: &buf, Max: 4}
+	n, err := w.Write([]byte("ab"))
+	if n != 2 || err != nil {
+		t.Fatalf("small write: n=%d err=%v", n, err)
+	}
+	n, err = w.Write([]byte("cdefgh"))
+	if n != 4 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("large write: n=%d err=%v", n, err)
+	}
+	if buf.String() != "abcdef" {
+		t.Errorf("written %q", buf.String())
+	}
+}
+
+func TestErrReaderFailsAfterBudget(t *testing.T) {
+	r := &ErrReader{R: strings.NewReader("abcdefgh"), FailAfter: 5}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if string(got) != "abcde" {
+		t.Errorf("read %q, want abcde", got)
+	}
+}
+
+func TestTruncateReader(t *testing.T) {
+	r := &TruncateReader{R: strings.NewReader("abcdefgh"), N: 3}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("truncation must end in clean EOF, got %v", err)
+	}
+	if string(got) != "abc" {
+		t.Errorf("read %q, want abc", got)
+	}
+}
+
+func TestFlipReader(t *testing.T) {
+	src := []byte("abcdefgh")
+	r := &FlipReader{R: bytes.NewReader(src), Offset: 6, Mask: 0x10}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), src...)
+	want[6] ^= 0x10
+	if !bytes.Equal(got, want) {
+		t.Errorf("read %q, want %q", got, want)
+	}
+	// Exactly one byte differs.
+	diff := 0
+	for i := range got {
+		if got[i] != src[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("%d bytes differ, want 1", diff)
+	}
+}
+
+func TestFlipReaderAcrossSmallReads(t *testing.T) {
+	src := []byte("abcdefgh")
+	r := &FlipReader{R: iotest{bytes.NewReader(src)}, Offset: 5}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[5] != src[5]^1 {
+		t.Errorf("bit not flipped across chunked reads: %q", got)
+	}
+}
+
+// iotest yields at most 2 bytes per read to exercise offset bookkeeping.
+type iotest struct{ r io.Reader }
+
+func (t iotest) Read(p []byte) (int, error) {
+	if len(p) > 2 {
+		p = p[:2]
+	}
+	return t.r.Read(p)
+}
+
+func TestLatencyWrappers(t *testing.T) {
+	start := time.Now()
+	w := &LatencyWriter{W: io.Discard, Delay: time.Millisecond}
+	if _, err := w.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	r := &LatencyReader{R: strings.NewReader("a"), Delay: time.Millisecond}
+	if _, err := io.ReadAll(r); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("latency wrappers too fast: %v", elapsed)
+	}
+}

@@ -13,6 +13,7 @@
 package hac
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/codsearch/cod/internal/graph"
@@ -52,6 +53,13 @@ func (l Linkage) String() string {
 // left-to-right (with similarity 0) into a single root, so the result is
 // always one tree spanning all nodes.
 func Cluster(g *graph.Graph, linkage Linkage) (*hier.Tree, error) {
+	return ClusterCtx(context.Background(), g, linkage)
+}
+
+// ClusterCtx is Cluster with cancellation: the merge loop polls ctx.Err()
+// at a bounded interval and aborts with an error wrapping the context error.
+// An uncancelled run is identical to Cluster (polling draws nothing).
+func ClusterCtx(ctx context.Context, g *graph.Graph, linkage Linkage) (*hier.Tree, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, fmt.Errorf("hac: empty graph")
@@ -89,7 +97,10 @@ func Cluster(g *graph.Graph, linkage Linkage) (*hier.Tree, error) {
 		c.nbr[v] = m
 	}
 
-	roots := c.run()
+	roots, err := c.run(ctx)
+	if err != nil {
+		return nil, err
+	}
 	// Merge component roots (if several) under zero similarity.
 	for len(roots) > 1 {
 		a, b := roots[0], roots[1]
@@ -104,7 +115,12 @@ func Cluster(g *graph.Graph, linkage Linkage) (*hier.Tree, error) {
 // O(log²n) regardless of hub skew. Use it when HIMOR cost on caterpillar
 // dendrograms matters more than exact agglomerative faithfulness.
 func ClusterBalanced(g *graph.Graph, linkage Linkage) (*hier.Tree, error) {
-	t, err := Cluster(g, linkage)
+	return ClusterBalancedCtx(context.Background(), g, linkage)
+}
+
+// ClusterBalancedCtx is ClusterBalanced with cancellation (see ClusterCtx).
+func ClusterBalancedCtx(ctx context.Context, g *graph.Graph, linkage Linkage) (*hier.Tree, error) {
+	t, err := ClusterCtx(ctx, g, linkage)
 	if err != nil {
 		return nil, err
 	}
@@ -148,15 +164,28 @@ func (c *clusterer) nn(a int32, prefer int32) (best int32, bestSim float64, ok b
 	return best, bestSim, best != -1
 }
 
+// clusterPollEvery bounds the cancellation-check interval of the merge
+// loop: ctx.Err() is consulted once per this many chain steps.
+const clusterPollEvery = 256
+
 // run performs nearest-neighbor chain clustering over all components and
-// returns the remaining roots (one per component).
-func (c *clusterer) run() []int32 {
+// returns the remaining roots (one per component). It polls ctx at a
+// bounded interval and aborts with the number of merges completed.
+func (c *clusterer) run(ctx context.Context) ([]int32, error) {
 	n := c.g.N()
 	remaining := n
 	chain := make([]int32, 0, 64)
 	seed := int32(0) // smallest untouched active cluster to restart chains
 
+	steps := 0
 	for remaining > 1 {
+		if steps%clusterPollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("hac: clustering canceled after %d/%d merges: %w",
+					n-remaining, n-1, err)
+			}
+		}
+		steps++
 		if len(chain) == 0 {
 			for seed < c.next && !c.active[seed] {
 				seed++
@@ -198,7 +227,7 @@ func (c *clusterer) run() []int32 {
 			roots = append(roots, v)
 		}
 	}
-	return roots
+	return roots, nil
 }
 
 // newVertex merges clusters a and b into a fresh internal vertex, updating

@@ -1,8 +1,7 @@
 package influence
 
 import (
-	"math/rand/v2"
-	"sync"
+	"context"
 
 	"github.com/codsearch/cod/internal/graph"
 )
@@ -13,38 +12,6 @@ import (
 // identical for any worker count or goroutine schedule. Workers reuse one
 // Sampler (its scratch arrays are O(|V|)) and reseed its source per sample.
 func ParallelBatch(g *graph.Graph, model Model, count int, seed uint64, workers int) []*RRGraph {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > count {
-		workers = count
-	}
-	out := make([]*RRGraph, count)
-	if count == 0 {
-		return out
-	}
-	per := count / workers
-	extra := count % workers
-	var wg sync.WaitGroup
-	start := 0
-	for w := 0; w < workers; w++ {
-		n := per
-		if w < extra {
-			n++
-		}
-		lo, hi := start, start+n
-		start = hi
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			src := graph.NewPCG(0)
-			s := NewSampler(g, model, rand.New(src))
-			for i := lo; i < hi; i++ {
-				graph.SeedPCG(src, graph.ItemSeed(seed, i))
-				out[i] = s.RRGraph()
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	out, _ := ParallelBatchCtx(context.Background(), g, model, count, seed, workers)
 	return out
 }

@@ -1,0 +1,86 @@
+#!/bin/sh
+# End-to-end smoke of codserve's serving contract: build, boot on a random
+# port, wait for readiness, exercise the query endpoints, then SIGTERM and
+# assert a clean drain. Run via `make serve-smoke`; CI runs it on every
+# push. Needs only POSIX sh + curl.
+set -eu
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -9 "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    if [ -f "$workdir/server.log" ]; then
+        echo "--- server log ---" >&2
+        cat "$workdir/server.log" >&2
+    fi
+    exit 1
+}
+
+echo "serve-smoke: building codserve"
+go build -o "$workdir/codserve" ./cmd/codserve
+
+# Port :0 lets the kernel pick; -addr-file publishes the bound address.
+"$workdir/codserve" -dataset tiny -theta 4 -addr 127.0.0.1:0 \
+    -addr-file "$workdir/addr" -query-timeout 5s -shutdown-grace 5s \
+    >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+# The process is live before it is ready: wait for the addr file, then for
+# /readyz to flip from 503 to 200 while /healthz stays 200 throughout.
+for _ in $(seq 1 50); do
+    [ -s "$workdir/addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+done
+[ -s "$workdir/addr" ] || fail "addr file never appeared"
+base="http://$(cat "$workdir/addr")"
+echo "serve-smoke: server at $base"
+
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/healthz") || fail "healthz unreachable"
+[ "$code" = 200 ] || fail "healthz returned $code before ready"
+
+ready=""
+for _ in $(seq 1 100); do
+    code=$(curl -s -o /dev/null -w '%{http_code}' "$base/readyz" || echo 000)
+    if [ "$code" = 200 ]; then ready=yes; break; fi
+    [ "$code" = 503 ] || [ "$code" = 000 ] || fail "readyz returned $code during warmup"
+    sleep 0.1
+done
+[ -n "$ready" ] || fail "server never became ready"
+echo "serve-smoke: ready"
+
+# Query endpoints: success, JSON error for bad input, batch.
+curl -sf "$base/discover?q=0" | grep -q '"query":0' || fail "discover q=0"
+code=$(curl -s -o "$workdir/err.json" -w '%{http_code}' "$base/discover?q=abc")
+[ "$code" = 400 ] || fail "malformed q returned $code"
+grep -q '"error"' "$workdir/err.json" || fail "400 body is not a JSON error"
+curl -sf -X POST -d '{"queries":[{"q":0,"attr":0},{"q":1,"attr":0}]}' "$base/batch" \
+    | grep -q '"query":1' || fail "batch"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/nope")
+[ "$code" = 404 ] || fail "unknown route returned $code"
+echo "serve-smoke: endpoints ok"
+
+# Graceful drain: start a slow request (codr reclusters per query), give it
+# a moment to be admitted, then SIGTERM. The server must finish the
+# in-flight response and exit 0.
+curl -s -o "$workdir/inflight.json" "$base/discover?q=0&method=codr" &
+curl_pid=$!
+sleep 0.2
+kill -TERM "$server_pid"
+wait "$curl_pid" || fail "in-flight request dropped during drain"
+grep -q '"query":0' "$workdir/inflight.json" || fail "in-flight response truncated"
+if wait "$server_pid"; then
+    server_pid=""
+else
+    fail "server exited nonzero on SIGTERM"
+fi
+grep -q "drained cleanly" "$workdir/server.log" || fail "drain not logged"
+echo "serve-smoke: PASS"

@@ -1,6 +1,7 @@
 package cod
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 
@@ -10,6 +11,14 @@ import (
 	"github.com/codsearch/cod/internal/im"
 	"github.com/codsearch/cod/internal/influence"
 )
+
+// CanceledError is returned (wrapped) by the *Ctx query APIs when a context
+// deadline or cancellation interrupts a query. It carries how many
+// Monte-Carlo units completed before the stop; completed work is
+// deterministic, only the tail is missing. It unwraps to the context error,
+// so errors.Is(err, context.DeadlineExceeded) distinguishes timeouts from
+// explicit cancellation.
+type CanceledError = influence.CanceledError
 
 // Linkage selects the agglomerative clustering linkage used to build the
 // community hierarchy.
@@ -104,12 +113,20 @@ type Searcher struct {
 
 // NewSearcher builds the hierarchy and HIMOR index for g.
 func NewSearcher(g *Graph, opts Options) (*Searcher, error) {
+	return NewSearcherCtx(context.Background(), g, opts)
+}
+
+// NewSearcherCtx is NewSearcher with a cancellable offline phase: the
+// clustering merge loop and HIMOR RR sampling poll ctx.Err() at bounded
+// intervals, so a serving process can abandon warmup on shutdown. An
+// uncancelled build is identical to NewSearcher for the same options.
+func NewSearcherCtx(ctx context.Context, g *Graph, opts Options) (*Searcher, error) {
 	if g == nil || g.N() == 0 {
 		return nil, fmt.Errorf("cod: empty graph")
 	}
 	params := core.Params{K: opts.K, Theta: opts.Theta, Beta: opts.Beta, Linkage: opts.Linkage,
 		Seed: opts.Seed, Model: opts.Model, Balanced: opts.Balanced, Workers: opts.Workers}
-	codl, err := core.NewCODL(g.internalGraph(), params)
+	codl, err := core.NewCODLCtx(ctx, g.internalGraph(), params)
 	if err != nil {
 		return nil, err
 	}
@@ -125,10 +142,21 @@ func NewSearcher(g *Graph, opts Options) (*Searcher, error) {
 // Discover finds the characteristic community of q for the query attribute
 // using the fully optimized CODL pipeline (LORE + HIMOR, Algorithm 3).
 func (s *Searcher) Discover(q NodeID, attr AttrID) (Community, error) {
+	return s.DiscoverCtx(context.Background(), q, attr)
+}
+
+// DiscoverCtx is Discover with cancellation: every long-running phase (LORE
+// reclustering, restricted RR sampling, compressed evaluation) polls
+// ctx.Err() at bounded intervals. A canceled query returns an error that
+// wraps both a *CanceledError (partial progress) and the context error; the
+// query consumes its deterministic seed either way, so a retried query on
+// the same Searcher draws a fresh stream. Uncancelled results are
+// byte-identical to Discover.
+func (s *Searcher) DiscoverCtx(ctx context.Context, q NodeID, attr AttrID) (Community, error) {
 	if err := s.validate(q, attr); err != nil {
 		return Community{}, err
 	}
-	com, err := s.codl.Query(q, attr, s.nextRand())
+	com, err := s.codl.QueryCtx(ctx, q, attr, s.nextRand())
 	if err != nil {
 		return Community{}, err
 	}
@@ -138,10 +166,19 @@ func (s *Searcher) Discover(q NodeID, attr AttrID) (Community, error) {
 // DiscoverUnattributed finds the characteristic community of q ignoring
 // attributes (the paper's CODU variant).
 func (s *Searcher) DiscoverUnattributed(q NodeID) (Community, error) {
+	return s.DiscoverUnattributedCtx(context.Background(), q)
+}
+
+// DiscoverUnattributedCtx is DiscoverUnattributed with cancellation (see
+// DiscoverCtx).
+func (s *Searcher) DiscoverUnattributedCtx(ctx context.Context, q NodeID) (Community, error) {
 	if err := s.validate(q, 0); err != nil {
 		return Community{}, err
 	}
-	com := s.codu.Query(q, s.nextRand())
+	com, err := s.codu.QueryCtx(ctx, q, s.nextRand())
+	if err != nil {
+		return Community{}, err
+	}
 	return Community{Nodes: com.Nodes, Found: com.Found}, nil
 }
 
@@ -149,10 +186,17 @@ func (s *Searcher) DiscoverUnattributed(q NodeID) (Community, error) {
 // reclustering the attribute-weighted graph (the paper's CODR variant).
 // It is substantially slower than Discover on large graphs.
 func (s *Searcher) DiscoverGlobal(q NodeID, attr AttrID) (Community, error) {
+	return s.DiscoverGlobalCtx(context.Background(), q, attr)
+}
+
+// DiscoverGlobalCtx is DiscoverGlobal with cancellation: the global
+// recluster's merge loop, the sampling loop and the evaluation all poll
+// ctx.Err() at bounded intervals (see DiscoverCtx).
+func (s *Searcher) DiscoverGlobalCtx(ctx context.Context, q NodeID, attr AttrID) (Community, error) {
 	if err := s.validate(q, attr); err != nil {
 		return Community{}, err
 	}
-	com, err := s.codr.Query(q, attr, s.nextRand())
+	com, err := s.codr.QueryCtx(ctx, q, attr, s.nextRand())
 	if err != nil {
 		return Community{}, err
 	}
@@ -162,6 +206,13 @@ func (s *Searcher) DiscoverGlobal(q NodeID, attr AttrID) (Community, error) {
 // EstimateInfluence estimates σ_g(v), the expected IC spread of v over the
 // whole graph, from θ·N shared RR sets.
 func (s *Searcher) EstimateInfluence(v NodeID) (float64, error) {
+	return s.EstimateInfluenceCtx(context.Background(), v)
+}
+
+// EstimateInfluenceCtx is EstimateInfluence with cancellation: the sampling
+// loop polls ctx.Err() once per bounded interval and aborts with a
+// *CanceledError carrying the completed sample count.
+func (s *Searcher) EstimateInfluenceCtx(ctx context.Context, v NodeID) (float64, error) {
 	if err := s.validate(v, 0); err != nil {
 		return 0, err
 	}
@@ -173,6 +224,11 @@ func (s *Searcher) EstimateInfluence(v NodeID) (float64, error) {
 	total := theta * s.g.N()
 	count := 0
 	for i := 0; i < total; i++ {
+		if i%influence.PollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, &CanceledError{Op: "cod: influence estimation", Done: i, Total: total, Cause: err}
+			}
+		}
 		for _, u := range sampler.RRGraph().Nodes {
 			if u == v {
 				count++
@@ -190,6 +246,13 @@ func (s *Searcher) EstimateInfluence(v NodeID) (float64, error) {
 // "where does this node matter". Selection stops early when additional
 // seeds bring no marginal coverage.
 func (s *Searcher) MaximizeInfluence(k int) ([]NodeID, float64, error) {
+	return s.MaximizeInfluenceCtx(context.Background(), k)
+}
+
+// MaximizeInfluenceCtx is MaximizeInfluence with cancellation: the RR pool
+// sampling polls ctx.Err() at a bounded interval (the greedy selection over
+// the pool is comparatively cheap and runs to completion).
+func (s *Searcher) MaximizeInfluenceCtx(ctx context.Context, k int) ([]NodeID, float64, error) {
 	if k < 1 || k > s.g.N() {
 		return nil, 0, fmt.Errorf("cod: k = %d out of range [1,%d]", k, s.g.N())
 	}
@@ -198,7 +261,10 @@ func (s *Searcher) MaximizeInfluence(k int) ([]NodeID, float64, error) {
 		theta = 10
 	}
 	sampler := core.NewGraphSampler(s.g.internalGraph(), s.opts.Model, s.nextRand())
-	pool := sampler.Batch(theta * s.g.N())
+	pool, err := influence.BatchCtx(ctx, sampler, theta*s.g.N())
+	if err != nil {
+		return nil, 0, err
+	}
 	res, err := im.Select(s.g.internalGraph(), pool, k)
 	if err != nil {
 		return nil, 0, err
@@ -233,6 +299,12 @@ func (s *Searcher) HierarchyDepth(q NodeID) (int, error) {
 
 // IndexBytes reports the approximate HIMOR index memory footprint.
 func (s *Searcher) IndexBytes() int64 { return s.codl.Index().ApproxBytes() }
+
+// Validate reports whether (q, attr) is a well-formed query against this
+// Searcher's graph, using the same error shape as every query API: callers
+// (e.g. HTTP front ends) can reject malformed input before spending any
+// query work.
+func (s *Searcher) Validate(q NodeID, attr AttrID) error { return s.validate(q, attr) }
 
 func (s *Searcher) validate(q NodeID, attr AttrID) error {
 	if q < 0 || int(q) >= s.g.N() {
