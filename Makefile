@@ -7,7 +7,7 @@ CODVET  := $(BIN)/codvet
 PKGS    := ./...
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint vet codvet codvet-path fmt fmt-check bench fuzz serve-smoke check clean
+.PHONY: all build test race lint vet codvet codvet-path fmt fmt-check bench bench-check fuzz serve-smoke check clean
 
 all: build
 
@@ -47,6 +47,12 @@ lint: fmt-check vet $(CODVET)
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# One pass over the Fig benchmarks into a machine-readable JSON report,
+# validated by codbench -check-bench. Fails loudly when the bench pipeline
+# stops producing parseable output; no performance thresholds.
+bench-check:
+	sh scripts/bench_check.sh
 
 # Short smoke of each parser fuzz target; regressions caught by the seed
 # corpus and a few seconds of mutation. Raise FUZZTIME for a deeper run.

@@ -6,6 +6,7 @@ import (
 
 	"github.com/codsearch/cod/internal/core"
 	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/obs"
 )
 
 // Query pairs a node with a query attribute for batch discovery.
@@ -61,6 +62,9 @@ func (s *Searcher) DiscoverBatchCtx(ctx context.Context, queries []Query, worker
 	}
 	params := core.Params{K: s.opts.K, Theta: s.opts.Theta, Beta: s.opts.Beta,
 		Linkage: s.opts.Linkage, Seed: s.opts.Seed, Model: s.opts.Model}
+	// One Recorder shared by every worker: counters are atomic and the trace
+	// serializes span appends, so concurrent workers record safely.
+	rec := obs.FromContext(ctx)
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -72,15 +76,18 @@ func (s *Searcher) DiscoverBatchCtx(ctx context.Context, queries []Query, worker
 			codl := core.NewCODLWithTree(s.g.internalGraph(), s.codl.Tree(), s.codl.Index(), params)
 			for i := range jobs {
 				if out[i].Err != nil {
-					continue // rejected by up-front validation
+					rec.CountQuery(out[i].Err) // rejected by up-front validation
+					continue
 				}
 				if err := ctx.Err(); err != nil {
 					out[i].Err = &CanceledError{Op: "cod: batch query", Done: 0, Total: 1, Cause: err}
+					rec.CountQuery(out[i].Err)
 					continue
 				}
 				q := queries[i]
 				rng := graph.NewRand(graph.ItemSeed(s.opts.Seed, i))
 				com, err := codl.QueryCtx(ctx, q.Node, q.Attr, rng)
+				rec.CountQuery(err)
 				if err != nil {
 					out[i].Err = err
 					continue

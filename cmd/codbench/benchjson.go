@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// BenchRun is one `go test -bench` result line. With -count=N the same
+// benchmark name appears N times, once per run; consumers aggregate as they
+// see fit.
+type BenchRun struct {
+	// Name is the full benchmark name including sub-benchmark path and the
+	// GOMAXPROCS suffix, e.g. "BenchmarkFig7Effectiveness/cora-8".
+	Name string `json:"name"`
+	// Iterations is b.N for the run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit to value: the standard ns/op, B/op, allocs/op plus
+	// any custom b.ReportMetric units the benchmark emits.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// BenchReport is the machine-readable envelope written to BENCH_*.json.
+type BenchReport struct {
+	GoVersion  string     `json:"go_version"`
+	GOOS       string     `json:"goos"`
+	GOARCH     string     `json:"goarch"`
+	Benchmarks []BenchRun `json:"benchmarks"`
+}
+
+// parseBenchOutput converts the text output of `go test -bench` into
+// structured runs. Non-benchmark lines (goos/goarch/pkg headers, PASS, ok)
+// are skipped; a line that starts with "Benchmark" but does not parse is an
+// error, and so is input containing no benchmark lines at all — silence is
+// the classic failure mode of a bench pipeline and must fail loudly.
+func parseBenchOutput(r io.Reader) ([]BenchRun, error) {
+	var runs []BenchRun
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			return nil, fmt.Errorf("line %d: malformed benchmark line %q", lineNo, line)
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: iterations %q: %v", lineNo, fields[1], err)
+		}
+		run := BenchRun{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+		for i := 2; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: value %q for unit %q: %v", lineNo, fields[i], fields[i+1], err)
+			}
+			run.Metrics[fields[i+1]] = v
+		}
+		runs = append(runs, run)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("no benchmark lines in input (did the bench run produce output?)")
+	}
+	return runs, nil
+}
+
+// writeBenchReport parses bench output from r and writes the JSON report to
+// path ("-" or "" = stdout).
+func writeBenchReport(r io.Reader, path string) error {
+	runs, err := parseBenchOutput(r)
+	if err != nil {
+		return err
+	}
+	rep := BenchReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: runs,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// checkBenchReport validates a committed BENCH_*.json: it must unmarshal,
+// contain at least one benchmark, and every run must carry a name, positive
+// iterations, and at least one finite metric. This is a well-formedness
+// gate, not a performance gate — thresholds belong to humans reading trends.
+func checkBenchReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep BenchReport
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if rep.GoVersion == "" {
+		return fmt.Errorf("%s: missing go_version", path)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	for i, b := range rep.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("%s: benchmark %d has no name", path, i)
+		}
+		if b.Iterations <= 0 {
+			return fmt.Errorf("%s: benchmark %q has non-positive iterations %d", path, b.Name, b.Iterations)
+		}
+		if len(b.Metrics) == 0 {
+			return fmt.Errorf("%s: benchmark %q has no metrics", path, b.Name)
+		}
+		for unit, v := range b.Metrics {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("%s: benchmark %q metric %q has invalid value %v", path, b.Name, unit, v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: github.com/codsearch/cod
+cpu: Some CPU
+BenchmarkFig7Size/cora-8                 1        12345678 ns/op               42.5 nodes
+BenchmarkFig7Size/cora-8                 1        12345999 ns/op               42.5 nodes
+BenchmarkFig9Runtime/cora/codl-8         2         6172839 ns/op            1024 B/op         17 allocs/op
+PASS
+ok      github.com/codsearch/cod        1.234s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	runs, err := parseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	if runs[0].Name != "BenchmarkFig7Size/cora-8" {
+		t.Errorf("run 0 name = %q", runs[0].Name)
+	}
+	if runs[0].Iterations != 1 {
+		t.Errorf("run 0 iterations = %d, want 1", runs[0].Iterations)
+	}
+	if got := runs[0].Metrics["ns/op"]; got != 12345678 {
+		t.Errorf("run 0 ns/op = %v", got)
+	}
+	if got := runs[0].Metrics["nodes"]; got != 42.5 {
+		t.Errorf("run 0 nodes = %v", got)
+	}
+	if got := runs[2].Metrics["allocs/op"]; got != 17 {
+		t.Errorf("run 2 allocs/op = %v", got)
+	}
+}
+
+func TestParseBenchOutputRejectsEmpty(t *testing.T) {
+	for name, input := range map[string]string{
+		"empty":       "",
+		"no-benches":  "goos: linux\nPASS\nok pkg 0.1s\n",
+		"fuzz-header": "fuzz: elapsed 3s\n",
+	} {
+		if _, err := parseBenchOutput(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: want error for input with no benchmark lines", name)
+		}
+	}
+}
+
+func TestParseBenchOutputRejectsMalformed(t *testing.T) {
+	for name, line := range map[string]string{
+		"odd-fields":     "BenchmarkX-8 1 100 ns/op extra",
+		"bad-iterations": "BenchmarkX-8 one 100 ns/op",
+		"bad-value":      "BenchmarkX-8 1 fast ns/op",
+		"name-only":      "BenchmarkX-8 1",
+	} {
+		if _, err := parseBenchOutput(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("%s: want parse error for %q", name, line)
+		}
+	}
+}
+
+func TestWriteAndCheckBenchReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := writeBenchReport(strings.NewReader(sampleBenchOutput), path); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkBenchReport(path); err != nil {
+		t.Errorf("round-tripped report failed validation: %v", err)
+	}
+}
+
+func TestCheckBenchReportRejectsBad(t *testing.T) {
+	for name, body := range map[string]string{
+		"not-json":        "not json at all",
+		"empty-benches":   `{"go_version":"go1.22","goos":"linux","goarch":"amd64","benchmarks":[]}`,
+		"no-go-version":   `{"goos":"linux","goarch":"amd64","benchmarks":[{"name":"B","iterations":1,"metrics":{"ns/op":1}}]}`,
+		"zero-iterations": `{"go_version":"go1.22","goos":"linux","goarch":"amd64","benchmarks":[{"name":"B","iterations":0,"metrics":{"ns/op":1}}]}`,
+		"no-metrics":      `{"go_version":"go1.22","goos":"linux","goarch":"amd64","benchmarks":[{"name":"B","iterations":1,"metrics":{}}]}`,
+		"negative-metric": `{"go_version":"go1.22","goos":"linux","goarch":"amd64","benchmarks":[{"name":"B","iterations":1,"metrics":{"ns/op":-5}}]}`,
+		"unknown-field":   `{"go_version":"go1.22","goos":"linux","goarch":"amd64","surprise":true,"benchmarks":[{"name":"B","iterations":1,"metrics":{"ns/op":1}}]}`,
+	} {
+		path := filepath.Join(t.TempDir(), name+".json")
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := checkBenchReport(path); err == nil {
+			t.Errorf("%s: want validation error", name)
+		}
+	}
+}
+
+func TestCheckCommittedBenchReport(t *testing.T) {
+	// The committed BENCH_pr3.json must stay parseable by the checker the CI
+	// script runs; a stale or hand-mangled file should fail here, not in CI.
+	path := filepath.Join("..", "..", "BENCH_pr3.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("no committed bench report: %v", err)
+	}
+	if err := checkBenchReport(path); err != nil {
+		t.Errorf("committed report invalid: %v", err)
+	}
+}

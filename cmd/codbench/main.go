@@ -10,6 +10,11 @@
 //	codbench -exp fig9 -datasets amazon,dblp -limit 5m
 //	codbench -exp table2 -datasets all
 //	codbench -exp scalability                  # CODL on livejournal
+//
+// Bench tooling (used by scripts/bench_check.sh):
+//
+//	go test -bench BenchmarkFig -benchtime=1x | codbench -parse-bench -bench-out BENCH_pr3.json
+//	codbench -check-bench BENCH_pr3.json      # validate a committed report
 package main
 
 import (
@@ -36,8 +41,28 @@ func main() {
 		budget    = flag.Int("budget", 0, "Independent RR-set budget per query for fig8 (0 = unlimited)")
 		limit     = flag.Duration("limit", 15*time.Minute, "per-method time limit for fig9")
 		precision = flag.Int("precision", 1000, "ground-truth RR sets per community node")
+
+		parseBench = flag.Bool("parse-bench", false, "read `go test -bench` output on stdin and emit a JSON report")
+		benchOut   = flag.String("bench-out", "", "path for the JSON report from -parse-bench (default stdout)")
+		checkBench = flag.String("check-bench", "", "validate an existing JSON bench report and exit")
 	)
 	flag.Parse()
+
+	if *parseBench {
+		if err := writeBenchReport(os.Stdin, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "codbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *checkBench != "" {
+		if err := checkBenchReport(*checkBench); err != nil {
+			fmt.Fprintln(os.Stderr, "codbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok\n", *checkBench)
+		return
+	}
 
 	if err := run(*exp, *datasets, *queries, *theta, *thetas, *k, *seed, *budget, *limit, *precision); err != nil {
 		fmt.Fprintln(os.Stderr, "codbench:", err)

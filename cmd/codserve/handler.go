@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"github.com/codsearch/cod"
+	"github.com/codsearch/cod/internal/obs"
 )
 
 // Config tunes the Handler's serving guards.
@@ -27,6 +29,10 @@ type Config struct {
 	// shed with 429 + Retry-After instead of queueing without bound.
 	// <= 0 selects the default of 64.
 	MaxInFlight int
+	// Metrics is the registry /metrics renders; nil creates a fresh one
+	// (exposed again via Handler.Metrics so main can mount it on the debug
+	// listener too).
+	Metrics *obs.Registry
 }
 
 const defaultMaxInFlight = 64
@@ -45,12 +51,28 @@ type Handler struct {
 	mux      *http.ServeMux
 	inflight chan struct{}
 	timeout  time.Duration
+
+	// Observability state: the registry backs /metrics, qm is the
+	// pre-resolved pipeline bundle shared by every query, and the HTTP-level
+	// counters follow the label-free naming convention of DESIGN.md §11.
+	reg          *obs.Registry
+	qm           *obs.QueryMetrics
+	httpRequests *obs.Counter
+	http2xx      *obs.Counter
+	http4xx      *obs.Counter
+	http5xx      *obs.Counter
+	httpShed     *obs.Counter
+	httpInFlight *obs.Gauge
+	querySecs    *obs.Histogram
+	ready        *obs.Gauge
+	indexBytes   *obs.Gauge
 }
 
 // routeMethods drives the JSON 404/405 catch-all in ServeHTTP.
 var routeMethods = map[string][]string{
 	"/healthz":   {http.MethodGet},
 	"/readyz":    {http.MethodGet},
+	"/metrics":   {http.MethodGet},
 	"/stats":     {http.MethodGet},
 	"/discover":  {http.MethodGet},
 	"/influence": {http.MethodGet},
@@ -64,47 +86,100 @@ func NewHandler(g *cod.Graph, s *cod.Searcher, cfg Config) *Handler {
 	if maxInFlight <= 0 {
 		maxInFlight = defaultMaxInFlight
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	h := &Handler{
 		g:        g,
 		mux:      http.NewServeMux(),
 		inflight: make(chan struct{}, maxInFlight),
 		timeout:  cfg.QueryTimeout,
+
+		reg:          reg,
+		qm:           obs.NewQueryMetrics(reg),
+		httpRequests: reg.Counter("cod_http_requests_total", "HTTP requests received (all routes)."),
+		http2xx:      reg.Counter("cod_http_responses_2xx_total", "HTTP responses with a 2xx status."),
+		http4xx:      reg.Counter("cod_http_responses_4xx_total", "HTTP responses with a 4xx status."),
+		http5xx:      reg.Counter("cod_http_responses_5xx_total", "HTTP responses with a 5xx status."),
+		httpShed:     reg.Counter("cod_http_shed_total", "Requests shed with 429 at the admission gate."),
+		httpInFlight: reg.Gauge("cod_http_in_flight", "HTTP requests currently being served."),
+		querySecs: reg.Histogram("cod_query_seconds",
+			"End-to-end latency of query routes (discover, influence, batch).", obs.DefaultLatencyBuckets),
+		ready:      reg.Gauge("cod_ready", "1 once the offline phase is done and queries are served."),
+		indexBytes: reg.Gauge("cod_index_bytes", "Approximate HIMOR index footprint in bytes."),
 	}
 	if s != nil {
-		h.searcher.Store(s)
+		h.SetSearcher(s)
 	}
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /readyz", h.readyz)
+	h.mux.Handle("GET /metrics", h.reg)
 	h.mux.HandleFunc("GET /stats", h.guard(h.stats))
-	h.mux.HandleFunc("GET /discover", h.guard(h.discover))
-	h.mux.HandleFunc("GET /influence", h.guard(h.influence))
-	h.mux.HandleFunc("POST /batch", h.guard(h.batch))
+	h.mux.HandleFunc("GET /discover", h.guard(h.instrument(h.discover)))
+	h.mux.HandleFunc("GET /influence", h.guard(h.instrument(h.influence)))
+	h.mux.HandleFunc("POST /batch", h.guard(h.instrument(h.batch)))
 	return h
 }
 
 // SetSearcher attaches the offline state, flipping the Handler to ready.
-func (h *Handler) SetSearcher(s *cod.Searcher) { h.searcher.Store(s) }
+func (h *Handler) SetSearcher(s *cod.Searcher) {
+	h.searcher.Store(s)
+	if s != nil {
+		h.ready.Set(1)
+		h.indexBytes.Set(s.IndexBytes())
+	}
+}
+
+// Metrics exposes the registry backing /metrics so main can mount the same
+// state on the debug listener.
+func (h *Handler) Metrics() *obs.Registry { return h.reg }
+
+// statusWriter captures the response status for metrics and logs; handlers
+// that never call WriteHeader implicitly answer 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
 
 // ServeHTTP implements http.Handler: panic recovery around every route,
-// and JSON bodies for unknown paths (404) and wrong methods (405) so every
-// response the server emits is machine-readable.
+// request/response counters, and JSON bodies for unknown paths (404) and
+// wrong methods (405) so every response the server emits is
+// machine-readable.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.httpRequests.Inc()
+	h.httpInFlight.Add(1)
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 	defer func() {
 		if rec := recover(); rec != nil {
 			log.Printf("codserve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-			httpError(w, http.StatusInternalServerError, "internal error")
+			httpError(sw, http.StatusInternalServerError, "internal error")
 		}
+		switch {
+		case sw.status < 300:
+			h.http2xx.Inc()
+		case sw.status < 500:
+			h.http4xx.Inc()
+		default:
+			h.http5xx.Inc()
+		}
+		h.httpInFlight.Add(-1)
 	}()
 	if _, pattern := h.mux.Handler(r); pattern == "" {
 		if allowed, known := routeMethods[r.URL.Path]; known {
-			w.Header().Set("Allow", strings.Join(allowed, ", "))
-			httpError(w, http.StatusMethodNotAllowed, "method %s not allowed for %s", r.Method, r.URL.Path)
+			sw.Header().Set("Allow", strings.Join(allowed, ", "))
+			httpError(sw, http.StatusMethodNotAllowed, "method %s not allowed for %s", r.Method, r.URL.Path)
 			return
 		}
-		httpError(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
+		httpError(sw, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
 		return
 	}
-	h.mux.ServeHTTP(w, r)
+	h.mux.ServeHTTP(sw, r)
 }
 
 // guard is the admission pipeline for query routes: readiness check, then
@@ -122,6 +197,7 @@ func (h *Handler) guard(next func(http.ResponseWriter, *http.Request, *cod.Searc
 		case h.inflight <- struct{}{}:
 			defer func() { <-h.inflight }()
 		default:
+			h.httpShed.Inc()
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusTooManyRequests, "server at capacity (%d requests in flight)", cap(h.inflight))
 			return
@@ -132,6 +208,31 @@ func (h *Handler) guard(next func(http.ResponseWriter, *http.Request, *cod.Searc
 			r = r.WithContext(ctx)
 		}
 		next(w, r, s)
+	}
+}
+
+// instrument runs inside guard on every query route: it attaches a fresh
+// per-query Trace plus the shared pipeline metrics to the request context,
+// times the request into cod_query_seconds, and emits one structured log
+// line with the stage timings the pipelines recorded. The Trace is always
+// flushed — a canceled or timed-out query still logs the spans it finished.
+func (h *Handler) instrument(next func(http.ResponseWriter, *http.Request, *cod.Searcher)) func(http.ResponseWriter, *http.Request, *cod.Searcher) {
+	return func(w http.ResponseWriter, r *http.Request, s *cod.Searcher) {
+		trace := obs.NewTrace()
+		rec := obs.NewRecorder(h.qm, trace)
+		r = r.WithContext(obs.WithRecorder(r.Context(), rec))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next(sw, r, s)
+		d := time.Since(start)
+		h.querySecs.Observe(d.Seconds())
+		slog.Info("query",
+			"path", r.URL.Path,
+			"query", r.URL.RawQuery,
+			"status", sw.status,
+			"dur", d,
+			"stages", trace.String(),
+		)
 	}
 }
 

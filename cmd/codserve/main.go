@@ -11,6 +11,7 @@
 //
 //	GET  /healthz                        -> 200 while the process lives
 //	GET  /readyz                         -> 200 once the offline phase is done, else 503
+//	GET  /metrics                        -> Prometheus text metrics
 //	GET  /stats                          -> graph/index statistics
 //	GET  /discover?q=42&attr=1[&method=codl|codu|codr]
 //	GET  /influence?q=42
@@ -20,6 +21,11 @@
 // 429 with Retry-After, an expired -query-timeout is 504, and every
 // response carries a Content-Type (JSON error bodies everywhere but the
 // probe endpoints).
+//
+// -debug-addr starts a second listener carrying net/http/pprof under
+// /debug/pprof/ plus a /metrics mirror. It is off by default: profiling
+// endpoints stay off the serving port so they are never reachable from
+// query traffic.
 package main
 
 import (
@@ -29,12 +35,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/codsearch/cod"
+	"github.com/codsearch/cod/internal/obs"
 )
 
 func main() {
@@ -49,6 +57,7 @@ func main() {
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-request query deadline (0 = none)")
 		maxInFlight  = flag.Int("max-inflight", 64, "concurrent query cap before shedding with 429")
 		grace        = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight queries on shutdown")
+		debugAddr    = flag.String("debug-addr", "", "optional listen address for pprof + /metrics (off when empty)")
 	)
 	flag.Parse()
 
@@ -61,10 +70,36 @@ func main() {
 	}
 	log.Printf("graph loaded: n=%d m=%d attrs=%d", g.N(), g.M(), g.NumAttrs())
 
-	h := NewHandler(g, nil, Config{QueryTimeout: *queryTimeout, MaxInFlight: *maxInFlight})
+	reg := obs.NewRegistry()
+	h := NewHandler(g, nil, Config{QueryTimeout: *queryTimeout, MaxInFlight: *maxInFlight, Metrics: reg})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal("codserve: ", err)
+	}
+
+	// The debug listener carries pprof and a /metrics mirror, kept off the
+	// serving address so profiling is opt-in and never exposed to query
+	// traffic. It shares the registry, so both listeners report one truth.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/metrics", reg)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal("codserve: debug listener: ", err)
+		}
+		debugSrv = &http.Server{Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Printf("codserve: debug server: %v", err)
+			}
+		}()
+		log.Printf("debug server (pprof + /metrics) on %s", dln.Addr())
 	}
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
@@ -86,7 +121,11 @@ func main() {
 	// abandons the build instead of blocking the drain.
 	buildDone := make(chan error, 1)
 	go func() {
-		s, err := cod.NewSearcherCtx(ctx, g, cod.Options{K: *k, Theta: *theta, Seed: *seed})
+		// Metrics-only recorder: the offline phase reports its stage timings
+		// (rr_sample, hac_merge, himor_build) on /metrics before the first
+		// query ever arrives.
+		bctx := obs.WithRecorder(ctx, obs.NewRecorder(h.qm, nil))
+		s, err := cod.NewSearcherCtx(bctx, g, cod.Options{K: *k, Theta: *theta, Seed: *seed})
 		if err != nil {
 			buildDone <- err
 			return
@@ -122,6 +161,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
 		log.Fatal("codserve: drain incomplete: ", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(sctx)
 	}
 	log.Printf("drained cleanly; exiting")
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"github.com/codsearch/cod/internal/obs"
 )
 
 // The public *Ctx APIs must fail fast on a dead context, report typed
@@ -49,6 +51,53 @@ func TestDiscoverCtxCancellation(t *testing.T) {
 	_, errCtx := s.DiscoverCtx(ctx, -1, 0)
 	if errPlain == nil || errCtx == nil || errPlain.Error() != errCtx.Error() {
 		t.Errorf("validation error shape differs: %v vs %v", errPlain, errCtx)
+	}
+}
+
+// TestCanceledQueryFlushesPartialTrace locks the flush-on-cancel contract:
+// a query stopped by cancellation still records the spans of the stages it
+// entered, and the recorder classifies it as canceled. CODU is the probe
+// because its pipeline reaches the sampling stage (which flushes a partial
+// span) even when the context is already dead; CODL's up-front ctx check
+// returns before any instrumented stage runs.
+func TestCanceledQueryFlushesPartialTrace(t *testing.T) {
+	g := buildTestGraph(t)
+	s, err := NewSearcher(g, Options{K: 3, Theta: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := determinismQueries(g)[0]
+
+	reg := obs.NewRegistry()
+	m := obs.NewQueryMetrics(reg)
+	tr := obs.NewTrace()
+	ctx, cancel := context.WithCancel(
+		obs.WithRecorder(context.Background(), obs.NewRecorder(m, tr)))
+	cancel()
+
+	if _, err := s.DiscoverUnattributedCtx(ctx, q.Node); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DiscoverUnattributedCtx error = %v, want context.Canceled", err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("canceled query flushed no trace spans")
+	}
+	found := false
+	for _, sp := range tr.Spans() {
+		if sp.Stage == obs.StageRRSample {
+			found = true
+			if sp.Items != 0 {
+				t.Errorf("immediately-canceled sampling span reports %d items, want 0", sp.Items)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("trace %q has no rr_sample span", tr.String())
+	}
+	if got := m.QueriesCanceled.Value(); got != 1 {
+		t.Errorf("cod_queries_canceled_total = %d, want 1", got)
+	}
+	if got := m.Queries.Value(); got != 1 {
+		t.Errorf("cod_queries_total = %d, want 1", got)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"testing"
+
+	"github.com/codsearch/cod/internal/obs"
 )
 
 // This file is the determinism-replay suite: the same seeded workload must
@@ -118,6 +120,91 @@ func TestDiscoverBatchCtxByteIdentical(t *testing.T) {
 		if got != want {
 			t.Errorf("ctx batch workers=%d differs:\n--- plain\n%s--- ctx\n%s", workers, want, got)
 		}
+	}
+}
+
+// TestDiscoverWithRecorderByteIdentical locks the observability contract of
+// DESIGN.md §11: a live Recorder (metrics + trace) attached to the context
+// must not change a single byte of any result. Instrumentation reads clocks
+// and counts but never draws randomness or branches on measured values.
+func TestDiscoverWithRecorderByteIdentical(t *testing.T) {
+	g := buildTestGraph(t)
+	queries := determinismQueries(g)
+	if len(queries) == 0 {
+		t.Fatal("no attributed query nodes in test graph")
+	}
+	opts := Options{K: 3, Theta: 4, Seed: 97}
+
+	reg := obs.NewRegistry()
+	m := obs.NewQueryMetrics(reg)
+	rctx := obs.WithRecorder(context.Background(), obs.NewRecorder(m, obs.NewTrace()))
+
+	// Two independently built Searchers isolate the per-query seed sequence;
+	// the second one is built AND queried with the recorder attached, so the
+	// offline phase is instrumented too.
+	s1, err := NewSearcherCtx(context.Background(), g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSearcherCtx(rctx, g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		want, err1 := s1.DiscoverCtx(context.Background(), q.Node, q.Attr)
+		got, err2 := s2.DiscoverCtx(rctx, q.Node, q.Attr)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("query %+v errored: %v / %v", q, err1, err2)
+		}
+		if fmt.Sprintf("%+v", want) != fmt.Sprintf("%+v", got) {
+			t.Errorf("query %+v: instrumented %+v differs from plain %+v", q, got, want)
+		}
+	}
+	u1, _ := s1.DiscoverUnattributedCtx(context.Background(), queries[0].Node)
+	u2, _ := s2.DiscoverUnattributedCtx(rctx, queries[0].Node)
+	if fmt.Sprintf("%+v", u1) != fmt.Sprintf("%+v", u2) {
+		t.Errorf("instrumented codu %+v differs from plain %+v", u2, u1)
+	}
+	g1, _ := s1.DiscoverGlobalCtx(context.Background(), queries[0].Node, queries[0].Attr)
+	g2, _ := s2.DiscoverGlobalCtx(rctx, queries[0].Node, queries[0].Attr)
+	if fmt.Sprintf("%+v", g1) != fmt.Sprintf("%+v", g2) {
+		t.Errorf("instrumented codr %+v differs from plain %+v", g2, g1)
+	}
+
+	// The recorder must have actually observed the work — a vacuous pass
+	// (instrumentation silently detached) would prove nothing.
+	if got := m.Queries.Value(); got == 0 {
+		t.Error("recorder saw no queries; instrumentation is not wired")
+	}
+	var spans int64
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		spans += m.StageSeconds(s).Count()
+	}
+	if spans == 0 {
+		t.Error("recorder saw no stage spans; pipeline instrumentation is not wired")
+	}
+}
+
+// TestDiscoverBatchWithRecorderByteIdentical extends the lock to the batch
+// path, where one Recorder is shared across workers.
+func TestDiscoverBatchWithRecorderByteIdentical(t *testing.T) {
+	g := buildTestGraph(t)
+	s, err := NewSearcher(g, Options{K: 3, Theta: 4, Seed: 97})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := determinismQueries(g)
+	want := batchBytes(s.DiscoverBatchCtx(context.Background(), queries, 4))
+
+	reg := obs.NewRegistry()
+	m := obs.NewQueryMetrics(reg)
+	rctx := obs.WithRecorder(context.Background(), obs.NewRecorder(m, obs.NewTrace()))
+	got := batchBytes(s.DiscoverBatchCtx(rctx, queries, 4))
+	if got != want {
+		t.Errorf("instrumented batch differs:\n--- plain\n%s--- instrumented\n%s", want, got)
+	}
+	if int(m.Queries.Value()) != len(queries) {
+		t.Errorf("recorder counted %d queries, want %d", m.Queries.Value(), len(queries))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"github.com/codsearch/cod/internal/graph"
 	"github.com/codsearch/cod/internal/influence"
+	"github.com/codsearch/cod/internal/obs"
 )
 
 // This file implements Algorithm 1, the compressed COD evaluation: a single
@@ -42,6 +43,7 @@ func CompressedEvaluate(ch *Chain, rrs []*influence.RRGraph, k int) EvalResult {
 // with a *influence.CanceledError counting the RR graphs folded in so far.
 // An uncancelled call returns exactly CompressedEvaluate's result.
 func CompressedEvaluateCtx(ctx context.Context, ch *Chain, rrs []*influence.RRGraph, k int) (EvalResult, error) {
+	rec := obs.FromContext(ctx)
 	L := ch.Len()
 	buckets := make([]map[graph.NodeID]int32, L)
 	for h := range buckets {
@@ -51,11 +53,13 @@ func CompressedEvaluateCtx(ctx context.Context, ch *Chain, rrs []*influence.RRGr
 	// Stage 1: shared sample generation (HFS over every RR graph). Every
 	// pushed node lands at the current or a later level, so sweeping h from
 	// the source level upward processes (and then resets) each queue once.
+	induce := rec.StartSpan(obs.StageRRInduce)
 	queues := make([][]int32, L) // per-level queues of RR positions, reused across RR graphs
 	entries := 0
 	for ri, r := range rrs {
 		if ri%influence.PollEvery == 0 {
 			if err := ctx.Err(); err != nil {
+				induce.EndItems(entries)
 				return EvalResult{Level: -1}, &influence.CanceledError{
 					Op: "core: compressed evaluation", Done: ri, Total: len(rrs), Cause: err}
 			}
@@ -94,7 +98,10 @@ func CompressedEvaluateCtx(ctx context.Context, ch *Chain, rrs []*influence.RRGr
 		}
 	}
 
+	induce.EndItems(entries)
+
 	// Stage 2: incremental top-k evaluation.
+	sweep := rec.StartSpan(obs.StageTopKSweep)
 	tau := make(map[graph.NodeID]int32, 64)
 	top := newTopK(k)
 	best := -1
@@ -108,6 +115,7 @@ func CompressedEvaluateCtx(ctx context.Context, ch *Chain, rrs []*influence.RRGr
 			best = h
 		}
 	}
+	sweep.EndItems(len(tau))
 	return EvalResult{Level: best, QCount: int(tau[ch.q]), Buckets: entries}, nil
 }
 

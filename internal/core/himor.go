@@ -12,6 +12,7 @@ import (
 	"github.com/codsearch/cod/internal/graph"
 	"github.com/codsearch/cod/internal/hier"
 	"github.com/codsearch/cod/internal/influence"
+	"github.com/codsearch/cod/internal/obs"
 )
 
 // Himor is the HIMOR index (§IV-B): for every node v, the influence rank of
@@ -53,12 +54,15 @@ func BuildHimorWithSamplerCtx(ctx context.Context, g *graph.Graph, t *hier.Tree,
 	if err != nil {
 		return nil, err
 	}
+	span := obs.FromContext(ctx).StartSpan(obs.StageHimorBuild)
 	i := 0
-	return buildHimor(g, t, theta, func() *influence.RRGraph {
+	h := buildHimor(g, t, theta, func() *influence.RRGraph {
 		r := pool[i]
 		i++
 		return r
-	}), nil
+	})
+	span.EndItems(len(pool))
+	return h, nil
 }
 
 // BuildHimorParallel constructs the index from an RR pool sampled across
@@ -80,12 +84,15 @@ func BuildHimorParallelCtx(ctx context.Context, g *graph.Graph, t *hier.Tree, mo
 	if err != nil {
 		return nil, err
 	}
+	span := obs.FromContext(ctx).StartSpan(obs.StageHimorBuild)
 	i := 0
-	return buildHimor(g, t, theta, func() *influence.RRGraph {
+	h := buildHimor(g, t, theta, func() *influence.RRGraph {
 		r := pool[i]
 		i++
 		return r
-	}), nil
+	})
+	span.EndItems(len(pool))
+	return h, nil
 }
 
 // buildHimor runs the compressed construction, drawing Θ = theta·|V| RR

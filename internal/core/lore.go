@@ -7,6 +7,7 @@ import (
 	"github.com/codsearch/cod/internal/graph"
 	"github.com/codsearch/cod/internal/hac"
 	"github.com/codsearch/cod/internal/hier"
+	"github.com/codsearch/cod/internal/obs"
 )
 
 // This file implements LORE (Algorithm 2): choose the community C_ℓ ∈ H(q)
@@ -109,7 +110,9 @@ func LoreCtx(ctx context.Context, g *graph.Graph, t *hier.Tree, q graph.NodeID, 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: lore canceled before scoring: %w", err)
 	}
+	score := obs.FromContext(ctx).StartSpan(obs.StageLoreScore)
 	scores, best := ReclusterScores(g, t, q, attr)
+	score.EndItems(len(scores))
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: lore canceled before reclustering: %w", err)
 	}

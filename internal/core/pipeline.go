@@ -9,6 +9,7 @@ import (
 	"github.com/codsearch/cod/internal/hac"
 	"github.com/codsearch/cod/internal/hier"
 	"github.com/codsearch/cod/internal/influence"
+	"github.com/codsearch/cod/internal/obs"
 )
 
 // Model selects the influence model driving RR-graph sampling. The COD
@@ -288,11 +289,13 @@ func (c *CODL) Query(q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Communi
 // intervals, so a deadline aborts the query long before the full Monte-Carlo
 // run completes. Uncancelled results are byte-identical to Query.
 func (c *CODL) QueryCtx(ctx context.Context, q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	r := obs.FromContext(ctx)
 	rec, err := LoreCtx(ctx, c.g, c.tree, q, attr, c.p.Beta, c.p.Linkage)
 	if err != nil {
 		return Community{}, err
 	}
 	// Top-down over ancestors of C_ℓ (root first), including C_ℓ itself.
+	lookup := r.StartSpan(obs.StageHimorLookup)
 	anc := c.tree.Ancestors(rec.CL)
 	for i := len(anc) - 1; i >= -1; i-- {
 		v := rec.CL
@@ -300,9 +303,12 @@ func (c *CODL) QueryCtx(ctx context.Context, q graph.NodeID, attr graph.AttrID, 
 			v = anc[i]
 		}
 		if c.index.Rank(q, v) < c.p.K {
+			lookup.EndItems(len(anc) - i)
+			r.CountIndexHit()
 			return Community{Nodes: c.tree.Members(v), Found: true, Level: -1, FromIndex: true}, nil
 		}
 	}
+	lookup.EndItems(len(anc) + 1)
 	// Compressed evaluation restricted to C_ℓ over the reclustered chain.
 	inner := InnerChain(c.g, c.tree, rec, q)
 	members := rec.Sub.ToParent
@@ -313,16 +319,19 @@ func (c *CODL) QueryCtx(ctx context.Context, q graph.NodeID, attr graph.AttrID, 
 	member := func(u graph.NodeID) bool { return in[u] }
 	s := NewGraphSampler(c.g, c.p.Model, rng)
 	total := c.p.Theta * len(members)
+	sample := r.StartSpan(obs.StageRRSample)
 	rrs := make([]*influence.RRGraph, 0, total)
 	for i := 0; i < total; i++ {
 		if i%influence.PollEvery == 0 {
 			if err := ctx.Err(); err != nil {
+				sample.EndItems(i)
 				return Community{Level: -1}, &influence.CanceledError{
 					Op: "core: restricted rr sampling", Done: i, Total: total, Cause: err}
 			}
 		}
 		rrs = append(rrs, s.RRGraphWithin(members[rng.IntN(len(members))], member))
 	}
+	sample.EndItems(total)
 	res, err := CompressedEvaluateCtx(ctx, inner, rrs, c.p.K)
 	if err != nil {
 		return Community{Level: -1}, err

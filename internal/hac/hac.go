@@ -18,6 +18,7 @@ import (
 
 	"github.com/codsearch/cod/internal/graph"
 	"github.com/codsearch/cod/internal/hier"
+	"github.com/codsearch/cod/internal/obs"
 )
 
 // Linkage selects the cluster-similarity update rule.
@@ -97,8 +98,12 @@ func ClusterCtx(ctx context.Context, g *graph.Graph, linkage Linkage) (*hier.Tre
 		c.nbr[v] = m
 	}
 
+	// The merge span flushes even on cancellation, counting the internal
+	// vertices created so far (merges completed).
+	span := obs.FromContext(ctx).StartSpan(obs.StageHACMerge)
 	roots, err := c.run(ctx)
 	if err != nil {
+		span.EndItems(int(c.next) - n)
 		return nil, err
 	}
 	// Merge component roots (if several) under zero similarity.
@@ -107,6 +112,7 @@ func ClusterCtx(ctx context.Context, g *graph.Graph, linkage Linkage) (*hier.Tre
 		nv := c.newVertex(a, b)
 		roots = append([]int32{nv}, roots[2:]...)
 	}
+	span.EndItems(int(c.next) - n)
 	return hier.New(n, c.parent)
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/obs"
 )
 
 // PollEvery is the bounded cancellation-check interval of the sampling
@@ -44,15 +45,18 @@ func (e *CanceledError) Unwrap() error { return e.Cause }
 // together with a *CanceledError. An uncancelled call is byte-identical to
 // s.Batch(count): the polling consumes no randomness.
 func BatchCtx(ctx context.Context, s GraphSampler, count int) ([]*RRGraph, error) {
+	span := obs.FromContext(ctx).StartSpan(obs.StageRRSample)
 	out := make([]*RRGraph, 0, count)
 	for i := 0; i < count; i++ {
 		if i%PollEvery == 0 {
 			if err := ctx.Err(); err != nil {
+				span.EndItems(i)
 				return out, &CanceledError{Op: "influence: rr batch", Done: i, Total: count, Cause: err}
 			}
 		}
 		out = append(out, s.RRGraph())
 	}
+	span.EndItems(count)
 	return out, nil
 }
 
@@ -61,7 +65,10 @@ func BatchCtx(ctx context.Context, s GraphSampler, count int) ([]*RRGraph, error
 // when the context is done. An uncancelled call returns the same pool as
 // ParallelBatch for the same arguments; a canceled call returns a
 // *CanceledError counting the samples that completed across all workers
-// (the pool slice has holes, so it is withheld).
+// (the pool slice has holes, so it is withheld). The fan-in always flushes
+// the completed-sample total through the context Recorder — on early cancel
+// the per-worker counts used to vanish with the discarded pool, which left
+// metrics blind to how much sampling a shed query had already paid for.
 func ParallelBatchCtx(ctx context.Context, g *graph.Graph, model Model, count int, seed uint64, workers int) ([]*RRGraph, error) {
 	if workers < 1 {
 		workers = 1
@@ -69,8 +76,10 @@ func ParallelBatchCtx(ctx context.Context, g *graph.Graph, model Model, count in
 	if workers > count {
 		workers = count
 	}
+	span := obs.FromContext(ctx).StartSpan(obs.StageRRSample)
 	out := make([]*RRGraph, count)
 	if count == 0 {
+		span.EndItems(0)
 		return out, nil
 	}
 	per := count / workers
@@ -101,6 +110,7 @@ func ParallelBatchCtx(ctx context.Context, g *graph.Graph, model Model, count in
 		}(lo, hi)
 	}
 	wg.Wait()
+	span.EndItems(int(done.Load()))
 	if err := ctx.Err(); err != nil && int(done.Load()) < count {
 		return nil, &CanceledError{Op: "influence: parallel rr batch",
 			Done: int(done.Load()), Total: count, Cause: err}

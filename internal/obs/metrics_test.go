@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+// TestConcurrentIncrements is the -race stress: many goroutines hammer the
+// same counter, gauge and histogram; totals must be exact.
+func TestConcurrentIncrements(t *testing.T) {
+	const workers = 16
+	const perWorker = 2000
+	var c Counter
+	var g Gauge
+	h := NewHistogram([]float64{0.5, 1.5})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(w % 3)) // buckets 0.5, 1.5, +Inf all hit
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := int64(workers * perWorker)
+	if got := c.Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := g.Value(); got != want {
+		t.Errorf("gauge = %d, want %d", got, want)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	var bucketTotal int64
+	for i := 0; i <= 2; i++ {
+		bucketTotal += h.BucketCount(i)
+	}
+	if bucketTotal != want {
+		t.Errorf("bucket total = %d, want %d", bucketTotal, want)
+	}
+	// The CAS float sum must not lose updates: every observation added an
+	// integer, so the float sum is exact.
+	var wantSum float64
+	for w := 0; w < workers; w++ {
+		wantSum += float64(w%3) * perWorker
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestHistogramBucketBoundaries locks in the le-inclusive Prometheus bucket
+// semantics: v lands in the first bucket with v <= bound.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0},
+		{0.0005, 0},
+		{0.001, 0}, // exactly on a bound: inclusive
+		{0.0010001, 1},
+		{0.01, 1},
+		{0.05, 2},
+		{0.1, 2},
+		{0.5, 3},
+		{1, 3},
+		{1.0001, 4}, // +Inf bucket
+		{100, 4},
+		{math.Inf(1), 4},
+	}
+	for _, tc := range cases {
+		h := NewHistogram(bounds)
+		h.Observe(tc.v)
+		for i := 0; i <= len(bounds); i++ {
+			want := int64(0)
+			if i == tc.bucket {
+				want = 1
+			}
+			if got := h.BucketCount(i); got != want {
+				t.Errorf("Observe(%v): bucket[%d] = %d, want %d", tc.v, i, got, want)
+			}
+		}
+		if got := h.Count(); got != 1 {
+			t.Errorf("Observe(%v): count = %d, want 1", tc.v, got)
+		}
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets)
+	h.ObserveDuration(2 * time.Millisecond)
+	// 0.002s lands in the 0.0025 bucket (index 4 of the default bounds).
+	if got := h.BucketCount(4); got != 1 {
+		t.Errorf("2ms bucket = %d, want 1", got)
+	}
+	if got := h.Sum(); math.Abs(got-0.002) > 1e-12 {
+		t.Errorf("sum = %v, want 0.002", got)
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":      {},
+		"descending": {1, 0.5},
+		"duplicate":  {1, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewHistogram(%v) did not panic", name, bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestRegistryIdempotentAndKindClash(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("x_total", "help")
+	c2 := reg.Counter("x_total", "other help")
+	if c1 != c2 {
+		t.Error("re-registering a counter returned a different instance")
+	}
+	h1 := reg.Histogram("y_seconds", "h", DefaultLatencyBuckets)
+	h2 := reg.Histogram("y_seconds", "h", []float64{1}) // bounds ignored on reuse
+	if h1 != h2 {
+		t.Error("re-registering a histogram returned a different instance")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind clash did not panic")
+			}
+		}()
+		reg.Gauge("x_total", "now a gauge")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("invalid name did not panic")
+			}
+		}()
+		reg.Counter("9starts_with_digit", "")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("name with space did not panic")
+			}
+		}()
+		reg.Counter("has space", "")
+	}()
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "a counter").Add(3)
+	reg.Gauge("a_gauge", "a gauge").Set(-2)
+	h := reg.Histogram("c_seconds", "a histogram", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP a_gauge a gauge
+# TYPE a_gauge gauge
+a_gauge -2
+# HELP b_total a counter
+# TYPE b_total counter
+b_total 3
+# HELP c_seconds a histogram
+# TYPE c_seconds histogram
+c_seconds_bucket{le="0.5"} 1
+c_seconds_bucket{le="1"} 2
+c_seconds_bucket{le="+Inf"} 3
+c_seconds_sum 3
+c_seconds_count 3
+`
+	if got != want {
+		t.Errorf("WritePrometheus output:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRegistryServeHTTP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total", "hits").Inc()
+	rr := httptest.NewRecorder()
+	reg.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "hits_total 1") {
+		t.Errorf("body missing counter:\n%s", rr.Body.String())
+	}
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// QueryMetrics bundles the pipeline-facing metrics, pre-resolved at wiring
+// time so the hot path never touches the registry's lock or a map. One
+// QueryMetrics is shared by every query of a process.
+type QueryMetrics struct {
+	// Queries counts every query the pipelines answered (ok or not).
+	Queries *Counter
+	// QueryErrors counts queries that failed for a non-cancellation reason.
+	QueryErrors *Counter
+	// QueriesCanceled counts queries stopped by context cancellation or
+	// deadline expiry.
+	QueriesCanceled *Counter
+	// IndexHits counts CODL queries answered directly from the HIMOR index.
+	IndexHits *Counter
+
+	stageSeconds [NumStages]*Histogram
+	stageItems   [NumStages]*Counter
+}
+
+// NewQueryMetrics registers the pipeline metrics in reg (idempotently) and
+// returns the pre-resolved bundle.
+func NewQueryMetrics(reg *Registry) *QueryMetrics {
+	m := &QueryMetrics{
+		Queries:         reg.Counter("cod_queries_total", "COD queries answered by the pipelines."),
+		QueryErrors:     reg.Counter("cod_query_errors_total", "Queries failed for a non-cancellation reason."),
+		QueriesCanceled: reg.Counter("cod_queries_canceled_total", "Queries stopped by cancellation or deadline."),
+		IndexHits:       reg.Counter("cod_himor_index_hits_total", "CODL queries answered directly from the HIMOR index."),
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		m.stageSeconds[s] = reg.Histogram(
+			"cod_stage_"+s.String()+"_seconds",
+			"Wall-clock seconds spent in the "+s.String()+" stage.",
+			DefaultLatencyBuckets)
+		m.stageItems[s] = reg.Counter(
+			"cod_stage_"+s.String()+"_items_total",
+			"Units processed by the "+s.String()+" stage (samples, entries, merges, vertices).")
+	}
+	return m
+}
+
+// StageSeconds returns the latency histogram of a stage.
+func (m *QueryMetrics) StageSeconds(s Stage) *Histogram { return m.stageSeconds[s] }
+
+// StageItems returns the item counter of a stage.
+func (m *QueryMetrics) StageItems(s Stage) *Counter { return m.stageItems[s] }
+
+// Recorder is the nil-safe instrumentation hook the pipelines carry through
+// the request context. A nil *Recorder is fully valid: every method returns
+// after one branch, so uninstrumented calls cost nothing measurable and the
+// pipelines never need to know whether observability is wired in. A Recorder
+// may carry process metrics, a per-query trace, or both.
+type Recorder struct {
+	m *QueryMetrics
+	t *Trace
+}
+
+// NewRecorder combines process metrics and a per-query trace; either may be
+// nil. When both are nil the Recorder itself is nil, keeping the nil fast
+// path for fully uninstrumented callers.
+func NewRecorder(m *QueryMetrics, t *Trace) *Recorder {
+	if m == nil && t == nil {
+		return nil
+	}
+	return &Recorder{m: m, t: t}
+}
+
+// Metrics returns the process metrics bundle (nil when absent).
+func (r *Recorder) Metrics() *QueryMetrics {
+	if r == nil {
+		return nil
+	}
+	return r.m
+}
+
+// Trace returns the per-query trace (nil when absent).
+func (r *Recorder) Trace() *Trace {
+	if r == nil {
+		return nil
+	}
+	return r.t
+}
+
+// Span is an in-flight stage measurement started by StartSpan. The zero Span
+// (from a nil Recorder) is valid and End/EndItems on it are no-ops.
+type Span struct {
+	r     *Recorder
+	stage Stage
+	start time.Time
+}
+
+// StartSpan begins timing a stage. On a nil Recorder it returns the zero
+// Span without reading the clock.
+func (r *Recorder) StartSpan(stage Stage) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, stage: stage, start: time.Now()}
+}
+
+// End completes the span with no item count.
+func (s Span) End() { s.EndItems(0) }
+
+// EndItems completes the span, recording its duration into the stage
+// histogram, items into the stage counter, and the pair into the trace.
+// Cancellation paths call it with the partial item count, so canceled
+// queries still flush what they completed.
+func (s Span) EndItems(items int) {
+	if s.r == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if m := s.r.m; m != nil {
+		m.stageSeconds[s.stage].ObserveDuration(d)
+		m.stageItems[s.stage].Add(int64(items))
+	}
+	if t := s.r.t; t != nil {
+		t.add(SpanRecord{Stage: s.stage, Duration: d, Items: int64(items)})
+	}
+}
+
+// AddItems counts stage units outside a span (e.g. samples completed by a
+// loop whose timing is recorded elsewhere).
+func (r *Recorder) AddItems(stage Stage, n int) {
+	if r == nil || r.m == nil {
+		return
+	}
+	r.m.stageItems[stage].Add(int64(n))
+}
+
+// CountQuery classifies one finished query into the query counters:
+// canceled (context error anywhere in the chain), errored, or answered.
+func (r *Recorder) CountQuery(err error) {
+	if r == nil || r.m == nil {
+		return
+	}
+	r.m.Queries.Inc()
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		r.m.QueriesCanceled.Inc()
+	default:
+		r.m.QueryErrors.Inc()
+	}
+}
+
+// CountIndexHit records a CODL query answered straight from the HIMOR index.
+func (r *Recorder) CountIndexHit() {
+	if r == nil || r.m == nil {
+		return
+	}
+	r.m.IndexHits.Inc()
+}
+
+type recorderKey struct{}
+
+// WithRecorder attaches r to the context; a nil Recorder returns ctx
+// unchanged.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+// FromContext extracts the Recorder attached by WithRecorder, or nil. All
+// pipeline instrumentation flows through this: a context without a Recorder
+// yields nil, and every Recorder method is a one-branch no-op on nil.
+func FromContext(ctx context.Context) *Recorder {
+	r, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return r
+}

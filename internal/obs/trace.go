@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage identifies one instrumented phase of a COD query or offline build.
+// Stages are a closed enum so per-stage metrics can live in fixed arrays
+// (no map lookups on the hot path) and metric names stay label-free.
+type Stage int
+
+// The instrumented stages, in rough pipeline order.
+const (
+	// StageHACMerge is the agglomerative merge loop (offline clustering and
+	// LORE/CODR reclustering alike).
+	StageHACMerge Stage = iota
+	// StageLoreScore is LORE's reclustering-score sweep over H(q).
+	StageLoreScore
+	// StageRRSample is RR-graph sampling: shared batches, parallel offline
+	// pools, and the restricted per-query loop.
+	StageRRSample
+	// StageRRInduce is the HFS pass inducing RR graphs into chain buckets
+	// (stage 1 of the compressed evaluation).
+	StageRRInduce
+	// StageTopKSweep is the incremental top-k sweep over the buckets
+	// (stage 2 of the compressed evaluation).
+	StageTopKSweep
+	// StageHimorLookup is the top-down HIMOR index scan of a CODL query.
+	StageHimorLookup
+	// StageHimorBuild is the offline HIMOR index construction.
+	StageHimorBuild
+	// NumStages bounds the enum; it is not a stage.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	StageHACMerge:    "hac_merge",
+	StageLoreScore:   "lore_score",
+	StageRRSample:    "rr_sample",
+	StageRRInduce:    "rr_induce",
+	StageTopKSweep:   "topk_sweep",
+	StageHimorLookup: "himor_lookup",
+	StageHimorBuild:  "himor_build",
+}
+
+// String returns the snake_case stage name used in metric names and logs.
+func (s Stage) String() string {
+	if s < 0 || s >= NumStages {
+		return "unknown"
+	}
+	return stageNames[s]
+}
+
+// SpanRecord is one completed stage span within a Trace.
+type SpanRecord struct {
+	// Stage names the instrumented phase.
+	Stage Stage
+	// Duration is the span's wall-clock time.
+	Duration time.Duration
+	// Items counts the units the stage processed (RR samples drawn, bucket
+	// entries produced, index vertices scanned, merges performed); 0 when
+	// the stage has no natural unit or was canceled before producing any.
+	Items int64
+}
+
+// Trace collects the stage spans of one query (or one offline build). It is
+// safe for concurrent use: batch queries record spans from several workers.
+// A canceled query still flushes the spans it completed — the trace is
+// whatever actually ran, which is exactly what an operator debugging a
+// timeout needs.
+type Trace struct {
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+func (t *Trace) add(rec SpanRecord) {
+	t.mu.Lock()
+	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+func (t *Trace) Spans() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// String renders the trace as "stage=duration/items ..." in completion
+// order, the form the per-query log lines embed.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for i, s := range t.Spans() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s.Stage.String())
+		b.WriteByte('=')
+		b.WriteString(s.Duration.String())
+		b.WriteByte('/')
+		b.WriteString(strconv.FormatInt(s.Items, 10))
+	}
+	return b.String()
+}

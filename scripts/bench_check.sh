@@ -1,0 +1,42 @@
+#!/bin/sh
+# Runs the Fig-series benchmarks once each (-benchtime=1x -count=3), turns
+# the output into a machine-readable JSON report via codbench -parse-bench,
+# and validates it with codbench -check-bench. This is a well-formedness
+# gate for the bench pipeline — it fails loudly when the benchmarks stop
+# producing parseable output — not a performance-threshold gate.
+#
+#   scripts/bench_check.sh [out.json]    # default BENCH_pr3.json
+#
+# Run via `make bench-check`; needs only the go toolchain.
+set -eu
+
+out="${1:-BENCH_pr3.json}"
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+fail() {
+    echo "bench-check: FAIL: $*" >&2
+    if [ -f "$workdir/bench.out" ]; then
+        echo "--- bench output (tail) ---" >&2
+        tail -n 40 "$workdir/bench.out" >&2
+    fi
+    exit 1
+}
+
+echo "bench-check: building codbench"
+go build -o "$workdir/codbench" ./cmd/codbench || fail "codbench does not build"
+
+echo "bench-check: running Fig benchmarks (-benchtime=1x -count=3)"
+go test -run '^$' -bench 'BenchmarkFig' -benchtime=1x -count=3 -benchmem . \
+    >"$workdir/bench.out" 2>&1 || fail "go test -bench exited nonzero"
+
+grep -q '^Benchmark' "$workdir/bench.out" || fail "no benchmark lines in output"
+
+echo "bench-check: writing $out"
+"$workdir/codbench" -parse-bench -bench-out "$out" <"$workdir/bench.out" \
+    || fail "parse-bench rejected the output"
+
+"$workdir/codbench" -check-bench "$out" || fail "check-bench rejected $out"
+
+runs=$(grep -c '"name"' "$out")
+echo "bench-check: PASS ($runs benchmark runs in $out)"

@@ -10,6 +10,7 @@ import (
 	"github.com/codsearch/cod/internal/hac"
 	"github.com/codsearch/cod/internal/im"
 	"github.com/codsearch/cod/internal/influence"
+	"github.com/codsearch/cod/internal/obs"
 )
 
 // CanceledError is returned (wrapped) by the *Ctx query APIs when a context
@@ -153,10 +154,13 @@ func (s *Searcher) Discover(q NodeID, attr AttrID) (Community, error) {
 // the same Searcher draws a fresh stream. Uncancelled results are
 // byte-identical to Discover.
 func (s *Searcher) DiscoverCtx(ctx context.Context, q NodeID, attr AttrID) (Community, error) {
+	rec := obs.FromContext(ctx)
 	if err := s.validate(q, attr); err != nil {
+		rec.CountQuery(err)
 		return Community{}, err
 	}
 	com, err := s.codl.QueryCtx(ctx, q, attr, s.nextRand())
+	rec.CountQuery(err)
 	if err != nil {
 		return Community{}, err
 	}
@@ -172,10 +176,13 @@ func (s *Searcher) DiscoverUnattributed(q NodeID) (Community, error) {
 // DiscoverUnattributedCtx is DiscoverUnattributed with cancellation (see
 // DiscoverCtx).
 func (s *Searcher) DiscoverUnattributedCtx(ctx context.Context, q NodeID) (Community, error) {
+	rec := obs.FromContext(ctx)
 	if err := s.validate(q, 0); err != nil {
+		rec.CountQuery(err)
 		return Community{}, err
 	}
 	com, err := s.codu.QueryCtx(ctx, q, s.nextRand())
+	rec.CountQuery(err)
 	if err != nil {
 		return Community{}, err
 	}
@@ -193,10 +200,13 @@ func (s *Searcher) DiscoverGlobal(q NodeID, attr AttrID) (Community, error) {
 // recluster's merge loop, the sampling loop and the evaluation all poll
 // ctx.Err() at bounded intervals (see DiscoverCtx).
 func (s *Searcher) DiscoverGlobalCtx(ctx context.Context, q NodeID, attr AttrID) (Community, error) {
+	rec := obs.FromContext(ctx)
 	if err := s.validate(q, attr); err != nil {
+		rec.CountQuery(err)
 		return Community{}, err
 	}
 	com, err := s.codr.QueryCtx(ctx, q, attr, s.nextRand())
+	rec.CountQuery(err)
 	if err != nil {
 		return Community{}, err
 	}
@@ -222,10 +232,12 @@ func (s *Searcher) EstimateInfluenceCtx(ctx context.Context, v NodeID) (float64,
 	}
 	sampler := core.NewGraphSampler(s.g.internalGraph(), s.opts.Model, s.nextRand())
 	total := theta * s.g.N()
+	span := obs.FromContext(ctx).StartSpan(obs.StageRRSample)
 	count := 0
 	for i := 0; i < total; i++ {
 		if i%influence.PollEvery == 0 {
 			if err := ctx.Err(); err != nil {
+				span.EndItems(i)
 				return 0, &CanceledError{Op: "cod: influence estimation", Done: i, Total: total, Cause: err}
 			}
 		}
@@ -236,6 +248,7 @@ func (s *Searcher) EstimateInfluenceCtx(ctx context.Context, v NodeID) (float64,
 			}
 		}
 	}
+	span.EndItems(total)
 	return influence.InfluenceFromCount(count, total, s.g.N()), nil
 }
 
