@@ -4,7 +4,7 @@ import (
 	"context"
 	"sync"
 
-	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/engine"
 	"github.com/codsearch/cod/internal/graph"
 	"github.com/codsearch/cod/internal/obs"
 )
@@ -60,8 +60,6 @@ func (s *Searcher) DiscoverBatchCtx(ctx context.Context, queries []Query, worker
 	if workers > len(queries) {
 		workers = len(queries)
 	}
-	params := core.Params{K: s.opts.K, Theta: s.opts.Theta, Beta: s.opts.Beta,
-		Linkage: s.opts.Linkage, Seed: s.opts.Seed, Model: s.opts.Model}
 	// One Recorder shared by every worker: counters are atomic and the trace
 	// serializes span appends, so concurrent workers record safely.
 	rec := obs.FromContext(ctx)
@@ -71,9 +69,9 @@ func (s *Searcher) DiscoverBatchCtx(ctx context.Context, queries []Query, worker
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// One pipeline per worker: CODL query state is read-only on the
-			// shared tree/index but samplers are per-call.
-			codl := core.NewCODLWithTree(s.g.internalGraph(), s.codl.Tree(), s.codl.Index(), params)
+			// Workers share the Searcher's engine: offline state is read-only
+			// at query time and per-query scratch comes from the engine's pool,
+			// so concurrent workers reuse arenas instead of allocating.
 			for i := range jobs {
 				if out[i].Err != nil {
 					rec.CountQuery(out[i].Err) // rejected by up-front validation
@@ -86,7 +84,8 @@ func (s *Searcher) DiscoverBatchCtx(ctx context.Context, queries []Query, worker
 				}
 				q := queries[i]
 				rng := graph.NewRand(graph.ItemSeed(s.opts.Seed, i))
-				com, err := codl.QueryCtx(ctx, q.Node, q.Attr, rng)
+				pl := s.eng.Compile(engine.VariantCODL, q.Node, q.Attr)
+				com, err := s.eng.Execute(ctx, pl, rng)
 				rec.CountQuery(err)
 				if err != nil {
 					out[i].Err = err

@@ -17,6 +17,7 @@ import (
 	"github.com/codsearch/cod/internal/core"
 	"github.com/codsearch/cod/internal/dataset"
 	"github.com/codsearch/cod/internal/dynamic"
+	"github.com/codsearch/cod/internal/engine"
 	"github.com/codsearch/cod/internal/eval"
 	"github.com/codsearch/cod/internal/graph"
 	"github.com/codsearch/cod/internal/hac"
@@ -281,7 +282,7 @@ func BenchmarkHimorBuild(b *testing.B) {
 
 func BenchmarkCODLQuery(b *testing.B) {
 	g := loadBenchGraph(b, "cora")
-	codl, err := core.NewCODL(g, core.Params{K: 5, Theta: 5, Seed: 4})
+	codl, err := engine.NewCODL(g, engine.Params{K: 5, Theta: 5, Seed: 4})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -442,7 +443,7 @@ func BenchmarkDynamicFlush(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			u, err := dynamic.New(ds.G, core.Params{Theta: 2, Seed: 1})
+			u, err := dynamic.New(ds.G, engine.Params{Theta: 2, Seed: 1})
 			if err != nil {
 				b.Fatal(err)
 			}

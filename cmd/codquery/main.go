@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -27,15 +29,28 @@ func main() {
 		theta     = flag.Int("theta", 10, "RR graphs per node (θ)")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		method    = flag.String("method", "codl", "codl|codu|codr")
+		timeout   = flag.Duration("timeout", 0, "overall deadline for offline build + query (0 = none)")
 	)
 	flag.Parse()
-	if err := run(*graphFile, *datasetN, *q, *attr, *k, *theta, *seed, *method); err != nil {
-		fmt.Fprintln(os.Stderr, "codquery:", err)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx, *graphFile, *datasetN, *q, *attr, *k, *theta, *seed, *method); err != nil {
+		var ce *cod.CanceledError
+		if errors.As(err, &ce) {
+			fmt.Fprintf(os.Stderr, "codquery: deadline expired during %s after %d/%d samples\n",
+				ce.Op, ce.Done, ce.Total)
+		} else {
+			fmt.Fprintln(os.Stderr, "codquery:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(graphFile, datasetN string, q, attr, k, theta int, seed uint64, method string) error {
+func run(ctx context.Context, graphFile, datasetN string, q, attr, k, theta int, seed uint64, method string) error {
 	var (
 		g   *cod.Graph
 		err error
@@ -70,7 +85,7 @@ func run(graphFile, datasetN string, q, attr, k, theta int, seed uint64, method 
 
 	fmt.Printf("graph: n=%d m=%d attrs=%d\n", g.N(), g.M(), g.NumAttrs())
 	start := time.Now()
-	s, err := cod.NewSearcher(g, cod.Options{K: k, Theta: theta, Seed: seed})
+	s, err := cod.NewSearcherCtx(ctx, g, cod.Options{K: k, Theta: theta, Seed: seed})
 	if err != nil {
 		return err
 	}
@@ -81,11 +96,11 @@ func run(graphFile, datasetN string, q, attr, k, theta int, seed uint64, method 
 	var com cod.Community
 	switch method {
 	case "codl":
-		com, err = s.Discover(node, cod.AttrID(attr))
+		com, err = s.DiscoverCtx(ctx, node, cod.AttrID(attr))
 	case "codu":
-		com, err = s.DiscoverUnattributed(node)
+		com, err = s.DiscoverUnattributedCtx(ctx, node)
 	case "codr":
-		com, err = s.DiscoverGlobal(node, cod.AttrID(attr))
+		com, err = s.DiscoverGlobalCtx(ctx, node, cod.AttrID(attr))
 	default:
 		return fmt.Errorf("unknown method %q", method)
 	}

@@ -1,34 +1,36 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 func TestRunOnBuiltinDataset(t *testing.T) {
-	if err := run("", "tiny", 5, -1, 5, 3, 7, "codl"); err != nil {
+	if err := run(context.Background(), "", "tiny", 5, -1, 5, 3, 7, "codl"); err != nil {
 		t.Fatalf("codl run: %v", err)
 	}
-	if err := run("", "tiny", 5, 0, 5, 3, 7, "codu"); err != nil {
+	if err := run(context.Background(), "", "tiny", 5, 0, 5, 3, 7, "codu"); err != nil {
 		t.Fatalf("codu run: %v", err)
 	}
-	if err := run("", "tiny", 5, 0, 5, 3, 7, "codr"); err != nil {
+	if err := run(context.Background(), "", "tiny", 5, 0, 5, 3, 7, "codr"); err != nil {
 		t.Fatalf("codr run: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "no-such-dataset", 0, 0, 5, 3, 7, "codl"); err == nil {
+	if err := run(context.Background(), "", "no-such-dataset", 0, 0, 5, 3, 7, "codl"); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := run("", "tiny", 10_000, 0, 5, 3, 7, "codl"); err == nil {
+	if err := run(context.Background(), "", "tiny", 10_000, 0, 5, 3, 7, "codl"); err == nil {
 		t.Error("out-of-range query node accepted")
 	}
-	if err := run("", "tiny", 5, 0, 5, 3, 7, "warp"); err == nil {
+	if err := run(context.Background(), "", "tiny", 5, 0, 5, 3, 7, "warp"); err == nil {
 		t.Error("unknown method accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "absent.txt"), "", 0, 0, 5, 3, 7, "codl"); err == nil {
+	if err := run(context.Background(), filepath.Join(t.TempDir(), "absent.txt"), "", 0, 0, 5, 3, 7, "codl"); err == nil {
 		t.Error("missing graph file accepted")
 	}
 }
@@ -40,11 +42,28 @@ func TestRunOnGraphFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", 0, 0, 2, 20, 1, "codl"); err != nil {
+	if err := run(context.Background(), path, "", 0, 0, 2, 20, 1, "codl"); err != nil {
 		t.Fatalf("graph file run: %v", err)
 	}
 	// node without attributes and no -attr
-	if err := run(path, "", 3, -1, 2, 20, 1, "codl"); err == nil {
+	if err := run(context.Background(), path, "", 3, -1, 2, 20, 1, "codl"); err == nil {
 		t.Error("attribute-less node without -attr accepted")
+	}
+}
+
+// TestRunTimeoutSurfacesCancellation locks the -timeout contract: an expired
+// deadline aborts the run with an error wrapping the context error, so main
+// can distinguish a deadline from a bad query. (The typed *cod.CanceledError
+// partial-progress shape for the query phase is locked by the root package's
+// ctx tests; which stage reports first depends on where the deadline lands.)
+func TestRunTimeoutSurfacesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, "", "tiny", 5, -1, 5, 3, 7, "codl")
+	if err == nil {
+		t.Fatal("canceled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v (%T) does not wrap context.Canceled", err, err)
 	}
 }

@@ -11,7 +11,6 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -37,15 +36,14 @@ type Config struct {
 
 const defaultMaxInFlight = 64
 
-// Handler serves COD queries over one Searcher. The Searcher is not safe
-// for concurrent use (its per-query seed sequence and CODR cache mutate),
-// so query execution serializes on a mutex; admission control above the
-// mutex sheds load instead of queueing unboundedly. The Searcher may be
-// attached after the Handler starts serving (SetSearcher): until then the
-// process is live (/healthz) but not ready (/readyz and all query routes
+// Handler serves COD queries over one Searcher. The Searcher executes
+// queries through the engine's pooled scratch and internally locked caches,
+// so admitted requests run concurrently up to the in-flight cap — admission
+// control sheds excess load instead of queueing unboundedly. The Searcher
+// may be attached after the Handler starts serving (SetSearcher): until then
+// the process is live (/healthz) but not ready (/readyz and all query routes
 // answer 503), which lets the offline phase run while probes see progress.
 type Handler struct {
-	mu       sync.Mutex
 	g        *cod.Graph
 	searcher atomic.Pointer[cod.Searcher]
 	mux      *http.ServeMux
@@ -302,7 +300,6 @@ func (h *Handler) discover(w http.ResponseWriter, r *http.Request, s *cod.Search
 	}
 
 	ctx := r.Context()
-	h.mu.Lock()
 	var (
 		com cod.Community
 		err error
@@ -315,7 +312,6 @@ func (h *Handler) discover(w http.ResponseWriter, r *http.Request, s *cod.Search
 	case "codr":
 		com, err = s.DiscoverGlobalCtx(ctx, cod.NodeID(q), cod.AttrID(attr))
 	}
-	h.mu.Unlock()
 	if err != nil {
 		queryError(w, err)
 		return
@@ -343,9 +339,7 @@ func (h *Handler) influence(w http.ResponseWriter, r *http.Request, s *cod.Searc
 	if !ok {
 		return
 	}
-	h.mu.Lock()
 	infl, err := s.EstimateInfluenceCtx(r.Context(), cod.NodeID(q))
-	h.mu.Unlock()
 	if err != nil {
 		queryError(w, err)
 		return
@@ -388,9 +382,7 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request, s *cod.Searcher)
 	for i, q := range req.Queries {
 		queries[i] = cod.Query{Node: q.Q, Attr: q.Attr}
 	}
-	h.mu.Lock()
 	results := s.DiscoverBatchCtx(r.Context(), queries, req.Workers)
-	h.mu.Unlock()
 	// A deadline that fires mid-batch leaves every unfinished item carrying
 	// the context error; report the whole request as timed out rather than
 	// a 200 with silently missing answers.

@@ -58,6 +58,7 @@ func main() {
 		maxInFlight  = flag.Int("max-inflight", 64, "concurrent query cap before shedding with 429")
 		grace        = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight queries on shutdown")
 		debugAddr    = flag.String("debug-addr", "", "optional listen address for pprof + /metrics (off when empty)")
+		sampleCache  = flag.Int("sample-cache", 0, "per-attribute RR sample pools kept resident (0 = off); hits/misses on /metrics")
 	)
 	flag.Parse()
 
@@ -125,7 +126,8 @@ func main() {
 		// (rr_sample, hac_merge, himor_build) on /metrics before the first
 		// query ever arrives.
 		bctx := obs.WithRecorder(ctx, obs.NewRecorder(h.qm, nil))
-		s, err := cod.NewSearcherCtx(bctx, g, cod.Options{K: *k, Theta: *theta, Seed: *seed})
+		s, err := cod.NewSearcherCtx(bctx, g, cod.Options{K: *k, Theta: *theta, Seed: *seed,
+			SampleCache: *sampleCache, CacheHierarchies: *sampleCache > 0})
 		if err != nil {
 			buildDone <- err
 			return

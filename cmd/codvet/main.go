@@ -23,6 +23,7 @@ import (
 	"github.com/codsearch/cod/internal/analysis/detrand"
 	"github.com/codsearch/cod/internal/analysis/floatcmp"
 	"github.com/codsearch/cod/internal/analysis/maporder"
+	"github.com/codsearch/cod/internal/analysis/poolret"
 	"github.com/codsearch/cod/internal/analysis/sharedwrite"
 )
 
@@ -33,5 +34,6 @@ func main() {
 		sharedwrite.Analyzer,
 		floatcmp.Analyzer,
 		ctxpoll.Analyzer,
+		poolret.Analyzer,
 	)
 }

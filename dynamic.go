@@ -1,8 +1,8 @@
 package cod
 
 import (
-	"github.com/codsearch/cod/internal/core"
 	"github.com/codsearch/cod/internal/dynamic"
+	"github.com/codsearch/cod/internal/engine"
 	"github.com/codsearch/cod/internal/graph"
 )
 
@@ -33,7 +33,7 @@ type DynamicSearcher struct {
 
 // NewDynamicSearcher builds the initial state for g.
 func NewDynamicSearcher(g *Graph, opts Options) (*DynamicSearcher, error) {
-	u, err := dynamic.New(g.internalGraph(), core.Params{
+	u, err := dynamic.New(g.internalGraph(), engine.Params{
 		K: opts.K, Theta: opts.Theta, Beta: opts.Beta,
 		Linkage: opts.Linkage, Seed: opts.Seed, Model: opts.Model,
 	})
@@ -62,6 +62,19 @@ func (d *DynamicSearcher) Discover(q NodeID, attr AttrID) (Community, error) {
 		return Community{}, err
 	}
 	return Community{Nodes: com.Nodes, Found: com.Found, FromIndex: com.FromIndex}, nil
+}
+
+// DiscoverGlobal answers a CODR-variant query (global recluster of the
+// attribute-weighted graph) over the current state, sharing the updater's
+// engine — and therefore its epoch-keyed caches — with Discover.
+func (d *DynamicSearcher) DiscoverGlobal(q NodeID, attr AttrID) (Community, error) {
+	seed := graph.ItemSeed(d.opts.Seed, int(d.seq))
+	d.seq++
+	com, err := d.u.QueryGlobal(q, attr, seed)
+	if err != nil {
+		return Community{}, err
+	}
+	return Community{Nodes: com.Nodes, Found: com.Found}, nil
 }
 
 // N returns the current node count; M the current edge count (excluding

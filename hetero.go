@@ -1,7 +1,7 @@
 package cod
 
 import (
-	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/engine"
 	"github.com/codsearch/cod/internal/hin"
 )
 
@@ -67,7 +67,7 @@ type HeteroSearcher struct{ s *hin.Searcher }
 // NewHeteroSearcher projects g along the meta-path and builds the COD
 // offline state on the projection.
 func NewHeteroSearcher(g *HeteroGraph, path MetaPath, opts Options) (*HeteroSearcher, error) {
-	params := core.Params{K: opts.K, Theta: opts.Theta, Beta: opts.Beta, Linkage: opts.Linkage,
+	params := engine.Params{K: opts.K, Theta: opts.Theta, Beta: opts.Beta, Linkage: opts.Linkage,
 		Seed: opts.Seed, Model: opts.Model, Balanced: opts.Balanced}
 	s, err := hin.NewSearcher(g.h, path, params, 0)
 	if err != nil {

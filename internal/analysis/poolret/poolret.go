@@ -1,0 +1,153 @@
+// Package poolret enforces the scratch-recycling discipline around
+// sync.Pool: a buffer handed back with Put must not be touched again.
+//
+// The engine's query path cycles scratch arenas through a sync.Pool
+// (internal/engine). The failure mode this invites is use-after-release: a
+// goroutine Puts its scratch, keeps the local variable, and reads or writes
+// through it while another goroutine has already received the same object
+// from Get. The race detector only catches that when two queries actually
+// collide; the analyzer catches the shape statically.
+//
+// The check is a source-order scan of each function body. A variable
+// becomes "released" when it is passed to Put on a value of type sync.Pool
+// (or *sync.Pool); any later reference to that variable in the same
+// function is reported. Two escapes keep legitimate idioms quiet:
+//
+//   - a Put inside a defer releases at function exit, so later uses in the
+//     body are fine and the deferred statement itself is skipped;
+//   - reassigning the variable (including a fresh pool.Get) un-releases it,
+//     since the name no longer denotes the surrendered object.
+//
+// The scan is linear, not flow-sensitive: a Put inside a loop body followed
+// by a use on the next iteration is only caught when the use appears later
+// in source order. That bias is deliberate — it keeps the checker free of
+// false positives, and the engine's concurrent stress test covers the
+// dynamic side. Suppress a deliberate exception with //codvet:ignore
+// poolret and a reason.
+package poolret
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/codsearch/cod/internal/analysis"
+)
+
+// Analyzer is the poolret analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolret",
+	Doc:  "forbid using a buffer after returning it to a sync.Pool with Put",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.IsLibraryPackage() {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc walks body in source order tracking which objects have been
+// surrendered to a pool, reporting any reference that follows its Put.
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	released := make(map[types.Object]token.Pos)
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// Deferred Puts release at function exit; nothing inside a
+			// defer (the Put itself, or a closure over the buffer) can
+			// precede a use in the body.
+			return false
+		case *ast.AssignStmt:
+			// RHS first (source order of evaluation), then treat every
+			// assigned name as a fresh binding: the identifier no longer
+			// denotes the object that was Put.
+			for _, rhs := range n.Rhs {
+				ast.Inspect(rhs, visit)
+			}
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil {
+						delete(released, obj)
+						continue
+					}
+				}
+				ast.Inspect(lhs, visit)
+			}
+			return false
+		case *ast.CallExpr:
+			if obj := putArgObject(pass.TypesInfo, n); obj != nil {
+				// Check the receiver and argument for already-released
+				// buffers first (a second pool.Put(buf) is itself a
+				// use-after-release), then mark the object surrendered.
+				ast.Inspect(n.Fun, visit)
+				for _, arg := range n.Args {
+					ast.Inspect(arg, visit)
+				}
+				released[obj] = n.Pos()
+				return false
+			}
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[n]
+			if obj == nil {
+				return true
+			}
+			if _, gone := released[obj]; gone {
+				pass.Reportf(n.Pos(),
+					"%s is used after being returned to a sync.Pool with Put; a pooled buffer must not be touched after release",
+					n.Name)
+				delete(released, obj) // one report per release point
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+// putArgObject matches calls of the form pool.Put(x) where pool has type
+// sync.Pool or *sync.Pool and x resolves to a variable, returning x's
+// object. Any other call returns nil.
+func putArgObject(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+		return nil
+	}
+	if !isSyncPool(info.TypeOf(sel.X)) {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id]
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	return obj
+}
+
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
+}

@@ -1,0 +1,12 @@
+package poolret_test
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/analysis/analysistest"
+	"github.com/codsearch/cod/internal/analysis/poolret"
+)
+
+func TestPoolret(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), poolret.Analyzer, "poolrettest")
+}

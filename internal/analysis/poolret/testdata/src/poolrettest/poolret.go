@@ -1,0 +1,93 @@
+// Package poolrettest is the poolret fixture: buffers surrendered to a
+// sync.Pool with Put must not be touched afterwards.
+package poolrettest
+
+import "sync"
+
+type scratch struct {
+	buf []int
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+var sink *scratch
+
+func useAfterPut() int {
+	sc := pool.Get().(*scratch)
+	sc.buf = append(sc.buf[:0], 1, 2, 3)
+	n := len(sc.buf)
+	pool.Put(sc)
+	return n + len(sc.buf) // want `sc is used after being returned to a sync.Pool with Put`
+}
+
+func retainAfterPut() {
+	sc := pool.Get().(*scratch)
+	pool.Put(sc)
+	sink = sc // want `sc is used after being returned to a sync.Pool with Put`
+}
+
+func doublePut() {
+	sc := pool.Get().(*scratch)
+	pool.Put(sc)
+	pool.Put(sc) // want `sc is used after being returned to a sync.Pool with Put`
+}
+
+func pointerPool(p *sync.Pool) *scratch {
+	sc := p.Get().(*scratch)
+	p.Put(sc)
+	return sc // want `sc is used after being returned to a sync.Pool with Put`
+}
+
+type engine struct {
+	scratch sync.Pool
+}
+
+func (e *engine) fieldPool() {
+	sc := e.scratch.Get().(*scratch)
+	e.scratch.Put(sc)
+	sc.buf = nil // want `sc is used after being returned to a sync.Pool with Put`
+}
+
+// deferredPut releases at function exit: uses in the body are fine.
+func deferredPut() int {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	sc.buf = append(sc.buf[:0], 4, 5)
+	return len(sc.buf)
+}
+
+// reacquire rebinds the name after Put; the new object is live.
+func reacquire() int {
+	sc := pool.Get().(*scratch)
+	pool.Put(sc)
+	sc = pool.Get().(*scratch)
+	return len(sc.buf)
+}
+
+// putThenDone never touches the buffer again: the happy path.
+func putThenDone() {
+	sc := pool.Get().(*scratch)
+	sc.buf = sc.buf[:0]
+	pool.Put(sc)
+}
+
+// notAPool has a Put method; only sync.Pool receivers are in scope.
+type notAPool struct{}
+
+func (notAPool) Put(any) {}
+
+func otherPut() {
+	var q notAPool
+	sc := pool.Get().(*scratch)
+	q.Put(sc)
+	sc.buf = nil // ok: q is not a sync.Pool
+	pool.Put(sc)
+}
+
+// suppressed documents a deliberate exception.
+func suppressed() {
+	sc := pool.Get().(*scratch)
+	pool.Put(sc)
+	//codvet:ignore poolret fixture exercises the suppression path
+	sink = sc
+}

@@ -38,23 +38,76 @@ func CompressedEvaluate(ch *Chain, rrs []*influence.RRGraph, k int) EvalResult {
 	return res
 }
 
+// EvalScratch holds the reusable working buffers of a compressed
+// evaluation: the per-level influence buckets, the per-level HFS queues, the
+// per-RR visited marks and the running tally map. Reuse is determinism-safe
+// because the only map-order-sensitive consumer — the top-k sweep — is
+// order-invariant under the canonical influence order (see topK.offer), so a
+// scratch-backed run returns exactly the fresh-allocation result. A scratch
+// is single-goroutine; the engine pools one per query.
+type EvalScratch struct {
+	buckets []map[graph.NodeID]int32
+	queues  [][]int32
+	visited []bool
+	tau     map[graph.NodeID]int32
+}
+
+// NewEvalScratch returns an empty scratch.
+func NewEvalScratch() *EvalScratch { return &EvalScratch{} }
+
+// prepare sizes the scratch for a chain of L levels, clearing carried state.
+func (sc *EvalScratch) prepare(L int) {
+	for len(sc.buckets) < L {
+		sc.buckets = append(sc.buckets, make(map[graph.NodeID]int32))
+	}
+	for h := 0; h < L; h++ {
+		clear(sc.buckets[h])
+	}
+	for len(sc.queues) < L {
+		sc.queues = append(sc.queues, nil)
+	}
+	for h := 0; h < L; h++ {
+		sc.queues[h] = sc.queues[h][:0]
+	}
+	if sc.tau == nil {
+		sc.tau = make(map[graph.NodeID]int32, 64)
+	} else {
+		clear(sc.tau)
+	}
+}
+
+// visitedFor returns a cleared visited buffer of length n.
+func (sc *EvalScratch) visitedFor(n int) []bool {
+	if cap(sc.visited) < n {
+		sc.visited = make([]bool, n)
+	}
+	sc.visited = sc.visited[:n]
+	clear(sc.visited)
+	return sc.visited
+}
+
 // CompressedEvaluateCtx is CompressedEvaluate with cancellation: the HFS
 // pass polls ctx.Err() once per influence.PollEvery RR graphs and aborts
 // with a *influence.CanceledError counting the RR graphs folded in so far.
 // An uncancelled call returns exactly CompressedEvaluate's result.
 func CompressedEvaluateCtx(ctx context.Context, ch *Chain, rrs []*influence.RRGraph, k int) (EvalResult, error) {
+	return CompressedEvaluateScratchCtx(ctx, ch, rrs, k, NewEvalScratch())
+}
+
+// CompressedEvaluateScratchCtx is CompressedEvaluateCtx drawing every working
+// buffer from sc instead of allocating. Results are identical to the
+// allocating call for any (possibly dirty) scratch.
+func CompressedEvaluateScratchCtx(ctx context.Context, ch *Chain, rrs []*influence.RRGraph, k int, sc *EvalScratch) (EvalResult, error) {
 	rec := obs.FromContext(ctx)
 	L := ch.Len()
-	buckets := make([]map[graph.NodeID]int32, L)
-	for h := range buckets {
-		buckets[h] = make(map[graph.NodeID]int32)
-	}
+	sc.prepare(L)
+	buckets := sc.buckets[:L]
 
 	// Stage 1: shared sample generation (HFS over every RR graph). Every
 	// pushed node lands at the current or a later level, so sweeping h from
 	// the source level upward processes (and then resets) each queue once.
 	induce := rec.StartSpan(obs.StageRRInduce)
-	queues := make([][]int32, L) // per-level queues of RR positions, reused across RR graphs
+	queues := sc.queues[:L] // per-level queues of RR positions, reused across RR graphs
 	entries := 0
 	for ri, r := range rrs {
 		if ri%influence.PollEvery == 0 {
@@ -68,7 +121,7 @@ func CompressedEvaluateCtx(ctx context.Context, ch *Chain, rrs []*influence.RRGr
 		if srcLevel >= L {
 			continue // source outside the chain's universe
 		}
-		visited := make([]bool, r.Len())
+		visited := sc.visitedFor(r.Len())
 		visited[0] = true
 		queues[srcLevel] = append(queues[srcLevel], 0)
 		for h := srcLevel; h < L; h++ {
@@ -102,7 +155,7 @@ func CompressedEvaluateCtx(ctx context.Context, ch *Chain, rrs []*influence.RRGr
 
 	// Stage 2: incremental top-k evaluation.
 	sweep := rec.StartSpan(obs.StageTopKSweep)
-	tau := make(map[graph.NodeID]int32, 64)
+	tau := sc.tau
 	top := newTopK(k)
 	best := -1
 	for h := 0; h < L; h++ {

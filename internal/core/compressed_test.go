@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"github.com/codsearch/cod/internal/graph"
@@ -350,5 +352,52 @@ func TestLemma1NonMonotoneRank(t *testing.T) {
 	want := referenceBest(ch, ref, 1)
 	if res.Level != want {
 		t.Errorf("level %d, want %d (ranks %v)", res.Level, want, ranks)
+	}
+}
+
+func TestCompressedEvaluateCtxMatches(t *testing.T) {
+	g := graph.ErdosRenyi(60, 200, graph.NewRand(33))
+	tr, err := hac.Cluster(g, hac.UnweightedAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := ChainFromTree(tr, 7)
+	rrs := influence.NewSampler(g, influence.NewWeightedCascade(g), graph.NewRand(8)).Batch(400)
+	want := CompressedEvaluate(ch, rrs, 3)
+	got, err := CompressedEvaluateCtx(context.Background(), ch, rrs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("CompressedEvaluateCtx = %+v, want %+v", got, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompressedEvaluateCtx(ctx, ch, rrs, 3); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled evaluation error = %v", err)
+	}
+}
+
+// TestCompressedEvaluateScratchReuse locks the determinism contract of the
+// scratch-backed evaluation: a scratch reused across chains of different
+// shapes must produce exactly the allocating path's result every time.
+func TestCompressedEvaluateScratchReuse(t *testing.T) {
+	g := graph.ErdosRenyi(60, 200, graph.NewRand(34))
+	tr, err := hac.Cluster(g, hac.UnweightedAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrs := influence.NewSampler(g, influence.NewWeightedCascade(g), graph.NewRand(9)).Batch(300)
+	sc := NewEvalScratch()
+	for _, q := range []graph.NodeID{0, 13, 27, 41, 59, 13} {
+		ch := ChainFromTree(tr, q)
+		want := CompressedEvaluate(ch, rrs, 3)
+		got, err := CompressedEvaluateScratchCtx(context.Background(), ch, rrs, 3, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("q=%d: scratch eval = %+v, want %+v", q, got, want)
+		}
 	}
 }

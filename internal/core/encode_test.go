@@ -116,18 +116,3 @@ func TestChainValidateCatchesCorruption(t *testing.T) {
 		t.Error("empty chain accepted")
 	}
 }
-
-func TestNewGraphSamplerKinds(t *testing.T) {
-	g := graph.ErdosRenyi(15, 40, graph.NewRand(85))
-	ic := NewGraphSampler(g, ICWeightedCascade, graph.NewRand(86))
-	lt := NewGraphSampler(g, LTUniform, graph.NewRand(86))
-	if ic.RRGraph() == nil || lt.RRGraph() == nil {
-		t.Fatal("samplers broken")
-	}
-	if _, ok := ic.(*influence.Sampler); !ok {
-		t.Error("IC sampler wrong type")
-	}
-	if _, ok := lt.(*influence.LTSampler); !ok {
-		t.Error("LT sampler wrong type")
-	}
-}

@@ -21,7 +21,10 @@ package dynamic
 import (
 	"fmt"
 
+	"context"
+
 	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/engine"
 	"github.com/codsearch/cod/internal/graph"
 	"github.com/codsearch/cod/internal/hac"
 	"github.com/codsearch/cod/internal/hier"
@@ -44,9 +47,10 @@ const (
 // insertions incrementally. It is not safe for concurrent use.
 type Updater struct {
 	g      *graph.Graph
-	params core.Params
+	params engine.Params
 	tree   *hier.Tree
 	index  *core.Himor
+	eng    *engine.Engine
 
 	pending [][2]graph.NodeID
 	flushes int
@@ -54,12 +58,19 @@ type Updater struct {
 }
 
 // New builds the initial state (clustering + HIMOR) for g.
-func New(g *graph.Graph, params core.Params) (*Updater, error) {
-	codl, err := core.NewCODL(g, params)
+func New(g *graph.Graph, params engine.Params) (*Updater, error) {
+	return NewWithConfig(g, params, engine.Config{})
+}
+
+// NewWithConfig is New with an explicit engine configuration — enabling the
+// per-attribute sample cache or attribute-tree caching for serving setups.
+// Flush invalidates both through the engine epoch.
+func NewWithConfig(g *graph.Graph, params engine.Params, cfg engine.Config) (*Updater, error) {
+	eng, err := engine.Build(context.Background(), g, params, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Updater{g: g, params: params, tree: codl.Tree(), index: codl.Index()}, nil
+	return &Updater{g: g, params: eng.Params(), tree: eng.Tree(), index: eng.Index(), eng: eng}, nil
 }
 
 // Graph returns the current graph (pending edges excluded until Flush).
@@ -135,12 +146,15 @@ func (u *Updater) Flush(s Strategy) error {
 	if theta <= 0 {
 		theta = 10
 	}
-	sampler := core.NewGraphSampler(ng, u.params.Model, graph.NewRand(graph.ItemSeed(u.params.Seed, u.flushes)))
+	sampler := engine.NewGraphSampler(ng, u.params.Model, graph.NewRand(graph.ItemSeed(u.params.Seed, u.flushes)))
 	u.index = core.BuildHimorWithSampler(ng, nt, sampler, theta)
 	u.g = ng
 	u.tree = nt
 	u.pending = u.pending[:0]
 	u.flushes++
+	// Rebind bumps the engine epoch: cached sample pools and attribute
+	// trees from the pre-flush graph can never answer post-flush queries.
+	u.eng.Rebind(ng, nt, u.index)
 	return nil
 }
 
@@ -161,7 +175,17 @@ func (u *Updater) applyPending() *graph.Graph {
 
 // Query answers a COD query over the current state (Algorithm 3). Pending
 // edges are not visible until Flush.
-func (u *Updater) Query(q graph.NodeID, attr graph.AttrID, seed uint64) (core.Community, error) {
-	codl := core.NewCODLWithTree(u.g, u.tree, u.index, u.params)
-	return codl.Query(q, attr, graph.NewRand(seed))
+func (u *Updater) Query(q graph.NodeID, attr graph.AttrID, seed uint64) (engine.Community, error) {
+	pl := u.eng.Compile(engine.VariantCODL, q, attr)
+	return u.eng.Execute(context.Background(), pl, graph.NewRand(seed))
 }
+
+// QueryGlobal answers a CODR-variant query (global attribute recluster)
+// over the current state, sharing the engine's caches with Query.
+func (u *Updater) QueryGlobal(q graph.NodeID, attr graph.AttrID, seed uint64) (engine.Community, error) {
+	pl := u.eng.Compile(engine.VariantCODR, q, attr)
+	return u.eng.Execute(context.Background(), pl, graph.NewRand(seed))
+}
+
+// Engine exposes the updater's query engine (shared state, epoch, caches).
+func (u *Updater) Engine() *engine.Engine { return u.eng }

@@ -1,10 +1,11 @@
 package dynamic
 
 import (
+	"fmt"
 	"testing"
 
-	"github.com/codsearch/cod/internal/core"
 	"github.com/codsearch/cod/internal/dataset"
+	"github.com/codsearch/cod/internal/engine"
 	"github.com/codsearch/cod/internal/graph"
 )
 
@@ -14,7 +15,7 @@ func newUpdater(t *testing.T) *Updater {
 	if err != nil {
 		t.Fatal(err)
 	}
-	u, err := New(ds.G, core.Params{K: 5, Theta: 4, Seed: 17})
+	u, err := New(ds.G, engine.Params{K: 5, Theta: 4, Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,4 +193,65 @@ func contains(nodes []graph.NodeID, q graph.NodeID) bool {
 		}
 	}
 	return false
+}
+
+// TestFlushInvalidatesSampleCache drives graph updates between cache-hitting
+// global queries: before the flush the second identical query must be served
+// from the sample cache byte-identically; after the flush the bumped engine
+// epoch must force a fresh pool over the updated graph, and the whole
+// sequence must replay deterministically.
+func TestFlushInvalidatesSampleCache(t *testing.T) {
+	run := func() []string {
+		ds, err := dataset.Load("tiny", 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := NewWithConfig(ds.G, engine.Params{K: 5, Theta: 4, Seed: 17},
+			engine.Config{SampleCache: 2, CacheAttrTrees: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var q graph.NodeID = -1
+		for v := graph.NodeID(0); int(v) < u.Graph().N(); v++ {
+			if len(u.Graph().Attrs(v)) > 0 {
+				q = v
+				break
+			}
+		}
+		attr := u.Graph().Attrs(q)[0]
+		var out []string
+		c1, err := u.QueryGlobal(q, attr, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := u.QueryGlobal(q, attr, 99) // cache hit: pool + attr tree reused
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprintf("%+v", c1) != fmt.Sprintf("%+v", c2) {
+			t.Fatalf("cache hit differs from miss: %+v vs %+v", c2, c1)
+		}
+		out = append(out, fmt.Sprintf("%+v", c1))
+		if err := u.AddEdge(q, graph.NodeID((int(q)+u.Graph().N()/2)%u.Graph().N())); err != nil {
+			t.Fatal(err)
+		}
+		if err := u.Flush(Auto); err != nil {
+			t.Fatal(err)
+		}
+		if u.Engine().Epoch() != 1 {
+			t.Fatalf("epoch after flush = %d, want 1", u.Engine().Epoch())
+		}
+		c3, err := u.QueryGlobal(q, attr, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, fmt.Sprintf("%+v", c3))
+		return out
+	}
+	first, second := run(), run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("replay %d differs:\n%s\n%s", i, first[i], second[i])
+		}
+	}
 }

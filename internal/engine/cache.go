@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"context"
+	"math/rand/v2"
+	"sync"
+
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/influence"
+	"github.com/codsearch/cod/internal/obs"
+)
+
+// sampleCache is the bounded per-attribute RR sample-pool cache: queries
+// that share a query attribute sample once and evaluate many times — the
+// RIS-sketch reuse trick applied to the COD serving path.
+//
+// Keying and determinism: entries are keyed by (attribute, epoch), where
+// the epoch is bumped on every Rebind (dynamic update), so a pool sampled
+// over a stale graph can never answer for the updated one. Pool content is
+// a pure function of the key: sample i draws from a PCG seeded with
+// ItemSeed(poolSeed(seed, attr, epoch), i), never from a query's rng — so
+// a cache hit is byte-identical to a miss, and answers are independent of
+// query arrival order, worker count, and eviction history.
+//
+// Ownership: each entry owns a private arena its samples live in. Entry
+// arenas are never Reset and never enter the engine's scratch pool, so a
+// query still evaluating against an entry that was just evicted keeps a
+// valid view — eviction only drops the cache's reference; the garbage
+// collector reclaims the arena when the last reader finishes.
+type sampleCache struct {
+	mu      sync.Mutex
+	max     int
+	tick    uint64
+	entries map[cacheKey]*poolEntry
+}
+
+type cacheKey struct {
+	attr  graph.AttrID
+	epoch uint64
+}
+
+type poolEntry struct {
+	mu      sync.Mutex // held while populating; cache.mu is never held under it
+	ready   bool
+	arena   *influence.Arena
+	rrs     []*influence.RRGraph
+	lastUse uint64
+}
+
+func newSampleCache(max int) *sampleCache {
+	return &sampleCache{max: max, entries: map[cacheKey]*poolEntry{}}
+}
+
+// poolSeed derives the sampling seed of one (attr, epoch) pool. The +1
+// keeps attribute 0 distinct from the base stream, and the constant keeps
+// pool streams disjoint from the offline (seed^0x51ed) and per-query
+// (ItemSeed(seed, i)) families.
+func poolSeed(seed uint64, attr graph.AttrID, epoch uint64) uint64 {
+	return graph.ItemSeed(graph.ItemSeed(seed^0xcac4ed, int(attr)+1), int(epoch))
+}
+
+// get returns the pool for attr at the engine's current epoch, sampling it
+// on first use. Concurrent callers for one key block on the entry while a
+// single populator samples; they then share the pool (a hit). A canceled
+// population is withdrawn from the cache so no partial pool is ever served.
+func (c *sampleCache) get(ctx context.Context, e *Engine, attr graph.AttrID, count int) ([]*influence.RRGraph, error) {
+	rec := obs.FromContext(ctx)
+	key := cacheKey{attr: attr, epoch: e.epoch.Load()}
+
+	c.mu.Lock()
+	c.tick++
+	entry, ok := c.entries[key]
+	if !ok {
+		entry = &poolEntry{arena: influence.NewArena()}
+		c.entries[key] = entry
+		for i := c.evictLocked(key); i > 0; i-- {
+			rec.CountCacheEviction()
+		}
+	}
+	entry.lastUse = c.tick
+	c.mu.Unlock()
+
+	entry.mu.Lock()
+	defer entry.mu.Unlock()
+	if entry.ready {
+		rec.CountCacheHit()
+		return entry.rrs, nil
+	}
+	rec.CountCacheMiss()
+	if err := c.populate(ctx, e, attr, key, entry, count); err != nil {
+		c.mu.Lock()
+		// Withdraw the unpopulated entry; the next query retries cleanly.
+		if c.entries[key] == entry {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	return entry.rrs, nil
+}
+
+// populate samples the pool with per-item seeding into the entry's arena.
+// entry.mu is held by the caller.
+func (c *sampleCache) populate(ctx context.Context, e *Engine, attr graph.AttrID, key cacheKey, entry *poolEntry, count int) error {
+	span := obs.FromContext(ctx).StartSpan(obs.StageRRSample)
+	src := graph.NewPCG(0)
+	smp := newArenaSampler(e.g, e.p.Model, rand.New(src))
+	base := poolSeed(e.p.Seed, attr, key.epoch)
+	for i := 0; i < count; i++ {
+		if i%influence.PollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				span.EndItems(i)
+				return &influence.CanceledError{
+					Op: "engine: cached rr sampling", Done: i, Total: count, Cause: err}
+			}
+		}
+		graph.SeedPCG(src, graph.ItemSeed(base, i))
+		smp.RRGraphInto(entry.arena)
+	}
+	span.EndItems(count)
+	entry.rrs = entry.arena.Finalize()
+	entry.ready = true
+	return nil
+}
+
+// evictLocked drops least-recently-used entries until the cache is within
+// bounds, never evicting keep (the entry just inserted), and returns how
+// many entries were dropped. Callers hold c.mu.
+func (c *sampleCache) evictLocked(keep cacheKey) int {
+	evicted := 0
+	for len(c.entries) > c.max {
+		var victim cacheKey
+		var oldest uint64
+		found := false
+		for k, en := range c.entries {
+			if k == keep {
+				continue
+			}
+			// lastUse ticks are unique under c.mu, but tie-break on the key
+			// anyway so the victim never depends on map iteration order.
+			if !found || en.lastUse < oldest ||
+				(en.lastUse == oldest && (k.epoch < victim.epoch ||
+					(k.epoch == victim.epoch && k.attr < victim.attr))) {
+				victim, oldest, found = k, en.lastUse, true
+			}
+		}
+		if !found {
+			break
+		}
+		delete(c.entries, victim)
+		evicted++
+	}
+	return evicted
+}
+
+// clearOld drops every entry whose epoch predates current; Rebind calls it
+// so stale pools free their memory eagerly instead of aging out by LRU.
+func (c *sampleCache) clearOld(current uint64) {
+	c.mu.Lock()
+	for k := range c.entries {
+		if k.epoch < current {
+			delete(c.entries, k)
+		}
+	}
+	c.mu.Unlock()
+}

@@ -1,4 +1,4 @@
-package core
+package engine
 
 import (
 	"context"
@@ -102,28 +102,5 @@ func TestNewCODLCtxCancellation(t *testing.T) {
 	cancel()
 	if _, err := NewCODLCtx(ctx, g, Params{Theta: 4}); !errors.Is(err, context.Canceled) {
 		t.Errorf("canceled offline build error = %v", err)
-	}
-}
-
-func TestCompressedEvaluateCtxMatches(t *testing.T) {
-	g, q := attrGraph(t, 3)
-	tr, err := NewCODU(g, Params{K: 3, Theta: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	ch := ChainFromTree(tr.Tree(), q)
-	rrs := influence.NewSampler(g, influence.NewWeightedCascade(g), graph.NewRand(8)).Batch(400)
-	want := CompressedEvaluate(ch, rrs, 3)
-	got, err := CompressedEvaluateCtx(context.Background(), ch, rrs, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got != want {
-		t.Errorf("CompressedEvaluateCtx = %+v, want %+v", got, want)
-	}
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	if _, err := CompressedEvaluateCtx(ctx, ch, rrs, 3); !errors.Is(err, context.Canceled) {
-		t.Errorf("canceled evaluation error = %v", err)
 	}
 }

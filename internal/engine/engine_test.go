@@ -1,0 +1,350 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"math/rand/v2"
+
+	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/hac"
+	"github.com/codsearch/cod/internal/hier"
+	"github.com/codsearch/cod/internal/influence"
+	"github.com/codsearch/cod/internal/obs"
+)
+
+// The reference implementations below replicate the historical (pre-engine)
+// pipelines verbatim: fresh allocations everywhere, influence.BatchCtx for
+// shared pools, a fresh sampler per query. Execute with the sample cache
+// disabled must match them byte-for-byte — this is the §9 determinism
+// contract for the pooled refactor.
+
+func refCODU(g *graph.Graph, t *hier.Tree, p Params, q graph.NodeID, rng *rand.Rand) (Community, error) {
+	ctx := context.Background()
+	ch := core.ChainFromTree(t, q)
+	s := NewGraphSampler(g, p.Model, rng)
+	rrs, err := influence.BatchCtx(ctx, s, p.Theta*g.N())
+	if err != nil {
+		return Community{Level: -1}, err
+	}
+	res, err := core.CompressedEvaluateCtx(ctx, ch, rrs, p.K)
+	if err != nil {
+		return Community{Level: -1}, err
+	}
+	return communityFromChain(ch, res), nil
+}
+
+func refCODR(g *graph.Graph, p Params, q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	ctx := context.Background()
+	gl := core.AttributeWeighted(g, attr, p.Beta)
+	t, err := hac.ClusterCtx(ctx, gl, p.Linkage)
+	if err != nil {
+		return Community{}, err
+	}
+	ch := core.ChainFromTree(t, q)
+	s := NewGraphSampler(g, p.Model, rng)
+	rrs, err := influence.BatchCtx(ctx, s, p.Theta*g.N())
+	if err != nil {
+		return Community{Level: -1}, err
+	}
+	res, err := core.CompressedEvaluateCtx(ctx, ch, rrs, p.K)
+	if err != nil {
+		return Community{Level: -1}, err
+	}
+	return communityFromChain(ch, res), nil
+}
+
+func refCODL(g *graph.Graph, t *hier.Tree, idx *core.Himor, p Params, q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	ctx := context.Background()
+	rec, err := core.LoreCtx(ctx, g, t, q, attr, p.Beta, p.Linkage)
+	if err != nil {
+		return Community{}, err
+	}
+	anc := t.Ancestors(rec.CL)
+	for i := len(anc) - 1; i >= -1; i-- {
+		v := rec.CL
+		if i >= 0 {
+			v = anc[i]
+		}
+		if idx.Rank(q, v) < p.K {
+			return Community{Nodes: t.Members(v), Found: true, Level: -1, FromIndex: true}, nil
+		}
+	}
+	inner := core.InnerChain(g, t, rec, q)
+	members := rec.Sub.ToParent
+	in := make([]bool, g.N())
+	for _, v := range members {
+		in[v] = true
+	}
+	member := func(u graph.NodeID) bool { return in[u] }
+	s := NewGraphSampler(g, p.Model, rng)
+	total := p.Theta * len(members)
+	rrs := make([]*influence.RRGraph, 0, total)
+	for i := 0; i < total; i++ {
+		rrs = append(rrs, s.RRGraphWithin(members[rng.IntN(len(members))], member))
+	}
+	res, err := core.CompressedEvaluateCtx(ctx, inner, rrs, p.K)
+	if err != nil {
+		return Community{Level: -1}, err
+	}
+	return communityFromChain(inner, res), nil
+}
+
+func refCODLNoIndex(g *graph.Graph, t *hier.Tree, p Params, q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	ctx := context.Background()
+	rec, err := core.LoreCtx(ctx, g, t, q, attr, p.Beta, p.Linkage)
+	if err != nil {
+		return Community{}, err
+	}
+	merged := core.MergedChain(g, t, rec, q)
+	s := NewGraphSampler(g, p.Model, rng)
+	rrs, err := influence.BatchCtx(ctx, s, p.Theta*g.N())
+	if err != nil {
+		return Community{Level: -1}, err
+	}
+	res, err := core.CompressedEvaluateCtx(ctx, merged, rrs, p.K)
+	if err != nil {
+		return Community{Level: -1}, err
+	}
+	return communityFromChain(merged, res), nil
+}
+
+// queryNodes picks a spread of query nodes, always including ones carrying
+// attribute 0.
+func queryNodes(g *graph.Graph, n int) []graph.NodeID {
+	var qs []graph.NodeID
+	for v := graph.NodeID(0); int(v) < g.N() && len(qs) < n; v += 7 {
+		qs = append(qs, v)
+	}
+	return qs
+}
+
+func TestExecuteMatchesReferencePipelines(t *testing.T) {
+	for _, model := range []Model{ICWeightedCascade, LTUniform} {
+		t.Run(fmt.Sprintf("model=%d", model), func(t *testing.T) {
+			g, _ := attrGraph(t, 21)
+			p := Params{K: 3, Theta: 3, Seed: 21, Model: model}
+			eng, err := Build(context.Background(), g, p, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p = eng.Params()
+			for _, q := range queryNodes(g, 6) {
+				for i, variant := range []Variant{VariantCODU, VariantCODR, VariantCODL, VariantCODLNoIndex} {
+					seed := graph.ItemSeed(77, int(q)*4+i)
+					var want Community
+					var err error
+					switch variant {
+					case VariantCODU:
+						want, err = refCODU(g, eng.Tree(), p, q, graph.NewRand(seed))
+					case VariantCODR:
+						want, err = refCODR(g, p, q, 0, graph.NewRand(seed))
+					case VariantCODL:
+						want, err = refCODL(g, eng.Tree(), eng.Index(), p, q, 0, graph.NewRand(seed))
+					case VariantCODLNoIndex:
+						want, err = refCODLNoIndex(g, eng.Tree(), p, q, 0, graph.NewRand(seed))
+					}
+					if err != nil {
+						t.Fatalf("%v reference q=%d: %v", variant, q, err)
+					}
+					// Execute twice: the second run reuses the pooled scratch, so
+					// any stale-state leak between runs shows up as a mismatch.
+					for run := 0; run < 2; run++ {
+						got, err := eng.Execute(context.Background(), eng.Compile(variant, q, 0), graph.NewRand(seed))
+						if err != nil {
+							t.Fatalf("%v engine q=%d run=%d: %v", variant, q, run, err)
+						}
+						if comBytes(got) != comBytes(want) {
+							t.Errorf("%v q=%d run=%d differs from reference:\n got %s\nwant %s",
+								variant, q, run, comBytes(got), comBytes(want))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineConcurrentStress hammers one engine from many goroutines with a
+// mixed-variant workload and checks every answer against the serial run:
+// arena recycling must never alias one in-flight query's samples into
+// another. Run under -race (the CI race-and-vet job names this test).
+func TestEngineConcurrentStress(t *testing.T) {
+	g, _ := attrGraph(t, 31)
+	p := Params{K: 3, Theta: 3, Seed: 31}
+	eng, err := Build(context.Background(), g, p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []Variant{VariantCODU, VariantCODR, VariantCODL, VariantCODLNoIndex}
+	type job struct {
+		variant Variant
+		q       graph.NodeID
+		seed    uint64
+	}
+	var jobs []job
+	for i, q := range queryNodes(g, 8) {
+		for j, v := range variants {
+			jobs = append(jobs, job{v, q, graph.ItemSeed(555, i*len(variants)+j)})
+		}
+	}
+	want := make([]string, len(jobs))
+	for i, jb := range jobs {
+		com, err := eng.Execute(context.Background(), eng.Compile(jb.variant, jb.q, 0), graph.NewRand(jb.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = comBytes(com)
+	}
+	const rounds = 3
+	got := make([]string, rounds*len(jobs))
+	var wg sync.WaitGroup
+	for r := 0; r < rounds; r++ {
+		for i, jb := range jobs {
+			wg.Add(1)
+			go func(slot int, jb job) {
+				defer wg.Done()
+				com, err := eng.Execute(context.Background(), eng.Compile(jb.variant, jb.q, 0), graph.NewRand(jb.seed))
+				if err != nil {
+					got[slot] = "err: " + err.Error()
+					return
+				}
+				got[slot] = comBytes(com)
+			}(r*len(jobs)+i, jb)
+		}
+	}
+	wg.Wait()
+	for r := 0; r < rounds; r++ {
+		for i := range jobs {
+			if got[r*len(jobs)+i] != want[i] {
+				t.Errorf("round %d job %d (%v q=%d) differs under concurrency:\n got %s\nwant %s",
+					r, i, jobs[i].variant, jobs[i].q, got[r*len(jobs)+i], want[i])
+			}
+		}
+	}
+}
+
+// TestSampleCacheHitEqualsMiss locks the cache-on determinism contract: the
+// pool is a pure function of (seed, attr, epoch), so a warm query answers
+// byte-identically to its cold twin and the hit/miss counters advance.
+func TestSampleCacheHitEqualsMiss(t *testing.T) {
+	g, q := attrGraph(t, 41)
+	p := Params{K: 3, Theta: 3, Seed: 41}
+	build := func() *Engine {
+		eng, err := Build(context.Background(), g, p, Config{SampleCache: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	eng := build()
+	reg := obs.NewRegistry()
+	m := obs.NewQueryMetrics(reg)
+	ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(m, nil))
+
+	cold, err := eng.Execute(ctx, eng.Compile(VariantCODR, q, 0), graph.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheMisses.Value() != 1 || m.CacheHits.Value() != 0 {
+		t.Fatalf("cold query: hits=%d misses=%d", m.CacheHits.Value(), m.CacheMisses.Value())
+	}
+	warm, err := eng.Execute(ctx, eng.Compile(VariantCODR, q, 0), graph.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits.Value() != 1 {
+		t.Fatalf("warm query did not hit: hits=%d misses=%d", m.CacheHits.Value(), m.CacheMisses.Value())
+	}
+	if comBytes(cold) != comBytes(warm) {
+		t.Errorf("cache hit differs from miss:\n cold %s\n warm %s", comBytes(cold), comBytes(warm))
+	}
+	// A second engine answering the same query cold must agree: pool content
+	// depends on (seed, attr, epoch), never on arrival order or history.
+	again, err := build().Execute(ctx, eng.Compile(VariantCODR, q, 0), graph.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comBytes(again) != comBytes(cold) {
+		t.Errorf("fresh engine cold query differs: %s vs %s", comBytes(again), comBytes(cold))
+	}
+}
+
+// TestRebindInvalidatesCaches locks the dynamic-update contract: Rebind bumps
+// the epoch, so cached pools and attribute trees from the old graph can never
+// answer over the new one, and post-rebind execution is deterministic.
+func TestRebindInvalidatesCaches(t *testing.T) {
+	g, q := attrGraph(t, 51)
+	p := Params{K: 3, Theta: 3, Seed: 51}
+	run := func() (string, string, uint64) {
+		eng, err := Build(context.Background(), g, p, Config{SampleCache: 4, CacheAttrTrees: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		m := obs.NewQueryMetrics(reg)
+		ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(m, nil))
+		before, err := eng.Execute(ctx, eng.Compile(VariantCODR, q, 0), graph.NewRand(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild offline state over a perturbed graph and rebind.
+		b := graph.NewBuilder(g.N(), g.NumAttrs())
+		g.ForEachEdge(func(u, v graph.NodeID, w float64) { _ = b.AddWeightedEdge(u, v, w) })
+		for v := graph.NodeID(0); int(v) < g.N(); v++ {
+			if as := g.Attrs(v); len(as) > 0 {
+				_ = b.SetAttrs(v, as...)
+			}
+		}
+		_ = b.AddEdge(q, graph.NodeID((int(q)+g.N()/2)%g.N()))
+		ng := b.Build()
+		nt, err := hac.Cluster(ng, p.Linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := core.BuildHimor(ng, nt, influence.NewWeightedCascade(ng), p.Theta, graph.NewRand(7))
+		eng.Rebind(ng, nt, idx)
+		if eng.Epoch() != 1 {
+			t.Fatalf("epoch after rebind = %d, want 1", eng.Epoch())
+		}
+		after, err := eng.Execute(ctx, eng.Compile(VariantCODR, q, 0), graph.NewRand(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.CacheMisses.Value() != 2 {
+			t.Fatalf("post-rebind query should miss (stale pool invalidated): misses=%d", m.CacheMisses.Value())
+		}
+		return comBytes(before), comBytes(after), eng.Epoch()
+	}
+	b1, a1, _ := run()
+	b2, a2, _ := run()
+	if b1 != b2 || a1 != a2 {
+		t.Errorf("rebind replay not deterministic:\n before %s / %s\n after %s / %s", b1, b2, a1, a2)
+	}
+}
+
+// TestSampleCacheEviction locks the LRU bound and the eviction counter.
+func TestSampleCacheEviction(t *testing.T) {
+	g, q := attrGraph(t, 61)
+	eng, err := Build(context.Background(), g, Params{K: 3, Theta: 2, Seed: 61}, Config{SampleCache: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	m := obs.NewQueryMetrics(reg)
+	ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(m, nil))
+	for _, attr := range []graph.AttrID{0, 1, 0} {
+		if _, err := eng.Execute(ctx, eng.Compile(VariantCODR, q, attr), graph.NewRand(5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.CacheMisses.Value() != 3 {
+		t.Errorf("misses = %d, want 3 (capacity 1 forces re-sampling)", m.CacheMisses.Value())
+	}
+	if m.CacheEvictions.Value() != 2 {
+		t.Errorf("evictions = %d, want 2", m.CacheEvictions.Value())
+	}
+}

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"context"
+	"math/rand/v2"
+
+	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/hier"
+)
+
+// The CODU/CODR/CODL pipeline types keep the pre-engine query API: each is a
+// thin compiled-plan front over an Engine. Evaluation code (eval/, hin/,
+// dynamic/) programs against these; the serving facade holds an Engine
+// directly.
+
+// CODU answers COD queries over the non-attributed hierarchy (variant CODU
+// of §V-A): agglomerative clustering of g once, then compressed evaluation
+// per query. Construct with NewCODU.
+type CODU struct {
+	eng *Engine
+}
+
+// NewCODU clusters g and returns a reusable CODU pipeline.
+func NewCODU(g *graph.Graph, p Params) (*CODU, error) {
+	return NewCODUCtx(context.Background(), g, p)
+}
+
+// NewCODUCtx is NewCODU with a cancellable offline phase.
+func NewCODUCtx(ctx context.Context, g *graph.Graph, p Params) (*CODU, error) {
+	p = p.withDefaults()
+	t, err := clusterTree(ctx, g, p)
+	if err != nil {
+		return nil, err
+	}
+	return &CODU{eng: New(g, t, nil, p, Config{})}, nil
+}
+
+// NewCODUWithTree reuses a prebuilt hierarchy (e.g. shared with a CODL
+// pipeline over the same graph).
+func NewCODUWithTree(g *graph.Graph, t *hier.Tree, p Params) *CODU {
+	return &CODU{eng: New(g, t, nil, p, Config{})}
+}
+
+// Engine exposes the underlying query engine.
+func (c *CODU) Engine() *Engine { return c.eng }
+
+// Tree exposes the non-attributed hierarchy.
+func (c *CODU) Tree() *hier.Tree { return c.eng.Tree() }
+
+// Query finds the characteristic community of q ignoring the attribute.
+func (c *CODU) Query(q graph.NodeID, rng *rand.Rand) Community {
+	com, _ := c.QueryCtx(context.Background(), q, rng)
+	return com
+}
+
+// QueryCtx is Query with cancellation: the sampling loop and the compressed
+// evaluation poll ctx.Err() at bounded intervals; on cancellation the error
+// wraps a *influence.CanceledError with the completed sample count. An
+// uncancelled call returns exactly Query's community.
+func (c *CODU) QueryCtx(ctx context.Context, q graph.NodeID, rng *rand.Rand) (Community, error) {
+	return c.eng.Execute(ctx, c.eng.Compile(VariantCODU, q, 0), rng)
+}
+
+// CODR answers COD queries by globally reclustering the attribute-weighted
+// graph g_ℓ per query attribute (variant CODR of §V-A). Hierarchies can be
+// cached per attribute; caching must be off when timing Fig. 9.
+type CODR struct {
+	eng *Engine
+	// CacheHierarchies enables the per-attribute hierarchy cache.
+	CacheHierarchies bool
+}
+
+// NewCODR returns a CODR pipeline; no offline work is required.
+func NewCODR(g *graph.Graph, p Params) *CODR {
+	return &CODR{eng: New(g, nil, nil, p, Config{})}
+}
+
+// Engine exposes the underlying query engine.
+func (c *CODR) Engine() *Engine { return c.eng }
+
+// Hierarchy returns the attribute-aware hierarchy for attr, reclustering
+// from scratch unless cached.
+func (c *CODR) Hierarchy(attr graph.AttrID) (*hier.Tree, error) {
+	return c.HierarchyCtx(context.Background(), attr)
+}
+
+// HierarchyCtx is Hierarchy with a cancellable recluster. Canceled builds
+// are not cached.
+func (c *CODR) HierarchyCtx(ctx context.Context, attr graph.AttrID) (*hier.Tree, error) {
+	return c.eng.AttrTree(ctx, attr, c.CacheHierarchies)
+}
+
+// Query finds the characteristic community of q for attribute attr.
+func (c *CODR) Query(q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	return c.QueryCtx(context.Background(), q, attr, rng)
+}
+
+// QueryCtx is Query with cancellation across all three phases: the global
+// recluster (hac merge loop), the sampling loop and the compressed
+// evaluation all poll ctx.Err() at bounded intervals. Uncancelled results
+// are identical to Query.
+func (c *CODR) QueryCtx(ctx context.Context, q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	pl := c.eng.Compile(VariantCODR, q, attr)
+	pl.CacheAttrTree = c.CacheHierarchies
+	return c.eng.Execute(ctx, pl, rng)
+}
+
+// CODL is the fully optimized pipeline (variant CODL of §V-A): LORE local
+// reclustering plus the HIMOR index (Algorithm 3). The hierarchy and index
+// are built once offline; queries recluster only C_ℓ.
+type CODL struct {
+	eng *Engine
+}
+
+// NewCODL clusters g and builds the HIMOR index.
+func NewCODL(g *graph.Graph, p Params) (*CODL, error) {
+	return NewCODLCtx(context.Background(), g, p)
+}
+
+// NewCODLCtx is NewCODL with a cancellable offline phase: both the
+// clustering merge loop and the HIMOR RR sampling poll ctx.Err() at bounded
+// intervals, so a server can abandon warmup on shutdown. Uncancelled builds
+// are identical to NewCODL for the same params.
+func NewCODLCtx(ctx context.Context, g *graph.Graph, p Params) (*CODL, error) {
+	eng, err := Build(ctx, g, p, Config{})
+	if err != nil {
+		return nil, err
+	}
+	return &CODL{eng: eng}, nil
+}
+
+// NewCODLWithTree reuses a prebuilt hierarchy and index (both may be shared
+// across pipelines built from the same graph and params).
+func NewCODLWithTree(g *graph.Graph, t *hier.Tree, idx *core.Himor, p Params) *CODL {
+	return &CODL{eng: New(g, t, idx, p, Config{})}
+}
+
+// Engine exposes the underlying query engine.
+func (c *CODL) Engine() *Engine { return c.eng }
+
+// Tree exposes the non-attributed hierarchy.
+func (c *CODL) Tree() *hier.Tree { return c.eng.Tree() }
+
+// Index exposes the HIMOR index.
+func (c *CODL) Index() *core.Himor { return c.eng.Index() }
+
+// Query runs Algorithm 3: LORE picks C_ℓ; the HIMOR index is scanned
+// top-down over C_ℓ's ancestors for the largest community where q is top-k;
+// only if none qualifies is a compressed evaluation run inside C_ℓ.
+func (c *CODL) Query(q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	return c.QueryCtx(context.Background(), q, attr, rng)
+}
+
+// QueryCtx is Query with cancellation: LORE's phases, the restricted
+// sampling loop and the compressed evaluation all poll ctx.Err() at bounded
+// intervals, so a deadline aborts the query long before the full Monte-Carlo
+// run completes. Uncancelled results are byte-identical to Query.
+func (c *CODL) QueryCtx(ctx context.Context, q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	return c.eng.Execute(ctx, c.eng.Compile(VariantCODL, q, attr), rng)
+}
+
+// QueryNoIndex is CODL⁻ (§V-D): LORE reclustering and compressed evaluation
+// over the full merged chain H_ℓ(q), without consulting the HIMOR index.
+func (c *CODL) QueryNoIndex(q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	return c.QueryNoIndexCtx(context.Background(), q, attr, rng)
+}
+
+// QueryNoIndexCtx is QueryNoIndex with the same cancellation points as
+// QueryCtx.
+func (c *CODL) QueryNoIndexCtx(ctx context.Context, q graph.NodeID, attr graph.AttrID, rng *rand.Rand) (Community, error) {
+	return c.eng.Execute(ctx, c.eng.Compile(VariantCODLNoIndex, q, attr), rng)
+}
+
+// MergedChainFor exposes H_ℓ(q) for effectiveness experiments (Fig. 4).
+func (c *CODL) MergedChainFor(q graph.NodeID, attr graph.AttrID) (*core.Chain, error) {
+	rec, err := core.Lore(c.eng.Graph(), c.eng.Tree(), q, attr, c.eng.Params().Beta, c.eng.Params().Linkage)
+	if err != nil {
+		return nil, err
+	}
+	return core.MergedChain(c.eng.Graph(), c.eng.Tree(), rec, q), nil
+}

@@ -1,9 +1,10 @@
-package core
+package engine
 
 import (
 	"testing"
 
 	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/influence"
 )
 
 // attrGraph builds a planted two-community graph where attribute 0 marks
@@ -171,6 +172,21 @@ func TestCommunityHelpers(t *testing.T) {
 	c2 := Community{Nodes: []graph.NodeID{1, 2, 3}, Found: true}
 	if c2.Size() != 3 {
 		t.Error("size wrong")
+	}
+}
+
+func TestNewGraphSamplerKinds(t *testing.T) {
+	g := graph.ErdosRenyi(15, 40, graph.NewRand(85))
+	ic := NewGraphSampler(g, ICWeightedCascade, graph.NewRand(86))
+	lt := NewGraphSampler(g, LTUniform, graph.NewRand(86))
+	if ic.RRGraph() == nil || lt.RRGraph() == nil {
+		t.Fatal("samplers broken")
+	}
+	if _, ok := ic.(*influence.Sampler); !ok {
+		t.Error("IC sampler wrong type")
+	}
+	if _, ok := lt.(*influence.LTSampler); !ok {
+		t.Error("LT sampler wrong type")
 	}
 }
 

@@ -1,0 +1,302 @@
+package engine
+
+import (
+	"context"
+	"math/rand/v2"
+
+	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/hier"
+	"github.com/codsearch/cod/internal/influence"
+	"github.com/codsearch/cod/internal/obs"
+)
+
+// Variant names the COD pipeline a plan realizes (§V-A of the paper, plus
+// the CODL⁻ ablation of §V-D).
+type Variant int
+
+const (
+	// VariantCODU evaluates over the non-attributed hierarchy.
+	VariantCODU Variant = iota
+	// VariantCODR globally reclusters the attribute-weighted graph.
+	VariantCODR
+	// VariantCODL is LORE + HIMOR + restricted sampling (Algorithm 3).
+	VariantCODL
+	// VariantCODLNoIndex is CODL⁻: LORE without the HIMOR index.
+	VariantCODLNoIndex
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantCODU:
+		return "CODU"
+	case VariantCODR:
+		return "CODR"
+	case VariantCODL:
+		return "CODL"
+	case VariantCODLNoIndex:
+		return "CODL-"
+	}
+	return "unknown"
+}
+
+// StepKind is one stage of a compiled plan.
+type StepKind int
+
+const (
+	// StepWeight derives the attribute weighting: a LORE local recluster or
+	// a global recluster of g_ℓ, per the step's WeightMode.
+	StepWeight StepKind = iota
+	// StepIndexProbe scans the HIMOR index top-down over C_ℓ's ancestors;
+	// a hit answers the query without evaluation.
+	StepIndexProbe
+	// StepChain builds the community chain the evaluation sweeps.
+	StepChain
+	// StepSample fills the RR sample pool (shared θ·N pool or sampling
+	// restricted to C_ℓ, per the step's SampleMode).
+	StepSample
+	// StepEvaluate runs the compressed COD evaluation (Algorithm 1).
+	StepEvaluate
+	// StepExtract materializes the community from the winning chain level.
+	StepExtract
+)
+
+// WeightMode selects how StepWeight derives the attribute weighting.
+type WeightMode int
+
+const (
+	// WeightLORE runs the LORE local recluster of C_ℓ.
+	WeightLORE WeightMode = iota
+	// WeightGlobal reclusters the whole attribute-weighted graph g_ℓ.
+	WeightGlobal
+)
+
+// ChainMode selects StepChain's source.
+type ChainMode int
+
+const (
+	// ChainTree walks the non-attributed hierarchy (CODU).
+	ChainTree ChainMode = iota
+	// ChainAttr walks the globally reclustered attribute hierarchy (CODR).
+	ChainAttr
+	// ChainInner is the reclustered chain inside C_ℓ (CODL).
+	ChainInner
+	// ChainMerged is the merged chain H_ℓ(q) (CODL⁻).
+	ChainMerged
+)
+
+// SampleMode selects StepSample's pool.
+type SampleMode int
+
+const (
+	// SampleShared draws θ·N RR graphs over the whole graph — from the
+	// per-attribute cache when the engine has one, else from the query rng.
+	SampleShared SampleMode = iota
+	// SampleRestricted draws θ·|C_ℓ| RR graphs confined to C_ℓ from the
+	// query rng (cache-exempt: the restriction depends on the query node).
+	SampleRestricted
+)
+
+// Step is one stage of a plan; Mode fields beyond the Kind's are ignored.
+type Step struct {
+	Kind   StepKind
+	Weight WeightMode
+	Chain  ChainMode
+	Sample SampleMode
+}
+
+// Plan is a compiled query: the ordered stages Execute runs plus the query
+// itself. Plans are cheap values — compile per query, no caching needed.
+type Plan struct {
+	Variant Variant
+	Q       graph.NodeID
+	Attr    graph.AttrID
+	// CacheAttrTree lets a CODR plan reuse the per-attribute reclustered
+	// hierarchy across queries (deterministic either way).
+	CacheAttrTree bool
+	Steps         []Step
+}
+
+// planSteps is the fixed stage list per variant; slices are shared,
+// read-only.
+var planSteps = map[Variant][]Step{
+	VariantCODU: {
+		{Kind: StepChain, Chain: ChainTree},
+		{Kind: StepSample, Sample: SampleShared},
+		{Kind: StepEvaluate},
+		{Kind: StepExtract},
+	},
+	VariantCODR: {
+		{Kind: StepWeight, Weight: WeightGlobal},
+		{Kind: StepChain, Chain: ChainAttr},
+		{Kind: StepSample, Sample: SampleShared},
+		{Kind: StepEvaluate},
+		{Kind: StepExtract},
+	},
+	VariantCODL: {
+		{Kind: StepWeight, Weight: WeightLORE},
+		{Kind: StepIndexProbe},
+		{Kind: StepChain, Chain: ChainInner},
+		{Kind: StepSample, Sample: SampleRestricted},
+		{Kind: StepEvaluate},
+		{Kind: StepExtract},
+	},
+	VariantCODLNoIndex: {
+		{Kind: StepWeight, Weight: WeightLORE},
+		{Kind: StepChain, Chain: ChainMerged},
+		{Kind: StepSample, Sample: SampleShared},
+		{Kind: StepEvaluate},
+		{Kind: StepExtract},
+	},
+}
+
+// Compile lowers a query onto the variant's stage list. CODR plans inherit
+// the engine's attribute-tree caching configuration.
+func (e *Engine) Compile(v Variant, q graph.NodeID, attr graph.AttrID) *Plan {
+	return &Plan{Variant: v, Q: q, Attr: attr,
+		CacheAttrTree: v == VariantCODR && e.cfg.CacheAttrTrees,
+		Steps:         planSteps[v]}
+}
+
+// execState threads intermediate results between plan stages.
+type execState struct {
+	rec      *core.Reclustering // from WeightLORE
+	attrTree *hier.Tree         // from WeightGlobal
+	ch       *core.Chain
+	rrs      []*influence.RRGraph
+	res      core.EvalResult
+}
+
+// Execute runs a compiled plan. rng is the query's deterministic stream;
+// with the sample cache disabled, randomness is consumed in exactly the
+// order the historical pipelines used, so answers are byte-identical to the
+// pre-engine behavior for equal seeds. Error shapes match the historical
+// pipelines: cancellation during sampling or evaluation wraps a
+// *influence.CanceledError carrying partial progress.
+func (e *Engine) Execute(ctx context.Context, pl *Plan, rng *rand.Rand) (Community, error) {
+	sc := e.acquire(rng)
+	defer e.release(sc)
+	var st execState
+	for _, step := range pl.Steps {
+		switch step.Kind {
+		case StepWeight:
+			if step.Weight == WeightGlobal {
+				t, err := e.AttrTree(ctx, pl.Attr, pl.CacheAttrTree)
+				if err != nil {
+					return Community{}, err
+				}
+				st.attrTree = t
+			} else {
+				rec, err := core.LoreCtx(ctx, e.g, e.tree, pl.Q, pl.Attr, e.p.Beta, e.p.Linkage)
+				if err != nil {
+					return Community{}, err
+				}
+				st.rec = rec
+			}
+
+		case StepIndexProbe:
+			if com, ok := e.probeIndex(ctx, pl.Q, st.rec); ok {
+				return com, nil
+			}
+
+		case StepChain:
+			switch step.Chain {
+			case ChainTree:
+				st.ch = core.ChainFromTree(e.tree, pl.Q)
+			case ChainAttr:
+				st.ch = core.ChainFromTree(st.attrTree, pl.Q)
+			case ChainInner:
+				st.ch = core.InnerChain(e.g, e.tree, st.rec, pl.Q)
+			case ChainMerged:
+				st.ch = core.MergedChain(e.g, e.tree, st.rec, pl.Q)
+			}
+
+		case StepSample:
+			var err error
+			if step.Sample == SampleRestricted {
+				st.rrs, err = e.sampleRestricted(ctx, sc, st.rec, rng)
+			} else {
+				st.rrs, err = e.sampleShared(ctx, sc, pl.Attr)
+			}
+			if err != nil {
+				return Community{Level: -1}, err
+			}
+
+		case StepEvaluate:
+			res, err := core.CompressedEvaluateScratchCtx(ctx, st.ch, st.rrs, e.p.K, sc.eval)
+			if err != nil {
+				return Community{Level: -1}, err
+			}
+			st.res = res
+
+		case StepExtract:
+			return communityFromChain(st.ch, st.res), nil
+		}
+	}
+	return Community{Level: -1}, nil
+}
+
+// probeIndex scans the HIMOR index top-down over the ancestors of C_ℓ (root
+// first, C_ℓ last); the largest community where q is top-k answers directly.
+func (e *Engine) probeIndex(ctx context.Context, q graph.NodeID, rec *core.Reclustering) (Community, bool) {
+	r := obs.FromContext(ctx)
+	lookup := r.StartSpan(obs.StageHimorLookup)
+	anc := e.tree.Ancestors(rec.CL)
+	for i := len(anc) - 1; i >= -1; i-- {
+		v := rec.CL
+		if i >= 0 {
+			v = anc[i]
+		}
+		if e.index.Rank(q, v) < e.p.K {
+			lookup.EndItems(len(anc) - i)
+			r.CountIndexHit()
+			return Community{Nodes: e.tree.Members(v), Found: true, Level: -1, FromIndex: true}, true
+		}
+	}
+	lookup.EndItems(len(anc) + 1)
+	return Community{}, false
+}
+
+// sampleShared fills the θ·N whole-graph pool: from the per-attribute cache
+// when enabled (the query rng is then unused — pool content is a pure
+// function of seed, attribute and epoch), else from the query rng (already
+// bound to the scratch sampler) into the scratch arena, byte-identical to
+// the historical influence.BatchCtx stream.
+func (e *Engine) sampleShared(ctx context.Context, sc *queryScratch, attr graph.AttrID) ([]*influence.RRGraph, error) {
+	count := e.p.Theta * e.g.N()
+	if e.cache != nil {
+		return e.cache.get(ctx, e, attr, count)
+	}
+	return influence.BatchIntoCtx(ctx, sc.sampler, count, sc.arena)
+}
+
+// sampleRestricted draws θ·|C_ℓ| RR graphs confined to C_ℓ, sources drawn
+// uniformly from the members by the query rng — the same draw order as the
+// historical CODL loop, arena-backed.
+func (e *Engine) sampleRestricted(ctx context.Context, sc *queryScratch, rec *core.Reclustering, rng *rand.Rand) ([]*influence.RRGraph, error) {
+	members := rec.Sub.ToParent
+	in := sc.memberMask(members)
+	member := func(u graph.NodeID) bool { return in[u] }
+	total := e.p.Theta * len(members)
+	sample := obs.FromContext(ctx).StartSpan(obs.StageRRSample)
+	for i := 0; i < total; i++ {
+		if i%influence.PollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				sample.EndItems(i)
+				return nil, &influence.CanceledError{
+					Op: "engine: restricted rr sampling", Done: i, Total: total, Cause: err}
+			}
+		}
+		sc.sampler.RRGraphWithinInto(sc.arena, members[rng.IntN(len(members))], member)
+	}
+	sample.EndItems(total)
+	return sc.arena.Finalize(), nil
+}
+
+func communityFromChain(ch *core.Chain, res core.EvalResult) Community {
+	if res.Level < 0 {
+		return Community{Found: false, Level: -1}
+	}
+	return Community{Nodes: ch.Members(res.Level), Found: true, Level: res.Level}
+}

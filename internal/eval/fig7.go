@@ -4,6 +4,7 @@ import (
 	"github.com/codsearch/cod/internal/acs"
 	"github.com/codsearch/cod/internal/core"
 	"github.com/codsearch/cod/internal/dataset"
+	"github.com/codsearch/cod/internal/engine"
 	"github.com/codsearch/cod/internal/graph"
 )
 
@@ -95,7 +96,7 @@ func RunEffectiveness(cfg Config) (*EffectivenessResult, error) {
 	}
 
 	// --- CODR: recluster g_ℓ per attribute (cached), shared sample pool.
-	codr := core.NewCODR(e.g, core.Params{K: 5, Theta: cfg.Theta, Beta: cfg.Beta, Linkage: cfg.Linkage})
+	codr := engine.NewCODR(e.g, engine.Params{K: 5, Theta: cfg.Theta, Beta: cfg.Beta, Linkage: cfg.Linkage})
 	codr.CacheHierarchies = true
 	for qi, q := range e.queries {
 		t, err := codr.Hierarchy(q.Attr)
@@ -168,7 +169,7 @@ func RunFiveDeepest(cfg Config) (*Fig4Result, error) {
 	}
 
 	var uSums, rSums, lSums [5]float64
-	codr := core.NewCODR(e.g, core.Params{Theta: cfg.Theta, Beta: cfg.Beta, Linkage: cfg.Linkage})
+	codr := engine.NewCODR(e.g, engine.Params{Theta: cfg.Theta, Beta: cfg.Beta, Linkage: cfg.Linkage})
 	codr.CacheHierarchies = true
 	lc := newLoreCache(e)
 	for _, q := range e.queries {

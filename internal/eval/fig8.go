@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/engine"
 	"github.com/codsearch/cod/internal/influence"
 )
 
@@ -45,7 +46,7 @@ func RunCompressedVsIndependent(cfg Config, k int, budget int) ([]Fig8Row, error
 	if err != nil {
 		return nil, err
 	}
-	codr := core.NewCODR(e.g, core.Params{K: k, Theta: cfg.Theta, Beta: cfg.Beta, Linkage: cfg.Linkage})
+	codr := engine.NewCODR(e.g, engine.Params{K: k, Theta: cfg.Theta, Beta: cfg.Beta, Linkage: cfg.Linkage})
 	codr.CacheHierarchies = true
 
 	var rows []Fig8Row

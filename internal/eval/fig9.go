@@ -6,6 +6,7 @@ import (
 
 	"github.com/codsearch/cod/internal/core"
 	"github.com/codsearch/cod/internal/dataset"
+	"github.com/codsearch/cod/internal/engine"
 )
 
 // Fig9Row reports the average query latency of one method on one dataset
@@ -38,9 +39,9 @@ func RunRuntime(cfg Config, k int, limit time.Duration) ([]Fig9Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	params := core.Params{K: k, Theta: cfg.Theta, Beta: cfg.Beta, Linkage: cfg.Linkage, Seed: cfg.Seed}
-	codl := core.NewCODLWithTree(e.g, e.tree, e.index, params)
-	codr := core.NewCODR(e.g, params)
+	params := engine.Params{K: k, Theta: cfg.Theta, Beta: cfg.Beta, Linkage: cfg.Linkage, Seed: cfg.Seed}
+	codl := engine.NewCODLWithTree(e.g, e.tree, e.index, params)
+	codr := engine.NewCODR(e.g, params)
 	codr.CacheHierarchies = false // CODR pays the reclustering on every query
 
 	type queryFn func(q dataset.Query, rng *rand.Rand) error

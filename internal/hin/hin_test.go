@@ -3,7 +3,7 @@ package hin
 import (
 	"testing"
 
-	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/engine"
 	"github.com/codsearch/cod/internal/graph"
 )
 
@@ -214,7 +214,7 @@ func TestHINSearcherEndToEnd(t *testing.T) {
 	h := b.Build()
 
 	s, err := NewSearcher(h, MetaPath{Edges: []EdgeType{0, 0}, Start: 0},
-		core.Params{K: 5, Theta: 5, Seed: 55}, 0)
+		engine.Params{K: 5, Theta: 5, Seed: 55}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,7 +3,7 @@ package hin
 import (
 	"fmt"
 
-	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/engine"
 	"github.com/codsearch/cod/internal/graph"
 )
 
@@ -15,18 +15,18 @@ type Searcher struct {
 	h    *HeteroGraph
 	path MetaPath
 	proj *Projection
-	codl *core.CODL
+	codl *engine.CODL
 	seq  uint64
 	seed uint64
 }
 
 // NewSearcher projects h along the meta-path and builds the COD state.
-func NewSearcher(h *HeteroGraph, m MetaPath, params core.Params, maxExpansion int) (*Searcher, error) {
+func NewSearcher(h *HeteroGraph, m MetaPath, params engine.Params, maxExpansion int) (*Searcher, error) {
 	proj, err := Project(h, m, maxExpansion)
 	if err != nil {
 		return nil, err
 	}
-	codl, err := core.NewCODL(proj.G, params)
+	codl, err := engine.NewCODL(proj.G, params)
 	if err != nil {
 		return nil, err
 	}

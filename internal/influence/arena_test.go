@@ -1,0 +1,127 @@
+package influence
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+func rrStr(r *RRGraph) string {
+	return fmt.Sprintf("nodes=%v off=%v adj=%v", r.Nodes, r.Off, r.Adj)
+}
+
+// TestArenaSamplerByteIdentical locks the arena contract: the Into variants
+// must consume the rng in exactly the allocating methods' order and produce
+// CSR layouts equal field-by-field, so pooled execution answers match the
+// allocating path byte-for-byte.
+func TestArenaSamplerByteIdentical(t *testing.T) {
+	g := graph.ErdosRenyi(60, 220, graph.NewRand(41))
+	member := func(u graph.NodeID) bool { return u%3 != 0 }
+
+	t.Run("ic", func(t *testing.T) {
+		ref := NewSampler(g, NewWeightedCascade(g), graph.NewRand(7))
+		got := NewSampler(g, NewWeightedCascade(g), graph.NewRand(7))
+		a := NewArena()
+		var want []*RRGraph
+		for i := 0; i < 50; i++ {
+			want = append(want, ref.RRGraph())
+			got.RRGraphInto(a)
+		}
+		for i := 0; i < 30; i++ {
+			src := graph.NodeID(i % g.N())
+			want = append(want, ref.RRGraphWithin(src, member))
+			got.RRGraphWithinInto(a, src, member)
+		}
+		compareRRs(t, a.Finalize(), want)
+	})
+
+	t.Run("lt", func(t *testing.T) {
+		ref := NewLTSampler(g, UniformLT{G: g}, graph.NewRand(9))
+		got := NewLTSampler(g, UniformLT{G: g}, graph.NewRand(9))
+		a := NewArena()
+		var want []*RRGraph
+		for i := 0; i < 50; i++ {
+			want = append(want, ref.RRGraph())
+			got.RRGraphInto(a)
+		}
+		for i := 0; i < 30; i++ {
+			src := graph.NodeID(i % g.N())
+			want = append(want, ref.RRGraphWithin(src, member))
+			got.RRGraphWithinInto(a, src, member)
+		}
+		compareRRs(t, a.Finalize(), want)
+	})
+}
+
+// TestArenaResetReuse locks the recycling contract: a Reset arena refilled
+// with a re-seeded sampler reproduces its first run exactly, and the second
+// run's headers never alias stale spans from the first.
+func TestArenaResetReuse(t *testing.T) {
+	g := graph.ErdosRenyi(40, 150, graph.NewRand(43))
+	a := NewArena()
+	s := NewSampler(g, NewWeightedCascade(g), graph.NewRand(11))
+	for i := 0; i < 40; i++ {
+		s.RRGraphInto(a)
+	}
+	first := make([]string, 0, 40)
+	for _, r := range a.Finalize() {
+		first = append(first, rrStr(r))
+	}
+	a.Reset()
+	s.SetRand(graph.NewRand(11))
+	for i := 0; i < 40; i++ {
+		s.RRGraphInto(a)
+	}
+	second := a.Finalize()
+	if len(second) != len(first) {
+		t.Fatalf("reused arena yielded %d rr graphs, want %d", len(second), len(first))
+	}
+	for i, r := range second {
+		if rrStr(r) != first[i] {
+			t.Errorf("rr %d differs after Reset:\n got %s\nwant %s", i, rrStr(r), first[i])
+		}
+	}
+}
+
+// TestBatchIntoCtxMatchesBatchCtx locks the pooled batch entry point against
+// the allocating one, including the cancellation shape.
+func TestBatchIntoCtxMatchesBatchCtx(t *testing.T) {
+	g := graph.ErdosRenyi(50, 180, graph.NewRand(47))
+	want, err := BatchCtx(context.Background(),
+		NewSampler(g, NewWeightedCascade(g), graph.NewRand(13)), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewArena()
+	got, err := BatchIntoCtx(context.Background(),
+		NewSampler(g, NewWeightedCascade(g), graph.NewRand(13)), 200, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRRs(t, got, want)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a2 := NewArena()
+	partial, err := BatchIntoCtx(ctx, NewSampler(g, NewWeightedCascade(g), graph.NewRand(13)), 200, a2)
+	if err == nil {
+		t.Fatal("canceled BatchIntoCtx returned no error")
+	}
+	if len(partial) != 0 {
+		t.Errorf("pre-start cancellation returned %d samples", len(partial))
+	}
+}
+
+func compareRRs(t *testing.T, got, want []*RRGraph) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d rr graphs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if rrStr(got[i]) != rrStr(want[i]) {
+			t.Errorf("rr %d differs:\n got %s\nwant %s", i, rrStr(got[i]), rrStr(want[i]))
+		}
+	}
+}

@@ -60,6 +60,27 @@ func BatchCtx(ctx context.Context, s GraphSampler, count int) ([]*RRGraph, error
 	return out, nil
 }
 
+// BatchIntoCtx is BatchCtx writing every sample into a instead of
+// allocating: same polling cadence, same span, same randomness order, so the
+// finalized RR graphs are byte-identical to BatchCtx's for equal rng states.
+// The returned slice aliases the arena (see Arena's ownership contract). On
+// cancellation the samples completed so far are returned with the
+// *CanceledError.
+func BatchIntoCtx(ctx context.Context, s ArenaSampler, count int, a *Arena) ([]*RRGraph, error) {
+	span := obs.FromContext(ctx).StartSpan(obs.StageRRSample)
+	for i := 0; i < count; i++ {
+		if i%PollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				span.EndItems(i)
+				return a.Finalize(), &CanceledError{Op: "influence: rr batch", Done: i, Total: count, Cause: err}
+			}
+		}
+		s.RRGraphInto(a)
+	}
+	span.EndItems(count)
+	return a.Finalize(), nil
+}
+
 // ParallelBatchCtx is ParallelBatch with bounded-interval cancellation:
 // every worker checks ctx.Err() once per PollEvery samples and stops early
 // when the context is done. An uncancelled call returns the same pool as

@@ -51,6 +51,9 @@ func NewLTSampler(g *graph.Graph, w LTWeights, rng *rand.Rand) *LTSampler {
 		pos: make([]int32, g.N()), epoch: make([]int32, g.N())}
 }
 
+// SetRand rebinds the sampler to rng (see Sampler.SetRand).
+func (s *LTSampler) SetRand(rng *rand.Rand) { s.rng = rng }
+
 // pickInNeighbor samples v's live in-edge tail, or -1 when v selects no one.
 func (s *LTSampler) pickInNeighbor(v graph.NodeID) graph.NodeID {
 	x := s.rng.Float64()

@@ -70,6 +70,11 @@ func NewSampler(g *graph.Graph, model Model, rng *rand.Rand) *Sampler {
 	return s
 }
 
+// SetRand rebinds the sampler to rng. A pooled sampler keeps its per-graph
+// visited marks and serves successive queries that each carry their own
+// deterministic stream.
+func (s *Sampler) SetRand(rng *rand.Rand) { s.rng = rng }
+
 // RRSet samples one RR set: the source plus every node that reverse-reaches
 // it through live edges. The result is a fresh slice with the source first.
 func (s *Sampler) RRSet() []graph.NodeID {

@@ -19,6 +19,14 @@ type QueryMetrics struct {
 	QueriesCanceled *Counter
 	// IndexHits counts CODL queries answered directly from the HIMOR index.
 	IndexHits *Counter
+	// CacheHits counts shared-pool sample requests served from the engine's
+	// per-attribute RR sample cache.
+	CacheHits *Counter
+	// CacheMisses counts shared-pool sample requests that had to sample a
+	// fresh pool (cache disabled requests count neither way).
+	CacheMisses *Counter
+	// CacheEvictions counts sample pools dropped to respect the cache bound.
+	CacheEvictions *Counter
 
 	stageSeconds [NumStages]*Histogram
 	stageItems   [NumStages]*Counter
@@ -32,6 +40,9 @@ func NewQueryMetrics(reg *Registry) *QueryMetrics {
 		QueryErrors:     reg.Counter("cod_query_errors_total", "Queries failed for a non-cancellation reason."),
 		QueriesCanceled: reg.Counter("cod_queries_canceled_total", "Queries stopped by cancellation or deadline."),
 		IndexHits:       reg.Counter("cod_himor_index_hits_total", "CODL queries answered directly from the HIMOR index."),
+		CacheHits:       reg.Counter("cod_rr_cache_hits_total", "Shared-pool sample requests served from the RR sample cache."),
+		CacheMisses:     reg.Counter("cod_rr_cache_misses_total", "Shared-pool sample requests that sampled a fresh pool."),
+		CacheEvictions:  reg.Counter("cod_rr_cache_evictions_total", "RR sample pools evicted to respect the cache bound."),
 	}
 	for s := Stage(0); s < NumStages; s++ {
 		m.stageSeconds[s] = reg.Histogram(
@@ -156,6 +167,30 @@ func (r *Recorder) CountIndexHit() {
 		return
 	}
 	r.m.IndexHits.Inc()
+}
+
+// CountCacheHit records a shared-pool request served from the sample cache.
+func (r *Recorder) CountCacheHit() {
+	if r == nil || r.m == nil {
+		return
+	}
+	r.m.CacheHits.Inc()
+}
+
+// CountCacheMiss records a shared-pool request that sampled a fresh pool.
+func (r *Recorder) CountCacheMiss() {
+	if r == nil || r.m == nil {
+		return
+	}
+	r.m.CacheMisses.Inc()
+}
+
+// CountCacheEviction records one sample pool evicted from the cache.
+func (r *Recorder) CountCacheEviction() {
+	if r == nil || r.m == nil {
+		return
+	}
+	r.m.CacheEvictions.Inc()
 }
 
 type recorderKey struct{}

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 
 	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/engine"
 	"github.com/codsearch/cod/internal/hier"
 )
 
@@ -63,7 +64,7 @@ type indexHeader struct {
 }
 
 func headerFor(opts Options, nodes int) indexHeader {
-	p := core.Params{K: opts.K, Theta: opts.Theta, Beta: opts.Beta, Linkage: opts.Linkage,
+	p := engine.Params{K: opts.K, Theta: opts.Theta, Beta: opts.Beta, Linkage: opts.Linkage,
 		Seed: opts.Seed, Model: opts.Model, Balanced: opts.Balanced}.WithDefaults()
 	var balanced uint8
 	if p.Balanced {
@@ -103,14 +104,14 @@ func (s *Searcher) SaveIndex(w io.Writer) error {
 	}
 
 	var blob bytes.Buffer
-	if _, err := s.codl.Tree().WriteTo(&blob); err != nil {
+	if _, err := s.eng.Tree().WriteTo(&blob); err != nil {
 		return fmt.Errorf("cod: encoding hierarchy: %w", err)
 	}
 	if err := writeSection(w, blob.Bytes()); err != nil {
 		return fmt.Errorf("cod: saving hierarchy: %w", err)
 	}
 	blob.Reset()
-	if _, err := s.codl.Index().WriteTo(&blob); err != nil {
+	if _, err := s.eng.Index().WriteTo(&blob); err != nil {
 		return fmt.Errorf("cod: encoding index: %w", err)
 	}
 	if err := writeSection(w, blob.Bytes()); err != nil {
@@ -287,13 +288,12 @@ func loadSearcherV1(g *Graph, r io.Reader, opts Options) (*Searcher, error) {
 }
 
 func searcherWithState(g *Graph, t *hier.Tree, idx *core.Himor, opts Options) *Searcher {
-	params := core.Params{K: opts.K, Theta: opts.Theta, Beta: opts.Beta, Linkage: opts.Linkage,
+	params := engine.Params{K: opts.K, Theta: opts.Theta, Beta: opts.Beta, Linkage: opts.Linkage,
 		Seed: opts.Seed, Model: opts.Model, Balanced: opts.Balanced, Workers: opts.Workers}
+	cfg := engine.Config{SampleCache: opts.SampleCache, CacheAttrTrees: opts.CacheHierarchies}
 	return &Searcher{
 		g:    g,
 		opts: opts,
-		codl: core.NewCODLWithTree(g.internalGraph(), t, idx, params),
-		codu: core.NewCODUWithTree(g.internalGraph(), t, params),
-		codr: core.NewCODR(g.internalGraph(), params),
+		eng:  engine.New(g.internalGraph(), t, idx, params, cfg),
 	}
 }

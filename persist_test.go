@@ -196,10 +196,10 @@ func TestLegacyV1IndexStillLoads(t *testing.T) {
 	// Emit the pre-v2 layout: raw hierarchy blob followed by the HIMOR blob,
 	// no header and no checksums.
 	var v1 bytes.Buffer
-	if _, err := s.codl.Tree().WriteTo(&v1); err != nil {
+	if _, err := s.eng.Tree().WriteTo(&v1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.codl.Index().WriteTo(&v1); err != nil {
+	if _, err := s.eng.Index().WriteTo(&v1); err != nil {
 		t.Fatal(err)
 	}
 	s2, err := LoadSearcher(g, bytes.NewReader(v1.Bytes()), opts)

@@ -5,12 +5,12 @@
 # gate for the bench pipeline — it fails loudly when the benchmarks stop
 # producing parseable output — not a performance-threshold gate.
 #
-#   scripts/bench_check.sh [out.json]    # default BENCH_pr3.json
+#   scripts/bench_check.sh [out.json]    # default BENCH_pr4.json
 #
 # Run via `make bench-check`; needs only the go toolchain.
 set -eu
 
-out="${1:-BENCH_pr3.json}"
+out="${1:-BENCH_pr4.json}"
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
@@ -26,8 +26,9 @@ fail() {
 echo "bench-check: building codbench"
 go build -o "$workdir/codbench" ./cmd/codbench || fail "codbench does not build"
 
-echo "bench-check: running Fig benchmarks (-benchtime=1x -count=3)"
-go test -run '^$' -bench 'BenchmarkFig' -benchtime=1x -count=3 -benchmem . \
+echo "bench-check: running Fig + engine benchmarks (-benchtime=1x -count=3)"
+go test -run '^$' -bench 'BenchmarkFig|BenchmarkCODLQuery|BenchmarkDiscoverBatch' \
+    -benchtime=1x -count=3 -benchmem . \
     >"$workdir/bench.out" 2>&1 || fail "go test -bench exited nonzero"
 
 grep -q '^Benchmark' "$workdir/bench.out" || fail "no benchmark lines in output"

@@ -4,8 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 
-	"github.com/codsearch/cod/internal/core"
+	"github.com/codsearch/cod/internal/engine"
 	"github.com/codsearch/cod/internal/graph"
 	"github.com/codsearch/cod/internal/hac"
 	"github.com/codsearch/cod/internal/im"
@@ -36,15 +37,15 @@ const (
 )
 
 // Model selects the influence model used for sampling.
-type Model = core.Model
+type Model = engine.Model
 
 // Model values.
 const (
 	// ModelIC is the independent cascade model with weighted-cascade
 	// probabilities p(u,v) = 1/deg(v) — the paper's default.
-	ModelIC = core.ICWeightedCascade
+	ModelIC = engine.ICWeightedCascade
 	// ModelLT is the linear threshold model with b(u,v) = 1/deg(v).
-	ModelLT = core.LTUniform
+	ModelLT = engine.LTUniform
 )
 
 // Options configures a Searcher. The zero value uses the paper's defaults:
@@ -73,6 +74,18 @@ type Options struct {
 	// (<= 1 = sequential). Purely a performance knob: results are identical
 	// for every Workers value under a fixed Seed.
 	Workers int
+	// SampleCache bounds the engine's per-attribute RR sample-pool cache
+	// (number of resident pools); 0 disables it. With the cache off, every
+	// query draws from its own seeded stream exactly as prior releases did.
+	// With it on, whole-graph sample pools are generated from per-item seeds
+	// derived from (Seed, attribute, epoch) and shared across queries: still
+	// fully deterministic (a hit is byte-identical to a miss, independent of
+	// arrival order), but a different stream than the cache-off mode.
+	SampleCache int
+	// CacheHierarchies keeps CODR per-attribute reclustered hierarchies
+	// resident across DiscoverGlobal calls. Reclustering is deterministic,
+	// so caching never changes answers — it trades memory for latency.
+	CacheHierarchies bool
 }
 
 // Community is the result of a characteristic-community query.
@@ -100,16 +113,14 @@ func (c Community) Contains(v NodeID) bool {
 
 // Searcher answers COD queries over one graph. Construction runs the
 // offline phase: agglomerative hierarchical clustering of the graph and
-// compressed HIMOR index construction. A Searcher is safe for sequential
-// reuse across many queries; distinct goroutines should use distinct
-// Searchers or synchronize externally.
+// compressed HIMOR index construction; queries compile to engine plans and
+// execute over pooled scratch arenas. A Searcher is safe for concurrent use:
+// each query draws its own deterministic stream and per-query scratch.
 type Searcher struct {
 	g    *Graph
 	opts Options
-	codl *core.CODL
-	codu *core.CODU
-	codr *core.CODR
-	seq  uint64
+	eng  *engine.Engine
+	seq  atomic.Uint64
 }
 
 // NewSearcher builds the hierarchy and HIMOR index for g.
@@ -125,19 +136,14 @@ func NewSearcherCtx(ctx context.Context, g *Graph, opts Options) (*Searcher, err
 	if g == nil || g.N() == 0 {
 		return nil, fmt.Errorf("cod: empty graph")
 	}
-	params := core.Params{K: opts.K, Theta: opts.Theta, Beta: opts.Beta, Linkage: opts.Linkage,
+	params := engine.Params{K: opts.K, Theta: opts.Theta, Beta: opts.Beta, Linkage: opts.Linkage,
 		Seed: opts.Seed, Model: opts.Model, Balanced: opts.Balanced, Workers: opts.Workers}
-	codl, err := core.NewCODLCtx(ctx, g.internalGraph(), params)
+	cfg := engine.Config{SampleCache: opts.SampleCache, CacheAttrTrees: opts.CacheHierarchies}
+	eng, err := engine.Build(ctx, g.internalGraph(), params, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Searcher{
-		g:    g,
-		opts: opts,
-		codl: codl,
-		codu: core.NewCODUWithTree(g.internalGraph(), codl.Tree(), params),
-		codr: core.NewCODR(g.internalGraph(), params),
-	}, nil
+	return &Searcher{g: g, opts: opts, eng: eng}, nil
 }
 
 // Discover finds the characteristic community of q for the query attribute
@@ -159,7 +165,7 @@ func (s *Searcher) DiscoverCtx(ctx context.Context, q NodeID, attr AttrID) (Comm
 		rec.CountQuery(err)
 		return Community{}, err
 	}
-	com, err := s.codl.QueryCtx(ctx, q, attr, s.nextRand())
+	com, err := s.eng.Execute(ctx, s.eng.Compile(engine.VariantCODL, q, attr), s.nextRand())
 	rec.CountQuery(err)
 	if err != nil {
 		return Community{}, err
@@ -181,7 +187,7 @@ func (s *Searcher) DiscoverUnattributedCtx(ctx context.Context, q NodeID) (Commu
 		rec.CountQuery(err)
 		return Community{}, err
 	}
-	com, err := s.codu.QueryCtx(ctx, q, s.nextRand())
+	com, err := s.eng.Execute(ctx, s.eng.Compile(engine.VariantCODU, q, 0), s.nextRand())
 	rec.CountQuery(err)
 	if err != nil {
 		return Community{}, err
@@ -205,7 +211,7 @@ func (s *Searcher) DiscoverGlobalCtx(ctx context.Context, q NodeID, attr AttrID)
 		rec.CountQuery(err)
 		return Community{}, err
 	}
-	com, err := s.codr.QueryCtx(ctx, q, attr, s.nextRand())
+	com, err := s.eng.Execute(ctx, s.eng.Compile(engine.VariantCODR, q, attr), s.nextRand())
 	rec.CountQuery(err)
 	if err != nil {
 		return Community{}, err
@@ -230,7 +236,7 @@ func (s *Searcher) EstimateInfluenceCtx(ctx context.Context, v NodeID) (float64,
 	if theta <= 0 {
 		theta = 10
 	}
-	sampler := core.NewGraphSampler(s.g.internalGraph(), s.opts.Model, s.nextRand())
+	sampler := engine.NewGraphSampler(s.g.internalGraph(), s.opts.Model, s.nextRand())
 	total := theta * s.g.N()
 	span := obs.FromContext(ctx).StartSpan(obs.StageRRSample)
 	count := 0
@@ -273,7 +279,7 @@ func (s *Searcher) MaximizeInfluenceCtx(ctx context.Context, k int) ([]NodeID, f
 	if theta <= 0 {
 		theta = 10
 	}
-	sampler := core.NewGraphSampler(s.g.internalGraph(), s.opts.Model, s.nextRand())
+	sampler := engine.NewGraphSampler(s.g.internalGraph(), s.opts.Model, s.nextRand())
 	pool, err := influence.BatchCtx(ctx, sampler, theta*s.g.N())
 	if err != nil {
 		return nil, 0, err
@@ -292,12 +298,12 @@ func (s *Searcher) InfluenceRank(q NodeID, i int) (rank, size int, err error) {
 	if err := s.validate(q, 0); err != nil {
 		return 0, 0, err
 	}
-	t := s.codl.Tree()
+	t := s.eng.Tree()
 	anc := t.Ancestors(t.LeafOf(q))
 	if i < 0 || i >= len(anc) {
 		return 0, 0, fmt.Errorf("cod: ancestor index %d out of range [0,%d)", i, len(anc))
 	}
-	return s.codl.Index().Rank(q, anc[i]), t.Size(anc[i]), nil
+	return s.eng.Index().Rank(q, anc[i]), t.Size(anc[i]), nil
 }
 
 // HierarchyDepth returns |H(q)|: the number of communities containing q in
@@ -306,12 +312,12 @@ func (s *Searcher) HierarchyDepth(q NodeID) (int, error) {
 	if err := s.validate(q, 0); err != nil {
 		return 0, err
 	}
-	t := s.codl.Tree()
+	t := s.eng.Tree()
 	return len(t.Ancestors(t.LeafOf(q))), nil
 }
 
 // IndexBytes reports the approximate HIMOR index memory footprint.
-func (s *Searcher) IndexBytes() int64 { return s.codl.Index().ApproxBytes() }
+func (s *Searcher) IndexBytes() int64 { return s.eng.Index().ApproxBytes() }
 
 // Validate reports whether (q, attr) is a well-formed query against this
 // Searcher's graph, using the same error shape as every query API: callers
@@ -329,9 +335,12 @@ func (s *Searcher) validate(q NodeID, attr AttrID) error {
 	return nil
 }
 
-// nextRand derives a fresh deterministic stream per query.
+// Engine exposes the underlying query engine (epoch, caches, plan API).
+func (s *Searcher) Engine() *engine.Engine { return s.eng }
+
+// nextRand derives a fresh deterministic stream per query. The sequence
+// counter is atomic, so concurrent queries each get a distinct stream; the
+// mapping from arrival order to stream is first-come-first-seeded.
 func (s *Searcher) nextRand() *rand.Rand {
-	r := graph.NewRand(graph.ItemSeed(s.opts.Seed, int(s.seq)))
-	s.seq++
-	return r
+	return graph.NewRand(graph.ItemSeed(s.opts.Seed, int(s.seq.Add(1)-1)))
 }
