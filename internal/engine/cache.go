@@ -40,11 +40,15 @@ type cacheKey struct {
 }
 
 type poolEntry struct {
-	mu      sync.Mutex // held while populating; cache.mu is never held under it
-	ready   bool
-	arena   *influence.Arena
-	rrs     []*influence.RRGraph
-	lastUse uint64
+	// mu is held while populating. Lock order: cache.mu may be acquired
+	// under entry.mu (the withdrawal path) but never the reverse — get()
+	// releases cache.mu before touching entry.mu.
+	mu        sync.Mutex
+	ready     bool
+	withdrawn bool // populate failed; entry is out of the map, never served
+	arena     *influence.Arena
+	rrs       []*influence.RRGraph
+	lastUse   uint64
 }
 
 func newSampleCache(max int) *sampleCache {
@@ -62,46 +66,70 @@ func poolSeed(seed uint64, attr graph.AttrID, epoch uint64) uint64 {
 // get returns the pool for attr at the engine's current epoch, sampling it
 // on first use. Concurrent callers for one key block on the entry while a
 // single populator samples; they then share the pool (a hit). A canceled
-// population is withdrawn from the cache so no partial pool is ever served.
+// population withdraws its entry from the cache before any waiter can see
+// it, so no partial pool is ever served or built upon: waiters that were
+// blocked on a withdrawn entry loop back to the map and converge on the
+// single live replacement entry.
 func (c *sampleCache) get(ctx context.Context, e *Engine, attr graph.AttrID, count int) ([]*influence.RRGraph, error) {
 	rec := obs.FromContext(ctx)
 	key := cacheKey{attr: attr, epoch: e.epoch.Load()}
 
-	c.mu.Lock()
-	c.tick++
-	entry, ok := c.entries[key]
-	if !ok {
-		entry = &poolEntry{arena: influence.NewArena()}
-		c.entries[key] = entry
-		for i := c.evictLocked(key); i > 0; i-- {
-			rec.CountCacheEviction()
-		}
-	}
-	entry.lastUse = c.tick
-	c.mu.Unlock()
-
-	entry.mu.Lock()
-	defer entry.mu.Unlock()
-	if entry.ready {
-		rec.CountCacheHit()
-		return entry.rrs, nil
-	}
-	rec.CountCacheMiss()
-	if err := c.populate(ctx, e, attr, key, entry, count); err != nil {
+	for {
 		c.mu.Lock()
-		// Withdraw the unpopulated entry; the next query retries cleanly.
+		c.tick++
+		entry, ok := c.entries[key]
+		if !ok {
+			entry = &poolEntry{arena: influence.NewArena()}
+			c.entries[key] = entry
+			for i := c.evictLocked(key); i > 0; i-- {
+				rec.CountCacheEviction()
+			}
+		}
+		entry.lastUse = c.tick
+		c.mu.Unlock()
+
+		entry.mu.Lock()
+		if entry.ready {
+			entry.mu.Unlock()
+			rec.CountCacheHit()
+			return entry.rrs, nil
+		}
+		if entry.withdrawn {
+			// The populator we were waiting on failed and pulled this entry
+			// from the map. Repopulating it would build an orphan no later
+			// query can share (and, worse, stack a second pool on top of its
+			// partial samples) — retry from the map instead.
+			entry.mu.Unlock()
+			continue
+		}
+		rec.CountCacheMiss()
+		err := c.populate(ctx, e, attr, key, entry, count)
+		if err == nil {
+			entry.mu.Unlock()
+			return entry.rrs, nil
+		}
+		// Withdraw before releasing entry.mu: waiters must never observe a
+		// failed entry that is both unpopulated and still published.
+		c.mu.Lock()
 		if c.entries[key] == entry {
 			delete(c.entries, key)
 		}
 		c.mu.Unlock()
+		entry.withdrawn = true
+		entry.mu.Unlock()
 		return nil, err
 	}
-	return entry.rrs, nil
 }
 
 // populate samples the pool with per-item seeding into the entry's arena.
 // entry.mu is held by the caller.
 func (c *sampleCache) populate(ctx context.Context, e *Engine, attr graph.AttrID, key cacheKey, entry *poolEntry, count int) error {
+	// A canceled attempt leaves partial samples behind; entries are
+	// withdrawn on failure so no second attempt should ever reach a dirty
+	// arena, but a stale sample surviving here would silently corrupt the
+	// pool — reset rather than assume. Safe: nothing reads the arena
+	// before entry.ready is set.
+	entry.arena.Reset()
 	span := obs.FromContext(ctx).StartSpan(obs.StageRRSample)
 	src := graph.NewPCG(0)
 	smp := newArenaSampler(e.g, e.p.Model, rand.New(src))

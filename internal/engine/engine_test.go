@@ -2,7 +2,10 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -323,6 +326,271 @@ func TestRebindInvalidatesCaches(t *testing.T) {
 	b2, a2, _ := run()
 	if b1 != b2 || a1 != a2 {
 		t.Errorf("rebind replay not deterministic:\n before %s / %s\n after %s / %s", b1, b2, a1, a2)
+	}
+}
+
+// cancelAfterErrs reports Canceled starting with the (left+1)-th Err poll —
+// a deterministic way to fire cancellation mid-populate: sampling loops poll
+// Err once per influence.PollEvery samples, so left=1 cancels with exactly
+// PollEvery partial samples already recorded.
+type cancelAfterErrs struct {
+	context.Context
+	mu   sync.Mutex
+	left int
+}
+
+func (c *cancelAfterErrs) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+// poolBytes serializes a sample pool for byte-identity comparison.
+func poolBytes(rrs []*influence.RRGraph) string {
+	var b strings.Builder
+	for _, rr := range rrs {
+		fmt.Fprintf(&b, "%v|%v|%v;", rr.Nodes, rr.Off, rr.Adj)
+	}
+	return b.String()
+}
+
+// TestSampleCacheCanceledPopulateRetriesClean is a regression test: a
+// populate canceled mid-sampling used to leave its partial RR samples in the
+// entry's arena, and a retry on the same entry appended a full pool on top —
+// serving an oversized pool with a duplicated prefix. A failed populate must
+// withdraw its entry so the retry samples a fresh one, byte-identical to an
+// engine that never saw the cancellation.
+func TestSampleCacheCanceledPopulateRetriesClean(t *testing.T) {
+	g, _ := attrGraph(t, 71)
+	p := Params{K: 3, Theta: 3, Seed: 71}
+	build := func() *Engine {
+		eng, err := Build(context.Background(), g, p, Config{SampleCache: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	eng := build()
+	count := eng.p.Theta * g.N()
+	if count <= influence.PollEvery {
+		t.Fatalf("pool of %d samples cannot be canceled mid-populate", count)
+	}
+	reg := obs.NewRegistry()
+	m := obs.NewQueryMetrics(reg)
+	rctx := obs.WithRecorder(context.Background(), obs.NewRecorder(m, nil))
+
+	// First attempt: cancellation fires with PollEvery samples already in
+	// the entry's arena.
+	_, err := eng.cache.get(&cancelAfterErrs{Context: rctx, left: 1}, eng, 0, count)
+	var ce *influence.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("canceled populate returned %v, want CanceledError", err)
+	}
+	if ce.Done == 0 {
+		t.Fatal("cancellation fired before any sample; test needs a mid-populate cancel")
+	}
+
+	// The retry must serve a clean full pool...
+	got, err := eng.cache.get(rctx, eng, 0, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != count {
+		t.Fatalf("retried pool has %d graphs, want %d (partial samples retained)", len(got), count)
+	}
+	// ...byte-identical to an engine that never failed.
+	fresh := build()
+	want, err := fresh.cache.get(rctx, fresh, 0, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poolBytes(got) != poolBytes(want) {
+		t.Error("pool after canceled populate differs from never-canceled pool")
+	}
+	// The retried pool was cached under the live key: next get is a hit.
+	if _, err := eng.cache.get(rctx, eng, 0, count); err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits.Value() != 1 || m.CacheMisses.Value() != 3 {
+		t.Errorf("hits=%d misses=%d, want 1/3 (failed, retry, fresh engine, then hit)",
+			m.CacheHits.Value(), m.CacheMisses.Value())
+	}
+}
+
+// gateCtx pins the canceled-populate interleaving: the first Err poll (at
+// sample 0) passes and closes polled, the second (at sample PollEvery)
+// blocks until release is closed and then reports Canceled. While blocked,
+// the populator sits inside populate holding entry.mu — the window in which
+// a waiter can fetch the entry from the map and block behind it.
+type gateCtx struct {
+	context.Context
+	polled  chan struct{}
+	release chan struct{}
+	polls   int // Err is called by the single populating goroutine
+}
+
+func (c *gateCtx) Err() error {
+	c.polls++
+	if c.polls == 1 {
+		close(c.polled)
+		return nil
+	}
+	<-c.release
+	return context.Canceled
+}
+
+// TestSampleCacheWaiterSurvivesCanceledPopulate deterministically drives the
+// interleaving the withdrawal logic exists for: a waiter blocks on an entry
+// whose populate then fails mid-sampling. The waiter must not repopulate the
+// withdrawn entry (stacking a full pool on its partial samples and serving a
+// corrupted, oversized pool) — it must converge on the live replacement and
+// serve the reference pool. Run under -race (named in the CI job).
+func TestSampleCacheWaiterSurvivesCanceledPopulate(t *testing.T) {
+	g, _ := attrGraph(t, 91)
+	p := Params{K: 3, Theta: 3, Seed: 91}
+	build := func() *Engine {
+		eng, err := Build(context.Background(), g, p, Config{SampleCache: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	ref := build()
+	count := ref.p.Theta * g.N()
+	refPool, err := ref.cache.get(context.Background(), ref, 0, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := poolBytes(refPool)
+
+	eng := build()
+	gctx := &gateCtx{Context: context.Background(), polled: make(chan struct{}), release: make(chan struct{})}
+	popErr := make(chan error, 1)
+	go func() {
+		_, err := eng.cache.get(gctx, eng, 0, count)
+		popErr <- err
+	}()
+	<-gctx.polled // populator is inside populate, holding entry.mu
+
+	type res struct {
+		pool string
+		err  error
+	}
+	waiterRes := make(chan res, 1)
+	go func() {
+		rrs, err := eng.cache.get(context.Background(), eng, 0, count)
+		if err != nil {
+			waiterRes <- res{err: err}
+			return
+		}
+		waiterRes <- res{pool: poolBytes(rrs)}
+	}()
+	// Wait for the waiter to get past the map read (it bumps the cache
+	// tick under c.mu); its next step is blocking on the populator's
+	// entry.mu. Only then let the populate fail.
+	for {
+		eng.cache.mu.Lock()
+		tick := eng.cache.tick
+		eng.cache.mu.Unlock()
+		if tick >= 2 {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(gctx.release)
+
+	if err := <-popErr; err == nil {
+		t.Fatal("gated populate did not fail")
+	} else {
+		var ce *influence.CanceledError
+		if !errors.As(err, &ce) {
+			t.Fatalf("gated populate returned %v, want CanceledError", err)
+		}
+		if ce.Done == 0 {
+			t.Fatal("populate canceled before any sample; test needs partial samples in the arena")
+		}
+	}
+	r := <-waiterRes
+	if r.err != nil {
+		t.Fatalf("waiter failed after populator cancellation: %v", r.err)
+	}
+	if r.pool != want {
+		t.Error("waiter served a pool differing from the reference (corrupted prefix or wrong size)")
+	}
+	// The waiter's pool must be cached under the live key for later queries.
+	reg := obs.NewRegistry()
+	m := obs.NewQueryMetrics(reg)
+	rctx := obs.WithRecorder(context.Background(), obs.NewRecorder(m, nil))
+	if _, err := eng.cache.get(rctx, eng, 0, count); err != nil {
+		t.Fatal(err)
+	}
+	if m.CacheHits.Value() != 1 {
+		t.Errorf("query after recovery missed (hits=%d): waiter repopulated an orphaned entry", m.CacheHits.Value())
+	}
+}
+
+// TestSampleCacheConcurrentCancelConvergence interleaves a canceled caller
+// with clean callers on one key: whichever goroutine ends up populating,
+// every successful result must be the full reference pool, and waiters
+// blocked on a withdrawn entry must converge on the live replacement rather
+// than resurrecting the orphan. Run under -race (named in the CI job).
+func TestSampleCacheConcurrentCancelConvergence(t *testing.T) {
+	g, _ := attrGraph(t, 81)
+	p := Params{K: 3, Theta: 3, Seed: 81}
+	build := func() *Engine {
+		eng, err := Build(context.Background(), g, p, Config{SampleCache: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	ref := build()
+	count := ref.p.Theta * g.N()
+	refPool, err := ref.cache.get(context.Background(), ref, 0, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := poolBytes(refPool)
+
+	const callers = 4
+	for round := 0; round < 8; round++ {
+		eng := build() // cold cache each round
+		pools := make([]string, callers)
+		errs := make([]error, callers)
+		var wg sync.WaitGroup
+		for i := 0; i < callers; i++ {
+			ctx := context.Background()
+			if i == 0 {
+				ctx = &cancelAfterErrs{Context: ctx, left: 1}
+			}
+			wg.Add(1)
+			go func(slot int, ctx context.Context) {
+				defer wg.Done()
+				rrs, err := eng.cache.get(ctx, eng, 0, count)
+				if err != nil {
+					errs[slot] = err
+					return
+				}
+				pools[slot] = poolBytes(rrs)
+			}(i, ctx)
+		}
+		wg.Wait()
+		for i := 0; i < callers; i++ {
+			if errs[i] != nil {
+				var ce *influence.CanceledError
+				if i != 0 || !errors.As(errs[i], &ce) {
+					t.Fatalf("round %d: clean caller %d failed: %v", round, i, errs[i])
+				}
+				continue
+			}
+			if pools[i] != want {
+				t.Errorf("round %d: caller %d served a pool differing from the reference (len mismatch or corrupted prefix)", round, i)
+			}
+		}
 	}
 }
 
