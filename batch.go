@@ -61,8 +61,12 @@ func (s *Searcher) DiscoverBatchCtx(ctx context.Context, queries []Query, worker
 		workers = len(queries)
 	}
 	// One Recorder shared by every worker: counters are atomic and the trace
-	// serializes span appends, so concurrent workers record safely.
+	// serializes span appends, so concurrent workers record safely. The batch
+	// gets one trace ID derived statelessly from (Seed, batch size) — the
+	// per-item streams stay untouched and the Searcher's query sequence is
+	// not consumed, so batch instrumentation stays byte-invisible.
 	rec := obs.FromContext(ctx)
+	rec.EnsureTraceID(graph.ItemSeed(s.opts.Seed^0xba7c4, len(queries)))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

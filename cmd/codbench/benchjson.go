@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -103,21 +104,154 @@ func writeBenchReport(r io.Reader, path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// checkBenchReport validates a committed BENCH_*.json: it must unmarshal,
-// contain at least one benchmark, and every run must carry a name, positive
-// iterations, and at least one finite metric. This is a well-formedness
-// gate, not a performance gate — thresholds belong to humans reading trends.
-func checkBenchReport(path string) error {
+// readBenchReport loads and unmarshals a committed BENCH_*.json.
+func readBenchReport(path string) (*BenchReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var rep BenchReport
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&rep); err != nil {
-		return fmt.Errorf("%s: %v", path, err)
+		return nil, fmt.Errorf("%s: %v", path, err)
 	}
+	return &rep, nil
+}
+
+// Comparison noise floors: -benchtime=1x runs are single iterations, so
+// sub-millisecond timings and small allocation counts are dominated by
+// scheduler and runtime noise rather than code changes. Pairs below the
+// floor are reported as notes, never as regressions.
+const (
+	compareNsFloor     = 1e6 // 1ms in ns/op
+	compareAllocsFloor = 128 // allocs/op
+)
+
+// benchDelta is one per-benchmark, per-metric comparison result.
+type benchDelta struct {
+	name, unit         string
+	oldV, newV, change float64 // change is (new-old)/old
+	regressed          bool
+}
+
+// minByName aggregates -count=N runs to the minimum per benchmark name for
+// the given unit — the run least disturbed by noise, the standard statistic
+// for threshold comparison. Names without the unit are skipped.
+func minByName(runs []BenchRun, unit string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, r := range runs {
+		v, ok := r.Metrics[unit]
+		if !ok {
+			continue
+		}
+		if best, ok := out[r.Name]; !ok || v < best {
+			out[r.Name] = v
+		}
+	}
+	return out
+}
+
+// compareBenchReports diffs newPath against the baseline at oldPath on
+// ns/op and allocs/op, aggregating -count runs by minimum, and fails with
+// an error when any shared benchmark regressed by more than threshold
+// (0.25 = +25%) above the noise floor. Benchmarks present in only one
+// report are printed as notes, not failures — the suite is allowed to grow
+// and shrink across PRs; only shared names gate.
+func compareBenchReports(w io.Writer, oldPath, newPath string, threshold float64) error {
+	oldRep, err := readBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := readBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	var (
+		deltas     []benchDelta
+		regressed  int
+		onlyOld    []string
+		onlyNew    []string
+		seenShared = make(map[string]bool)
+	)
+	for _, unit := range []string{"ns/op", "allocs/op"} {
+		floor := compareNsFloor
+		if unit == "allocs/op" {
+			floor = compareAllocsFloor
+		}
+		oldMin := minByName(oldRep.Benchmarks, unit)
+		newMin := minByName(newRep.Benchmarks, unit)
+		for name, ov := range oldMin {
+			nv, ok := newMin[name]
+			if !ok {
+				continue
+			}
+			seenShared[name] = true
+			d := benchDelta{name: name, unit: unit, oldV: ov, newV: nv}
+			if ov > 0 {
+				d.change = (nv - ov) / ov
+			}
+			d.regressed = ov >= floor && nv > ov*(1+threshold)
+			if d.regressed {
+				regressed++
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	for name := range minByName(oldRep.Benchmarks, "ns/op") {
+		if _, ok := minByName(newRep.Benchmarks, "ns/op")[name]; !ok {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	for name := range minByName(newRep.Benchmarks, "ns/op") {
+		if _, ok := minByName(oldRep.Benchmarks, "ns/op")[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].name != deltas[j].name {
+			return deltas[i].name < deltas[j].name
+		}
+		return deltas[i].unit < deltas[j].unit
+	})
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	fmt.Fprintf(w, "comparing %s -> %s (threshold +%.0f%%, min of runs)\n",
+		oldPath, newPath, threshold*100)
+	for _, d := range deltas {
+		mark := ""
+		if d.regressed {
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(w, "  %-56s %-9s %14.0f -> %14.0f  %+7.1f%%%s\n",
+			d.name, d.unit, d.oldV, d.newV, d.change*100, mark)
+	}
+	for _, name := range onlyOld {
+		fmt.Fprintf(w, "  note: %s only in baseline %s\n", name, oldPath)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "  note: %s new in %s (no baseline)\n", name, newPath)
+	}
+	if len(seenShared) == 0 {
+		return fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d benchmark metric(s) regressed more than %.0f%% vs %s",
+			regressed, threshold*100, oldPath)
+	}
+	return nil
+}
+
+// checkBenchReport validates a committed BENCH_*.json: it must unmarshal,
+// contain at least one benchmark, and every run must carry a name, positive
+// iterations, and at least one finite metric. This is a well-formedness
+// gate, not a performance gate — thresholds belong to humans reading trends.
+func checkBenchReport(path string) error {
+	rp, err := readBenchReport(path)
+	if err != nil {
+		return err
+	}
+	rep := *rp
 	if rep.GoVersion == "" {
 		return fmt.Errorf("%s: missing go_version", path)
 	}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -99,13 +100,131 @@ func TestCheckBenchReportRejectsBad(t *testing.T) {
 }
 
 func TestCheckCommittedBenchReport(t *testing.T) {
-	// The committed BENCH_pr3.json must stay parseable by the checker the CI
+	// Every committed BENCH_*.json must stay parseable by the checker the CI
 	// script runs; a stale or hand-mangled file should fail here, not in CI.
-	path := filepath.Join("..", "..", "BENCH_pr3.json")
-	if _, err := os.Stat(path); err != nil {
-		t.Skipf("no committed bench report: %v", err)
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if err := checkBenchReport(path); err != nil {
-		t.Errorf("committed report invalid: %v", err)
+	if len(paths) == 0 {
+		t.Skip("no committed bench reports")
+	}
+	for _, path := range paths {
+		if err := checkBenchReport(path); err != nil {
+			t.Errorf("committed report invalid: %v", err)
+		}
+	}
+}
+
+// writeReport materializes a report with one run per (name, ns/op, allocs/op)
+// triple for the comparison tests.
+func writeReport(t *testing.T, dir, name string, runs []BenchRun) string {
+	t.Helper()
+	rep := BenchReport{GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", Benchmarks: runs}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func run1(name string, ns, allocs float64) BenchRun {
+	return BenchRun{Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+func TestCompareBenchReportsFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []BenchRun{run1("BenchmarkA-8", 10e6, 1000)})
+	newP := writeReport(t, dir, "new.json", []BenchRun{run1("BenchmarkA-8", 15e6, 1000)})
+	var buf strings.Builder
+	err := compareBenchReports(&buf, oldP, newP, 0.25)
+	if err == nil {
+		t.Fatalf("+50%% ns/op regression not reported; output:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Errorf("comparison output does not mark the regression:\n%s", buf.String())
+	}
+}
+
+func TestCompareBenchReportsAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []BenchRun{run1("BenchmarkA-8", 10e6, 1000)})
+	newP := writeReport(t, dir, "new.json", []BenchRun{run1("BenchmarkA-8", 10e6, 2000)})
+	var buf strings.Builder
+	if err := compareBenchReports(&buf, oldP, newP, 0.25); err == nil {
+		t.Fatalf("+100%% allocs/op regression not reported; output:\n%s", buf.String())
+	}
+}
+
+func TestCompareBenchReportsPassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []BenchRun{run1("BenchmarkA-8", 10e6, 1000)})
+	newP := writeReport(t, dir, "new.json", []BenchRun{run1("BenchmarkA-8", 11e6, 1100)})
+	var buf strings.Builder
+	if err := compareBenchReports(&buf, oldP, newP, 0.25); err != nil {
+		t.Fatalf("+10%% within a 25%% threshold failed: %v\n%s", err, buf.String())
+	}
+}
+
+func TestCompareBenchReportsNoiseFloor(t *testing.T) {
+	// Sub-floor values regress hugely in relative terms but are noise at
+	// -benchtime=1x; they must not fail the gate.
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []BenchRun{run1("BenchmarkTiny-8", 500, 10)})
+	newP := writeReport(t, dir, "new.json", []BenchRun{run1("BenchmarkTiny-8", 5000, 100)})
+	var buf strings.Builder
+	if err := compareBenchReports(&buf, oldP, newP, 0.25); err != nil {
+		t.Fatalf("sub-floor change failed the gate: %v\n%s", err, buf.String())
+	}
+}
+
+func TestCompareBenchReportsUsesMinOfRuns(t *testing.T) {
+	// One noisy slow run out of -count=3 must not fail the gate: the minimum
+	// of the new runs is compared against the minimum of the old.
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []BenchRun{
+		run1("BenchmarkA-8", 10e6, 1000), run1("BenchmarkA-8", 30e6, 1000),
+	})
+	newP := writeReport(t, dir, "new.json", []BenchRun{
+		run1("BenchmarkA-8", 40e6, 1000), run1("BenchmarkA-8", 10.5e6, 1000),
+	})
+	var buf strings.Builder
+	if err := compareBenchReports(&buf, oldP, newP, 0.25); err != nil {
+		t.Fatalf("min-of-runs comparison failed: %v\n%s", err, buf.String())
+	}
+}
+
+func TestCompareBenchReportsDisjointNamesAreNotes(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []BenchRun{
+		run1("BenchmarkShared-8", 10e6, 1000), run1("BenchmarkGone-8", 10e6, 1000),
+	})
+	newP := writeReport(t, dir, "new.json", []BenchRun{
+		run1("BenchmarkShared-8", 10e6, 1000), run1("BenchmarkNew-8", 99e6, 9000),
+	})
+	var buf strings.Builder
+	if err := compareBenchReports(&buf, oldP, newP, 0.25); err != nil {
+		t.Fatalf("disjoint benchmark names failed the gate: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BenchmarkGone-8 only in baseline") {
+		t.Errorf("missing note for benchmark dropped from the suite:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkNew-8 new in") {
+		t.Errorf("missing note for benchmark added to the suite:\n%s", out)
+	}
+}
+
+func TestCompareBenchReportsNoSharedNames(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", []BenchRun{run1("BenchmarkA-8", 10e6, 1000)})
+	newP := writeReport(t, dir, "new.json", []BenchRun{run1("BenchmarkB-8", 10e6, 1000)})
+	var buf strings.Builder
+	if err := compareBenchReports(&buf, oldP, newP, 0.25); err == nil {
+		t.Fatal("comparison with no shared benchmarks must fail rather than silently pass")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/codsearch/cod"
+	"github.com/codsearch/cod/internal/obs"
 )
 
 func main() {
@@ -30,6 +31,7 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "random seed")
 		method    = flag.String("method", "codl", "codl|codu|codr")
 		timeout   = flag.Duration("timeout", 0, "overall deadline for offline build + query (0 = none)")
+		trace     = flag.Bool("trace", false, "print the query's plan-step trace (trace ID, step outcomes, stage spans)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -38,7 +40,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *graphFile, *datasetN, *q, *attr, *k, *theta, *seed, *method); err != nil {
+	if err := run(ctx, *graphFile, *datasetN, *q, *attr, *k, *theta, *seed, *method, *trace); err != nil {
 		var ce *cod.CanceledError
 		if errors.As(err, &ce) {
 			fmt.Fprintf(os.Stderr, "codquery: deadline expired during %s after %d/%d samples\n",
@@ -50,7 +52,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, graphFile, datasetN string, q, attr, k, theta int, seed uint64, method string) error {
+func run(ctx context.Context, graphFile, datasetN string, q, attr, k, theta int, seed uint64, method string, trace bool) error {
 	var (
 		g   *cod.Graph
 		err error
@@ -92,22 +94,35 @@ func run(ctx context.Context, graphFile, datasetN string, q, attr, k, theta int,
 	fmt.Printf("offline (clustering + HIMOR): %v, index %0.2f MB\n",
 		time.Since(start).Round(time.Millisecond), float64(s.IndexBytes())/(1<<20))
 
+	// -trace attaches a trace-only Recorder for the query: the printed
+	// breakdown is the same flight-recorder rendering codserve serves on
+	// /debug/queries?format=text. Instrumentation never changes the answer.
+	var tr *obs.Trace
+	qctx := ctx
+	if trace {
+		tr = obs.NewTrace()
+		qctx = obs.WithRecorder(ctx, obs.NewRecorder(nil, tr))
+	}
 	start = time.Now()
 	var com cod.Community
 	switch method {
 	case "codl":
-		com, err = s.DiscoverCtx(ctx, node, cod.AttrID(attr))
+		com, err = s.DiscoverCtx(qctx, node, cod.AttrID(attr))
 	case "codu":
-		com, err = s.DiscoverUnattributedCtx(ctx, node)
+		com, err = s.DiscoverUnattributedCtx(qctx, node)
 	case "codr":
-		com, err = s.DiscoverGlobalCtx(ctx, node, cod.AttrID(attr))
+		com, err = s.DiscoverGlobalCtx(qctx, node, cod.AttrID(attr))
 	default:
 		return fmt.Errorf("unknown method %q", method)
+	}
+	elapsed := time.Since(start)
+	if tr != nil {
+		fmt.Println("query trace:")
+		obs.NewQueryRecord(tr, method, fmt.Sprintf("q=%d attr=%d", q, attr), 0, start, elapsed, err).WriteText(os.Stdout)
 	}
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
 
 	if !com.Found {
 		fmt.Printf("no characteristic community: node %d is not top-%d influential in any hierarchy community (%v)\n", q, k, elapsed.Round(time.Microsecond))

@@ -32,9 +32,22 @@ type Config struct {
 	// (exposed again via Handler.Metrics so main can mount it on the debug
 	// listener too).
 	Metrics *obs.Registry
+	// SlowQuery is the latency at or above which a query is retained in the
+	// flight recorder's slow ring (errored and 5xx queries are retained
+	// regardless); <= 0 selects obs.DefaultSlowAfter.
+	SlowQuery time.Duration
 }
 
 const defaultMaxInFlight = 64
+
+// Flight-recorder ring sizes: enough recent traffic to see a pattern,
+// enough slow retention that a burst of fast queries can't flush the
+// interesting ones. Memory stays bounded: both rings hold immutable
+// snapshots detached from query scratch.
+const (
+	flightRecentN = 128
+	flightSlowN   = 32
+)
 
 // Handler serves COD queries over one Searcher. The Searcher executes
 // queries through the engine's pooled scratch and internally locked caches,
@@ -64,17 +77,24 @@ type Handler struct {
 	querySecs    *obs.Histogram
 	ready        *obs.Gauge
 	indexBytes   *obs.Gauge
+
+	// flight retains recent and slow query traces for /debug/queries;
+	// traceSeq feeds fallback trace IDs for requests that never reached a
+	// seed draw (e.g. rejected by validation).
+	flight   *obs.FlightRecorder
+	traceSeq atomic.Uint64
 }
 
 // routeMethods drives the JSON 404/405 catch-all in ServeHTTP.
 var routeMethods = map[string][]string{
-	"/healthz":   {http.MethodGet},
-	"/readyz":    {http.MethodGet},
-	"/metrics":   {http.MethodGet},
-	"/stats":     {http.MethodGet},
-	"/discover":  {http.MethodGet},
-	"/influence": {http.MethodGet},
-	"/batch":     {http.MethodPost},
+	"/healthz":       {http.MethodGet},
+	"/readyz":        {http.MethodGet},
+	"/metrics":       {http.MethodGet},
+	"/stats":         {http.MethodGet},
+	"/discover":      {http.MethodGet},
+	"/influence":     {http.MethodGet},
+	"/batch":         {http.MethodPost},
+	"/debug/queries": {http.MethodGet},
 }
 
 // NewHandler wires the endpoints for g. s may be nil; the Handler then
@@ -106,13 +126,56 @@ func NewHandler(g *cod.Graph, s *cod.Searcher, cfg Config) *Handler {
 			"End-to-end latency of query routes (discover, influence, batch).", obs.DefaultLatencyBuckets),
 		ready:      reg.Gauge("cod_ready", "1 once the offline phase is done and queries are served."),
 		indexBytes: reg.Gauge("cod_index_bytes", "Approximate HIMOR index footprint in bytes."),
+
+		flight: obs.NewFlightRecorder(flightRecentN, flightSlowN, cfg.SlowQuery),
 	}
+	// Runtime and occupancy gauges, sampled at scrape time. The engine-backed
+	// closures tolerate the not-ready window: they report 0 until SetSearcher
+	// delivers the offline state.
+	obs.RegisterRuntimeMetrics(reg)
+	reg.GaugeFunc("cod_rr_cache_pools",
+		"RR sample pools currently resident in the engine's per-attribute cache.",
+		func() int64 {
+			if s := h.searcher.Load(); s != nil {
+				pools, _ := s.Engine().SampleCacheStats()
+				return pools
+			}
+			return 0
+		})
+	reg.GaugeFunc("cod_rr_cache_rrgraphs",
+		"RR graphs held by the resident sample pools.",
+		func() int64 {
+			if s := h.searcher.Load(); s != nil {
+				_, rrs := s.Engine().SampleCacheStats()
+				return rrs
+			}
+			return 0
+		})
+	reg.GaugeFunc("cod_engine_scratch_live",
+		"Query scratch buffers currently checked out of the engine pool.",
+		func() int64 {
+			if s := h.searcher.Load(); s != nil {
+				live, _ := s.Engine().PoolStats()
+				return live
+			}
+			return 0
+		})
+	reg.GaugeFunc("cod_engine_scratch_allocated",
+		"Query scratch buffers ever allocated by the engine pool.",
+		func() int64 {
+			if s := h.searcher.Load(); s != nil {
+				_, alloc := s.Engine().PoolStats()
+				return alloc
+			}
+			return 0
+		})
 	if s != nil {
 		h.SetSearcher(s)
 	}
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /readyz", h.readyz)
 	h.mux.Handle("GET /metrics", h.reg)
+	h.mux.Handle("GET /debug/queries", h.flight)
 	h.mux.HandleFunc("GET /stats", h.guard(h.stats))
 	h.mux.HandleFunc("GET /discover", h.guard(h.instrument(h.discover)))
 	h.mux.HandleFunc("GET /influence", h.guard(h.instrument(h.influence)))
@@ -132,6 +195,10 @@ func (h *Handler) SetSearcher(s *cod.Searcher) {
 // Metrics exposes the registry backing /metrics so main can mount the same
 // state on the debug listener.
 func (h *Handler) Metrics() *obs.Registry { return h.reg }
+
+// Flight exposes the flight recorder backing /debug/queries so main can
+// mount the same state on the debug listener.
+func (h *Handler) Flight() *obs.FlightRecorder { return h.flight }
 
 // statusWriter captures the response status for metrics and logs; handlers
 // that never call WriteHeader implicitly answer 200.
@@ -211,24 +278,36 @@ func (h *Handler) guard(next func(http.ResponseWriter, *http.Request, *cod.Searc
 
 // instrument runs inside guard on every query route: it attaches a fresh
 // per-query Trace plus the shared pipeline metrics to the request context,
-// times the request into cod_query_seconds, and emits one structured log
-// line with the stage timings the pipelines recorded. The Trace is always
+// times the request into cod_query_seconds, files the finished trace with
+// the flight recorder, and emits one structured log line carrying the trace
+// ID and the stage timings the pipelines recorded. The Trace is always
 // flushed — a canceled or timed-out query still logs the spans it finished.
+//
+// Trace-ID precedence: a well-formed W3C traceparent header wins (the trace
+// joins the caller's distributed trace); otherwise the library installs the
+// query's seed-derived ID; requests that never reach a seed draw (rejected
+// input) get a server-local fallback so every flight record is addressable.
 func (h *Handler) instrument(next func(http.ResponseWriter, *http.Request, *cod.Searcher)) func(http.ResponseWriter, *http.Request, *cod.Searcher) {
 	return func(w http.ResponseWriter, r *http.Request, s *cod.Searcher) {
 		trace := obs.NewTrace()
+		if id, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			trace.EnsureID(id)
+		}
 		rec := obs.NewRecorder(h.qm, trace)
 		r = r.WithContext(obs.WithRecorder(r.Context(), rec))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next(sw, r, s)
 		d := time.Since(start)
+		trace.EnsureID(obs.SeedTraceID(uint64(start.UnixNano()) ^ h.traceSeq.Add(1)<<32))
 		h.querySecs.Observe(d.Seconds())
+		h.flight.Record(obs.NewQueryRecord(trace, r.URL.Path, r.URL.RawQuery, sw.status, start, d, nil))
 		slog.Info("query",
 			"path", r.URL.Path,
 			"query", r.URL.RawQuery,
 			"status", sw.status,
 			"dur", d,
+			"trace_id", trace.ID(),
 			"stages", trace.String(),
 		)
 	}

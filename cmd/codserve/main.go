@@ -16,6 +16,7 @@
 //	GET  /discover?q=42&attr=1[&method=codl|codu|codr]
 //	GET  /influence?q=42
 //	POST /batch                          -> {"queries":[{"q":42,"attr":1},...]}
+//	GET  /debug/queries[?format=text]    -> recent + slow query traces (flight recorder)
 //
 // Serving contract: malformed input is 400, not-ready is 503, shed load is
 // 429 with Retry-After, an expired -query-timeout is 504, and every
@@ -59,6 +60,7 @@ func main() {
 		grace        = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight queries on shutdown")
 		debugAddr    = flag.String("debug-addr", "", "optional listen address for pprof + /metrics (off when empty)")
 		sampleCache  = flag.Int("sample-cache", 0, "per-attribute RR sample pools kept resident (0 = off); hits/misses on /metrics")
+		slowQuery    = flag.Duration("slow-query", obs.DefaultSlowAfter, "latency at which a query is retained in the /debug/queries slow ring")
 	)
 	flag.Parse()
 
@@ -72,7 +74,8 @@ func main() {
 	log.Printf("graph loaded: n=%d m=%d attrs=%d", g.N(), g.M(), g.NumAttrs())
 
 	reg := obs.NewRegistry()
-	h := NewHandler(g, nil, Config{QueryTimeout: *queryTimeout, MaxInFlight: *maxInFlight, Metrics: reg})
+	h := NewHandler(g, nil, Config{QueryTimeout: *queryTimeout, MaxInFlight: *maxInFlight, Metrics: reg,
+		SlowQuery: *slowQuery})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal("codserve: ", err)
@@ -90,6 +93,7 @@ func main() {
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.Handle("/metrics", reg)
+		dmux.Handle("/debug/queries", h.Flight())
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			log.Fatal("codserve: debug listener: ", err)

@@ -12,9 +12,10 @@
 // code), maporder (no order-dependent map iteration), sharedwrite (no
 // unsynchronized writes to captured variables in goroutines), floatcmp (no
 // equality comparison of computed floats), ctxpoll (no work loops that
-// ignore an accepted context in the core/influence pipelines). Suppress a
-// deliberate violation
-// with `//codvet:ignore <analyzer> <reason>` on or above the line.
+// ignore an accepted context in the core/influence pipelines), poolret (no
+// use of a buffer after returning it to a sync.Pool), spanend (Recorder
+// spans completed with End/EndItems on every path). Suppress a deliberate
+// violation with `//codvet:ignore <analyzer> <reason>` on or above the line.
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"github.com/codsearch/cod/internal/analysis/maporder"
 	"github.com/codsearch/cod/internal/analysis/poolret"
 	"github.com/codsearch/cod/internal/analysis/sharedwrite"
+	"github.com/codsearch/cod/internal/analysis/spanend"
 )
 
 func main() {
@@ -35,5 +37,6 @@ func main() {
 		floatcmp.Analyzer,
 		ctxpoll.Analyzer,
 		poolret.Analyzer,
+		spanend.Analyzer,
 	)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"github.com/codsearch/cod/internal/obs"
 )
@@ -205,6 +206,78 @@ func TestDiscoverBatchWithRecorderByteIdentical(t *testing.T) {
 	}
 	if int(m.Queries.Value()) != len(queries) {
 		t.Errorf("recorder counted %d queries, want %d", m.Queries.Value(), len(queries))
+	}
+}
+
+// TestDiscoverWithFlightRecorderByteIdentical extends the §11 lock to the
+// PR-5 observability surface: per-query traces (trace IDs, step spans) fed
+// into a FlightRecorder after every query must not change a single byte of
+// any result. Trace IDs are pure functions of the per-query seed, and the
+// seed sequence advances identically with or without instrumentation.
+func TestDiscoverWithFlightRecorderByteIdentical(t *testing.T) {
+	g := buildTestGraph(t)
+	queries := determinismQueries(g)
+	if len(queries) == 0 {
+		t.Fatal("no attributed query nodes in test graph")
+	}
+	opts := Options{K: 3, Theta: 4, Seed: 97}
+	s1, err := NewSearcher(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSearcher(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flight := obs.NewFlightRecorder(len(queries), 4, obs.DefaultSlowAfter)
+	var traceIDs []string
+	for _, q := range queries {
+		want, err1 := s1.Discover(q.Node, q.Attr)
+
+		// Fresh trace per query, exactly as codserve's middleware does.
+		tr := obs.NewTrace()
+		rctx := obs.WithRecorder(context.Background(), obs.NewRecorder(nil, tr))
+		got, err2 := s2.DiscoverCtx(rctx, q.Node, q.Attr)
+		flight.Record(obs.NewQueryRecord(tr, "discover", "", 0, time.Now(), 0, err2))
+
+		if err1 != nil || err2 != nil {
+			t.Fatalf("query %+v errored: %v / %v", q, err1, err2)
+		}
+		if fmt.Sprintf("%+v", want) != fmt.Sprintf("%+v", got) {
+			t.Errorf("query %+v: flight-instrumented %+v differs from plain %+v", q, got, want)
+		}
+		traceIDs = append(traceIDs, tr.ID())
+	}
+
+	// The flight recorder must have retained real traces — and the trace IDs,
+	// being seed-derived, must replay identically on a rebuilt searcher.
+	recent := flight.Recent()
+	if len(recent) != len(queries) {
+		t.Fatalf("flight recorder retained %d records, want %d", len(recent), len(queries))
+	}
+	for _, rec := range recent {
+		if len(rec.TraceID) != 32 {
+			t.Errorf("record %q has malformed trace ID %q", rec.Detail, rec.TraceID)
+		}
+		if len(rec.Steps) == 0 {
+			t.Errorf("record with trace %s carries no step spans", rec.TraceID)
+		}
+	}
+	s3, err := NewSearcher(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		tr := obs.NewTrace()
+		rctx := obs.WithRecorder(context.Background(), obs.NewRecorder(nil, tr))
+		if _, err := s3.DiscoverCtx(rctx, q.Node, q.Attr); err != nil {
+			t.Fatal(err)
+		}
+		if tr.ID() != traceIDs[i] {
+			t.Errorf("query %d: trace ID %s does not replay (got %s): IDs must be pure functions of the seed sequence",
+				i, traceIDs[i], tr.ID())
+		}
 	}
 }
 

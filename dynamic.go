@@ -1,9 +1,12 @@
 package cod
 
 import (
+	"context"
+
 	"github.com/codsearch/cod/internal/dynamic"
 	"github.com/codsearch/cod/internal/engine"
 	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/obs"
 )
 
 // FlushStrategy selects how DynamicSearcher.Flush rebuilds its state.
@@ -55,9 +58,19 @@ func (d *DynamicSearcher) Flush(s FlushStrategy) error { return d.u.Flush(s) }
 
 // Discover answers a COD query over the current (flushed) state.
 func (d *DynamicSearcher) Discover(q NodeID, attr AttrID) (Community, error) {
+	return d.DiscoverCtx(context.Background(), q, attr)
+}
+
+// DiscoverCtx is Discover with cancellation and instrumentation: a Recorder
+// carried by ctx receives the query counters, step spans, and a
+// deterministic trace ID derived from the query's seed. The query consumes
+// its seed whether or not a Recorder is attached, so instrumented runs stay
+// byte-identical.
+func (d *DynamicSearcher) DiscoverCtx(ctx context.Context, q NodeID, attr AttrID) (Community, error) {
 	seed := graph.ItemSeed(d.opts.Seed, int(d.seq))
 	d.seq++
-	com, err := d.u.Query(q, attr, seed)
+	com, err := d.u.QueryCtx(ctx, q, attr, seed)
+	obs.FromContext(ctx).CountQuery(err)
 	if err != nil {
 		return Community{}, err
 	}
@@ -68,9 +81,16 @@ func (d *DynamicSearcher) Discover(q NodeID, attr AttrID) (Community, error) {
 // attribute-weighted graph) over the current state, sharing the updater's
 // engine — and therefore its epoch-keyed caches — with Discover.
 func (d *DynamicSearcher) DiscoverGlobal(q NodeID, attr AttrID) (Community, error) {
+	return d.DiscoverGlobalCtx(context.Background(), q, attr)
+}
+
+// DiscoverGlobalCtx is DiscoverGlobal with cancellation and instrumentation
+// (see DiscoverCtx).
+func (d *DynamicSearcher) DiscoverGlobalCtx(ctx context.Context, q NodeID, attr AttrID) (Community, error) {
 	seed := graph.ItemSeed(d.opts.Seed, int(d.seq))
 	d.seq++
-	com, err := d.u.QueryGlobal(q, attr, seed)
+	com, err := d.u.QueryGlobalCtx(ctx, q, attr, seed)
+	obs.FromContext(ctx).CountQuery(err)
 	if err != nil {
 		return Community{}, err
 	}

@@ -1,0 +1,361 @@
+// Package spanend enforces the span-completion discipline of the
+// observability layer: a stage or step span obtained from
+// Recorder.StartSpan / Recorder.StartStep must be completed with End or
+// EndItems on every path out of the function that started it.
+//
+// The failure mode this catches is the early return: a function starts a
+// span, later grows a second return (an index-probe hit, an error branch),
+// and that path silently drops the span — the stage histogram undercounts
+// and the query trace loses the step. The leak is invisible at runtime (no
+// panic, no race); the analyzer catches the shape statically, exactly as
+// ctxpoll and poolret do for their contracts.
+//
+// The check tracks each local variable initialized from a call to a method
+// named StartSpan or StartStep whose single result is a named type Span or
+// StepSpan (matched by name, not package, so fixtures and future recorder
+// types are covered alike). Two pre-scan escapes keep legitimate idioms
+// quiet — a variable that is deferred (defer v.End(...)) is completed at
+// function exit, and a variable that escapes the simple call discipline
+// (captured by a closure, reassigned, passed elsewhere) is skipped rather
+// than guessed at. For the rest, a conservative path walk reports any
+// return (or the fall-off end of a void function) reachable while the span
+// is still live. Branches are walked independently; a loop body's End does
+// not count (the loop may run zero times). Suppress a deliberate exception
+// with //codvet:ignore spanend and a reason.
+package spanend
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/codsearch/cod/internal/analysis"
+)
+
+// Analyzer is the spanend analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "require Recorder spans (StartSpan/StartStep) to be completed with End/EndItems on every path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !pass.IsLibraryPackage() {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			for _, obj := range spanVars(pass, fn.Body) {
+				checkVar(pass, fn, obj)
+			}
+		}
+	}
+	return nil
+}
+
+// spanVars finds the local variables initialized from a StartSpan/StartStep
+// call anywhere in body.
+func spanVars(pass *analysis.Pass, body *ast.BlockStmt) []types.Object {
+	var out []types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isStartCall(pass.TypesInfo, call) {
+			return true
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if obj := analysis.ObjectOf(pass.TypesInfo, id); obj != nil {
+			out = append(out, obj)
+		}
+		return true
+	})
+	return out
+}
+
+// isStartCall matches a method call named StartSpan/StartStep whose result
+// is a named type Span or StepSpan.
+func isStartCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "StartSpan" && sel.Sel.Name != "StartStep") {
+		return false
+	}
+	t := info.TypeOf(call)
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Span" || name == "StepSpan"
+}
+
+// checkVar verifies one span variable. It first pre-scans the function for
+// escapes (deferred End, closure capture, reassignment, any use that is not
+// an End/EndItems receiver) and skips escaped variables; then it walks the
+// body's paths and reports returns reachable with the span live.
+func checkVar(pass *analysis.Pass, fn *ast.FuncDecl, obj types.Object) {
+	c := &checker{pass: pass, obj: obj}
+	if c.escapes(fn.Body) {
+		return
+	}
+	live, term := c.walkStmts(fn.Body.List, false)
+	// A void function can fall off the end of its body; with results the
+	// compiler forces a terminating statement, already handled in the walk.
+	if live && !term && fn.Type.Results == nil {
+		pass.Reportf(fn.Body.Rbrace,
+			"span %s can reach the end of %s without End/EndItems", obj.Name(), fn.Name.Name)
+	}
+}
+
+type checker struct {
+	pass *analysis.Pass
+	obj  types.Object
+}
+
+// escapes reports whether the variable leaves the simple discipline the
+// walk understands: deferred completion (safe — covers every path), use
+// inside a closure or go/defer statement, reassignment, or any appearance
+// that is not the receiver of an End/EndItems call.
+func (c *checker) escapes(body *ast.BlockStmt) bool {
+	// accounted collects the receiver Idents of plain v.End(...) calls; the
+	// defining Ident and those receivers are the only sanctioned uses.
+	accounted := map[*ast.Ident]bool{}
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if c.isEndCall(n.Call) {
+				escaped = true // deferred End covers every path: nothing to check
+			}
+			return true
+		case *ast.FuncLit:
+			if c.usesVar(n.Body) {
+				escaped = true
+			}
+			return false
+		case *ast.AssignStmt:
+			// A later reassignment rebinds the name mid-flight; skip rather
+			// than model it (the defining := itself has the call on the RHS).
+			for _, lhs := range n.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok &&
+					analysis.ObjectOf(c.pass.TypesInfo, id) == c.obj && c.pass.TypesInfo.Defs[id] == nil {
+					escaped = true
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if c.isEndCall(n) {
+				sel := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+					accounted[id] = true
+				}
+			}
+			return true
+		}
+		return true
+	})
+	if escaped {
+		return true
+	}
+	// Any remaining use that is neither the definition nor an accounted
+	// End receiver (passed as an argument, stored in a struct, compared)
+	// escapes the discipline.
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || accounted[id] {
+			return true
+		}
+		if c.pass.TypesInfo.Uses[id] == c.obj {
+			escaped = true
+		}
+		return true
+	})
+	return escaped
+}
+
+func (c *checker) usesVar(n ast.Node) bool {
+	used := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == c.obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}
+
+// isEndCall matches v.End(...) / v.EndItems(...) on the tracked variable.
+func (c *checker) isEndCall(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "End" && sel.Sel.Name != "EndItems") {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && c.pass.TypesInfo.Uses[id] == c.obj
+}
+
+// defines reports whether stmt is the := that binds the tracked variable.
+func (c *checker) defines(stmt ast.Stmt) bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && c.pass.TypesInfo.Defs[id] == c.obj {
+			return true
+		}
+	}
+	return false
+}
+
+// ends reports whether stmt is a plain End/EndItems expression statement.
+func (c *checker) ends(stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	return ok && c.isEndCall(call)
+}
+
+// walkStmts walks a statement list with the span's liveness at entry. It
+// returns the liveness on the path falling off the list's end and whether
+// every path through the list terminates (returns) before that point.
+// Returns reached while live are reported.
+func (c *checker) walkStmts(stmts []ast.Stmt, live bool) (liveOut, terminated bool) {
+	for _, stmt := range stmts {
+		l, t := c.walkStmt(stmt, live)
+		if t {
+			return l, true
+		}
+		live = l
+	}
+	return live, false
+}
+
+// walkStmt walks one statement. The liveness rules: the defining := turns
+// the span live, a plain End/EndItems turns it dead; branches are walked
+// independently and liveness is OR-ed over the branches that can fall
+// through; a loop's End never clears liveness at the loop's exit (the body
+// may run zero times).
+func (c *checker) walkStmt(stmt ast.Stmt, live bool) (liveOut, terminated bool) {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		if live {
+			c.pass.Reportf(s.Pos(),
+				"span %s can reach this return without End/EndItems", c.obj.Name())
+		}
+		return live, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the list; conservative: the enclosing
+		// loop's exit liveness already assumes the entry value.
+		return live, true
+	case *ast.ExprStmt:
+		if c.ends(stmt) {
+			return false, false
+		}
+		return live, false
+	case *ast.AssignStmt:
+		if c.defines(stmt) {
+			return true, false
+		}
+		return live, false
+	case *ast.BlockStmt:
+		return c.walkStmts(s.List, live)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, live)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			live, _ = c.walkStmt(s.Init, live)
+		}
+		thenLive, thenTerm := c.walkStmts(s.Body.List, live)
+		elseLive, elseTerm := live, false
+		if s.Else != nil {
+			elseLive, elseTerm = c.walkStmt(s.Else, live)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return false, true
+		case thenTerm:
+			return elseLive, false
+		case elseTerm:
+			return thenLive, false
+		}
+		return thenLive || elseLive, false
+	case *ast.ForStmt:
+		if s.Init != nil {
+			live, _ = c.walkStmt(s.Init, live)
+		}
+		// Walk the body to report returns inside it, but discard its exit
+		// liveness: an End inside the loop may execute zero times.
+		c.walkStmts(s.Body.List, live)
+		return live, false
+	case *ast.RangeStmt:
+		c.walkStmts(s.Body.List, live)
+		return live, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return c.walkCases(stmt, live)
+	}
+	return live, false
+}
+
+// walkCases handles switch/type-switch/select: each clause walks from the
+// entry liveness; the exit is the OR over clauses that fall through, plus
+// the no-clause-taken path when a switch lacks a default.
+func (c *checker) walkCases(stmt ast.Stmt, live bool) (liveOut, terminated bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			live, _ = c.walkStmt(s.Init, live)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			live, _ = c.walkStmt(s.Init, live)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	out := false
+	allTerm := true
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		}
+		l, t := c.walkStmts(stmts, live)
+		if !t {
+			out = out || l
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		// No clause may match: control skips the switch entirely.
+		out = out || live
+		allTerm = false
+	}
+	if allTerm && len(body.List) > 0 {
+		return false, true
+	}
+	return out, false
+}

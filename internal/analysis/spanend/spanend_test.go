@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/analysis/analysistest"
+	"github.com/codsearch/cod/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), spanend.Analyzer, "spanendtest")
+}

@@ -1,0 +1,187 @@
+// Package spanendtest is the spanend fixture: a span obtained from
+// StartSpan/StartStep must be completed with End/EndItems on every path.
+// The stand-in types mirror internal/obs (fixtures import only stdlib).
+package spanendtest
+
+// Span mirrors obs.Span: a stage span completed with End or EndItems.
+type Span struct{ n int }
+
+func (Span) End()         {}
+func (Span) EndItems(int) {}
+
+// StepSpan mirrors obs.StepSpan: a plan-step span completed with End(outcome).
+type StepSpan struct{ n int }
+
+func (StepSpan) End(string) {}
+
+// Recorder mirrors obs.Recorder's span constructors.
+type Recorder struct{}
+
+func (*Recorder) StartSpan(stage string) Span             { return Span{} }
+func (*Recorder) StartStep(variant, kind string) StepSpan { return StepSpan{} }
+
+// earlyReturn leaks the span on the error path: the classic regression.
+func earlyReturn(r *Recorder, cond bool) int {
+	sp := r.StartSpan("rr_sample")
+	if cond {
+		return 1 // want `span sp can reach this return without End/EndItems`
+	}
+	sp.End()
+	return 0
+}
+
+// errPath mirrors an error-branch leak in a step runner.
+func errPath(r *Recorder, err error) error {
+	sp := r.StartStep("codl", "evaluate")
+	if err != nil {
+		return err // want `span sp can reach this return without End/EndItems`
+	}
+	sp.End("ok")
+	return nil
+}
+
+// endInLoopOnly is a leak: the loop body may run zero times.
+func endInLoopOnly(r *Recorder, xs []int) int {
+	sp := r.StartSpan("topk_sweep")
+	for _, x := range xs {
+		sp.EndItems(x)
+	}
+	return len(xs) // want `span sp can reach this return without End/EndItems`
+}
+
+// switchNoDefault leaks when no case matches.
+func switchNoDefault(r *Recorder, mode int) int {
+	sp := r.StartStep("codu", "chain")
+	switch mode {
+	case 0:
+		sp.End("tree")
+	case 1:
+		sp.End("attr")
+	}
+	return mode // want `span sp can reach this return without End/EndItems`
+}
+
+// fallsOffEnd leaks out the bottom of a void function.
+func fallsOffEnd(r *Recorder, cond bool) {
+	sp := r.StartStep("codl", "sample")
+	if cond {
+		sp.End("cache_hit")
+	}
+} // want `span sp can reach the end of fallsOffEnd without End/EndItems`
+
+// allPathsEnd completes the span on both branches: the happy shape.
+func allPathsEnd(r *Recorder, cond bool) int {
+	sp := r.StartSpan("himor_lookup")
+	if cond {
+		sp.EndItems(1)
+		return 1
+	}
+	sp.End()
+	return 0
+}
+
+// loopHitMiss mirrors an index probe: EndItems before the hit return inside
+// the loop, EndItems again on the miss path after it.
+func loopHitMiss(r *Recorder, xs []int) bool {
+	sp := r.StartSpan("himor_lookup")
+	for _, x := range xs {
+		if x > 0 {
+			sp.EndItems(x)
+			return true
+		}
+	}
+	sp.EndItems(0)
+	return false
+}
+
+// switchAllEnd covers every case including default: clean.
+func switchAllEnd(r *Recorder, mode int) int {
+	sp := r.StartStep("codu", "chain")
+	switch mode {
+	case 0:
+		sp.End("tree")
+	default:
+		sp.End("attr")
+	}
+	return mode
+}
+
+// selectEnds completes the span in every comm clause.
+func selectEnds(r *Recorder, ch chan int) int {
+	sp := r.StartSpan("rr_induce")
+	select {
+	case v := <-ch:
+		sp.EndItems(v)
+		return v
+	default:
+		sp.End()
+	}
+	return 0
+}
+
+// deferred completes at function exit: every path is covered.
+func deferred(r *Recorder, cond bool) int {
+	sp := r.StartSpan("hac_merge")
+	defer sp.End()
+	if cond {
+		return 1
+	}
+	return 0
+}
+
+// nestedDecl starts and ends the span inside one branch.
+func nestedDecl(r *Recorder, cond bool) int {
+	if cond {
+		sp := r.StartSpan("lore_score")
+		sp.End()
+	}
+	return 0
+}
+
+// twoSpans tracks each variable independently.
+func twoSpans(r *Recorder, cond bool) int {
+	a := r.StartSpan("one")
+	a.End()
+	b := r.StartSpan("two")
+	if cond {
+		return 1 // want `span b can reach this return without End/EndItems`
+	}
+	b.End()
+	return 0
+}
+
+func helper(Span) {}
+
+// escapesToHelper hands the span to another function: out of scope for the
+// structural check, skipped rather than guessed at.
+func escapesToHelper(r *Recorder) {
+	sp := r.StartSpan("stage")
+	helper(sp)
+}
+
+// closureCapture escapes into a closure: skipped.
+func closureCapture(r *Recorder) func() {
+	sp := r.StartSpan("stage")
+	return func() { sp.End() }
+}
+
+// notASpan has the method name but not the result type: out of scope.
+type notASpan struct{}
+
+func (notASpan) StartSpan(string) int { return 0 }
+
+func otherStart(o notASpan) int {
+	v := o.StartSpan("x")
+	return v
+}
+
+// suppressed documents a deliberate exception.
+func suppressed(r *Recorder, cond bool) int {
+	sp := r.StartSpan("stage")
+	if cond {
+		//codvet:ignore spanend fixture exercises the suppression path
+		return 1
+	}
+	sp.End()
+	return 0
+}

@@ -32,6 +32,13 @@ type sampleCache struct {
 	max     int
 	tick    uint64
 	entries map[cacheKey]*poolEntry
+
+	// Resident-occupancy accounting (under mu): pools counts entries whose
+	// population completed while still published, rrgraphs the RR graphs
+	// those pools hold. Populating and withdrawn entries are not counted, so
+	// the gauges report what the cache is actually serving.
+	pools    int64
+	rrgraphs int64
 }
 
 type cacheKey struct {
@@ -49,6 +56,10 @@ type poolEntry struct {
 	arena     *influence.Arena
 	rrs       []*influence.RRGraph
 	lastUse   uint64
+	// counted is the RR-graph count this entry contributed to the cache's
+	// occupancy gauges, 0 if never accounted (still populating, withdrawn,
+	// or evicted mid-population). Guarded by cache.mu, not entry.mu.
+	counted int64
 }
 
 func newSampleCache(max int) *sampleCache {
@@ -64,13 +75,14 @@ func poolSeed(seed uint64, attr graph.AttrID, epoch uint64) uint64 {
 }
 
 // get returns the pool for attr at the engine's current epoch, sampling it
-// on first use. Concurrent callers for one key block on the entry while a
-// single populator samples; they then share the pool (a hit). A canceled
-// population withdraws its entry from the cache before any waiter can see
-// it, so no partial pool is ever served or built upon: waiters that were
-// blocked on a withdrawn entry loop back to the map and converge on the
-// single live replacement entry.
-func (c *sampleCache) get(ctx context.Context, e *Engine, attr graph.AttrID, count int) ([]*influence.RRGraph, error) {
+// on first use, and reports whether the request was a hit (served from an
+// already-populated entry). Concurrent callers for one key block on the
+// entry while a single populator samples; they then share the pool (a
+// hit). A canceled population withdraws its entry from the cache before any
+// waiter can see it, so no partial pool is ever served or built upon:
+// waiters that were blocked on a withdrawn entry loop back to the map and
+// converge on the single live replacement entry.
+func (c *sampleCache) get(ctx context.Context, e *Engine, attr graph.AttrID, count int) ([]*influence.RRGraph, bool, error) {
 	rec := obs.FromContext(ctx)
 	key := cacheKey{attr: attr, epoch: e.epoch.Load()}
 
@@ -92,7 +104,7 @@ func (c *sampleCache) get(ctx context.Context, e *Engine, attr graph.AttrID, cou
 		if entry.ready {
 			entry.mu.Unlock()
 			rec.CountCacheHit()
-			return entry.rrs, nil
+			return entry.rrs, true, nil
 		}
 		if entry.withdrawn {
 			// The populator we were waiting on failed and pulled this entry
@@ -105,19 +117,31 @@ func (c *sampleCache) get(ctx context.Context, e *Engine, attr graph.AttrID, cou
 		rec.CountCacheMiss()
 		err := c.populate(ctx, e, attr, key, entry, count)
 		if err == nil {
+			// Account occupancy while entry.mu pins ready=true: the entry
+			// counts only if it is still the published one (an eviction racing
+			// the population must not leave a phantom resident pool). Taking
+			// c.mu under entry.mu follows the documented lock order.
+			c.mu.Lock()
+			if c.entries[key] == entry {
+				entry.counted = int64(len(entry.rrs))
+				c.pools++
+				c.rrgraphs += entry.counted
+			}
+			c.mu.Unlock()
 			entry.mu.Unlock()
-			return entry.rrs, nil
+			return entry.rrs, false, nil
 		}
 		// Withdraw before releasing entry.mu: waiters must never observe a
 		// failed entry that is both unpopulated and still published.
 		c.mu.Lock()
 		if c.entries[key] == entry {
+			c.uncountLocked(entry)
 			delete(c.entries, key)
 		}
 		c.mu.Unlock()
 		entry.withdrawn = true
 		entry.mu.Unlock()
-		return nil, err
+		return nil, false, err
 	}
 }
 
@@ -175,18 +199,38 @@ func (c *sampleCache) evictLocked(keep cacheKey) int {
 		if !found {
 			break
 		}
+		c.uncountLocked(c.entries[victim])
 		delete(c.entries, victim)
 		evicted++
 	}
 	return evicted
 }
 
+// uncountLocked reverses an entry's occupancy contribution (a no-op for
+// entries never accounted). Callers hold c.mu.
+func (c *sampleCache) uncountLocked(en *poolEntry) {
+	if en == nil || en.counted == 0 {
+		return
+	}
+	c.pools--
+	c.rrgraphs -= en.counted
+	en.counted = 0
+}
+
+// stats returns the resident pool and RR-graph counts.
+func (c *sampleCache) stats() (pools, rrgraphs int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pools, c.rrgraphs
+}
+
 // clearOld drops every entry whose epoch predates current; Rebind calls it
 // so stale pools free their memory eagerly instead of aging out by LRU.
 func (c *sampleCache) clearOld(current uint64) {
 	c.mu.Lock()
-	for k := range c.entries {
+	for k, en := range c.entries {
 		if k.epoch < current {
+			c.uncountLocked(en)
 			delete(c.entries, k)
 		}
 	}

@@ -43,6 +43,11 @@ type Engine struct {
 	cfg   Config
 
 	scratch sync.Pool // *queryScratch
+	// scratchLive counts scratches currently checked out of the pool;
+	// scratchAlloc counts scratches ever allocated (recycles excluded).
+	// Both feed the cod_engine_scratch_* gauges.
+	scratchLive  atomic.Int64
+	scratchAlloc atomic.Int64
 
 	attrMu    sync.Mutex
 	attrTrees map[graph.AttrID]*hier.Tree
@@ -173,8 +178,10 @@ type queryScratch struct {
 // acquire returns a scratch sized for the current graph with its sampler
 // bound to rng.
 func (e *Engine) acquire(rng *rand.Rand) *queryScratch {
+	e.scratchLive.Add(1)
 	sc, _ := e.scratch.Get().(*queryScratch)
 	if sc == nil || sc.n != e.g.N() {
+		e.scratchAlloc.Add(1)
 		sc = &queryScratch{
 			n:       e.g.N(),
 			sampler: newArenaSampler(e.g, e.p.Model, rng),
@@ -194,6 +201,27 @@ func (e *Engine) acquire(rng *rand.Rand) *queryScratch {
 func (e *Engine) release(sc *queryScratch) {
 	sc.sampler.SetRand(nil)
 	e.scratch.Put(sc)
+	e.scratchLive.Add(-1)
+}
+
+// PoolStats reports the scratch pool's occupancy: scratches currently
+// checked out by in-flight queries, and scratches ever allocated (an
+// allocation count far above the peak concurrency indicates the pool is
+// being defeated — e.g. by graph-size churn resizing every scratch).
+func (e *Engine) PoolStats() (live, allocated int64) {
+	return e.scratchLive.Load(), e.scratchAlloc.Load()
+}
+
+// SampleCacheStats reports the RR sample cache's resident occupancy:
+// populated pools and the RR graphs they hold. Both are 0 when the cache
+// is disabled; alongside the hit/miss/eviction counters this separates a
+// cold cache (low occupancy, misses) from a thrashing one (full occupancy,
+// misses and evictions).
+func (e *Engine) SampleCacheStats() (pools, rrgraphs int64) {
+	if e.cache == nil {
+		return 0, 0
+	}
+	return e.cache.stats()
 }
 
 // memberMask returns the cleared membership mask and marks members in it.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"math/rand/v2"
 
 	"github.com/codsearch/cod/internal/core"
@@ -61,6 +62,25 @@ const (
 	// StepExtract materializes the community from the winning chain level.
 	StepExtract
 )
+
+// String returns the snake_case step name used in step spans and logs.
+func (k StepKind) String() string {
+	switch k {
+	case StepWeight:
+		return "weight"
+	case StepIndexProbe:
+		return "index_probe"
+	case StepChain:
+		return "chain"
+	case StepSample:
+		return "sample"
+	case StepEvaluate:
+		return "evaluate"
+	case StepExtract:
+		return "extract"
+	}
+	return "unknown"
+}
 
 // WeightMode selects how StepWeight derives the attribute weighting.
 type WeightMode int
@@ -174,67 +194,122 @@ type execState struct {
 // pre-engine behavior for equal seeds. Error shapes match the historical
 // pipelines: cancellation during sampling or evaluation wraps a
 // *influence.CanceledError carrying partial progress.
+//
+// When the context carries a Recorder with a trace, every executed step
+// emits a step span labeled (variant, kind, outcome), so the trace reads as
+// the plan that actually ran. Step spans record no metrics and draw no
+// randomness; instrumented execution stays byte-identical.
 func (e *Engine) Execute(ctx context.Context, pl *Plan, rng *rand.Rand) (Community, error) {
 	sc := e.acquire(rng)
 	defer e.release(sc)
+	r := obs.FromContext(ctx)
+	variant := pl.Variant.String()
 	var st execState
 	for _, step := range pl.Steps {
-		switch step.Kind {
-		case StepWeight:
-			if step.Weight == WeightGlobal {
-				t, err := e.AttrTree(ctx, pl.Attr, pl.CacheAttrTree)
-				if err != nil {
-					return Community{}, err
-				}
-				st.attrTree = t
-			} else {
-				rec, err := core.LoreCtx(ctx, e.g, e.tree, pl.Q, pl.Attr, e.p.Beta, e.p.Linkage)
-				if err != nil {
-					return Community{}, err
-				}
-				st.rec = rec
+		sp := r.StartStep(variant, step.Kind.String())
+		com, outcome, done, err := e.runStep(ctx, pl, step, sc, rng, &st)
+		sp.End(outcome)
+		if err != nil {
+			// Historical error shapes: a weight failure returns the zero
+			// Community, sampling/evaluation failures mark Level -1.
+			if step.Kind == StepWeight {
+				return Community{}, err
 			}
-
-		case StepIndexProbe:
-			if com, ok := e.probeIndex(ctx, pl.Q, st.rec); ok {
-				return com, nil
-			}
-
-		case StepChain:
-			switch step.Chain {
-			case ChainTree:
-				st.ch = core.ChainFromTree(e.tree, pl.Q)
-			case ChainAttr:
-				st.ch = core.ChainFromTree(st.attrTree, pl.Q)
-			case ChainInner:
-				st.ch = core.InnerChain(e.g, e.tree, st.rec, pl.Q)
-			case ChainMerged:
-				st.ch = core.MergedChain(e.g, e.tree, st.rec, pl.Q)
-			}
-
-		case StepSample:
-			var err error
-			if step.Sample == SampleRestricted {
-				st.rrs, err = e.sampleRestricted(ctx, sc, st.rec, rng)
-			} else {
-				st.rrs, err = e.sampleShared(ctx, sc, pl.Attr)
-			}
-			if err != nil {
-				return Community{Level: -1}, err
-			}
-
-		case StepEvaluate:
-			res, err := core.CompressedEvaluateScratchCtx(ctx, st.ch, st.rrs, e.p.K, sc.eval)
-			if err != nil {
-				return Community{Level: -1}, err
-			}
-			st.res = res
-
-		case StepExtract:
-			return communityFromChain(st.ch, st.res), nil
+			return Community{Level: -1}, err
+		}
+		if done {
+			return com, nil
 		}
 	}
 	return Community{Level: -1}, nil
+}
+
+// runStep executes one plan step against st, returning the step's outcome
+// label, whether the plan is done (com is then the answer), and any error.
+// Factored out of Execute so the step span unconditionally Ends on every
+// path (the spanend codvet shape).
+func (e *Engine) runStep(ctx context.Context, pl *Plan, step Step, sc *queryScratch, rng *rand.Rand, st *execState) (com Community, outcome string, done bool, err error) {
+	switch step.Kind {
+	case StepWeight:
+		if step.Weight == WeightGlobal {
+			t, err := e.AttrTree(ctx, pl.Attr, pl.CacheAttrTree)
+			if err != nil {
+				return Community{}, errOutcome(err), false, err
+			}
+			st.attrTree = t
+			return Community{}, "global", false, nil
+		}
+		rec, err := core.LoreCtx(ctx, e.g, e.tree, pl.Q, pl.Attr, e.p.Beta, e.p.Linkage)
+		if err != nil {
+			return Community{}, errOutcome(err), false, err
+		}
+		st.rec = rec
+		return Community{}, "lore", false, nil
+
+	case StepIndexProbe:
+		if com, ok := e.probeIndex(ctx, pl.Q, st.rec); ok {
+			return com, "hit", true, nil
+		}
+		return Community{}, "miss", false, nil
+
+	case StepChain:
+		switch step.Chain {
+		case ChainTree:
+			st.ch = core.ChainFromTree(e.tree, pl.Q)
+			return Community{}, "tree", false, nil
+		case ChainAttr:
+			st.ch = core.ChainFromTree(st.attrTree, pl.Q)
+			return Community{}, "attr", false, nil
+		case ChainInner:
+			st.ch = core.InnerChain(e.g, e.tree, st.rec, pl.Q)
+			return Community{}, "inner", false, nil
+		case ChainMerged:
+			st.ch = core.MergedChain(e.g, e.tree, st.rec, pl.Q)
+			return Community{}, "merged", false, nil
+		}
+		return Community{}, "unknown", false, nil
+
+	case StepSample:
+		if step.Sample == SampleRestricted {
+			rrs, err := e.sampleRestricted(ctx, sc, st.rec, rng)
+			if err != nil {
+				return Community{}, errOutcome(err), false, err
+			}
+			st.rrs = rrs
+			return Community{}, "restricted", false, nil
+		}
+		rrs, outcome, err := e.sampleShared(ctx, sc, pl.Attr)
+		if err != nil {
+			return Community{}, errOutcome(err), false, err
+		}
+		st.rrs = rrs
+		return Community{}, outcome, false, nil
+
+	case StepEvaluate:
+		res, err := core.CompressedEvaluateScratchCtx(ctx, st.ch, st.rrs, e.p.K, sc.eval)
+		if err != nil {
+			return Community{}, errOutcome(err), false, err
+		}
+		st.res = res
+		return Community{}, "ok", false, nil
+
+	case StepExtract:
+		com := communityFromChain(st.ch, st.res)
+		if com.Found {
+			return com, "found", true, nil
+		}
+		return com, "not_found", true, nil
+	}
+	return Community{}, "unknown", false, nil
+}
+
+// errOutcome labels a failed step: canceled for context errors (anywhere in
+// the wrap chain), error otherwise.
+func errOutcome(err error) string {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return "canceled"
+	}
+	return "error"
 }
 
 // probeIndex scans the HIMOR index top-down over the ancestors of C_ℓ (root
@@ -262,13 +337,19 @@ func (e *Engine) probeIndex(ctx context.Context, q graph.NodeID, rec *core.Reclu
 // when enabled (the query rng is then unused — pool content is a pure
 // function of seed, attribute and epoch), else from the query rng (already
 // bound to the scratch sampler) into the scratch arena, byte-identical to
-// the historical influence.BatchCtx stream.
-func (e *Engine) sampleShared(ctx context.Context, sc *queryScratch, attr graph.AttrID) ([]*influence.RRGraph, error) {
+// the historical influence.BatchCtx stream. The outcome labels the step
+// span: cache_hit/cache_miss through the cache, sampled without one.
+func (e *Engine) sampleShared(ctx context.Context, sc *queryScratch, attr graph.AttrID) ([]*influence.RRGraph, string, error) {
 	count := e.p.Theta * e.g.N()
 	if e.cache != nil {
-		return e.cache.get(ctx, e, attr, count)
+		rrs, hit, err := e.cache.get(ctx, e, attr, count)
+		if hit {
+			return rrs, "cache_hit", err
+		}
+		return rrs, "cache_miss", err
 	}
-	return influence.BatchIntoCtx(ctx, sc.sampler, count, sc.arena)
+	rrs, err := influence.BatchIntoCtx(ctx, sc.sampler, count, sc.arena)
+	return rrs, "sampled", err
 }
 
 // sampleRestricted draws θ·|C_ℓ| RR graphs confined to C_ℓ, sources drawn

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/obs"
+)
+
+// These tests lock the PR-5 step-span contract: Execute records exactly one
+// step span per executed plan step, labeled with the variant, the step kind,
+// and an outcome from the step's documented vocabulary.
+
+var stepOutcomes = map[string]map[string]bool{
+	"weight":      {"lore": true, "global": true},
+	"index_probe": {"hit": true, "miss": true},
+	"chain":       {"tree": true, "attr": true, "inner": true, "merged": true},
+	"sample":      {"restricted": true, "cache_hit": true, "cache_miss": true, "sampled": true},
+	"evaluate":    {"ok": true},
+	"extract":     {"found": true, "not_found": true},
+}
+
+func traceSteps(t *testing.T, eng *Engine, variant Variant, q graph.NodeID, attr graph.AttrID, seed uint64) []obs.StepRecord {
+	t.Helper()
+	tr := obs.NewTrace()
+	ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(nil, tr))
+	if _, err := eng.Execute(ctx, eng.Compile(variant, q, attr), graph.NewRand(seed)); err != nil {
+		t.Fatalf("%v q=%d: %v", variant, q, err)
+	}
+	return tr.Steps()
+}
+
+func TestExecuteRecordsStepSpans(t *testing.T) {
+	g, _ := attrGraph(t, 21)
+	eng, err := Build(context.Background(), g, Params{K: 3, Theta: 3, Seed: 21}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []Variant{VariantCODU, VariantCODR, VariantCODL, VariantCODLNoIndex} {
+		for _, q := range queryNodes(g, 4) {
+			steps := traceSteps(t, eng, variant, q, 0, 7)
+			if len(steps) == 0 {
+				t.Fatalf("%v q=%d: no step spans recorded", variant, q)
+			}
+			pl := eng.Compile(variant, q, 0)
+			if len(steps) > len(pl.Steps) {
+				t.Errorf("%v q=%d: %d step spans exceed the plan's %d steps",
+					variant, q, len(steps), len(pl.Steps))
+			}
+			for i, st := range steps {
+				if st.Variant != variant.String() {
+					t.Errorf("%v q=%d step %d: variant label %q", variant, q, i, st.Variant)
+				}
+				if st.Kind != pl.Steps[i].Kind.String() {
+					t.Errorf("%v q=%d step %d: kind %q, plan says %q",
+						variant, q, i, st.Kind, pl.Steps[i].Kind)
+				}
+				valid := stepOutcomes[st.Kind]
+				if valid == nil {
+					t.Errorf("%v q=%d step %d: unknown kind %q", variant, q, i, st.Kind)
+				} else if !valid[st.Outcome] {
+					t.Errorf("%v q=%d step %d (%s): outcome %q outside the documented vocabulary",
+						variant, q, i, st.Kind, st.Outcome)
+				}
+				if st.SpanStart < 0 || st.SpanEnd < st.SpanStart {
+					t.Errorf("%v q=%d step %d: bad span range [%d,%d)",
+						variant, q, i, st.SpanStart, st.SpanEnd)
+				}
+			}
+			// A query either ran the full plan (last step is extract, which is
+			// terminal) or ended early on an index-probe hit.
+			last := steps[len(steps)-1]
+			if len(steps) < len(pl.Steps) && !(last.Kind == "index_probe" && last.Outcome == "hit") {
+				t.Errorf("%v q=%d: plan ended early at step %d/%d (%s/%s) without an index hit",
+					variant, q, len(steps), len(pl.Steps), last.Kind, last.Outcome)
+			}
+		}
+	}
+}
+
+// TestExecuteStepSpansNestStageSpans checks the index ranges: stage spans
+// recorded while a step runs land inside that step's [SpanStart, SpanEnd)
+// window, so the flight recorder can nest them.
+func TestExecuteStepSpansNestStageSpans(t *testing.T) {
+	g, _ := attrGraph(t, 21)
+	eng, err := Build(context.Background(), g, Params{K: 3, Theta: 3, Seed: 21}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(nil, tr))
+	q := queryNodes(g, 1)[0]
+	if _, err := eng.Execute(ctx, eng.Compile(VariantCODU, q, 0), graph.NewRand(7)); err != nil {
+		t.Fatal(err)
+	}
+	steps, spans := tr.Steps(), tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no stage spans recorded under the steps")
+	}
+	claimed := 0
+	for _, st := range steps {
+		if st.SpanEnd > len(spans) {
+			t.Fatalf("step %s/%s span range [%d,%d) exceeds %d recorded spans",
+				st.Variant, st.Kind, st.SpanStart, st.SpanEnd, len(spans))
+		}
+		claimed += st.SpanEnd - st.SpanStart
+	}
+	if claimed == 0 {
+		t.Error("no stage span fell inside any step window; nesting is not wired")
+	}
+}
+
+// TestExecuteWithStepTraceByteIdentical re-locks §9 at the engine layer for
+// the step instrumentation specifically: tracing a plan's steps must not
+// perturb the result.
+func TestExecuteWithStepTraceByteIdentical(t *testing.T) {
+	g, _ := attrGraph(t, 21)
+	eng, err := Build(context.Background(), g, Params{K: 3, Theta: 3, Seed: 21}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []Variant{VariantCODU, VariantCODR, VariantCODL, VariantCODLNoIndex} {
+		for _, q := range queryNodes(g, 4) {
+			want, err := eng.Execute(context.Background(), eng.Compile(variant, q, 0), graph.NewRand(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(nil, obs.NewTrace()))
+			got, err := eng.Execute(ctx, eng.Compile(variant, q, 0), graph.NewRand(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if comBytes(got) != comBytes(want) {
+				t.Errorf("%v q=%d: step-traced run differs:\n got %s\nwant %s",
+					variant, q, comBytes(got), comBytes(want))
+			}
+		}
+	}
+}
+
+func TestEngineOccupancyStats(t *testing.T) {
+	g, _ := attrGraph(t, 21)
+	eng, err := Build(context.Background(), g, Params{K: 3, Theta: 3, Seed: 21}, Config{SampleCache: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live, alloc := eng.PoolStats(); live != 0 || alloc != 0 {
+		t.Errorf("fresh engine pool stats live=%d alloc=%d, want 0/0", live, alloc)
+	}
+	q := queryNodes(g, 1)[0]
+	if _, err := eng.Execute(context.Background(), eng.Compile(VariantCODR, q, 0), graph.NewRand(7)); err != nil {
+		t.Fatal(err)
+	}
+	live, alloc := eng.PoolStats()
+	if live != 0 {
+		t.Errorf("scratch live = %d after Execute returned, want 0", live)
+	}
+	if alloc < 1 {
+		t.Errorf("scratch allocated = %d after a query, want >= 1", alloc)
+	}
+	pools, rrs := eng.SampleCacheStats()
+	if pools < 1 || rrs < 1 {
+		t.Errorf("sample cache stats pools=%d rrgraphs=%d after a CODR query with the cache on, want >= 1",
+			pools, rrs)
+	}
+	// The RRGraph count must equal the sum over resident pools.
+	if eng.cache != nil {
+		var sum int64
+		eng.cache.mu.Lock()
+		for _, en := range eng.cache.entries {
+			sum += en.counted
+		}
+		eng.cache.mu.Unlock()
+		if sum != rrs {
+			t.Errorf("rrgraphs gauge %d != sum of counted entries %d", rrs, sum)
+		}
+	}
+}
+
+func TestEngineStatsWithoutCache(t *testing.T) {
+	g, _ := attrGraph(t, 21)
+	eng, err := Build(context.Background(), g, Params{K: 3, Theta: 3, Seed: 21}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pools, rrs := eng.SampleCacheStats(); pools != 0 || rrs != 0 {
+		t.Errorf("cache-disabled stats pools=%d rrgraphs=%d, want 0/0", pools, rrs)
+	}
+}

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// FlightRecorder retains the traces of recently completed queries so an
+// operator can ask "what did the last slow query actually do?" without
+// reproducing it offline. Two retention classes ride in fixed-size rings:
+//
+//   - recent: every completed query, newest overwriting oldest — the
+//     short-horizon picture of current traffic.
+//   - slow: queries above the latency threshold, errored, or canceled —
+//     retained on their own ring so a burst of fast queries cannot flush
+//     the interesting ones.
+//
+// Memory is bounded by construction: each ring holds at most its configured
+// record count, records are immutable snapshots detached from all query
+// scratch state, and an overwritten record is reclaimed by the garbage
+// collector once the last reader of a snapshot drops it. Recording is
+// lock-free (one atomic counter increment plus one atomic pointer store per
+// ring) so the serving hot path never queues behind a reader; readers take
+// point-in-time snapshots via atomic loads and may observe a record at most
+// once shifted during a concurrent wrap, never a torn one.
+type FlightRecorder struct {
+	recent    ring
+	slow      ring
+	slowAfter time.Duration
+}
+
+type ring struct {
+	slots []atomic.Pointer[QueryRecord]
+	pos   atomic.Uint64
+}
+
+func (r *ring) record(q *QueryRecord) {
+	i := r.pos.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(q)
+}
+
+// snapshot returns the live records newest-first.
+func (r *ring) snapshot() []*QueryRecord {
+	n := len(r.slots)
+	out := make([]*QueryRecord, 0, n)
+	pos := r.pos.Load()
+	for k := 0; k < n; k++ {
+		// Walk backward from the most recently written slot.
+		i := (pos + uint64(n) - 1 - uint64(k)) % uint64(n)
+		if q := r.slots[i].Load(); q != nil {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// DefaultSlowAfter is the default latency threshold for the slow ring.
+const DefaultSlowAfter = 250 * time.Millisecond
+
+// NewFlightRecorder returns a recorder retaining the last recentN completed
+// queries and, separately, the last slowN slow/errored/canceled ones.
+// Queries at or above slowAfter are classified slow; slowAfter <= 0 means
+// DefaultSlowAfter. Sizes below 1 are raised to 1.
+func NewFlightRecorder(recentN, slowN int, slowAfter time.Duration) *FlightRecorder {
+	if recentN < 1 {
+		recentN = 1
+	}
+	if slowN < 1 {
+		slowN = 1
+	}
+	if slowAfter <= 0 {
+		slowAfter = DefaultSlowAfter
+	}
+	return &FlightRecorder{
+		recent:    ring{slots: make([]atomic.Pointer[QueryRecord], recentN)},
+		slow:      ring{slots: make([]atomic.Pointer[QueryRecord], slowN)},
+		slowAfter: slowAfter,
+	}
+}
+
+// SlowAfter returns the slow-classification threshold.
+func (f *FlightRecorder) SlowAfter() time.Duration { return f.slowAfter }
+
+// Record files a completed query. It classifies the record (slow when at or
+// over the threshold, errored, or server-failed), stores it in the recent
+// ring, and additionally in the slow ring when classified. The record must
+// not be mutated after this call. Nil-safe: a nil recorder drops the record
+// after one branch, mirroring the Recorder contract.
+func (f *FlightRecorder) Record(q *QueryRecord) {
+	if f == nil || q == nil {
+		return
+	}
+	q.Slow = time.Duration(q.DurNS) >= f.slowAfter || q.Err != "" || q.Status >= 500
+	f.recent.record(q)
+	if q.Slow {
+		f.slow.record(q)
+	}
+}
+
+// Recent returns the retained recent queries, newest first.
+func (f *FlightRecorder) Recent() []*QueryRecord { return f.recent.snapshot() }
+
+// Slow returns the retained slow/errored queries, newest first.
+func (f *FlightRecorder) Slow() []*QueryRecord { return f.slow.snapshot() }
+
+// SpanView is a stage span snapshot inside a QueryRecord.
+type SpanView struct {
+	Stage string `json:"stage"`
+	DurNS int64  `json:"dur_ns"`
+	Dur   string `json:"dur"`
+	Items int64  `json:"items"`
+}
+
+// StepView is a plan-step snapshot: the step's labels plus the stage spans
+// recorded while it ran.
+type StepView struct {
+	Variant string     `json:"variant"`
+	Kind    string     `json:"kind"`
+	Outcome string     `json:"outcome"`
+	DurNS   int64      `json:"dur_ns"`
+	Dur     string     `json:"dur"`
+	Spans   []SpanView `json:"spans,omitempty"`
+}
+
+// QueryRecord is the immutable snapshot of one completed query held by the
+// flight recorder. It is fully detached from the query's Trace and scratch
+// state, so retaining it pins no arenas or buffers.
+type QueryRecord struct {
+	TraceID string     `json:"trace_id"`
+	Op      string     `json:"op"`
+	Detail  string     `json:"detail,omitempty"`
+	Status  int        `json:"status,omitempty"`
+	Start   time.Time  `json:"start"`
+	DurNS   int64      `json:"dur_ns"`
+	Dur     string     `json:"dur"`
+	Err     string     `json:"err,omitempty"`
+	Slow    bool       `json:"slow"`
+	Steps   []StepView `json:"steps,omitempty"`
+	Spans   []SpanView `json:"spans,omitempty"`
+}
+
+func spanView(s SpanRecord) SpanView {
+	return SpanView{
+		Stage: s.Stage.String(),
+		DurNS: int64(s.Duration),
+		Dur:   s.Duration.String(),
+		Items: s.Items,
+	}
+}
+
+// NewQueryRecord snapshots a finished query into an immutable record. The
+// trace's stage spans are nested under the plan step whose [SpanStart,
+// SpanEnd) range first claims them; spans no step claims (offline stages,
+// spans recorded outside the step loop) surface at the top level. tr may be
+// nil (the record then carries no trace ID, steps, or spans). A non-nil err
+// is rendered into Err; status is the HTTP status for served queries and 0
+// elsewhere.
+func NewQueryRecord(tr *Trace, op, detail string, status int, start time.Time, d time.Duration, err error) *QueryRecord {
+	q := &QueryRecord{
+		Op:     op,
+		Detail: detail,
+		Status: status,
+		Start:  start,
+		DurNS:  int64(d),
+		Dur:    d.String(),
+	}
+	if err != nil {
+		q.Err = err.Error()
+	}
+	if tr == nil {
+		return q
+	}
+	q.TraceID = tr.ID()
+	spans := tr.Spans()
+	steps := tr.Steps()
+	used := make([]bool, len(spans))
+	q.Steps = make([]StepView, 0, len(steps))
+	for _, st := range steps {
+		sv := StepView{
+			Variant: st.Variant,
+			Kind:    st.Kind,
+			Outcome: st.Outcome,
+			DurNS:   int64(st.Duration),
+			Dur:     st.Duration.String(),
+		}
+		lo, hi := st.SpanStart, st.SpanEnd
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(spans) {
+			hi = len(spans)
+		}
+		for i := lo; i < hi; i++ {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			sv.Spans = append(sv.Spans, spanView(spans[i]))
+		}
+		q.Steps = append(q.Steps, sv)
+	}
+	for i, s := range spans {
+		if !used[i] {
+			q.Spans = append(q.Spans, spanView(s))
+		}
+	}
+	return q
+}
+
+// WriteText renders the record in the human form served by
+// /debug/queries?format=text and printed by codquery -trace.
+func (q *QueryRecord) WriteText(w io.Writer) {
+	flag := ""
+	if q.Slow {
+		flag = " SLOW"
+	}
+	fmt.Fprintf(w, "%s %s trace=%s dur=%s", q.Start.Format(time.RFC3339Nano), q.Op, q.TraceID, q.Dur)
+	if q.Detail != "" {
+		fmt.Fprintf(w, " %s", q.Detail)
+	}
+	if q.Status != 0 {
+		fmt.Fprintf(w, " status=%d", q.Status)
+	}
+	if q.Err != "" {
+		fmt.Fprintf(w, " err=%q", q.Err)
+	}
+	fmt.Fprintf(w, "%s\n", flag)
+	for _, st := range q.Steps {
+		fmt.Fprintf(w, "  step %s/%s outcome=%s dur=%s\n", st.Variant, st.Kind, st.Outcome, st.Dur)
+		for _, sp := range st.Spans {
+			fmt.Fprintf(w, "    span %s dur=%s items=%d\n", sp.Stage, sp.Dur, sp.Items)
+		}
+	}
+	for _, sp := range q.Spans {
+		fmt.Fprintf(w, "  span %s dur=%s items=%d\n", sp.Stage, sp.Dur, sp.Items)
+	}
+}
+
+// ServeHTTP serves the retained queries: JSON by default, a human-readable
+// rendering with ?format=text. GET only; other methods get the JSON 405 the
+// rest of the serving surface uses.
+func (f *FlightRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		fmt.Fprintf(w, "{\"error\":\"method %s not allowed\"}\n", r.Method)
+		return
+	}
+	recent, slow := f.Recent(), f.Slow()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "slow threshold: %s\n\nrecent (%d):\n", f.slowAfter, len(recent))
+		for _, q := range recent {
+			q.WriteText(w)
+		}
+		fmt.Fprintf(w, "\nslow (%d):\n", len(slow))
+		for _, q := range slow {
+			q.WriteText(w)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		SlowAfter string         `json:"slow_after"`
+		Recent    []*QueryRecord `json:"recent"`
+		Slow      []*QueryRecord `json:"slow"`
+	}{f.slowAfter.String(), recent, slow})
+}

@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func record(op string, d time.Duration) *QueryRecord {
+	return NewQueryRecord(nil, op, "", 200, time.Unix(0, 0), d, nil)
+}
+
+func TestFlightRecorderRetention(t *testing.T) {
+	f := NewFlightRecorder(3, 2, 100*time.Millisecond)
+	for i := 0; i < 5; i++ {
+		f.Record(record(fmt.Sprintf("q%d", i), time.Millisecond))
+	}
+	recent := f.Recent()
+	if len(recent) != 3 {
+		t.Fatalf("recent ring holds %d records, want 3", len(recent))
+	}
+	// Newest first, oldest overwritten.
+	for i, wantOp := range []string{"q4", "q3", "q2"} {
+		if recent[i].Op != wantOp {
+			t.Errorf("recent[%d].Op = %q, want %q", i, recent[i].Op, wantOp)
+		}
+	}
+	if slow := f.Slow(); len(slow) != 0 {
+		t.Errorf("fast queries landed in the slow ring: %d records", len(slow))
+	}
+}
+
+func TestFlightRecorderSlowClassification(t *testing.T) {
+	f := NewFlightRecorder(8, 4, 100*time.Millisecond)
+	f.Record(record("fast", time.Millisecond))
+	f.Record(record("at-threshold", 100*time.Millisecond))
+	f.Record(record("over", time.Second))
+	errored := NewQueryRecord(nil, "errored", "", 400, time.Unix(0, 0), time.Millisecond, errors.New("boom"))
+	f.Record(errored)
+	failed := NewQueryRecord(nil, "failed", "", 500, time.Unix(0, 0), time.Millisecond, nil)
+	f.Record(failed)
+
+	slow := f.Slow()
+	ops := make([]string, len(slow))
+	for i, q := range slow {
+		ops[i] = q.Op
+		if !q.Slow {
+			t.Errorf("record %q in slow ring not flagged Slow", q.Op)
+		}
+	}
+	want := []string{"failed", "errored", "over", "at-threshold"}
+	if fmt.Sprint(ops) != fmt.Sprint(want) {
+		t.Errorf("slow ring = %v, want %v", ops, want)
+	}
+	if len(f.Recent()) != 5 {
+		t.Errorf("recent ring holds %d records, want all 5", len(f.Recent()))
+	}
+}
+
+// TestFlightRecorderSlowSurvivesFastBurst locks the reason the slow ring
+// exists: a flood of fast queries must not flush a retained slow one.
+func TestFlightRecorderSlowSurvivesFastBurst(t *testing.T) {
+	f := NewFlightRecorder(4, 4, 100*time.Millisecond)
+	f.Record(record("the-slow-one", time.Second))
+	for i := 0; i < 100; i++ {
+		f.Record(record("fast", time.Millisecond))
+	}
+	slow := f.Slow()
+	if len(slow) != 1 || slow[0].Op != "the-slow-one" {
+		t.Fatalf("slow query flushed by fast burst; slow ring = %+v", slow)
+	}
+	for _, q := range f.Recent() {
+		if q.Op == "the-slow-one" {
+			t.Error("slow query still in the recent ring after 100 overwrites")
+		}
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(record("q", time.Millisecond)) // must not panic
+	f2 := NewFlightRecorder(2, 2, 0)
+	f2.Record(nil) // must not panic
+	if f2.SlowAfter() != DefaultSlowAfter {
+		t.Errorf("slowAfter <= 0 defaulted to %v, want %v", f2.SlowAfter(), DefaultSlowAfter)
+	}
+}
+
+// TestFlightRecorderConcurrent stress-tests the lock-free rings under -race:
+// concurrent writers and readers must never tear a record or index out of
+// bounds.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(8, 4, 50*time.Millisecond)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				d := time.Millisecond
+				if i%7 == 0 {
+					d = time.Second
+				}
+				f.Record(record(fmt.Sprintf("w%d-%d", w, i), d))
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, q := range f.Recent() {
+					if q.Op == "" {
+						t.Error("torn record: empty op")
+						return
+					}
+				}
+				_ = f.Slow()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := len(f.Recent()); got != 8 {
+		t.Errorf("recent ring holds %d records after full stress, want 8", got)
+	}
+}
+
+func TestNewQueryRecordNestsSpansUnderSteps(t *testing.T) {
+	tr := NewTrace()
+	tr.EnsureID(SeedTraceID(97))
+	r := NewRecorder(nil, tr)
+
+	// Step 1 wraps one stage span; step 2 wraps none; one span is recorded
+	// outside any step and must surface at the top level.
+	st1 := r.StartStep("codl", "sample")
+	r.StartSpan(StageRRSample).EndItems(12)
+	st1.End("sampled")
+	st2 := r.StartStep("codl", "evaluate")
+	st2.End("ok")
+	r.StartSpan(StageHimorBuild).End()
+
+	q := NewQueryRecord(tr, "discover", "q=1", 200, time.Now(), time.Millisecond, nil)
+	if q.TraceID != SeedTraceID(97) {
+		t.Errorf("TraceID = %q, want seed-derived %q", q.TraceID, SeedTraceID(97))
+	}
+	if len(q.Steps) != 2 {
+		t.Fatalf("got %d steps, want 2", len(q.Steps))
+	}
+	if q.Steps[0].Kind != "sample" || q.Steps[0].Outcome != "sampled" {
+		t.Errorf("step 0 = %+v, want kind=sample outcome=sampled", q.Steps[0])
+	}
+	if len(q.Steps[0].Spans) != 1 || q.Steps[0].Spans[0].Stage != StageRRSample.String() {
+		t.Errorf("step 0 spans = %+v, want one %s span", q.Steps[0].Spans, StageRRSample)
+	}
+	if q.Steps[0].Spans[0].Items != 12 {
+		t.Errorf("nested span items = %d, want 12", q.Steps[0].Spans[0].Items)
+	}
+	if len(q.Steps[1].Spans) != 0 {
+		t.Errorf("step 1 claimed %d spans, want 0", len(q.Steps[1].Spans))
+	}
+	if len(q.Spans) != 1 || q.Spans[0].Stage != StageHimorBuild.String() {
+		t.Errorf("top-level spans = %+v, want one unclaimed %s span", q.Spans, StageHimorBuild)
+	}
+}
+
+func TestNewQueryRecordNilTrace(t *testing.T) {
+	q := NewQueryRecord(nil, "op", "", 0, time.Now(), time.Millisecond, nil)
+	if q.TraceID != "" || len(q.Steps) != 0 || len(q.Spans) != 0 {
+		t.Errorf("nil-trace record carries trace data: %+v", q)
+	}
+}
+
+func TestFlightServeHTTPJSON(t *testing.T) {
+	f := NewFlightRecorder(4, 2, 100*time.Millisecond)
+	tr := NewTrace()
+	tr.EnsureID(SeedTraceID(7))
+	r := NewRecorder(nil, tr)
+	st := r.StartStep("codl", "extract")
+	st.End("found")
+	f.Record(NewQueryRecord(tr, "/discover", "q=3", 200, time.Now(), time.Second, nil))
+
+	rw := httptest.NewRecorder()
+	f.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/queries", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200", rw.Code)
+	}
+	if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q, want application/json", ct)
+	}
+	var body struct {
+		SlowAfter string         `json:"slow_after"`
+		Recent    []*QueryRecord `json:"recent"`
+		Slow      []*QueryRecord `json:"slow"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &body); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, rw.Body.String())
+	}
+	if body.SlowAfter != "100ms" {
+		t.Errorf("slow_after = %q, want 100ms", body.SlowAfter)
+	}
+	if len(body.Recent) != 1 || len(body.Slow) != 1 {
+		t.Fatalf("got %d recent / %d slow, want 1/1 (1s query over 100ms threshold)",
+			len(body.Recent), len(body.Slow))
+	}
+	got := body.Recent[0]
+	if got.TraceID != SeedTraceID(7) || !got.Slow || len(got.Steps) != 1 {
+		t.Errorf("record = %+v, want trace %s, slow, one step", got, SeedTraceID(7))
+	}
+	if got.Steps[0].Outcome != "found" {
+		t.Errorf("step outcome = %q, want found", got.Steps[0].Outcome)
+	}
+}
+
+func TestFlightServeHTTPText(t *testing.T) {
+	f := NewFlightRecorder(4, 2, 100*time.Millisecond)
+	tr := NewTrace()
+	tr.EnsureID(SeedTraceID(7))
+	r := NewRecorder(nil, tr)
+	st := r.StartStep("codl", "weight")
+	st.End("lore")
+	f.Record(NewQueryRecord(tr, "/discover", "q=3", 200, time.Now(), time.Second, nil))
+
+	rw := httptest.NewRecorder()
+	f.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/queries?format=text", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200", rw.Code)
+	}
+	if ct := rw.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type %q, want text/plain", ct)
+	}
+	out := rw.Body.String()
+	for _, want := range []string{
+		"slow threshold: 100ms",
+		"trace=" + SeedTraceID(7),
+		"step codl/weight outcome=lore",
+		" SLOW",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlightServeHTTPMethodNotAllowed(t *testing.T) {
+	f := NewFlightRecorder(2, 2, 0)
+	rw := httptest.NewRecorder()
+	f.ServeHTTP(rw, httptest.NewRequest(http.MethodPost, "/debug/queries", nil))
+	if rw.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", rw.Code)
+	}
+	if rw.Header().Get("Allow") != http.MethodGet {
+		t.Errorf("Allow = %q, want GET", rw.Header().Get("Allow"))
+	}
+	if ct := rw.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q, want application/json", ct)
+	}
+}
+
+// TestNilRecorderNoAllocs locks the standing contract: the nil-Recorder
+// fast path of every per-query hook costs one branch, never an allocation.
+func TestNilRecorderNoAllocs(t *testing.T) {
+	var r *Recorder
+	if n := testing.AllocsPerRun(100, func() {
+		sp := r.StartSpan(StageRRSample)
+		sp.EndItems(3)
+		st := r.StartStep("codl", "sample")
+		st.End("sampled")
+		r.EnsureTraceID(97)
+		r.CountQuery(nil)
+		r.CountIndexHit()
+	}); n != 0 {
+		t.Errorf("nil-Recorder instrumentation allocates %.1f times per query, want 0", n)
+	}
+	// A metrics-only recorder (no trace) must not allocate per step either:
+	// StartStep is trace-only and returns the zero StepSpan.
+	mr := NewRecorder(NewQueryMetrics(NewRegistry()), nil)
+	if n := testing.AllocsPerRun(100, func() {
+		st := mr.StartStep("codl", "sample")
+		st.End("sampled")
+	}); n != 0 {
+		t.Errorf("metrics-only StartStep allocates %.1f times, want 0", n)
+	}
+}
+
+// BenchmarkNilRecorderStep is the benchmark form of the contract above: the
+// per-step overhead with no recorder attached. Run with -benchmem; the
+// report must show 0 allocs/op.
+func BenchmarkNilRecorderStep(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartStep("codl", "sample")
+		sp.End("sampled")
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	f := NewFlightRecorder(128, 32, DefaultSlowAfter)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Record(&QueryRecord{Op: "/discover", DurNS: int64(time.Millisecond)})
+	}
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func scrape(t *testing.T, reg *Registry) string {
+	t.Helper()
+	rw := httptest.NewRecorder()
+	reg.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rw.Code != http.StatusOK {
+		t.Fatalf("scrape status %d", rw.Code)
+	}
+	return rw.Body.String()
+}
+
+func TestGaugeFuncSampledAtScrape(t *testing.T) {
+	reg := NewRegistry()
+	v := int64(3)
+	reg.GaugeFunc("cod_test_occupancy", "test occupancy", func() int64 { return v })
+	if out := scrape(t, reg); !strings.Contains(out, "cod_test_occupancy 3") {
+		t.Errorf("scrape missing sampled value 3:\n%s", out)
+	}
+	v = 17
+	if out := scrape(t, reg); !strings.Contains(out, "cod_test_occupancy 17") {
+		t.Errorf("gauge func not re-sampled at scrape:\n%s", out)
+	}
+}
+
+// TestGaugeFuncReRegisterRepoints locks the last-writer-wins contract:
+// codserve registers its engine gauges before the searcher exists and
+// re-points them when it is swapped in; the scrape must follow the newest
+// function.
+func TestGaugeFuncReRegisterRepoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeFunc("cod_test_swap", "swap", func() int64 { return 1 })
+	reg.GaugeFunc("cod_test_swap", "swap", func() int64 { return 2 })
+	if out := scrape(t, reg); !strings.Contains(out, "cod_test_swap 2") {
+		t.Errorf("re-registered gauge func not used:\n%s", out)
+	}
+}
+
+func TestGaugeFuncNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("GaugeFunc(nil) did not panic")
+		}
+	}()
+	NewRegistry().GaugeFunc("cod_test_nil", "nil", nil)
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	out := scrape(t, reg)
+	for _, name := range []string{
+		"go_goroutines",
+		"go_heap_alloc_bytes",
+		"go_heap_inuse_bytes",
+		"go_heap_objects",
+		"go_sys_bytes",
+		"go_gc_cycles_total",
+		"go_next_gc_bytes",
+		"go_gc_pause_total_ns",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" gauge") {
+			t.Errorf("scrape missing runtime gauge %s", name)
+		}
+	}
+	// Sanity: a live process has goroutines and a heap.
+	for _, want := range []string{"go_goroutines ", "go_sys_bytes "} {
+		idx := strings.Index(out, want)
+		if idx < 0 {
+			t.Fatalf("missing %q line", want)
+		}
+		line := out[idx:]
+		if nl := strings.IndexByte(line, '\n'); nl >= 0 {
+			line = line[:nl]
+		}
+		val := strings.TrimSpace(strings.TrimPrefix(line, want))
+		if val == "0" || val == "" {
+			t.Errorf("%s reports %q, want a positive value", strings.TrimSpace(want), val)
+		}
+	}
+}

@@ -122,6 +122,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindGaugeFunc
 )
 
 type metricEntry struct {
@@ -130,6 +131,7 @@ type metricEntry struct {
 	c          *Counter
 	g          *Gauge
 	h          *Histogram
+	gf         func() int64
 }
 
 // Registry holds named metrics and renders them in the Prometheus text
@@ -181,6 +183,23 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return e.g
 }
 
+// GaugeFunc registers a gauge whose value is sampled by calling fn at
+// scrape time — for values that already live somewhere (goroutine counts,
+// pool occupancy) and would go stale or cost double bookkeeping as a stored
+// Gauge. fn must be safe for concurrent use and should be cheap; it runs
+// under no registry lock. Re-registering an existing name replaces fn (last
+// writer wins), which lets a serving process re-point occupancy gauges when
+// its engine is swapped.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	if fn == nil {
+		panic("obs: GaugeFunc needs a non-nil fn")
+	}
+	e := r.register(name, help, kindGaugeFunc)
+	r.mu.Lock()
+	e.gf = fn
+	r.mu.Unlock()
+}
+
 // Histogram returns the histogram registered under name, creating it with
 // the given bounds on first use (later calls ignore bounds).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -204,9 +223,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, name := range names {
 		entries = append(entries, r.entries[name])
 	}
+	// Snapshot the sampler funcs under the lock: GaugeFunc may replace one
+	// concurrently, and e.gf must not be read unsynchronized after unlock.
+	funcs := make([]func() int64, len(entries))
+	for i, e := range entries {
+		funcs[i] = e.gf
+	}
 	r.mu.Unlock()
 
-	for _, e := range entries {
+	for i, e := range entries {
 		if e.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
 				return err
@@ -218,6 +243,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.c.Value())
 		case kindGauge:
 			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.g.Value())
+		case kindGaugeFunc:
+			_, err = fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", e.name, e.name, funcs[i]())
 		case kindHistogram:
 			err = writeHistogram(w, e.name, e.h)
 		}

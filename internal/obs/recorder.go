@@ -136,6 +136,67 @@ func (s Span) EndItems(items int) {
 	}
 }
 
+// StepSpan is an in-flight plan-step measurement started by StartStep. The
+// zero StepSpan (from a nil Recorder or a metrics-only one) is valid and
+// End on it is a no-op.
+type StepSpan struct {
+	r         *Recorder
+	variant   string
+	kind      string
+	spanStart int
+	start     time.Time
+}
+
+// StartStep begins timing one plan step. Step spans are trace-only (step
+// latency histograms would multiply the metric surface by variant × kind;
+// the stage histograms already cover aggregate cost), so a Recorder without
+// a trace returns the zero StepSpan without reading the clock — the
+// metrics-only serving background path stays untouched.
+func (r *Recorder) StartStep(variant, kind string) StepSpan {
+	if r == nil || r.t == nil {
+		return StepSpan{}
+	}
+	return StepSpan{r: r, variant: variant, kind: kind, spanStart: r.t.Len(), start: time.Now()}
+}
+
+// End completes the step with its outcome, recording the step and the index
+// range of stage spans the trace gained while it ran.
+func (s StepSpan) End(outcome string) {
+	if s.r == nil {
+		return
+	}
+	d := time.Since(s.start)
+	t := s.r.t
+	t.addStep(StepRecord{
+		Variant:   s.variant,
+		Kind:      s.kind,
+		Outcome:   outcome,
+		Duration:  d,
+		SpanStart: s.spanStart,
+		SpanEnd:   t.Len(),
+	})
+}
+
+// EnsureTraceID assigns the trace a deterministic ID derived from the
+// query's seed, unless a front end already installed one (e.g. from a W3C
+// traceparent header). Derivation is a pure function of the seed — no
+// randomness is drawn and nothing downstream branches on the ID, so the
+// byte-identity contract holds.
+func (r *Recorder) EnsureTraceID(seed uint64) {
+	if r == nil || r.t == nil {
+		return
+	}
+	r.t.EnsureID(SeedTraceID(seed))
+}
+
+// TraceID returns the trace's ID, or "" without a trace.
+func (r *Recorder) TraceID() string {
+	if r == nil || r.t == nil {
+		return ""
+	}
+	return r.t.ID()
+}
+
 // AddItems counts stage units outside a span (e.g. samples completed by a
 // loop whose timing is recorded elsewhere).
 func (r *Recorder) AddItems(stage Stage, n int) {

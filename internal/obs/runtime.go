@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime gauges: goroutine count and heap/GC statistics, sampled lazily at
+// scrape time through GaugeFunc. runtime.ReadMemStats stops the world, so
+// one scrape reading eight gauges must not pay it eight times — a shared
+// memStatsSampler caches the last snapshot briefly (well under any sane
+// scrape interval) and every gauge reads from the cache.
+
+// memStatsTTL bounds how stale a scraped memstats snapshot can be. One
+// scrape's worth of gauges always shares a single ReadMemStats.
+const memStatsTTL = 500 * time.Millisecond
+
+type memStatsSampler struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (s *memStatsSampler) sample() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); s.at.IsZero() || now.Sub(s.at) > memStatsTTL {
+		runtime.ReadMemStats(&s.stat)
+		s.at = now
+	}
+	return s.stat
+}
+
+// RegisterRuntimeMetrics registers Go runtime gauges (goroutines, heap
+// occupancy, GC activity) on reg. Heap and GC gauges share one cached
+// memstats snapshot per scrape; go_goroutines is read directly (cheap).
+// Idempotent in effect: re-registering replaces the samplers.
+func RegisterRuntimeMetrics(reg *Registry) {
+	ms := &memStatsSampler{}
+	reg.GaugeFunc("go_goroutines", "Goroutines that currently exist.",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() int64 { return int64(ms.sample().HeapAlloc) })
+	reg.GaugeFunc("go_heap_inuse_bytes", "Bytes in in-use heap spans.",
+		func() int64 { return int64(ms.sample().HeapInuse) })
+	reg.GaugeFunc("go_heap_objects", "Number of allocated heap objects.",
+		func() int64 { return int64(ms.sample().HeapObjects) })
+	reg.GaugeFunc("go_sys_bytes", "Bytes obtained from the OS.",
+		func() int64 { return int64(ms.sample().Sys) })
+	reg.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() int64 { return int64(ms.sample().NumGC) })
+	reg.GaugeFunc("go_next_gc_bytes", "Heap size target of the next GC cycle.",
+		func() int64 { return int64(ms.sample().NextGC) })
+	reg.GaugeFunc("go_gc_pause_total_ns", "Cumulative stop-the-world GC pause nanoseconds.",
+		func() int64 { return int64(ms.sample().PauseTotalNs) })
+}

@@ -66,6 +66,30 @@ type SpanRecord struct {
 	Items int64
 }
 
+// StepRecord is one completed plan step within a Trace — the layer above
+// stage spans: where a SpanRecord says "rr_sample took 3ms", a StepRecord
+// says "the CODL sample step was a cache miss". Variant and Kind are the
+// engine's names (CODL, index_probe, ...) carried as strings so obs stays
+// free of an engine dependency.
+type StepRecord struct {
+	// Variant is the plan variant executing the step (CODU/CODR/CODL/CODL⁻).
+	Variant string
+	// Kind is the plan step kind (weight, index_probe, chain, sample,
+	// evaluate, extract).
+	Kind string
+	// Outcome classifies what the step did: hit/miss for index probes,
+	// cache_hit/cache_miss/sampled for sampling, canceled/error on failure.
+	Outcome string
+	// Duration is the step's wall-clock time.
+	Duration time.Duration
+	// SpanStart and SpanEnd delimit the half-open index range [SpanStart,
+	// SpanEnd) of this trace's span slice recorded while the step ran. For a
+	// single-threaded query the range is exactly the step's nested stage
+	// spans; under a concurrent batch sharing one Trace it is approximate
+	// (spans from sibling workers may interleave).
+	SpanStart, SpanEnd int
+}
+
 // Trace collects the stage spans of one query (or one offline build). It is
 // safe for concurrent use: batch queries record spans from several workers.
 // A canceled query still flushes the spans it completed — the trace is
@@ -73,7 +97,9 @@ type SpanRecord struct {
 // timeout needs.
 type Trace struct {
 	mu    sync.Mutex
+	id    string
 	spans []SpanRecord
+	steps []StepRecord
 }
 
 // NewTrace returns an empty trace.
@@ -83,6 +109,47 @@ func (t *Trace) add(rec SpanRecord) {
 	t.mu.Lock()
 	t.spans = append(t.spans, rec)
 	t.mu.Unlock()
+}
+
+func (t *Trace) addStep(rec StepRecord) {
+	t.mu.Lock()
+	t.steps = append(t.steps, rec)
+	t.mu.Unlock()
+}
+
+// EnsureID sets the trace ID if none is set yet and reports whether id is
+// now the trace's ID. First writer wins: a serving front end that parsed a
+// traceparent header installs the caller's ID before the query runs, and
+// the library's later seed-derived EnsureID becomes a no-op.
+func (t *Trace) EnsureID(id string) bool {
+	if t == nil || id == "" {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.id == "" {
+		t.id = id
+	}
+	return t.id == id
+}
+
+// ID returns the trace ID, or "" when none was assigned.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
+}
+
+// Steps returns a copy of the recorded plan steps in completion order.
+func (t *Trace) Steps() []StepRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StepRecord, len(t.steps))
+	copy(out, t.steps)
+	return out
 }
 
 // Spans returns a copy of the recorded spans in completion order.

@@ -1,0 +1,87 @@
+package obs
+
+// Trace-ID derivation and W3C traceparent parsing.
+//
+// Every query trace carries a 16-byte trace ID rendered as 32 lowercase hex
+// digits (the W3C Trace Context format). Serving front ends accept an ID
+// from an incoming `traceparent` header so a codserve trace joins the
+// caller's distributed trace; everywhere else the ID is derived
+// deterministically from the query's seed, so it costs no randomness (the
+// §9 determinism contract: instrumentation never draws from any stream a
+// result could observe) and the same seeded query always carries the same
+// ID — which is exactly what replaying a forensic capture wants.
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed bijection
+// used only for trace-ID derivation (never for sampling).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// SeedTraceID derives a deterministic 32-hex-digit W3C trace ID from a
+// query seed. Distinct seeds map to distinct-looking IDs via SplitMix64
+// mixing; the all-zero ID (invalid per W3C) can never be produced.
+func SeedTraceID(seed uint64) string {
+	hi := splitmix64(seed)
+	lo := splitmix64(hi ^ 0x6f7574636f6d65) // "outcome"; decorrelates the halves
+	if hi == 0 && lo == 0 {
+		lo = 1
+	}
+	var b [32]byte
+	for i := 0; i < 16; i++ {
+		b[15-i] = hexDigits[hi&0xf]
+		hi >>= 4
+		b[31-i] = hexDigits[lo&0xf]
+		lo >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseTraceparent extracts the trace ID from a W3C traceparent header
+// value: "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>". It
+// returns the lowercase trace ID and true when the header is well formed
+// and the trace ID is not all zeros; a missing or malformed header returns
+// ("", false) so callers fall back to seed-derived IDs.
+func ParseTraceparent(h string) (string, bool) {
+	// version(2) '-' traceid(32) '-' parentid(16) '-' flags(2)
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", false
+	}
+	if !isHex(h[:2]) || !isHex(h[36:52]) || !isHex(h[53:]) {
+		return "", false
+	}
+	if h[:2] == "ff" { // forbidden version
+		return "", false
+	}
+	id := h[3:35]
+	if !isHex(id) {
+		return "", false
+	}
+	zero := true
+	for i := 0; i < len(id); i++ {
+		if id[i] != '0' {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		return "", false
+	}
+	return id, true
+}
+
+// isHex reports whether s is entirely lowercase hex digits (the W3C format
+// mandates lowercase).
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

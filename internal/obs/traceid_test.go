@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeedTraceIDDeterministic(t *testing.T) {
+	a, b := SeedTraceID(97), SeedTraceID(97)
+	if a != b {
+		t.Fatalf("same seed produced different trace IDs: %s vs %s", a, b)
+	}
+	if c := SeedTraceID(98); c == a {
+		t.Errorf("adjacent seeds collided on trace ID %s", a)
+	}
+}
+
+func TestSeedTraceIDShape(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 97, ^uint64(0)} {
+		id := SeedTraceID(seed)
+		if len(id) != 32 {
+			t.Errorf("seed %d: trace ID %q has length %d, want 32", seed, id, len(id))
+		}
+		if strings.Trim(id, "0") == "" {
+			t.Errorf("seed %d: all-zero trace ID %q is invalid per W3C trace-context", seed, id)
+		}
+		if strings.ToLower(id) != id {
+			t.Errorf("seed %d: trace ID %q is not lowercase hex", seed, id)
+		}
+		if _, ok := ParseTraceparent("00-" + id + "-00f067aa0ba902b7-01"); !ok {
+			t.Errorf("seed %d: generated ID %q does not round-trip through ParseTraceparent", seed, id)
+		}
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	const id = "4bf92f3577b34da6a3ce929d0e0e4736"
+	valid := "00-" + id + "-00f067aa0ba902b7-01"
+	got, ok := ParseTraceparent(valid)
+	if !ok || got != id {
+		t.Fatalf("ParseTraceparent(%q) = %q, %t; want %q, true", valid, got, ok, id)
+	}
+	for name, h := range map[string]string{
+		"empty":            "",
+		"truncated":        "00-" + id,
+		"too-long":         valid + "-extra",
+		"bad-dashes":       "00_" + id + "_00f067aa0ba902b7_01",
+		"uppercase-hex":    "00-" + strings.ToUpper(id) + "-00f067aa0ba902b7-01",
+		"non-hex-trace":    "00-" + strings.Repeat("g", 32) + "-00f067aa0ba902b7-01",
+		"non-hex-version":  "zz-" + id + "-00f067aa0ba902b7-01",
+		"version-ff":       "ff-" + id + "-00f067aa0ba902b7-01",
+		"all-zero-traceid": "00-" + strings.Repeat("0", 32) + "-00f067aa0ba902b7-01",
+	} {
+		if got, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted invalid header, returned %q", name, h, got)
+		}
+	}
+}

@@ -1,16 +1,22 @@
 #!/bin/sh
 # Runs the Fig-series benchmarks once each (-benchtime=1x -count=3), turns
 # the output into a machine-readable JSON report via codbench -parse-bench,
-# and validates it with codbench -check-bench. This is a well-formedness
-# gate for the bench pipeline — it fails loudly when the benchmarks stop
-# producing parseable output — not a performance-threshold gate.
+# and validates it with codbench -check-bench. When a baseline report is
+# present, the fresh report is also diffed against it (-compare-bench):
+# ns/op and allocs/op are aggregated by min across the -count runs and a
+# >25% regression on a shared benchmark fails the script. Benchmarks only
+# in one report are printed as notes. Otherwise this stays a
+# well-formedness gate — it fails loudly when the benchmarks stop
+# producing parseable output.
 #
-#   scripts/bench_check.sh [out.json]    # default BENCH_pr4.json
+#   scripts/bench_check.sh [out.json] [baseline.json]
+#   # defaults: BENCH_pr5.json vs baseline BENCH_pr4.json (skipped if absent)
 #
 # Run via `make bench-check`; needs only the go toolchain.
 set -eu
 
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr5.json}"
+baseline="${2:-BENCH_pr4.json}"
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 
@@ -37,7 +43,14 @@ echo "bench-check: writing $out"
 "$workdir/codbench" -parse-bench -bench-out "$out" <"$workdir/bench.out" \
     || fail "parse-bench rejected the output"
 
-"$workdir/codbench" -check-bench "$out" || fail "check-bench rejected $out"
+if [ -f "$baseline" ] && [ "$baseline" != "$out" ]; then
+    echo "bench-check: comparing against baseline $baseline"
+    "$workdir/codbench" -check-bench "$out" -compare-bench "$baseline" \
+        || fail "check/compare vs $baseline rejected $out"
+else
+    "$workdir/codbench" -check-bench "$out" || fail "check-bench rejected $out"
+    [ "$baseline" = "$out" ] || echo "bench-check: no baseline $baseline; skipping comparison"
+fi
 
 runs=$(grep -c '"name"' "$out")
 echo "bench-check: PASS ($runs benchmark runs in $out)"

@@ -57,8 +57,12 @@ done
 [ -n "$ready" ] || fail "server never became ready"
 echo "serve-smoke: ready"
 
-# Query endpoints: success, JSON error for bad input, batch.
-curl -sf "$base/discover?q=0" | grep -q '"query":0' || fail "discover q=0"
+# Query endpoints: success, JSON error for bad input, batch. The first
+# discover carries a W3C traceparent so the trace-propagation assertions
+# below can look for its exact trace ID.
+trace_id="4bf92f3577b34da6a3ce929d0e0e4736"
+curl -sf -H "traceparent: 00-$trace_id-00f067aa0ba902b7-01" "$base/discover?q=0" \
+    | grep -q '"query":0' || fail "discover q=0"
 code=$(curl -s -o "$workdir/err.json" -w '%{http_code}' "$base/discover?q=abc")
 [ "$code" = 400 ] || fail "malformed q returned $code"
 grep -q '"error"' "$workdir/err.json" || fail "400 body is not a JSON error"
@@ -67,6 +71,22 @@ curl -sf -X POST -d '{"queries":[{"q":0,"attr":0},{"q":1,"attr":0}]}' "$base/bat
 code=$(curl -s -o /dev/null -w '%{http_code}' "$base/nope")
 [ "$code" = 404 ] || fail "unknown route returned $code"
 echo "serve-smoke: endpoints ok"
+
+# Flight recorder: /debug/queries must retain the traced discover with the
+# propagated trace ID and at least one plan-step span, and the per-query
+# slog line must carry the same trace_id.
+curl -sf "$base/debug/queries" >"$workdir/queries.json" || fail "/debug/queries unreachable"
+grep -q "\"trace_id\": \"$trace_id\"" "$workdir/queries.json" \
+    || fail "propagated traceparent id $trace_id not in /debug/queries"
+grep -q '"kind"' "$workdir/queries.json" || fail "no plan-step spans in /debug/queries"
+grep -q '"outcome"' "$workdir/queries.json" || fail "step spans carry no outcomes"
+curl -sf "$base/debug/queries?format=text" | grep -q "trace=$trace_id" \
+    || fail "text rendering missing trace=$trace_id"
+grep -q "trace_id=$trace_id" "$workdir/server.log" \
+    || fail "server log line missing trace_id=$trace_id"
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/debug/queries")
+[ "$code" = 405 ] || fail "POST /debug/queries returned $code, want 405"
+echo "serve-smoke: flight recorder ok"
 
 # Graceful drain: start a slow request (codr reclusters per query), give it
 # a moment to be admitted, then SIGTERM. The server must finish the

@@ -165,7 +165,9 @@ func (s *Searcher) DiscoverCtx(ctx context.Context, q NodeID, attr AttrID) (Comm
 		rec.CountQuery(err)
 		return Community{}, err
 	}
-	com, err := s.eng.Execute(ctx, s.eng.Compile(engine.VariantCODL, q, attr), s.nextRand())
+	seed := s.nextSeed()
+	rec.EnsureTraceID(seed)
+	com, err := s.eng.Execute(ctx, s.eng.Compile(engine.VariantCODL, q, attr), graph.NewRand(seed))
 	rec.CountQuery(err)
 	if err != nil {
 		return Community{}, err
@@ -187,7 +189,9 @@ func (s *Searcher) DiscoverUnattributedCtx(ctx context.Context, q NodeID) (Commu
 		rec.CountQuery(err)
 		return Community{}, err
 	}
-	com, err := s.eng.Execute(ctx, s.eng.Compile(engine.VariantCODU, q, 0), s.nextRand())
+	seed := s.nextSeed()
+	rec.EnsureTraceID(seed)
+	com, err := s.eng.Execute(ctx, s.eng.Compile(engine.VariantCODU, q, 0), graph.NewRand(seed))
 	rec.CountQuery(err)
 	if err != nil {
 		return Community{}, err
@@ -211,7 +215,9 @@ func (s *Searcher) DiscoverGlobalCtx(ctx context.Context, q NodeID, attr AttrID)
 		rec.CountQuery(err)
 		return Community{}, err
 	}
-	com, err := s.eng.Execute(ctx, s.eng.Compile(engine.VariantCODR, q, attr), s.nextRand())
+	seed := s.nextSeed()
+	rec.EnsureTraceID(seed)
+	com, err := s.eng.Execute(ctx, s.eng.Compile(engine.VariantCODR, q, attr), graph.NewRand(seed))
 	rec.CountQuery(err)
 	if err != nil {
 		return Community{}, err
@@ -338,9 +344,17 @@ func (s *Searcher) validate(q NodeID, attr AttrID) error {
 // Engine exposes the underlying query engine (epoch, caches, plan API).
 func (s *Searcher) Engine() *engine.Engine { return s.eng }
 
-// nextRand derives a fresh deterministic stream per query. The sequence
+// nextSeed derives a fresh deterministic per-query seed. The sequence
 // counter is atomic, so concurrent queries each get a distinct stream; the
-// mapping from arrival order to stream is first-come-first-seeded.
+// mapping from arrival order to stream is first-come-first-seeded. The seed
+// doubles as the query's trace-ID source: it is drawn after validation and
+// never conditionally on instrumentation, so instrumented runs consume the
+// sequence identically to plain ones.
+func (s *Searcher) nextSeed() uint64 {
+	return graph.ItemSeed(s.opts.Seed, int(s.seq.Add(1)-1))
+}
+
+// nextRand derives a fresh deterministic stream per query (see nextSeed).
 func (s *Searcher) nextRand() *rand.Rand {
-	return graph.NewRand(graph.ItemSeed(s.opts.Seed, int(s.seq.Add(1)-1)))
+	return graph.NewRand(s.nextSeed())
 }
