@@ -7,7 +7,7 @@ CODVET  := $(BIN)/codvet
 PKGS    := ./...
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint vet codvet codvet-path fmt fmt-check bench bench-check fuzz serve-smoke check clean
+.PHONY: all build test race lint vet codvet codvet-path codvet-self fmt fmt-check bench bench-check fuzz serve-smoke check clean
 
 all: build
 
@@ -32,8 +32,19 @@ codvet: $(CODVET)
 codvet-path: $(CODVET)
 	@echo $(abspath $(CODVET))
 
-vet:
+# vet gates on both toolchains: stock go vet and the repo's own analyzers.
+# Any new codvet diagnostic fails the build; suppressions must be explicit
+# //codvet:ignore directives (audited by unusedignore).
+vet: $(CODVET)
 	$(GO) vet $(PKGS)
+	$(GO) vet -vettool=$(abspath $(CODVET)) $(PKGS)
+
+# The analyzers analyzed by themselves: codvet over its own implementation
+# and the commands that embed it. Keeps the suite honest — the checkers
+# must satisfy the contracts they enforce (the interprocedural ones
+# exercise their own facts plumbing doing it).
+codvet-self: $(CODVET)
+	$(GO) vet -vettool=$(abspath $(CODVET)) ./internal/analysis/... ./cmd/...
 
 fmt:
 	gofmt -w .

@@ -1,32 +1,52 @@
 // Command codvet is the repository's static-analysis suite: a multichecker
 // enforcing the determinism and concurrency contracts documented in
-// DESIGN.md ("Determinism & concurrency contract").
+// DESIGN.md ("Determinism & concurrency contract", "Static-analysis
+// contract").
 //
 // Usage:
 //
 //	codvet ./...                      # standalone (delegates to go vet)
+//	codvet -json ./...                # one JSON object per diagnostic line
 //	go vet -vettool=$(which codvet) ./...
 //	make lint                         # builds and runs it with the rest
 //
-// Analyzers: detrand (no global randomness or time-derived seeds in library
-// code), maporder (no order-dependent map iteration), sharedwrite (no
-// unsynchronized writes to captured variables in goroutines), floatcmp (no
-// equality comparison of computed floats), ctxpoll (no work loops that
-// ignore an accepted context in the core/influence pipelines), poolret (no
-// use of a buffer after returning it to a sync.Pool), spanend (Recorder
-// spans completed with End/EndItems on every path). Suppress a deliberate
-// violation with `//codvet:ignore <analyzer> <reason>` on or above the line.
+// AST-local analyzers: detrand (no global randomness or time-derived seeds
+// in library code), maporder (no order-dependent map iteration),
+// sharedwrite (no unsynchronized writes to captured variables in
+// goroutines), floatcmp (no equality comparison of computed floats),
+// ctxpoll (no work loops that ignore an accepted context in the
+// core/influence pipelines), poolret (no use of a buffer after returning
+// it to a sync.Pool), spanend (Recorder spans completed with End/EndItems
+// on every path).
+//
+// Interprocedural analyzers, driven by per-package facts serialized
+// through cmd/go's vet plumbing (internal/analysis/facts.go): detflow
+// (nondeterminism — clocks, global randomness, map order, goroutine
+// completion order — must not flow into seeds or trace IDs, across any
+// number of calls and packages), atomicmix (a field accessed via
+// sync/atomic must never be accessed plainly anywhere), arenaescape
+// (arena-owned views must not escape a function that releases the arena on
+// any control-flow path).
+//
+// The meta-check unusedignore runs last and reports //codvet:ignore
+// directives that no longer suppress anything. Suppress a deliberate
+// violation with `//codvet:ignore <analyzer> <reason>` on or above the
+// line.
 package main
 
 import (
 	"github.com/codsearch/cod/internal/analysis"
+	"github.com/codsearch/cod/internal/analysis/arenaescape"
+	"github.com/codsearch/cod/internal/analysis/atomicmix"
 	"github.com/codsearch/cod/internal/analysis/ctxpoll"
+	"github.com/codsearch/cod/internal/analysis/detflow"
 	"github.com/codsearch/cod/internal/analysis/detrand"
 	"github.com/codsearch/cod/internal/analysis/floatcmp"
 	"github.com/codsearch/cod/internal/analysis/maporder"
 	"github.com/codsearch/cod/internal/analysis/poolret"
 	"github.com/codsearch/cod/internal/analysis/sharedwrite"
 	"github.com/codsearch/cod/internal/analysis/spanend"
+	"github.com/codsearch/cod/internal/analysis/unusedignore"
 )
 
 func main() {
@@ -38,5 +58,12 @@ func main() {
 		ctxpoll.Analyzer,
 		poolret.Analyzer,
 		spanend.Analyzer,
+		detflow.Analyzer,
+		atomicmix.Analyzer,
+		arenaescape.Analyzer,
+		unusedignore.New(
+			"detrand", "maporder", "sharedwrite", "floatcmp", "ctxpoll",
+			"poolret", "spanend", "detflow", "atomicmix", "arenaescape",
+		),
 	)
 }

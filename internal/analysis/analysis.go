@@ -37,6 +37,10 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// FactTypes lists the fact types the analyzer exports or imports (each
+	// a pointer to a zero value, e.g. (*Nondeterministic)(nil)). Declaring
+	// them registers the type with the facts (de)serializer; see facts.go.
+	FactTypes []Fact
 }
 
 // A Diagnostic is one finding, anchored at a source position.
@@ -55,14 +59,17 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	ignores map[string][]ignoreDirective // file name -> directives
+	ignores map[string][]*ignoreDirective // file name -> directives
+	facts   *FactStore
 	diags   *[]Diagnostic
 }
 
 // ignoreDirective is one parsed //codvet:ignore comment.
 type ignoreDirective struct {
-	line  int    // line the comment ends on
-	which string // analyzer name, or "all"
+	pos   token.Pos // position of the comment
+	line  int       // line the comment ends on
+	which string    // analyzer name, or "all"
+	used  bool      // suppressed at least one diagnostic this run
 }
 
 // Reportf records a diagnostic at pos unless a //codvet:ignore directive for
@@ -79,16 +86,64 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 func (p *Pass) ignored(pos token.Pos) bool {
+	if p.Analyzer.Name == "unusedignore" {
+		// The meta-check audits the directives themselves; letting a
+		// directive silence the report that it is stale would make every
+		// ignore self-justifying.
+		return false
+	}
 	position := p.Fset.Position(pos)
 	for _, d := range p.ignores[position.Filename] {
 		if d.which != "all" && d.which != p.Analyzer.Name {
 			continue
 		}
 		if d.line == position.Line || d.line == position.Line-1 {
+			d.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// ExportObjectFact attaches fact to obj, which must belong to the package
+// under analysis; dependents of this package can retrieve it with
+// ImportObjectFact. See facts.go for the serialization contract.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("analysis: %s: ExportObjectFact on object %v outside the package under analysis",
+			p.Analyzer.Name, obj))
+	}
+	p.facts.ExportObjectFact(obj, fact)
+}
+
+// ImportObjectFact copies into fact the fact of that concrete type attached
+// to obj — by this pass earlier in the package, or by the run that checked
+// the dependency declaring obj — and reports whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	return p.facts.ImportObjectFact(obj, fact)
+}
+
+// An IgnoreDirective describes one //codvet:ignore comment, for the
+// unusedignore meta-check.
+type IgnoreDirective struct {
+	Pos      token.Pos
+	Analyzer string // named analyzer, or "all"
+	Used     bool   // suppressed at least one diagnostic this run
+}
+
+// IgnoreDirectives returns every parsed //codvet:ignore directive of the
+// package with its use state. Meaningful only from an analyzer that runs
+// after all others; Run moves any analyzer named "unusedignore" last for
+// exactly this purpose.
+func (p *Pass) IgnoreDirectives() []IgnoreDirective {
+	var out []IgnoreDirective
+	for _, ds := range p.ignores {
+		for _, d := range ds {
+			out = append(out, IgnoreDirective{Pos: d.pos, Analyzer: d.which, Used: d.used})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
 }
 
 // IsLibraryPackage reports whether the package under analysis is library
@@ -132,8 +187,8 @@ func (p *Pass) SourceFiles() []*ast.File {
 
 // parseIgnores scans every comment of every file for
 // "//codvet:ignore <name>[,<name>...] [reason]" directives.
-func parseIgnores(fset *token.FileSet, files []*ast.File) map[string][]ignoreDirective {
-	out := make(map[string][]ignoreDirective)
+func parseIgnores(fset *token.FileSet, files []*ast.File) map[string][]*ignoreDirective {
+	out := make(map[string][]*ignoreDirective)
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -151,7 +206,7 @@ func parseIgnores(fset *token.FileSet, files []*ast.File) map[string][]ignoreDir
 				position := fset.Position(c.End())
 				for _, name := range strings.Split(fields[0], ",") {
 					out[position.Filename] = append(out[position.Filename],
-						ignoreDirective{line: position.Line, which: name})
+						&ignoreDirective{pos: c.Pos(), line: position.Line, which: name})
 				}
 			}
 		}
@@ -161,11 +216,31 @@ func parseIgnores(fset *token.FileSet, files []*ast.File) map[string][]ignoreDir
 
 // Run type-checks nothing itself: callers supply the parsed files, package
 // and types.Info, and Run applies every analyzer, returning diagnostics
-// sorted by position.
+// sorted by position. Facts are process-local; drivers that carry facts
+// across packages use RunWithFacts.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunWithFacts(fset, files, pkg, info, analyzers, NewFactStore())
+}
+
+// RunWithFacts is Run with an explicit fact store: facts already in the
+// store (imported from dependencies, or from earlier packages of the same
+// in-process run) are visible to every pass, and facts the passes export
+// are added to it. Analyzers named "unusedignore" are moved to the end of
+// the order so they observe every other analyzer's suppressions.
+func RunWithFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	ignores := parseIgnores(fset, files)
+	ordered := make([]*Analyzer, 0, len(analyzers))
+	var last []*Analyzer
 	for _, a := range analyzers {
+		if a.Name == "unusedignore" {
+			last = append(last, a)
+			continue
+		}
+		ordered = append(ordered, a)
+	}
+	ordered = append(ordered, last...)
+	for _, a := range ordered {
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      fset,
@@ -173,6 +248,7 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 			Pkg:       pkg,
 			TypesInfo: info,
 			ignores:   ignores,
+			facts:     facts,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {

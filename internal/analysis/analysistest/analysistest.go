@@ -10,9 +10,15 @@
 // Each backquoted or double-quoted string is a regular expression that must
 // match the message of a diagnostic reported on that line. Diagnostics
 // without a matching expectation, and expectations without a matching
-// diagnostic, fail the test. Fixture packages may import only the standard
-// library (they are type-checked with the stdlib source importer, which
-// needs no pre-compiled export data).
+// diagnostic, fail the test.
+//
+// Fixture packages may import the standard library (type-checked with the
+// stdlib source importer) and each other: an import whose path names a
+// directory under the same testdata/src tree resolves to that fixture
+// package, which is analyzed first — its "want" expectations are checked
+// too, and the facts its pass exports are visible when the importing
+// package is analyzed. That is how the interprocedural analyzers' fixtures
+// exercise facts that cross a package boundary.
 package analysistest
 
 import (
@@ -53,69 +59,149 @@ func TestData(t *testing.T) string {
 }
 
 // Run applies a to each fixture package (a path under testdata/src) and
-// reports mismatches between diagnostics and expectations on t.
+// reports mismatches between diagnostics and expectations on t. Fixture
+// dependencies of the named packages are analyzed first, in one shared
+// fact store, so cross-package facts behave as they do under the unit
+// driver.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	RunAnalyzers(t, testdata, []*analysis.Analyzer{a}, pkgPaths...)
+}
+
+// RunAnalyzers is Run with a multichecker: every analyzer sees every
+// package, diagnostics of all of them match against the same "want"
+// expectations. The unusedignore meta-check needs this — alone it has
+// nothing to observe.
+func RunAnalyzers(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	r := &runner{
+		t:         t,
+		testdata:  testdata,
+		analyzers: analyzers,
+		fset:      token.NewFileSet(),
+		facts:     analysis.NewFactStore(),
+		pkgs:      make(map[string]*types.Package),
+		checking:  make(map[string]bool),
+	}
+	r.source = importer.ForCompiler(r.fset, "source", nil)
 	for _, pkgPath := range pkgPaths {
-		runPackage(t, testdata, a, pkgPath)
+		r.analyze(pkgPath)
 	}
 }
 
-func runPackage(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
-	t.Helper()
-	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+type runner struct {
+	t         *testing.T
+	testdata  string
+	analyzers []*analysis.Analyzer
+	fset      *token.FileSet
+	facts     *analysis.FactStore
+	source    types.Importer
+	pkgs      map[string]*types.Package // fixture packages already analyzed
+	checking  map[string]bool           // cycle guard
+}
+
+// fixtureDir returns the directory of a fixture package path, or "" when
+// the path is not under this testdata tree.
+func (r *runner) fixtureDir(pkgPath string) string {
+	dir := filepath.Join(r.testdata, "src", filepath.FromSlash(pkgPath))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// Import resolves fixture imports to analyzed fixture packages and
+// everything else to the stdlib source importer.
+func (r *runner) Import(path string) (*types.Package, error) {
+	if r.fixtureDir(path) != "" {
+		if pkg := r.analyze(path); pkg != nil {
+			return pkg, nil
+		}
+	}
+	return r.source.Import(path)
+}
+
+// analyze type-checks and analyzes one fixture package (dependencies
+// first), returning its package for importers.
+func (r *runner) analyze(pkgPath string) *types.Package {
+	r.t.Helper()
+	if pkg, ok := r.pkgs[pkgPath]; ok {
+		return pkg
+	}
+	if r.checking[pkgPath] {
+		r.t.Fatalf("%s: fixture import cycle", pkgPath)
+	}
+	r.checking[pkgPath] = true
+	defer func() { r.checking[pkgPath] = false }()
+
+	dir := r.fixtureDir(pkgPath)
+	if dir == "" {
+		r.t.Fatalf("%s: no fixture directory under %s", pkgPath, r.testdata)
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("%s: %v", pkgPath, err)
+		r.t.Fatalf("%s: %v", pkgPath, err)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		f, err := parser.ParseFile(r.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("%s: %v", pkgPath, err)
+			r.t.Fatalf("%s: %v", pkgPath, err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		t.Fatalf("%s: no fixture files in %s", pkgPath, dir)
+		r.t.Fatalf("%s: no fixture files in %s", pkgPath, dir)
+	}
+
+	// Analyze fixture dependencies before type-checking this package, so
+	// their facts are in the store by the time this package's passes run.
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if r.fixtureDir(path) != "" {
+				r.analyze(path)
+			}
+		}
 	}
 
 	var tcErrs []error
 	tc := &types.Config{
-		Importer: importer.ForCompiler(fset, "source", nil),
+		Importer: r,
 		Error:    func(err error) { tcErrs = append(tcErrs, err) },
 	}
 	info := analysis.NewInfo()
-	pkg, _ := tc.Check(pkgPath, fset, files, info)
+	pkg, _ := tc.Check(pkgPath, r.fset, files, info)
 	if len(tcErrs) > 0 {
 		for _, err := range tcErrs {
-			t.Errorf("%s: typecheck: %v", pkgPath, err)
+			r.t.Errorf("%s: typecheck: %v", pkgPath, err)
 		}
-		return
+		return nil
 	}
+	r.pkgs[pkgPath] = pkg
 
-	diags, err := analysis.Run(fset, files, pkg, info, []*analysis.Analyzer{a})
+	diags, err := analysis.RunWithFacts(r.fset, files, pkg, info, r.analyzers, r.facts)
 	if err != nil {
-		t.Fatalf("%s: %v", pkgPath, err)
+		r.t.Fatalf("%s: %v", pkgPath, err)
 	}
 
-	expects := collectExpectations(t, fset, files)
+	expects := collectExpectations(r.t, r.fset, files)
 	for _, d := range diags {
-		pos := fset.Position(d.Pos)
+		pos := r.fset.Position(d.Pos)
 		if !claim(expects, pos.Filename, pos.Line, d.Message) {
-			t.Errorf("%s: unexpected diagnostic: %s: %s", pkgPath, pos, d.Message)
+			r.t.Errorf("%s: unexpected diagnostic: %s: %s", pkgPath, pos, d.Message)
 		}
 	}
 	for _, e := range expects {
 		if !e.matched {
-			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
+			r.t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none",
 				pkgPath, filepath.Base(e.file), e.line, e.raw)
 		}
 	}
+	return pkg
 }
 
 // claim marks the first unmatched expectation covering (file, line, msg).
@@ -141,7 +227,15 @@ func collectExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) [
 				}
 				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
 				if !ok {
-					continue
+					// A line comment that is itself the subject of a
+					// diagnostic (a //codvet:ignore directive) cannot carry
+					// a second comment, so a nested "// want" marker inside
+					// it counts too.
+					if i := strings.Index(text, "// want "); i >= 0 {
+						rest = text[i+len("// want "):]
+					} else {
+						continue
+					}
 				}
 				pos := fset.Position(c.Pos())
 				matches := wantRE.FindAllStringSubmatch(rest, -1)

@@ -1,0 +1,12 @@
+package arenaescape_test
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/analysis/analysistest"
+	"github.com/codsearch/cod/internal/analysis/arenaescape"
+)
+
+func TestArenaEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), arenaescape.Analyzer, "arenaescapetest")
+}

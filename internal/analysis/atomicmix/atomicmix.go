@@ -1,0 +1,275 @@
+// Package atomicmix reports struct fields that are accessed both through
+// sync/atomic and through plain loads/stores. Mixing the two is a data
+// race the race detector only catches when the schedule cooperates: the
+// atomic side establishes no happens-before for the plain side, so a plain
+// `c.N++` next to `atomic.AddInt64(&c.N, 1)` can lose updates silently —
+// in this codebase that means drifting cache gauges and flight-recorder
+// counters rather than crashes, which is exactly the kind of bug that
+// survives review.
+//
+// The check is interprocedural: each analyzed package records, per field,
+// whether it saw atomic and/or plain accesses, and exports that as an
+// Access fact on the field object (facts.go). A package that plainly
+// writes a field its dependency updates atomically — or atomically updates
+// a field its dependency reads plainly — is reported even though neither
+// package alone shows the mix.
+//
+// Two exemptions keep the signal clean:
+//
+//   - Construction. Plain writes to a struct the current function just
+//     created (x := T{…}, &T{…}, new(T), or a local var of type T) cannot
+//     race; initialization before publication is the idiomatic setup path.
+//
+//   - Tests. _test.go files often poke fields single-threadedly; the race
+//     detector owns that ground.
+//
+// Unlike the determinism analyzers this one is not library-gated: a cmd/
+// binary racing a library field is as broken as anyone else.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/codsearch/cod/internal/analysis"
+)
+
+// Access is the fact recorded on a struct field: how the declaring (and
+// re-exporting) packages have been seen touching it.
+type Access struct {
+	Atomic   bool   `json:"atomic,omitempty"`
+	Plain    bool   `json:"plain,omitempty"`
+	AtomicAt string `json:"atomic_at,omitempty"` // one example position
+	PlainAt  string `json:"plain_at,omitempty"`
+}
+
+// AFact marks the type as a fact.
+func (*Access) AFact() {}
+
+// Analyzer is the atomicmix analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicmix",
+	Doc:       "report struct fields accessed both via sync/atomic and via plain loads/stores",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*Access)(nil)},
+}
+
+// use accumulates one package's accesses to one field.
+type use struct {
+	atomic []token.Pos
+	plain  []token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	uses := make(map[*types.Var]*use)
+	rec := func(field *types.Var) *use {
+		u := uses[field]
+		if u == nil {
+			u = &use{}
+			uses[field] = u
+		}
+		return u
+	}
+
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fresh := freshRoots(pass.TypesInfo, fn)
+			atomicSels := make(map[*ast.SelectorExpr]bool)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if field, sel, ok := atomicFieldArg(pass.TypesInfo, n); ok {
+						u := rec(field)
+						u.atomic = append(u.atomic, sel.Pos())
+						atomicSels[sel] = true
+					}
+				case *ast.SelectorExpr:
+					if atomicSels[n] {
+						return true
+					}
+					field, ok := eligibleField(pass.TypesInfo, n)
+					if !ok {
+						return true
+					}
+					if root, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+						if obj := analysis.ObjectOf(pass.TypesInfo, root); obj != nil && fresh[obj] {
+							return true
+						}
+					}
+					u := rec(field)
+					u.plain = append(u.plain, n.Pos())
+				}
+				return true
+			})
+		}
+	}
+
+	for field, u := range uses {
+		var fact Access
+		hasFact := pass.ImportObjectFact(field, &fact)
+
+		atomicAt := fact.AtomicAt
+		if len(u.atomic) > 0 {
+			atomicAt = pass.Fset.Position(u.atomic[0]).String()
+		}
+		plainAt := fact.PlainAt
+		if len(u.plain) > 0 {
+			plainAt = pass.Fset.Position(u.plain[0]).String()
+		}
+
+		if len(u.plain) > 0 && (len(u.atomic) > 0 || (hasFact && fact.Atomic)) {
+			for _, pos := range u.plain {
+				pass.Reportf(pos,
+					"non-atomic access of field %s, which is accessed atomically at %s; every access must go through sync/atomic",
+					field.Name(), atomicAt)
+			}
+		} else if len(u.atomic) > 0 && hasFact && fact.Plain {
+			// The plain side lives in a dependency; anchor the report at our
+			// atomic sites, the only positions in this package.
+			for _, pos := range u.atomic {
+				pass.Reportf(pos,
+					"atomic access of field %s, which is accessed non-atomically at %s; every access must go through sync/atomic",
+					field.Name(), plainAt)
+			}
+		}
+
+		// Facts can only be exported for own-package objects; dependents
+		// merge what they see with what we saw.
+		if field.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(field, &Access{
+				Atomic:   len(u.atomic) > 0 || fact.Atomic,
+				Plain:    len(u.plain) > 0 || fact.Plain,
+				AtomicAt: atomicAt,
+				PlainAt:  plainAt,
+			})
+		}
+	}
+	return nil
+}
+
+// atomicFieldArg matches sync/atomic calls taking &x.f and returns the
+// field. Typed atomics (atomic.Int64 etc.) are methods on dedicated types
+// and cannot be accessed plainly, so only package functions matter.
+func atomicFieldArg(info *types.Info, call *ast.CallExpr) (*types.Var, *ast.SelectorExpr, bool) {
+	pkg, name := analysis.PkgFuncCall(info, call)
+	if pkg != "sync/atomic" || !atomicOpName(name) || len(call.Args) == 0 {
+		return nil, nil, false
+	}
+	un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, nil, false
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	field, ok := fieldOf(info, sel)
+	if !ok {
+		return nil, nil, false
+	}
+	return field, sel, true
+}
+
+func atomicOpName(name string) bool {
+	for _, prefix := range []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// eligibleField resolves sel to a struct field whose type sync/atomic can
+// operate on; anything else cannot be part of a mix.
+func eligibleField(info *types.Info, sel *ast.SelectorExpr) (*types.Var, bool) {
+	field, ok := fieldOf(info, sel)
+	if !ok {
+		return nil, false
+	}
+	basic, ok := field.Type().Underlying().(*types.Basic)
+	if !ok {
+		return nil, false
+	}
+	switch basic.Kind() {
+	case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr, types.UnsafePointer:
+		return field, true
+	}
+	return nil, false
+}
+
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) (*types.Var, bool) {
+	v, ok := analysis.ObjectOf(info, sel.Sel).(*types.Var)
+	if !ok || !v.IsField() {
+		return nil, false
+	}
+	return v, true
+}
+
+// freshRoots returns the local variables bound to structs this function
+// itself allocates: composite literals, addresses of composite literals,
+// and new(T). Writes through them precede any publication.
+func freshRoots(info *types.Info, fn *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !freshExpr(info, n.Rhs[i]) {
+					continue
+				}
+				if obj := analysis.ObjectOf(info, id); obj != nil {
+					fresh[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				isFresh := len(n.Values) == 0 // var x T: zero value, unpublished
+				if i < len(n.Values) {
+					isFresh = freshExpr(info, n.Values[i])
+				}
+				if !isFresh {
+					continue
+				}
+				if obj := analysis.ObjectOf(info, name); obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func freshExpr(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isBuiltin := analysis.ObjectOf(info, id).(*types.Builtin)
+		return isBuiltin && id.Name == "new"
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/analysis/analysistest"
+	"github.com/codsearch/cod/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), atomicmix.Analyzer, "atomicmixtest")
+}

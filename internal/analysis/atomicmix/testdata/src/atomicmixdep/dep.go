@@ -1,0 +1,32 @@
+// Package atomicmixdep declares fields whose access discipline its
+// importers must honor: Counter.N is atomic-only, Gauge.V is plain-only.
+// Both facts cross the package boundary; neither access pattern is a
+// diagnostic here on its own.
+package atomicmixdep
+
+import "sync/atomic"
+
+// Counter is updated exclusively through sync/atomic in this package.
+type Counter struct {
+	N int64
+}
+
+// Inc is the atomic side; importers doing plain access race against it.
+func (c *Counter) Inc() { atomic.AddInt64(&c.N, 1) }
+
+// Gauge is read and written plainly in this package (guarded elsewhere);
+// importers doing atomic access mix disciplines.
+type Gauge struct {
+	V int64
+}
+
+// Set is the plain side.
+func (g *Gauge) Set(v int64) { g.V = v }
+
+// NewCounter writes the field plainly during construction — exempt, the
+// value is not yet published.
+func NewCounter(start int64) *Counter {
+	c := &Counter{}
+	c.N = start
+	return c
+}

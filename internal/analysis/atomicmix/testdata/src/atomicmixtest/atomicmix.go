@@ -1,0 +1,63 @@
+// Package atomicmixtest exercises atomicmix: same-package mixes, mixes
+// visible only through facts imported from atomicmixdep, and the
+// construction/test exemptions that stay silent.
+package atomicmixtest
+
+import (
+	"sync/atomic"
+
+	"atomicmixdep"
+)
+
+// --- same-package mix ---
+
+type hits struct {
+	count int64
+	name  string
+}
+
+func (h *hits) bump() { atomic.AddInt64(&h.count, 1) }
+
+func (h *hits) snapshot() int64 {
+	return h.count // want `non-atomic access of field count, which is accessed atomically at .*atomicmix\.go`
+}
+
+func (h *hits) label() string { return h.name } // non-atomic-eligible type: never reported
+
+// --- cross-package: plain access of a field the dependency updates atomically ---
+
+func drain(c *atomicmixdep.Counter) int64 {
+	n := c.N // want `non-atomic access of field N, which is accessed atomically at .*dep\.go`
+	c.N = 0  // want `non-atomic access of field N, which is accessed atomically at .*dep\.go`
+	return n
+}
+
+// --- cross-package: atomic access of a field the dependency reads plainly ---
+
+func force(g *atomicmixdep.Gauge) {
+	atomic.StoreInt64(&g.V, 9) // want `atomic access of field V, which is accessed non-atomically at .*dep\.go`
+}
+
+// --- construction exemption ---
+
+func fresh() *atomicmixdep.Counter {
+	c := atomicmixdep.Counter{}
+	c.N = 3 // no diagnostic: c is freshly constructed, not yet published
+	p := &atomicmixdep.Counter{N: 4}
+	p.N = 5 // no diagnostic: same
+	q := new(atomicmixdep.Counter)
+	q.N = 6 // no diagnostic: same
+	var z atomicmixdep.Counter
+	z.N = 7 // no diagnostic: local zero value
+	_ = c
+	_ = z
+	return p
+}
+
+// consistent uses atomics on both sides: no mix, no diagnostic.
+type consistent struct {
+	v uint64
+}
+
+func (c *consistent) add(d uint64) { atomic.AddUint64(&c.v, d) }
+func (c *consistent) get() uint64  { return atomic.LoadUint64(&c.v) }

@@ -1,0 +1,382 @@
+// Package cfg lowers a function body into a control-flow graph of basic
+// blocks, for analyzers whose invariant is a path property rather than a
+// syntax property — arenaescape's "may this escape reach a release", and
+// spanend-style liveness walks generally.
+//
+// The graph is intentionally small: blocks hold the ast.Nodes they execute
+// in order (statements, plus the condition/tag/range expressions of the
+// control statements that end them), and edges follow Go's control
+// statements — if/else, for and range loops (including the zero-iteration
+// exit edge), switch/type-switch (including the no-case-taken edge when
+// there is no default), select, labeled break/continue, and goto. Returns
+// edge to the synthetic Exit block. Deferred calls are collected on the
+// graph rather than modeled as edges: they run on every path out of the
+// function, so "on some path" questions treat a deferred event as
+// following every block that reaches Exit.
+//
+// Panics are not modeled (a runtime panic aborts the query; no analyzer
+// invariant survives it), and function literals are opaque nodes — build a
+// separate graph for a literal's body if its interior matters.
+package cfg
+
+import "go/ast"
+
+// A Block is one basic block: a maximal straight-line sequence of nodes.
+type Block struct {
+	// Index is the block's position in Graph.Blocks, in construction order
+	// (entry first; otherwise roughly source order).
+	Index int
+	// Nodes are the statements and control expressions the block executes,
+	// in order.
+	Nodes []ast.Node
+	// Succs are the blocks control may transfer to after the last node.
+	Succs []*Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block // synthetic; every return and the body's fall-off end edge here
+	Blocks []*Block
+	// Defers are the defer statements of the body in source order; their
+	// calls run, in reverse order, on every path that reaches Exit.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the graph of a function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	b.labels = make(map[string]*labelFrame)
+	b.stmtList(body.List)
+	b.jump(b.g.Exit)
+	return b.g
+}
+
+// Reaches reports whether control can flow from block `from` to block `to`
+// along one or more edges. A block does not reach itself unless it lies on
+// a cycle.
+func (g *Graph) Reaches(from, to *Block) bool {
+	seen := make([]bool, len(g.Blocks))
+	work := append([]*Block(nil), from.Succs...)
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if b == to {
+			return true
+		}
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		work = append(work, b.Succs...)
+	}
+	return false
+}
+
+// loopFrame tracks the jump targets of one enclosing loop or switch.
+type loopFrame struct {
+	label  string
+	brk    *Block // break target (loop/switch/select exit)
+	cont   *Block // continue target (loop post/head); nil for switches
+	isLoop bool
+	fall   *Block // next clause's block for fallthrough, switch only
+}
+
+// labelFrame resolves goto and labeled break/continue.
+type labelFrame struct {
+	block *Block // goto target: the block starting at the labeled statement
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	frames []*loopFrame
+	labels map[string]*labelFrame
+	// pendingLabel names the label attached to the statement about to be
+	// built, so its loop/switch frame registers under that name.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump ends the current block with an edge to target and leaves the builder
+// in a fresh, unreachable block (statements after a terminating transfer).
+func (b *builder) jump(target *Block) {
+	b.edge(target)
+	b.cur = b.newBlock()
+}
+
+func (b *builder) edge(target *Block) {
+	for _, s := range b.cur.Succs {
+		if s == target {
+			return
+		}
+	}
+	b.cur.Succs = append(b.cur.Succs, target)
+}
+
+// startBlock begins target as the current block, linking fall-through from
+// the previous one.
+func (b *builder) startBlock(target *Block) {
+	b.edge(target)
+	b.cur = target
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// frame locates the innermost frame matching label ("" = innermost of the
+// wanted kind).
+func (b *builder) frame(label string, needLoop bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if needLoop && !f.isLoop {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	takeLabel := func() string {
+		l := b.pendingLabel
+		b.pendingLabel = ""
+		return l
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// Start a fresh block so goto has a target, then build the labeled
+		// statement with the label pending for its loop/switch frame.
+		lf := b.labelOf(s.Label.Name)
+		b.startBlock(lf.block)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			if f := b.frame(label, false); f != nil {
+				b.jump(f.brk)
+				return
+			}
+		case "continue":
+			if f := b.frame(label, true); f != nil {
+				b.jump(f.cont)
+				return
+			}
+		case "goto":
+			b.jump(b.labelOf(label).block)
+			return
+		case "fallthrough":
+			if f := b.innermostSwitch(); f != nil && f.fall != nil {
+				b.jump(f.fall)
+				return
+			}
+		}
+		// Malformed target: treat as a no-op rather than guess.
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.cur.Nodes = append(b.cur.Nodes, s)
+
+	case *ast.IfStmt:
+		takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		condBlk := b.cur
+		join := b.newBlock()
+		thenBlk := b.newBlock()
+		b.cur = thenBlk
+		condBlk.Succs = append(condBlk.Succs, thenBlk)
+		b.stmtList(s.Body.List)
+		b.edge(join)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			condBlk.Succs = append(condBlk.Succs, elseBlk)
+			b.cur = elseBlk
+			b.stmt(s.Else)
+			b.edge(join)
+		} else {
+			condBlk.Succs = append(condBlk.Succs, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		exit := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.startBlock(head)
+		if s.Cond != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+			b.edge(exit)
+		}
+		body := b.newBlock()
+		b.edge(body)
+		b.cur = body
+		b.frames = append(b.frames, &loopFrame{label: label, brk: exit, cont: post, isLoop: true})
+		b.stmtList(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(post)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(head)
+		}
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		label := takeLabel()
+		head := b.newBlock()
+		exit := b.newBlock()
+		b.startBlock(head)
+		b.cur.Nodes = append(b.cur.Nodes, s.X)
+		b.edge(exit)
+		body := b.newBlock()
+		b.edge(body)
+		b.cur = body
+		b.frames = append(b.frames, &loopFrame{label: label, brk: exit, cont: head, isLoop: true})
+		b.stmtList(s.Body.List)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edge(head)
+		b.cur = exit
+
+	case *ast.SwitchStmt:
+		label := takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.caseClauses(label, s.Body, false)
+
+	case *ast.TypeSwitchStmt:
+		label := takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.caseClauses(label, s.Body, false)
+
+	case *ast.SelectStmt:
+		label := takeLabel()
+		b.caseClauses(label, s.Body, true)
+
+	default:
+		// Simple statements: assignments, declarations, expression
+		// statements, sends, inc/dec, go, empty.
+		takeLabel()
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// caseClauses builds a switch/type-switch/select body. Each clause branches
+// from the header block and joins the common exit; a switch without a
+// default also edges header→exit directly (no case taken), while a select
+// without a default blocks until some clause is runnable.
+func (b *builder) caseClauses(label string, body *ast.BlockStmt, isSelect bool) {
+	header := b.cur
+	exit := b.newBlock()
+	frame := &loopFrame{label: label, brk: exit}
+	b.frames = append(b.frames, frame)
+
+	// Pre-create clause blocks so fallthrough can target the next clause.
+	blocks := make([]*Block, len(body.List))
+	hasDefault := false
+	for i := range body.List {
+		blocks[i] = b.newBlock()
+	}
+	for i, cl := range body.List {
+		b.cur = blocks[i]
+		header.Succs = append(header.Succs, blocks[i])
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				b.cur.Nodes = append(b.cur.Nodes, e)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				b.stmt(cl.Comm)
+			}
+			stmts = cl.Body
+		}
+		if i+1 < len(blocks) {
+			frame.fall = blocks[i+1]
+		} else {
+			frame.fall = nil
+		}
+		b.stmtList(stmts)
+		b.edge(exit)
+	}
+	if !hasDefault && !isSelect {
+		header.Succs = append(header.Succs, exit)
+	}
+	if isSelect && len(body.List) == 0 {
+		// select{} blocks forever: exit is unreachable, which is exactly
+		// the truth.
+		_ = exit
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = exit
+}
+
+// innermostSwitch returns the nearest enclosing non-loop frame.
+func (b *builder) innermostSwitch() *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		if !b.frames[i].isLoop {
+			return b.frames[i]
+		}
+	}
+	return nil
+}
+
+func (b *builder) labelOf(name string) *labelFrame {
+	if lf, ok := b.labels[name]; ok {
+		return lf
+	}
+	lf := &labelFrame{block: b.newBlock()}
+	b.labels[name] = lf
+	return lf
+}

@@ -1,0 +1,262 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// build parses src as a function body and returns its graph plus a helper
+// that finds the block containing the statement whose line comment is tag.
+func build(t *testing.T, body string) (*Graph, func(tag string) *Block) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	g := New(fn.Body)
+
+	// Map comment tags to the line they sit on.
+	tagLine := map[string]int{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			tagLine[c.Text] = fset.Position(c.Pos()).Line
+		}
+	}
+	find := func(tag string) *Block {
+		line, ok := tagLine["//"+tag]
+		if !ok {
+			t.Fatalf("no comment //%s in source", tag)
+		}
+		for _, b := range g.Blocks {
+			for _, n := range b.Nodes {
+				if fset.Position(n.Pos()).Line == line {
+					return b
+				}
+			}
+		}
+		t.Fatalf("no block contains a node on the line of //%s", tag)
+		return nil
+	}
+	return g, find
+}
+
+func TestStraightLine(t *testing.T) {
+	g, find := build(t, `
+	x := 1 //a
+	x++    //b
+	_ = x  //c
+`)
+	a, b, c := find("a"), find("b"), find("c")
+	if a != b || b != c {
+		t.Fatalf("straight-line statements split across blocks %d/%d/%d", a.Index, b.Index, c.Index)
+	}
+	if !g.Reaches(a, g.Exit) {
+		t.Fatal("entry block does not reach exit")
+	}
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g, find := build(t, `
+	x := 1    //init
+	if x > 0 {
+		x = 2 //then
+	} else {
+		x = 3 //else
+	}
+	_ = x     //join
+`)
+	then, els, join := find("then"), find("else"), find("join")
+	if then == els {
+		t.Fatal("then and else share a block")
+	}
+	for _, b := range []*Block{then, els} {
+		if !g.Reaches(b, join) {
+			t.Fatalf("branch block %d does not reach join", b.Index)
+		}
+	}
+	if g.Reaches(then, els) || g.Reaches(els, then) {
+		t.Fatal("sibling branches reach each other")
+	}
+}
+
+func TestIfWithoutElseSkipEdge(t *testing.T) {
+	g, find := build(t, `
+	x := 1    //init
+	if x > 0 {
+		x = 2 //then
+	}
+	_ = x     //join
+`)
+	init, join := find("init"), find("join")
+	// The no-else path must reach join without passing through then.
+	if !g.Reaches(init, join) {
+		t.Fatal("condition block does not reach join")
+	}
+	then := find("then")
+	if !g.Reaches(init, then) || !g.Reaches(then, join) {
+		t.Fatal("then branch disconnected")
+	}
+}
+
+func TestLoopZeroIterationEdge(t *testing.T) {
+	g, find := build(t, `
+	x := 0        //init
+	for i := 0; i < x; i++ {
+		x += i    //body
+	}
+	_ = x         //after
+`)
+	init, body, after := find("init"), find("body"), find("after")
+	if !g.Reaches(init, after) {
+		t.Fatal("loop has no zero-iteration path")
+	}
+	if !g.Reaches(body, body) {
+		t.Fatal("loop body is not on a cycle")
+	}
+	if !g.Reaches(body, after) {
+		t.Fatal("loop body does not reach the loop exit")
+	}
+}
+
+func TestReturnDisconnects(t *testing.T) {
+	g, find := build(t, `
+	x := 1        //init
+	if x > 0 {
+		return    //ret
+	}
+	_ = x         //after
+`)
+	ret, after := find("ret"), find("after")
+	if g.Reaches(ret, after) {
+		t.Fatal("return reaches following statement")
+	}
+	if !g.Reaches(ret, g.Exit) {
+		t.Fatal("return does not reach exit")
+	}
+	_ = after
+}
+
+func TestLabeledBreakAndContinue(t *testing.T) {
+	g, find := build(t, `
+	x := 0                //init
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				continue outer //contouter
+			}
+			if j == 2 {
+				break outer    //brkouter
+			}
+			x++                //inner
+		}
+	}
+	_ = x                 //after
+`)
+	cont, brk, inner, after := find("contouter"), find("brkouter"), find("inner"), find("after")
+	if !g.Reaches(brk, after) {
+		t.Fatal("break outer does not reach the statement after the loop")
+	}
+	if g.Reaches(brk, inner) {
+		t.Fatal("break outer re-enters the loop")
+	}
+	// continue outer re-enters the outer loop, so the inner body is
+	// reachable again from it.
+	if !g.Reaches(cont, inner) {
+		t.Fatal("continue outer does not re-enter the loop nest")
+	}
+}
+
+func TestSwitchNoDefaultSkipEdge(t *testing.T) {
+	g, find := build(t, `
+	x := 1        //init
+	switch x {
+	case 1:
+		x = 2     //case1
+	}
+	_ = x         //after
+`)
+	init, after := find("init"), find("after")
+	if !g.Reaches(init, after) {
+		t.Fatal("switch without default has no no-case-taken path")
+	}
+}
+
+func TestSelectBlocksWithoutDefault(t *testing.T) {
+	g, find := build(t, `
+	ch := make(chan int)  //init
+	select {
+	case <-ch:
+		_ = ch            //recv
+	}
+	_ = ch                //after
+`)
+	init, recv, after := find("init"), find("recv"), find("after")
+	if !g.Reaches(init, recv) || !g.Reaches(recv, after) {
+		t.Fatal("select clause disconnected")
+	}
+	// Unlike a switch, a select with no default has no skip edge: some
+	// clause must fire. The only route from init to after is via a clause.
+	direct := false
+	for _, s := range init.Succs {
+		if s == after {
+			direct = true
+		}
+	}
+	if direct {
+		t.Fatal("select without default has a direct skip edge")
+	}
+}
+
+func TestFallthroughEdge(t *testing.T) {
+	g, find := build(t, `
+	x := 1         //init
+	switch x {
+	case 1:
+		x = 2      //case1
+		fallthrough
+	case 2:
+		x = 3      //case2
+	}
+	_ = x          //after
+`)
+	c1, c2 := find("case1"), find("case2")
+	if !g.Reaches(c1, c2) {
+		t.Fatal("fallthrough does not connect adjacent clauses")
+	}
+}
+
+func TestGotoEdge(t *testing.T) {
+	g, find := build(t, `
+	x := 0         //init
+loop:
+	x++            //body
+	if x < 3 {
+		goto loop  //goto
+	}
+	_ = x          //after
+`)
+	gt, body := find("goto"), find("body")
+	if !g.Reaches(gt, body) {
+		t.Fatal("goto does not reach its label")
+	}
+	if !g.Reaches(body, g.Exit) {
+		t.Fatal("labeled region does not reach exit")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g, _ := build(t, `
+	defer println("one")
+	defer println("two")
+	println("body")
+`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2", len(g.Defers))
+	}
+}

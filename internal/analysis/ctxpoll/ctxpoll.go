@@ -160,12 +160,23 @@ func referencesAny(info *types.Info, body ast.Node, objs []types.Object) bool {
 
 // containsWork reports whether body contains at least one call that is not
 // a builtin (append/len/cap/... loops are bookkeeping, not cancellation
-// gaps) and not a conversion.
+// gaps) and not a conversion, or a select over channels: a call-free
+// for/select drain blocks indefinitely, which is exactly the latency the
+// cancellation contract bounds.
 func containsWork(info *types.Info, body ast.Node) bool {
 	work := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if work {
 			return false
+		}
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range sel.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+					work = true
+					return false
+				}
+			}
+			return true
 		}
 		call, ok := n.(*ast.CallExpr)
 		if !ok {

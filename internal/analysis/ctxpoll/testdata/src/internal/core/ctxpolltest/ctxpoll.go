@@ -95,6 +95,53 @@ func BookkeepingOnly(ctx context.Context, items []int) []int {
 	return out
 }
 
+// BadLabeled is the labeled-loop regression: the label must not hide the
+// loop from the check.
+func BadLabeled(ctx context.Context, items []int) int {
+	total := 0
+outer:
+	for _, v := range items { // want `loop never observes the context accepted by BadLabeled`
+		for _, w := range items {
+			if w > v {
+				continue outer
+			}
+			total += sampleOne(w)
+		}
+	}
+	return total
+}
+
+// BadDrain is the for-select regression: a loop whose body is a single
+// select does real work (it blocks on channels indefinitely) even though
+// it contains no function call.
+func BadDrain(ctx context.Context, in <-chan int, out chan<- int) int {
+	total := 0
+	for { // want `loop never observes the context accepted by BadDrain`
+		select {
+		case v, ok := <-in:
+			if !ok {
+				return total
+			}
+			total += v
+		case out <- total:
+		}
+	}
+}
+
+// GoodDrain selects on ctx.Done: the context is observed, the loop is the
+// idiomatic cancellable drain.
+func GoodDrain(ctx context.Context, in <-chan int) int {
+	total := 0
+	for {
+		select {
+		case v := <-in:
+			total += v
+		case <-ctx.Done():
+			return total
+		}
+	}
+}
+
 // Suppressed documents a deliberate exception.
 func Suppressed(ctx context.Context, n int) int {
 	total := 0

@@ -1,0 +1,585 @@
+// Package detflow is the interprocedural companion of detrand: it tracks
+// nondeterminism through function calls, across package boundaries, and
+// reports flows into the seed/trace-ID surface that the determinism
+// contract (DESIGN.md) says must be pure functions of Options.Seed.
+//
+// detrand catches `seed := time.Now().UnixNano()` written in place; it is
+// blind the moment the clock hides behind a helper — `seed := defaultSeed()`
+// where defaultSeed, possibly in another package, derives from the clock.
+// detflow closes that hole in two steps:
+//
+//  1. Taint. A function is nondeterministic when a value it returns derives
+//     from a root — time.Now/Since/Until, os.Getpid, a package-level
+//     math/rand draw (the process-global, randomly seeded source), map
+//     iteration order accumulated into a slice that is not subsequently
+//     sorted, or goroutine completion order (a select over two or more
+//     channel operations, ctx.Done() excluded) — or when it returns the
+//     result of calling a function already known nondeterministic. Taint is
+//     computed to a fixpoint within the package and exported as a
+//     Nondeterministic fact on the function object, so packages that import
+//     this one see the summary without re-analyzing it (see
+//     analysis/facts.go for the transport).
+//
+//  2. Sinks. In library packages, a diagnostic is reported when a tainted
+//     expression reaches the seed surface: assigned to a seed- or
+//     trace-ID-named variable or field, or passed to a parameter named
+//     seed*/traceid* or to a function whose name mentions Seed or TraceID
+//     (graph.ItemSeed, graph.SeedPCG, obs.SeedTraceID, rand.NewSource…).
+//     Every deterministic output of the system — influence samples, rank
+//     order, replayed trace IDs, persisted index bytes — is a function of
+//     that surface, so guarding it guards them all.
+//
+// Functions may be nondeterministic legitimately (the observability layer
+// measures wall-clock durations); carrying the fact is not a diagnostic.
+// Only the flow into the seed surface is. Suppress a deliberate exception
+// with //codvet:ignore detflow and a reason.
+package detflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/codsearch/cod/internal/analysis"
+)
+
+// Nondeterministic is the fact attached to functions whose return value
+// depends on something other than their arguments and deterministic state.
+type Nondeterministic struct {
+	// Reason names the ultimate root, e.g. "time.Now" or "map iteration
+	// order".
+	Reason string `json:"reason"`
+}
+
+// AFact marks the type as a fact.
+func (*Nondeterministic) AFact() {}
+
+// Analyzer is the detflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "detflow",
+	Doc:       "track nondeterminism interprocedurally and forbid it from flowing into seeds and trace IDs",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*Nondeterministic)(nil)},
+}
+
+// randPkgs / seededConstructors mirror detrand's sets: package-level draws
+// from these packages are roots, explicit-seed constructors are not.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	fns := collectFuncs(pass)
+
+	// Package-local fixpoint: analyzing one function can taint another
+	// (mutual recursion, helpers defined later in the file).
+	tainted := make(map[*types.Func]string)
+	for changed := true; changed; {
+		changed = false
+		for obj, decl := range fns {
+			if _, done := tainted[obj]; done {
+				continue
+			}
+			s := &summary{pass: pass, tainted: tainted}
+			if reason, ok := s.funcTaint(decl); ok {
+				tainted[obj] = reason
+				changed = true
+			}
+		}
+	}
+	for obj, reason := range tainted {
+		pass.ExportObjectFact(obj, &Nondeterministic{Reason: reason})
+	}
+
+	// Diagnostics only bind in library packages: a cmd/ main wiring a demo
+	// seed from the clock is a choice, not a contract violation.
+	if !pass.IsLibraryPackage() {
+		return nil
+	}
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			s := &summary{pass: pass, tainted: tainted}
+			s.localTaint(fn)
+			s.reportSinks(fn)
+		}
+	}
+	return nil
+}
+
+// collectFuncs maps the package's function objects to their declarations,
+// methods included. Test files are excluded: test helpers may use the
+// clock freely.
+func collectFuncs(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.SourceFiles() {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				out[obj] = fn
+			}
+		}
+	}
+	return out
+}
+
+// summary computes taint within one function.
+type summary struct {
+	pass    *analysis.Pass
+	tainted map[*types.Func]string
+
+	vars map[types.Object]taintSource // tainted local variables
+}
+
+// taintSource records why and where a value became tainted.
+type taintSource struct {
+	reason string
+	pos    token.Pos
+	via    string // callee name for call-derived taint, "" for direct roots
+}
+
+// funcTaint reports whether fn returns a tainted value.
+func (s *summary) funcTaint(fn *ast.FuncDecl) (string, bool) {
+	s.localTaint(fn)
+
+	// Named results double as return values on naked returns.
+	named := make(map[types.Object]bool)
+	if fn.Type.Results != nil {
+		for _, field := range fn.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := s.pass.TypesInfo.Defs[name]; obj != nil {
+					named[obj] = true
+				}
+			}
+		}
+	}
+
+	var reason string
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a literal's returns are not fn's returns
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if src, ok := s.exprTaint(res); ok {
+				reason, found = src.reason, true
+				return false
+			}
+		}
+		if len(ret.Results) == 0 {
+			for obj := range named {
+				if src, ok := s.vars[obj]; ok {
+					reason, found = src.reason, true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return reason, found
+}
+
+// localTaint populates s.vars: variables assigned from tainted expressions,
+// map-iteration accumulators, and select-received values. Iterated to a
+// local fixpoint so taint flows through chains of assignments regardless of
+// source order.
+func (s *summary) localTaint(fn *ast.FuncDecl) {
+	s.vars = make(map[types.Object]taintSource)
+	for pass := 0; pass < 4; pass++ {
+		before := len(s.vars)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					rhs := n.Rhs[0]
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					if src, ok := s.exprTaint(rhs); ok {
+						s.taintLValue(lhs, src)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						if src, ok := s.exprTaint(n.Values[i]); ok {
+							s.taintLValue(name, src)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if analysis.IsMapType(s.pass.TypesInfo, n.X) {
+					s.taintMapAccumulators(fn, n)
+				}
+			case *ast.SelectStmt:
+				s.taintSelectResults(n)
+			}
+			return true
+		})
+		if len(s.vars) == before {
+			return
+		}
+	}
+}
+
+// taintLValue marks the variable behind an assignable as tainted.
+func (s *summary) taintLValue(lhs ast.Expr, src taintSource) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if obj := analysis.ObjectOf(s.pass.TypesInfo, id); obj != nil {
+			s.vars[obj] = src
+		}
+	}
+}
+
+// taintMapAccumulators taints slices accumulated in map-iteration order —
+// `out = append(out, k)` inside `for k := range m` — unless the slice is
+// later sorted somewhere in the function (the collect-then-sort idiom,
+// which restores determinism).
+func (s *summary) taintMapAccumulators(fn *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			rhs := as.Rhs[0]
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			}
+			if !isAppendCall(s.pass.TypesInfo, rhs) {
+				continue
+			}
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := analysis.ObjectOf(s.pass.TypesInfo, id)
+			if obj == nil || sortedInFunc(s.pass.TypesInfo, fn, obj) {
+				continue
+			}
+			s.vars[obj] = taintSource{reason: "map iteration order", pos: as.Pos()}
+		}
+		return true
+	})
+}
+
+// taintSelectResults taints variables bound in the clauses of a select
+// whose outcome depends on goroutine completion order: two or more channel
+// operations, not counting ctx.Done()-style cancellation arms.
+func (s *summary) taintSelectResults(sel *ast.SelectStmt) {
+	racing := 0
+	for _, cl := range sel.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		if !isDoneChannel(cc.Comm) {
+			racing++
+		}
+	}
+	if racing < 2 {
+		return
+	}
+	for _, cl := range sel.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		if as, ok := cc.Comm.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				s.taintLValue(lhs, taintSource{reason: "goroutine completion order", pos: cc.Pos()})
+			}
+		}
+	}
+}
+
+// isDoneChannel matches `<-ctx.Done()` and `<-x.Done()` receives: a
+// cancellation arm decides whether to abort, not which result wins.
+func isDoneChannel(comm ast.Stmt) bool {
+	var recv ast.Expr
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		recv = c.X
+	case *ast.AssignStmt:
+		if len(c.Rhs) == 1 {
+			recv = c.Rhs[0]
+		}
+	}
+	un, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+	if !ok || un.Op != token.ARROW {
+		return false
+	}
+	call, ok := ast.Unparen(un.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done"
+}
+
+// exprTaint reports whether e derives from a nondeterministic source, with
+// the root reason and the position to anchor a diagnostic at.
+func (s *summary) exprTaint(e ast.Expr) (taintSource, bool) {
+	var src taintSource
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if reason, ok := rootCall(s.pass.TypesInfo, n); ok {
+				src = taintSource{reason: reason, pos: n.Pos()}
+				found = true
+				return false
+			}
+			if callee := calleeFunc(s.pass.TypesInfo, n); callee != nil {
+				if reason, ok := s.funcFact(callee); ok {
+					src = taintSource{reason: reason, pos: n.Pos(), via: callee.Name()}
+					found = true
+					return false
+				}
+			}
+			// A seeded constructor's stream is deterministic even though
+			// its arguments are checked elsewhere; don't descend into the
+			// rand.New(rand.NewPCG(...)) shape twice.
+			return true
+		case *ast.Ident:
+			if obj := analysis.ObjectOf(s.pass.TypesInfo, n); obj != nil {
+				if prior, ok := s.vars[obj]; ok {
+					src = taintSource{reason: prior.reason, pos: n.Pos(), via: prior.via}
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return src, found
+}
+
+// funcFact looks a callee's taint up: package-local fixpoint state first,
+// then facts imported from the package that declares it.
+func (s *summary) funcFact(fn *types.Func) (string, bool) {
+	if reason, ok := s.tainted[fn]; ok {
+		return reason, true
+	}
+	var fact Nondeterministic
+	if s.pass.ImportObjectFact(fn, &fact) {
+		return fact.Reason, true
+	}
+	return "", false
+}
+
+// reportSinks walks fn for tainted expressions reaching the seed surface.
+func (s *summary) reportSinks(fn *ast.FuncDecl) {
+	info := s.pass.TypesInfo
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				s.checkSeedStore(targetName(lhs), rhs)
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					s.checkSeedStore(name.Name, n.Values[i])
+				}
+			}
+		case *ast.KeyValueExpr:
+			if id, ok := n.Key.(*ast.Ident); ok {
+				s.checkSeedStore(id.Name, n.Value)
+			}
+		case *ast.CallExpr:
+			s.checkSeedArgs(info, n)
+		}
+		return true
+	})
+}
+
+func (s *summary) checkSeedStore(target string, rhs ast.Expr) {
+	if !seedName(target) {
+		return
+	}
+	if src, ok := s.exprTaint(rhs); ok {
+		s.report(src, "assigned to %q", target)
+	}
+}
+
+// checkSeedArgs flags tainted arguments bound to seed-like parameters or
+// passed to seed-minting functions.
+func (s *summary) checkSeedArgs(info *types.Info, call *ast.CallExpr) {
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	calleeSink := strings.Contains(callee.Name(), "Seed") || strings.Contains(callee.Name(), "TraceID")
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= sig.Params().Len() {
+			pi = sig.Params().Len() - 1
+		}
+		if pi >= sig.Params().Len() {
+			continue
+		}
+		if !calleeSink && !seedName(sig.Params().At(pi).Name()) {
+			continue
+		}
+		if src, ok := s.exprTaint(arg); ok {
+			s.report(src, "passed to %s", callee.Name())
+		}
+	}
+}
+
+func (s *summary) report(src taintSource, sinkFormat string, sinkArg any) {
+	via := ""
+	if src.via != "" {
+		via = " (via " + src.via + ")"
+	}
+	s.pass.Reportf(src.pos,
+		"nondeterministic value derived from %s%s "+sinkFormat+
+			"; seeds and trace IDs must derive from Options.Seed",
+		src.reason, via, sinkArg)
+}
+
+// seedName reports whether an identifier names the seed/trace-ID surface.
+func seedName(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "seed") || strings.Contains(l, "traceid")
+}
+
+// targetName extracts the assignable's name: an identifier or the final
+// selector element (opts.Seed -> "Seed").
+func targetName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+// rootCall reports whether call is a nondeterminism root.
+func rootCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	pkg, name := analysis.PkgFuncCall(info, call)
+	switch {
+	case pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+		return "time." + name, true
+	case pkg == "os" && name == "Getpid":
+		return "os.Getpid", true
+	case randPkgs[pkg] && !seededConstructors[name]:
+		return "global " + pkg, true
+	}
+	return "", false
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes (package
+// function or method); nil for builtins, conversions, and indirect calls
+// through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := analysis.ObjectOf(info, fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := analysis.ObjectOf(info, fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// sortedInFunc reports whether obj is passed to a sort-like call anywhere
+// in fn (sort.Slice, slices.Sort, a local sortNodes helper …).
+func sortedInFunc(info *types.Info, fn *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !strings.Contains(strings.ToLower(calleeName(call)), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentionsObj(info, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func mentionsObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && analysis.ObjectOf(info, id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isAppendCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := analysis.ObjectOf(info, id).(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}

@@ -1,0 +1,12 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/analysis/analysistest"
+	"github.com/codsearch/cod/internal/analysis/detflow"
+)
+
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), detflow.Analyzer, "detflowtest")
+}

@@ -1,0 +1,17 @@
+// Package detflowclock is the dependency side of the detflow fixtures: it
+// exports nondeterministic helpers whose facts must cross the package
+// boundary. No seed sink lives here, so the package itself is clean.
+package detflowclock
+
+import "time"
+
+// Wall derives from the wall clock; detflow attaches a Nondeterministic
+// fact to it. Carrying the fact is not a diagnostic.
+func Wall() int64 { return time.Now().UnixNano() }
+
+// Mix is a same-package hop on top of Wall: importers see its fact only if
+// taint propagated through the package-local fixpoint before export.
+func Mix() int64 { return Wall() ^ 0x9e3779b9 }
+
+// Steady is deterministic and must carry no fact.
+func Steady(x int64) int64 { return x * 2 }

@@ -1,0 +1,147 @@
+// Package detflowtest exercises detflow's interprocedural taint: facts
+// imported from detflowclock, same-package call chains, map-order and
+// select roots behind helpers, and the negatives that must stay silent.
+package detflowtest
+
+import (
+	"sort"
+	"time"
+
+	"detflowclock"
+)
+
+// --- cross-package facts ---
+
+// CrossPackageSeed consumes a nondeterministic function from another
+// package; only the imported fact can tell.
+func CrossPackageSeed() int64 {
+	seed := detflowclock.Wall() // want `nondeterministic value derived from time\.Now \(via Wall\) assigned to "seed"`
+	return seed
+}
+
+// CrossPackageChain consumes a dependency function that is itself tainted
+// only transitively (Mix -> Wall -> time.Now).
+func CrossPackageChain() int64 {
+	var traceID int64
+	traceID = detflowclock.Mix() // want `nondeterministic value derived from time\.Now \(via Mix\) assigned to "traceID"`
+	return traceID
+}
+
+// CleanImport uses the dependency's deterministic helper: no fact, no
+// diagnostic.
+func CleanImport() int64 {
+	seed := detflowclock.Steady(11)
+	return seed
+}
+
+// --- same-package chain ---
+
+func localClock() int64 { return time.Now().UnixNano() }
+
+func wrapClock() int64 { return localClock() + 1 }
+
+// Options mirrors the real engine Options type.
+type Options struct {
+	Seed int64
+}
+
+// DefaultOptions routes the clock through two same-package hops into a
+// seed-named field.
+func DefaultOptions() Options {
+	var o Options
+	o.Seed = wrapClock() // want `nondeterministic value derived from time\.Now \(via wrapClock\) assigned to "Seed"`
+	return o
+}
+
+// Literal hits the composite-literal sink.
+func Literal() Options {
+	return Options{Seed: localClock()} // want `nondeterministic value derived from time\.Now \(via localClock\) assigned to "Seed"`
+}
+
+// --- map iteration order behind a helper ---
+
+func firstValue(m map[string]int64) int64 {
+	var vals []int64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[0]
+}
+
+func applySeed(seed int64, n int) int64 { return seed + int64(n) }
+
+// FromMap passes a map-order-dependent value to a seed-taking function.
+func FromMap(m map[string]int64) int64 {
+	first := firstValue(m)
+	return applySeed(first, 1) // want `nondeterministic value derived from map iteration order \(via firstValue\) passed to applySeed`
+}
+
+// sortedFirst restores determinism with the collect-then-sort idiom.
+func sortedFirst(m map[string]int64) int64 {
+	var vals []int64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[0]
+}
+
+// FromSortedMap is the negative: same shape, sorted accumulator.
+func FromSortedMap(m map[string]int64) int64 {
+	seed := sortedFirst(m)
+	return seed
+}
+
+// --- goroutine completion order behind a helper ---
+
+func firstDone(a, b <-chan int64) int64 {
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// RaceSeed seeds from whichever goroutine finishes first.
+func RaceSeed(a, b <-chan int64) int64 {
+	seed := firstDone(a, b) // want `nondeterministic value derived from goroutine completion order \(via firstDone\) assigned to "seed"`
+	return seed
+}
+
+// canceler stands in for context.Context; detflow's Done() exemption is
+// syntactic.
+type canceler struct{ done chan struct{} }
+
+func (c *canceler) Done() <-chan struct{} { return c.done }
+
+// waitOne races one real channel against cancellation: a single racing arm
+// is not a completion-order dependence.
+func waitOne(c *canceler, ch <-chan int64) int64 {
+	select {
+	case v := <-ch:
+		return v
+	case <-c.Done():
+		return 0
+	}
+}
+
+// CtxSeed is the cancellation negative.
+func CtxSeed(c *canceler, ch <-chan int64) int64 {
+	seed := waitOne(c, ch)
+	return seed
+}
+
+// --- nondeterminism without a sink stays silent ---
+
+// Elapsed is genuinely nondeterministic (it carries the fact) but never
+// touches the seed surface, so no diagnostic.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,285 @@
+package analysis
+
+// This file adds cross-package facts to the checker framework, mirroring
+// the x/tools go/analysis fact model with only the standard library.
+//
+// A fact is a typed datum an analyzer attaches to a types.Object while
+// checking the package that declares the object; analyzers checking a
+// dependent package later can look the fact up and reason about calls that
+// cross the package boundary (detflow's nondeterminism taint, atomicmix's
+// atomically-accessed fields, arenaescape's ownership transfers).
+//
+// Within one process — one analysis.RunWithFacts call, or one analysistest
+// run over a fixture tree — facts live in a FactStore keyed by object
+// identity. Across processes — the `go vet` unit-checking protocol, where
+// every package is a separate tool invocation — facts are serialized to the
+// .vetx facts file cmd/go plumbs for each unit (Config.VetxOutput on the
+// way out, Config.PackageVetx on the way in; see unit.go). Since
+// types.Object identities do not survive serialization, each fact is keyed
+// on the wire by (package path, object path), where the object path is
+//
+//	"Name"       a package-level func, var, const or type
+//	"Type.Sel"   a method or struct field of a package-level named type
+//
+// Facts on objects that have no such path (locals, embedded depths > 1) are
+// process-local: they still work within a package and inside analysistest,
+// but are not exported. That loses nothing — an object a dependent package
+// cannot name is an object whose fact it can never look up.
+//
+// Fact values are serialized as JSON, under a wire name derived from the
+// fact's Go type. Fact types must be declared in Analyzer.FactTypes so the
+// decoder knows the concrete type to unmarshal into.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// A Fact is a datum an analyzer attaches to an object. The concrete type
+// must be a pointer to a JSON-serializable struct, and must be listed in
+// the owning Analyzer's FactTypes.
+type Fact interface {
+	// AFact marks the type as a fact; it has no behavior.
+	AFact()
+}
+
+// FactStore holds the facts of one analysis run: those exported while
+// checking the current package and those imported from dependencies.
+type FactStore struct {
+	objs map[types.Object]map[reflect.Type]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{objs: make(map[types.Object]map[reflect.Type]Fact)}
+}
+
+// ExportObjectFact records fact for obj, replacing any existing fact of the
+// same concrete type.
+func (s *FactStore) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil {
+		panic("analysis: ExportObjectFact on nil object")
+	}
+	m := s.objs[obj]
+	if m == nil {
+		m = make(map[reflect.Type]Fact)
+		s.objs[obj] = m
+	}
+	m[reflect.TypeOf(fact)] = fact
+}
+
+// ImportObjectFact copies the stored fact of *fact's concrete type for obj
+// into fact and reports whether one was found.
+func (s *FactStore) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil {
+		return false
+	}
+	stored, ok := s.objs[obj][reflect.TypeOf(fact)]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// wireFact is one serialized fact.
+type wireFact struct {
+	Pkg    string          `json:"pkg"`
+	Object string          `json:"object"`
+	Type   string          `json:"type"`
+	Data   json.RawMessage `json:"data"`
+}
+
+// wireFacts is the facts-file payload.
+type wireFacts struct {
+	Version int        `json:"version"`
+	Facts   []wireFact `json:"facts"`
+}
+
+const factsVersion = 1
+
+// factName returns the wire name of a fact's concrete type, e.g.
+// "detflow.Nondeterministic".
+func factName(t reflect.Type) string {
+	return t.Elem().String()
+}
+
+// factRegistry maps wire names to concrete fact types for every analyzer in
+// the run.
+func factRegistry(analyzers []*Analyzer) map[string]reflect.Type {
+	reg := make(map[string]reflect.Type)
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			reg[factName(reflect.TypeOf(f))] = reflect.TypeOf(f)
+		}
+	}
+	return reg
+}
+
+// Encode serializes every addressable fact in the store, sorted so the
+// output is deterministic. Facts imported from dependencies are re-exported,
+// so a unit's facts file carries its transitive closure and dependents need
+// only read their direct imports' files.
+func (s *FactStore) Encode() ([]byte, error) {
+	var out wireFacts
+	out.Version = factsVersion
+	for obj, m := range s.objs {
+		path, ok := objectPath(obj)
+		if !ok {
+			continue
+		}
+		for t, fact := range m {
+			data, err := json.Marshal(fact)
+			if err != nil {
+				return nil, fmt.Errorf("encode fact %s for %s: %w", factName(t), obj.Name(), err)
+			}
+			//codvet:ignore maporder out.Facts is fully sorted below before marshaling
+			out.Facts = append(out.Facts, wireFact{
+				Pkg:    obj.Pkg().Path(),
+				Object: path,
+				Type:   factName(t),
+				Data:   data,
+			})
+		}
+	}
+	sort.Slice(out.Facts, func(i, j int) bool {
+		a, b := out.Facts[i], out.Facts[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		return a.Type < b.Type
+	})
+	return json.Marshal(out)
+}
+
+// Decode adds the facts serialized in data to the store. lookup resolves a
+// package path to the *types.Package visible to the current unit; facts
+// about packages lookup cannot resolve are skipped (the current unit cannot
+// name their objects, so it can never ask for them). An empty data slice is
+// a valid, empty facts file — PR-1-era codvet wrote zero-byte files and
+// cached builds may still hold them.
+func (s *FactStore) Decode(data []byte, analyzers []*Analyzer, lookup func(path string) *types.Package) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var in wireFacts
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("malformed facts file: %w", err)
+	}
+	if in.Version != factsVersion {
+		return fmt.Errorf("malformed facts file: version %d, want %d", in.Version, factsVersion)
+	}
+	reg := factRegistry(analyzers)
+	for _, wf := range in.Facts {
+		t, ok := reg[wf.Type]
+		if !ok {
+			// A fact type no analyzer in this run declares: stale file from
+			// an older tool build; the -V=full digest normally prevents
+			// this, so be strict rather than silently drop data.
+			return fmt.Errorf("malformed facts file: unknown fact type %q", wf.Type)
+		}
+		pkg := lookup(wf.Pkg)
+		if pkg == nil {
+			continue
+		}
+		obj := resolveObjectPath(pkg, wf.Object)
+		if obj == nil {
+			continue
+		}
+		fact := reflect.New(t.Elem()).Interface().(Fact)
+		if err := json.Unmarshal(wf.Data, fact); err != nil {
+			return fmt.Errorf("malformed facts file: fact %s for %s.%s: %w", wf.Type, wf.Pkg, wf.Object, err)
+		}
+		s.ExportObjectFact(obj, fact)
+	}
+	return nil
+}
+
+// objectPath returns the stable intra-package path of obj ("Name" or
+// "Type.Sel"), and whether obj has one.
+func objectPath(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	scope := obj.Pkg().Scope()
+	if scope.Lookup(obj.Name()) == obj {
+		return obj.Name(), true
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		// A method: path through its receiver's named type.
+		sig, ok := o.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return "", false
+		}
+		if name, ok := namedTypeName(sig.Recv().Type()); ok {
+			return name + "." + o.Name(), true
+		}
+	case *types.Var:
+		if !o.IsField() {
+			return "", false
+		}
+		// A struct field: scan the package scope for the named type that
+		// declares it.
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == o {
+					return name + "." + o.Name(), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// resolveObjectPath is objectPath's inverse against an imported package.
+// Unresolvable paths return nil: gc export data omits objects nothing
+// exported references, and such objects cannot be named by dependents.
+func resolveObjectPath(pkg *types.Package, path string) types.Object {
+	name, sel, found := cutDot(path)
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil || !found {
+		return obj
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	res, _, _ := types.LookupFieldOrMethod(tn.Type(), true, pkg, sel)
+	return res
+}
+
+func cutDot(s string) (before, after string, found bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}
+
+// namedTypeName unwraps pointers and reports the name of a named type.
+func namedTypeName(t types.Type) (string, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil {
+		return "", false
+	}
+	return named.Obj().Name(), true
+}

@@ -11,11 +11,27 @@ package analysis
 //     compiler produced, so the unit can be type-checked without rebuilding
 //     its dependencies.
 //
+// Cross-package facts ride the same protocol: cmd/go allocates one facts
+// file per unit (Config.VetxOutput) and hands each unit the facts files of
+// its direct imports (Config.PackageVetx). The driver decodes those into
+// the run's FactStore before analysis and encodes the store — imported
+// facts included, so the closure is transitive — afterwards. Dependency
+// units arrive with VetxOnly set: they are analyzed for facts with their
+// diagnostics suppressed, exactly x/tools' behavior. To keep `codvet ./...`
+// from type-checking the entire standard library, VetxOnly units outside
+// FactScope get an empty facts file instead of an analysis pass — analyzers
+// treat well-known stdlib roots (time.Now, math/rand) intrinsically, so no
+// information is lost.
+//
 // Invoked any other way, Main falls back to standalone mode and re-executes
 // itself through `go vet -vettool=<self> <args>`, which makes `codvet ./...`
-// work directly.
+// work directly. The standalone -json flag switches diagnostic output to
+// one JSON object per line (see jsonDiagnostic); it propagates to the unit
+// invocations through the CODVET_JSON environment variable, which cmd/go
+// passes through unchanged.
 
 import (
+	"bufio"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
@@ -43,10 +59,22 @@ type unitConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
+
+// FactScope lists the import-path prefixes whose VetxOnly units are fully
+// analyzed for cross-package facts. Units outside the scope (the standard
+// library, should the module ever vendor a dependency) produce empty facts
+// files without being type-checked.
+var FactScope = []string{"github.com/codsearch/cod"}
+
+// jsonMode reports whether diagnostics should be emitted as JSON lines; set
+// by the standalone -json flag and inherited by unit invocations through
+// the environment.
+func jsonMode() bool { return os.Getenv("CODVET_JSON") == "1" }
 
 // Main is the entry point of a vet-tool multichecker built from analyzers.
 func Main(analyzers ...*Analyzer) {
@@ -57,8 +85,9 @@ func Main(analyzers ...*Analyzer) {
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	vFlag := fs.String("V", "", "print version information ('full' prints a cache key)")
 	flagsFlag := fs.Bool("flags", false, "print flags in JSON (vet protocol)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as one JSON object per line (standalone mode)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [package ...]  (or via go vet -vettool=%s)\n\n", progname, progname)
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] [package ...]  (or via go vet -vettool=%s)\n\n", progname, progname)
 		fmt.Fprintln(os.Stderr, "Registered analyzers:")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstSentence(a.Doc))
@@ -75,17 +104,57 @@ func Main(analyzers ...*Analyzer) {
 		// No analyzer-specific flags; the protocol wants a JSON array.
 		fmt.Println("[]")
 	case fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg"):
-		if err := runUnit(fs.Arg(0), analyzers); err != nil {
+		fset, diags, err := runUnitFile(fs.Arg(0), analyzers)
+		if err != nil {
 			log.Fatal(err)
 		}
+		if len(diags) > 0 {
+			printDiagnostics(os.Stderr, fset, diags, jsonMode())
+			os.Exit(2)
+		}
 	default:
+		if *jsonFlag {
+			os.Setenv("CODVET_JSON", "1")
+		}
 		os.Exit(standalone(fs.Args()))
+	}
+}
+
+// jsonDiagnostic is the machine-readable diagnostic record emitted in
+// -json mode: one object per line, consumable by CI annotators and future
+// baselining without parsing the human format.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// printDiagnostics writes diags to w, as `file:line:col: message (analyzer)`
+// text or as JSON lines.
+func printDiagnostics(w io.Writer, fset *token.FileSet, diags []Diagnostic, asJSON bool) {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if asJSON {
+			line, _ := json.Marshal(jsonDiagnostic{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			fmt.Fprintf(w, "%s\n", line)
+			continue
+		}
+		fmt.Fprintf(w, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
 	}
 }
 
 // printVersion emits the `-V=full` identity line. cmd/go hashes the
 // executable into the build cache key, so the line embeds a digest of the
-// binary: rebuilding codvet invalidates stale vet results.
+// binary: rebuilding codvet invalidates stale vet results — and stale
+// facts files, which share the cache entry.
 func printVersion(progname string) {
 	exe, err := os.Executable()
 	if err != nil {
@@ -104,7 +173,8 @@ func printVersion(progname string) {
 }
 
 // standalone re-executes the tool through `go vet` so that cmd/go computes
-// the package graph and export data, then returns go vet's exit code.
+// the package graph, export data and facts files, then returns go vet's
+// exit code.
 func standalone(args []string) int {
 	exe, err := os.Executable()
 	if err != nil {
@@ -117,6 +187,33 @@ func standalone(args []string) int {
 	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
 	cmd.Stdout = os.Stdout
 	cmd.Stderr = os.Stderr
+	var routed chan struct{}
+	if jsonMode() {
+		// go vet relays every unit's output on its own stderr, interleaved
+		// with `# pkg` header lines. Route the JSON diagnostic lines to
+		// stdout so `codvet -json ./... | jq` works, and keep the headers
+		// and any tool errors on stderr.
+		pr, pw := io.Pipe()
+		cmd.Stderr = pw
+		routed = make(chan struct{})
+		go func() {
+			defer close(routed)
+			sc := bufio.NewScanner(pr)
+			sc.Buffer(make([]byte, 64*1024), 1024*1024)
+			for sc.Scan() {
+				line := sc.Bytes()
+				if len(line) > 0 && line[0] == '{' {
+					fmt.Fprintf(os.Stdout, "%s\n", line)
+				} else {
+					fmt.Fprintf(os.Stderr, "%s\n", line)
+				}
+			}
+		}()
+		defer func() {
+			pw.Close()
+			<-routed
+		}()
+	}
 	if err := cmd.Run(); err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
 			return ee.ExitCode()
@@ -127,26 +224,44 @@ func standalone(args []string) int {
 	return 0
 }
 
-// runUnit analyzes one vet unit described by cfgFile.
-func runUnit(cfgFile string, analyzers []*Analyzer) error {
+// runUnitFile analyzes one vet unit described by cfgFile.
+func runUnitFile(cfgFile string, analyzers []*Analyzer) (*token.FileSet, []Diagnostic, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	cfg := new(unitConfig)
 	if err := json.Unmarshal(data, cfg); err != nil {
-		return fmt.Errorf("cannot decode vet config %s: %w", cfgFile, err)
+		return nil, nil, fmt.Errorf("cannot decode vet config %s: %w", cfgFile, err)
 	}
+	return runUnit(cfg, analyzers, nil)
+}
 
-	// cmd/go requires the output facts file to exist even though this suite
-	// defines no cross-package facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return err
+// inFactScope reports whether path is within the module subtree whose facts
+// the suite computes.
+func inFactScope(path string) bool {
+	for _, prefix := range FactScope {
+		if path == prefix || strings.HasPrefix(path, prefix+"/") {
+			return true
 		}
 	}
-	if cfg.VetxOnly {
-		return nil
+	return false
+}
+
+// runUnit analyzes one parsed unit config. imp overrides the export-data
+// importer built from the config (tests inject a source-based one);
+// production passes nil. VetxOnly units return no diagnostics, but in-scope
+// ones are still analyzed so their facts file is real.
+func runUnit(cfg *unitConfig, analyzers []*Analyzer, imp types.Importer) (*token.FileSet, []Diagnostic, error) {
+	writeFacts := func(data []byte) error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		// cmd/go requires the output facts file to exist even when empty.
+		return os.WriteFile(cfg.VetxOutput, data, 0o666)
+	}
+	if cfg.VetxOnly && !inFactScope(cfg.ImportPath) {
+		return nil, nil, writeFacts(nil)
 	}
 
 	fset := token.NewFileSet()
@@ -155,13 +270,64 @@ func runUnit(cfgFile string, analyzers []*Analyzer) error {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return nil
+				return nil, nil, writeFacts(nil)
 			}
-			return err
+			return nil, nil, err
 		}
 		files = append(files, f)
 	}
 
+	if imp == nil {
+		imp = unitImporter(fset, cfg)
+	}
+	tc := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil, writeFacts(nil)
+		}
+		return nil, nil, fmt.Errorf("typecheck: %v", err)
+	}
+
+	// Import the facts of every direct dependency that has a facts file.
+	// Fact object paths resolve against the packages the typechecker
+	// imported; transitive imports are visible through them.
+	facts := NewFactStore()
+	lookup := packageLookup(pkg)
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			// A dependency whose facts file is missing contributes nothing;
+			// cmd/go only lists files it created, so treat this as empty.
+			continue
+		}
+		if err := facts.Decode(data, analyzers, lookup); err != nil {
+			return nil, nil, fmt.Errorf("facts of %s (%s): %w", path, vetx, err)
+		}
+	}
+
+	diags, err := RunWithFacts(fset, files, pkg, info, analyzers, facts)
+	if err != nil {
+		return nil, nil, err
+	}
+	encoded, err := facts.Encode()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := writeFacts(encoded); err != nil {
+		return nil, nil, err
+	}
+	if cfg.VetxOnly {
+		return fset, nil, nil
+	}
+	return fset, diags, nil
+}
+
+// unitImporter builds the export-data importer the vet protocol describes:
+// each import resolves through cmd/go's ImportMap to the export file the
+// compiler already produced.
+func unitImporter(fset *token.FileSet, cfg *unitConfig) types.Importer {
 	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
 		// path is a canonical package path; cmd/go points it at the export
 		// data the compiler already produced for this build.
@@ -171,7 +337,7 @@ func runUnit(cfgFile string, analyzers []*Analyzer) error {
 		}
 		return os.Open(file)
 	})
-	imp := importerFunc(func(importPath string) (*types.Package, error) {
+	return importerFunc(func(importPath string) (*types.Package, error) {
 		path, ok := cfg.ImportMap[importPath]
 		if !ok {
 			return nil, fmt.Errorf("can't resolve import %q", importPath)
@@ -181,27 +347,24 @@ func runUnit(cfgFile string, analyzers []*Analyzer) error {
 		}
 		return compilerImporter.(types.ImporterFrom).ImportFrom(path, cfg.Dir, 0)
 	})
-	tc := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
-	info := NewInfo()
-	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return nil
-		}
-		return fmt.Errorf("typecheck: %v", err)
-	}
+}
 
-	diags, err := Run(fset, files, pkg, info, analyzers)
-	if err != nil {
-		return err
-	}
-	if len(diags) > 0 {
-		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+// packageLookup returns a resolver from package path to the *types.Package
+// visible from pkg (itself or any transitive import).
+func packageLookup(pkg *types.Package) func(path string) *types.Package {
+	seen := map[string]*types.Package{pkg.Path(): pkg}
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			if _, ok := seen[imp.Path()]; ok {
+				continue
+			}
+			seen[imp.Path()] = imp
+			walk(imp)
 		}
-		os.Exit(2)
 	}
-	return nil
+	walk(pkg)
+	return func(path string) *types.Package { return seen[path] }
 }
 
 type importerFunc func(path string) (*types.Package, error)

@@ -1,0 +1,250 @@
+package analysis
+
+// Tests for the unit-checker driver itself: the facts round trip across
+// two units (export while checking package A, import while checking its
+// dependent B — through the real wire format, not the in-process store)
+// and the malformed-input error paths.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func parseTestFile(fset *token.FileSet, file string) ([]*ast.File, error) {
+	f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	return []*ast.File{f}, nil
+}
+
+// probeFact marks functions whose name starts with "Tainted".
+type probeFact struct {
+	Origin string `json:"origin"`
+}
+
+func (*probeFact) AFact() {}
+
+// probeAnalyzer exports a probeFact for every function literally named with
+// the Tainted prefix and reports every call to a function carrying the
+// fact — which, for a cross-unit call, requires the fact to have survived
+// serialization.
+var probeAnalyzer = &Analyzer{
+	Name:      "factprobe",
+	Doc:       "test analyzer: propagate a fact from Tainted* functions to their callers.",
+	FactTypes: []Fact{(*probeFact)(nil)},
+	Run: func(pass *Pass) error {
+		scope := pass.Pkg.Scope()
+		for _, name := range scope.Names() {
+			if fn, ok := scope.Lookup(name).(*types.Func); ok && strings.HasPrefix(name, "Tainted") {
+				pass.ExportObjectFact(fn, &probeFact{Origin: pass.Pkg.Path() + "." + name})
+			}
+		}
+		for id, obj := range pass.TypesInfo.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			var f probeFact
+			if pass.ImportObjectFact(fn, &f) {
+				pass.Reportf(id.Pos(), "use of tainted function (origin %s)", f.Origin)
+			}
+		}
+		return nil
+	},
+}
+
+// failingImporter rejects every import; packages without imports never ask.
+type failingImporter struct{}
+
+func (failingImporter) Import(path string) (*types.Package, error) {
+	panic("unexpected import " + path)
+}
+
+// mapImporter resolves imports from checked packages.
+type mapImporter map[string]*types.Package
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m[path]; ok {
+		return p, nil
+	}
+	panic("unexpected import " + path)
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestUnitFactsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const aPath = "github.com/codsearch/cod/internal/analysis/fakeunit/a"
+	const bPath = "github.com/codsearch/cod/internal/analysis/fakeunit/b"
+
+	aGo := writeFile(t, dir, "a.go", `package a
+
+// TaintedClock is the fact-bearing function.
+func TaintedClock() int64 { return 42 }
+
+// Clean carries no fact.
+func Clean() int64 { return 7 }
+`)
+	aVetx := filepath.Join(dir, "a.vetx")
+	fsetA, diagsA, err := runUnit(&unitConfig{
+		ImportPath: aPath,
+		GoFiles:    []string{aGo},
+		VetxOnly:   true, // the dependency role: facts only
+		VetxOutput: aVetx,
+	}, []*Analyzer{probeAnalyzer}, failingImporter{})
+	if err != nil {
+		t.Fatalf("unit A: %v", err)
+	}
+	if len(diagsA) != 0 {
+		t.Fatalf("unit A (VetxOnly) returned diagnostics: %v", diagsA)
+	}
+	_ = fsetA
+	data, err := os.ReadFile(aVetx)
+	if err != nil {
+		t.Fatalf("unit A wrote no facts file: %v", err)
+	}
+	if !strings.Contains(string(data), "TaintedClock") || !strings.Contains(string(data), "analysis.probeFact") {
+		t.Fatalf("facts file does not carry the exported fact: %s", data)
+	}
+	if strings.Contains(string(data), `"Clean"`) {
+		t.Fatalf("facts file carries a fact for the clean function: %s", data)
+	}
+
+	// Check B against A through the wire: a fresh type-check of A (as the
+	// export-data importer would produce) plus A's serialized facts.
+	pkgA := checkPackage(t, aPath, aGo)
+	bGo := writeFile(t, dir, "b.go", `package b
+
+import "`+aPath+`"
+
+func Use() int64 { return a.TaintedClock() + a.Clean() }
+`)
+	bVetx := filepath.Join(dir, "b.vetx")
+	fsetB, diagsB, err := runUnit(&unitConfig{
+		ImportPath:  bPath,
+		GoFiles:     []string{bGo},
+		ImportMap:   map[string]string{aPath: aPath},
+		PackageVetx: map[string]string{aPath: aVetx},
+		VetxOutput:  bVetx,
+	}, []*Analyzer{probeAnalyzer}, mapImporter{aPath: pkgA})
+	if err != nil {
+		t.Fatalf("unit B: %v", err)
+	}
+	if len(diagsB) != 1 {
+		t.Fatalf("unit B diagnostics = %v, want exactly one (the TaintedClock call)", diagsB)
+	}
+	if want := "use of tainted function (origin " + aPath + ".TaintedClock)"; diagsB[0].Message != want {
+		t.Fatalf("unit B diagnostic = %q, want %q", diagsB[0].Message, want)
+	}
+	pos := fsetB.Position(diagsB[0].Pos)
+	if filepath.Base(pos.Filename) != "b.go" {
+		t.Fatalf("diagnostic anchored at %s, want b.go", pos)
+	}
+
+	// B's facts file re-exports A's fact (the transitive closure).
+	dataB, err := os.ReadFile(bVetx)
+	if err != nil {
+		t.Fatalf("unit B wrote no facts file: %v", err)
+	}
+	if !strings.Contains(string(dataB), "TaintedClock") {
+		t.Fatalf("unit B's facts file does not re-export the imported fact: %s", dataB)
+	}
+}
+
+// checkPackage type-checks one import-free file as the package the
+// dependent unit will import.
+func checkPackage(t *testing.T, path, file string) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parseTestFile(fset, file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := &types.Config{Importer: failingImporter{}}
+	pkg, err := tc.Check(path, fset, f, NewInfo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestUnitMalformedConfig(t *testing.T) {
+	dir := t.TempDir()
+	cfg := writeFile(t, dir, "bad.cfg", "this is { not JSON")
+	_, _, err := runUnitFile(cfg, []*Analyzer{probeAnalyzer})
+	if err == nil || !strings.Contains(err.Error(), "cannot decode vet config") {
+		t.Fatalf("malformed config error = %v, want decode failure", err)
+	}
+}
+
+func TestUnitMalformedFactsFile(t *testing.T) {
+	dir := t.TempDir()
+	aGo := writeFile(t, dir, "a.go", "package a\n\nfunc F() {}\n")
+	vetx := writeFile(t, dir, "dep.vetx", "{broken json")
+	_, _, err := runUnit(&unitConfig{
+		ImportPath:  "github.com/codsearch/cod/internal/analysis/fakeunit/c",
+		GoFiles:     []string{aGo},
+		PackageVetx: map[string]string{"dep": vetx},
+		VetxOutput:  filepath.Join(dir, "c.vetx"),
+	}, []*Analyzer{probeAnalyzer}, failingImporter{})
+	if err == nil || !strings.Contains(err.Error(), "malformed facts file") {
+		t.Fatalf("malformed facts error = %v, want decode failure", err)
+	}
+}
+
+func TestUnitEmptyFactsFileAccepted(t *testing.T) {
+	// PR-1-era codvet wrote zero-byte facts files; cached builds may still
+	// hand them to the new driver.
+	dir := t.TempDir()
+	aGo := writeFile(t, dir, "a.go", "package a\n\nfunc F() {}\n")
+	vetx := writeFile(t, dir, "dep.vetx", "")
+	_, diags, err := runUnit(&unitConfig{
+		ImportPath:  "github.com/codsearch/cod/internal/analysis/fakeunit/d",
+		GoFiles:     []string{aGo},
+		PackageVetx: map[string]string{"dep": vetx},
+		VetxOutput:  filepath.Join(dir, "d.vetx"),
+	}, []*Analyzer{probeAnalyzer}, failingImporter{})
+	if err != nil {
+		t.Fatalf("empty facts file rejected: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+}
+
+func TestUnitOutOfScopeVetxOnlySkipsAnalysis(t *testing.T) {
+	dir := t.TempDir()
+	// GoFiles deliberately unparsable: if the driver tried to analyze this
+	// out-of-scope unit the test would fail, proving the fast path.
+	bad := writeFile(t, dir, "bad.go", "not go at all")
+	out := filepath.Join(dir, "std.vetx")
+	_, diags, err := runUnit(&unitConfig{
+		ImportPath: "fmt",
+		GoFiles:    []string{bad},
+		VetxOnly:   true,
+		VetxOutput: out,
+	}, []*Analyzer{probeAnalyzer}, failingImporter{})
+	if err != nil {
+		t.Fatalf("out-of-scope VetxOnly unit errored: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("facts file not written for out-of-scope unit: %v", err)
+	}
+}

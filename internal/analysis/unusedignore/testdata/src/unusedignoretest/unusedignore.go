@@ -1,0 +1,26 @@
+// Package unusedignoretest exercises the meta-check alongside a real
+// analyzer (maporder): a directive that earns its keep stays silent, a
+// stale one and a typo are reported.
+package unusedignoretest
+
+// used ranges over a map in a way maporder flags; the directive suppresses
+// that diagnostic, so it is not stale.
+func used(m map[string]int) []string {
+	var out []string
+	for k := range m { //codvet:ignore maporder fixture: deliberately order-dependent
+		out = append(out, k)
+	}
+	return out
+}
+
+// stale has nothing for maporder to object to.
+func stale(x int) int {
+	//codvet:ignore maporder left behind by a refactor // want `codvet:ignore maporder suppresses no diagnostic`
+	return x + 1
+}
+
+// typo names an analyzer that was never registered.
+func typo(x int) int {
+	//codvet:ignore mapodrer transposed letters // want `codvet:ignore names unknown analyzer "mapodrer"`
+	return x
+}

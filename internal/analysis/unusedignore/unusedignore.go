@@ -1,0 +1,52 @@
+// Package unusedignore is codvet's meta-check: a //codvet:ignore directive
+// that suppresses no diagnostic is itself a diagnostic.
+//
+// Ignore directives are point-in-time waivers. The code they excused gets
+// refactored, the analyzer gets smarter, and the directive lingers —
+// silently waiving whatever future diagnostic happens to land on its line.
+// A directive that no longer earns its keep must be deleted while the
+// context is still known, not discovered years later shielding a real bug.
+// Directives naming an analyzer that does not exist (typos, removed
+// checks) never worked at all and are reported the same way.
+//
+// The check runs last in every codvet invocation (the driver orders it
+// after all other analyzers, so the used/unused state is final) and audits
+// the directives recorded by the pass. Directives in _test.go files are
+// skipped, matching the analyzers themselves. Its own reports cannot be
+// suppressed by an ignore directive — a stale ignore must not be able to
+// excuse itself.
+package unusedignore
+
+import (
+	"github.com/codsearch/cod/internal/analysis"
+)
+
+// New builds the meta-check. known lists every analyzer name registered in
+// the running tool; directives naming anything else are typos.
+func New(known ...string) *analysis.Analyzer {
+	names := map[string]bool{"all": true}
+	for _, n := range known {
+		names[n] = true
+	}
+	return &analysis.Analyzer{
+		Name: "unusedignore",
+		Doc:  "report //codvet:ignore directives that suppress no diagnostics or name unknown analyzers",
+		Run: func(pass *analysis.Pass) error {
+			for _, d := range pass.IgnoreDirectives() {
+				if pass.IsTestFile(d.Pos) {
+					continue
+				}
+				if !names[d.Analyzer] {
+					pass.Reportf(d.Pos,
+						"codvet:ignore names unknown analyzer %q; fix the name or delete the directive", d.Analyzer)
+					continue
+				}
+				if !d.Used {
+					pass.Reportf(d.Pos,
+						"codvet:ignore %s suppresses no diagnostic; delete the stale directive", d.Analyzer)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,18 @@
+package unusedignore_test
+
+import (
+	"testing"
+
+	"github.com/codsearch/cod/internal/analysis"
+	"github.com/codsearch/cod/internal/analysis/analysistest"
+	"github.com/codsearch/cod/internal/analysis/maporder"
+	"github.com/codsearch/cod/internal/analysis/unusedignore"
+)
+
+// The meta-check only means something next to a real analyzer: maporder
+// supplies the diagnostic the used directive suppresses.
+func TestUnusedIgnore(t *testing.T) {
+	analysistest.RunAnalyzers(t, analysistest.TestData(t),
+		[]*analysis.Analyzer{maporder.Analyzer, unusedignore.New("maporder")},
+		"unusedignoretest")
+}
