@@ -71,6 +71,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzRead$$ -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run=^$$ -fuzz=FuzzReadEdgeList$$ -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run=^$$ -fuzz=FuzzReadAttrFile$$ -fuzztime=$(FUZZTIME) ./internal/graph/
+	$(GO) test -run=^$$ -fuzz=FuzzManifestRoundTrip$$ -fuzztime=$(FUZZTIME) ./internal/blobstore/
 
 # Boots codserve on a random port and drives the serving contract end to
 # end: readiness split, query endpoints, JSON errors, SIGTERM drain.

@@ -1,0 +1,120 @@
+// Command codpublish runs the offline phase and publishes the resulting
+// snapshot (graph + codindx2 index) to a blob store as one immutable epoch,
+// for serving replicas to pick up with codserve -index-store. It is the
+// builder half of the artifact-distribution contract (DESIGN.md §15): every
+// artifact is CRC-recorded in a manifest, written with read-back
+// verification, and the dataset's CURRENT pointer moves only after the whole
+// epoch is in place.
+//
+//	codpublish -store /srv/cod-store -dataset cora -k 5
+//	codpublish -store /srv/cod-store -dataset cora -graph data/mygraph.txt -epoch 7 -keep 3
+//
+// With -epoch 0 (the default) the next epoch number is derived from the
+// store's CURRENT pointer. -keep N prunes all but the newest N epochs after
+// a successful publish (the epoch CURRENT references always survives).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/codsearch/cod"
+	"github.com/codsearch/cod/internal/blobstore"
+)
+
+func main() {
+	var (
+		storeDir  = flag.String("store", "", "blob store root directory (required)")
+		dataset   = flag.String("dataset", "cora", "dataset name: the store namespace and, without -graph, the built-in dataset to generate")
+		graphFile = flag.String("graph", "", "graph file in cod text format (overrides the built-in dataset)")
+		epoch     = flag.Uint64("epoch", 0, "epoch number to publish (0 = one past the store's current epoch)")
+		keep      = flag.Int("keep", 0, "after publishing, prune all but the newest N epochs (0 = keep everything)")
+		k         = flag.Int("k", 5, "required influence rank k")
+		theta     = flag.Int("theta", 10, "RR graphs per node (θ)")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		workers   = flag.Int("workers", 0, "offline sampling workers (<=1 = sequential)")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "overall build+publish deadline")
+	)
+	flag.Parse()
+	if err := run(*storeDir, *dataset, *graphFile, *epoch, *keep, *k, *theta, *seed, *workers, *timeout); err != nil {
+		log.Fatal("codpublish: ", err)
+	}
+}
+
+func run(storeDir, dataset, graphFile string, epoch uint64, keep, k, theta int, seed uint64, workers int, timeout time.Duration) error {
+	if storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	if !blobstore.ValidSegment(dataset) {
+		return fmt.Errorf("invalid -dataset %q", dataset)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	store, err := blobstore.NewFS(storeDir)
+	if err != nil {
+		return err
+	}
+	pol := blobstore.RetryPolicy{} // defaults: bounded attempts, capped backoff
+
+	g, err := loadGraph(graphFile, dataset, seed)
+	if err != nil {
+		return err
+	}
+	log.Printf("graph loaded: n=%d m=%d attrs=%d", g.N(), g.M(), g.NumAttrs())
+
+	if epoch == 0 {
+		epoch, err = cod.NextEpoch(ctx, store, dataset, pol)
+		if err != nil {
+			return fmt.Errorf("deriving next epoch: %w", err)
+		}
+	}
+
+	start := time.Now()
+	s, err := cod.NewSearcherCtx(ctx, g, cod.Options{K: k, Theta: theta, Seed: seed, Workers: workers})
+	if err != nil {
+		return fmt.Errorf("offline phase: %w", err)
+	}
+	log.Printf("offline phase done in %v; index %.2f MB", time.Since(start).Round(time.Millisecond),
+		float64(s.IndexBytes())/(1<<20))
+
+	m, err := cod.PublishSnapshot(ctx, store, dataset, epoch, s, pol)
+	if err != nil {
+		return err
+	}
+	for _, a := range m.Artifacts {
+		log.Printf("published %s (%d bytes, crc %08x)", blobstore.ArtifactKey(dataset, epoch, m.ParamsHash, a.Name), a.Bytes, a.CRC32)
+	}
+	log.Printf("epoch %d live: params hash %s, CURRENT updated", epoch, m.ParamsHash)
+
+	if keep > 0 {
+		removed, err := blobstore.Prune(ctx, store, dataset, keep, pol)
+		if err != nil {
+			return fmt.Errorf("pruning: %w", err)
+		}
+		for _, prefix := range removed {
+			log.Printf("pruned %s", prefix)
+		}
+	}
+	return nil
+}
+
+func loadGraph(graphFile, dataset string, seed uint64) (*cod.Graph, error) {
+	if graphFile == "" {
+		return cod.GenerateDataset(dataset, seed)
+	}
+	f, err := os.Open(graphFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := cod.LoadGraph(f)
+	if err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", graphFile, err)
+	}
+	return g, nil
+}

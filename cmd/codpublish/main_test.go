@@ -1,0 +1,56 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/codsearch/cod"
+	"github.com/codsearch/cod/internal/blobstore"
+)
+
+func TestRunPublishesAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	// Two auto-numbered publishes, then one with -keep 1: only the newest
+	// epoch survives and CURRENT still resolves.
+	for i := 0; i < 2; i++ {
+		if err := run(dir, "tiny", "", 0, 0, 4, 4, 7, 0, time.Minute); err != nil {
+			t.Fatalf("publish %d: %v", i, err)
+		}
+	}
+	if err := run(dir, "tiny", "", 0, 1, 4, 4, 7, 0, time.Minute); err != nil {
+		t.Fatalf("publish with keep: %v", err)
+	}
+	store, err := blobstore.NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, cur, err := cod.FetchSnapshot(context.Background(), store, "tiny", cod.Options{}, blobstore.RetryPolicy{})
+	if err != nil {
+		t.Fatalf("FetchSnapshot: %v", err)
+	}
+	if cur.Epoch != 3 {
+		t.Fatalf("CURRENT epoch %d, want 3", cur.Epoch)
+	}
+	if s.Graph().N() == 0 {
+		t.Fatal("empty graph")
+	}
+	keys, err := store.List(context.Background(), "tiny/epoch-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range keys {
+		if got := blobstore.EpochPrefix("tiny", 3, cur.ParamsHash); len(key) < len(got) || key[:len(got)] != got {
+			t.Fatalf("stale key survived prune: %s", key)
+		}
+	}
+}
+
+func TestRunValidatesInput(t *testing.T) {
+	if err := run("", "tiny", "", 0, 0, 4, 4, 7, 0, time.Minute); err == nil {
+		t.Fatal("missing -store accepted")
+	}
+	if err := run(t.TempDir(), "bad/name", "", 0, 0, 4, 4, 7, 0, time.Minute); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+}

@@ -49,19 +49,43 @@ const (
 	flightSlowN   = 32
 )
 
+// servingState is everything one epoch serves with: the Searcher, the graph
+// it queries (snapshots carry their own graph, so it swaps with the index),
+// and the epoch identity /readyz and the X-Cod-Epoch header report. States
+// are immutable once installed; a hot swap is one atomic pointer flip, and
+// every request resolves all of its per-epoch state from a single Load — a
+// query admitted on epoch N computes densities against epoch N's graph even
+// while epoch N+1 swaps in underneath it.
+type servingState struct {
+	s          *cod.Searcher
+	g          *cod.Graph
+	epoch      uint64
+	epochStr   string
+	paramsHash string
+	since      time.Time
+}
+
 // Handler serves COD queries over one Searcher. The Searcher executes
 // queries through the engine's pooled scratch and internally locked caches,
 // so admitted requests run concurrently up to the in-flight cap — admission
-// control sheds excess load instead of queueing unboundedly. The Searcher
-// may be attached after the Handler starts serving (SetSearcher): until then
-// the process is live (/healthz) but not ready (/readyz and all query routes
-// answer 503), which lets the offline phase run while probes see progress.
+// control sheds excess load instead of queueing unboundedly. The serving
+// state may be attached after the Handler starts serving (SetSearcher or a
+// blob-store swapper): until then the process is live (/healthz) but not
+// ready (/readyz and all query routes answer 503), which lets the offline
+// phase or the first fetch run while probes see progress.
 type Handler struct {
-	g        *cod.Graph
-	searcher atomic.Pointer[cod.Searcher]
+	state    atomic.Pointer[servingState]
 	mux      *http.ServeMux
 	inflight chan struct{}
 	timeout  time.Duration
+
+	// Degraded-mode state: staleSince is the UnixNano time the replica
+	// first failed to converge on the store's current epoch (0 = in sync),
+	// staleErr the latest failure. /readyz stays 200 while stale — the
+	// replica still answers queries from the epoch it has — but reports the
+	// lag so operators and orchestration can see divergence.
+	staleSince atomic.Int64
+	staleErr   atomic.Pointer[string]
 
 	// Observability state: the registry backs /metrics, qm is the
 	// pre-resolved pipeline bundle shared by every query, and the HTTP-level
@@ -77,6 +101,16 @@ type Handler struct {
 	querySecs    *obs.Histogram
 	ready        *obs.Gauge
 	indexBytes   *obs.Gauge
+
+	// Index-distribution metrics: swap outcomes follow the label-free
+	// naming convention (one counter per outcome), retries count every
+	// blobstore attempt that had to be repeated.
+	swapOK       *obs.Counter
+	swapFetch    *obs.Counter
+	swapVerify   *obs.Counter
+	swapLoad     *obs.Counter
+	swapRejected *obs.Counter
+	fetchRetries *obs.Counter
 
 	// flight retains recent and slow query traces for /debug/queries;
 	// traceSeq feeds fallback trace IDs for requests that never reached a
@@ -97,9 +131,13 @@ var routeMethods = map[string][]string{
 	"/debug/queries": {http.MethodGet},
 }
 
-// NewHandler wires the endpoints for g. s may be nil; the Handler then
-// reports not-ready until SetSearcher delivers the offline state.
+// NewHandler wires the endpoints. s may be nil; the Handler then reports
+// not-ready until SetSearcher (local offline build) or a swapper (blob-store
+// distribution) delivers serving state. g is the boot graph s was built
+// over; it is unused when s is nil, because each installed serving state
+// carries its own graph.
 func NewHandler(g *cod.Graph, s *cod.Searcher, cfg Config) *Handler {
+	_ = g // the serving graph always travels with the installed state
 	maxInFlight := cfg.MaxInFlight
 	if maxInFlight <= 0 {
 		maxInFlight = defaultMaxInFlight
@@ -109,7 +147,6 @@ func NewHandler(g *cod.Graph, s *cod.Searcher, cfg Config) *Handler {
 		reg = obs.NewRegistry()
 	}
 	h := &Handler{
-		g:        g,
 		mux:      http.NewServeMux(),
 		inflight: make(chan struct{}, maxInFlight),
 		timeout:  cfg.QueryTimeout,
@@ -127,6 +164,13 @@ func NewHandler(g *cod.Graph, s *cod.Searcher, cfg Config) *Handler {
 		ready:      reg.Gauge("cod_ready", "1 once the offline phase is done and queries are served."),
 		indexBytes: reg.Gauge("cod_index_bytes", "Approximate HIMOR index footprint in bytes."),
 
+		swapOK:       reg.Counter("cod_index_swap_ok_total", "Index epochs fetched, verified, and atomically swapped in."),
+		swapFetch:    reg.Counter("cod_index_swap_fetch_failed_total", "Swap attempts abandoned because the store could not deliver the bytes."),
+		swapVerify:   reg.Counter("cod_index_swap_verify_failed_total", "Swap attempts rejected by CRC, size, or params-hash verification."),
+		swapLoad:     reg.Counter("cod_index_swap_load_failed_total", "Swap attempts whose verified bytes failed to reconstruct a Searcher."),
+		swapRejected: reg.Counter("cod_index_swap_rejected_total", "Swap attempts rejected for naming a non-monotone (older) epoch."),
+		fetchRetries: reg.Counter("cod_index_fetch_retries_total", "Blobstore operations retried while fetching index artifacts."),
+
 		flight: obs.NewFlightRecorder(flightRecentN, flightSlowN, cfg.SlowQuery),
 	}
 	// Runtime and occupancy gauges, sampled at scrape time. The engine-backed
@@ -136,8 +180,8 @@ func NewHandler(g *cod.Graph, s *cod.Searcher, cfg Config) *Handler {
 	reg.GaugeFunc("cod_rr_cache_pools",
 		"RR sample pools currently resident in the engine's per-attribute cache.",
 		func() int64 {
-			if s := h.searcher.Load(); s != nil {
-				pools, _ := s.Engine().SampleCacheStats()
+			if st := h.state.Load(); st != nil {
+				pools, _ := st.s.Engine().SampleCacheStats()
 				return pools
 			}
 			return 0
@@ -145,8 +189,8 @@ func NewHandler(g *cod.Graph, s *cod.Searcher, cfg Config) *Handler {
 	reg.GaugeFunc("cod_rr_cache_rrgraphs",
 		"RR graphs held by the resident sample pools.",
 		func() int64 {
-			if s := h.searcher.Load(); s != nil {
-				_, rrs := s.Engine().SampleCacheStats()
+			if st := h.state.Load(); st != nil {
+				_, rrs := st.s.Engine().SampleCacheStats()
 				return rrs
 			}
 			return 0
@@ -154,8 +198,8 @@ func NewHandler(g *cod.Graph, s *cod.Searcher, cfg Config) *Handler {
 	reg.GaugeFunc("cod_engine_scratch_live",
 		"Query scratch buffers currently checked out of the engine pool.",
 		func() int64 {
-			if s := h.searcher.Load(); s != nil {
-				live, _ := s.Engine().PoolStats()
+			if st := h.state.Load(); st != nil {
+				live, _ := st.s.Engine().PoolStats()
 				return live
 			}
 			return 0
@@ -163,12 +207,23 @@ func NewHandler(g *cod.Graph, s *cod.Searcher, cfg Config) *Handler {
 	reg.GaugeFunc("cod_engine_scratch_allocated",
 		"Query scratch buffers ever allocated by the engine pool.",
 		func() int64 {
-			if s := h.searcher.Load(); s != nil {
-				_, alloc := s.Engine().PoolStats()
+			if st := h.state.Load(); st != nil {
+				_, alloc := st.s.Engine().PoolStats()
 				return alloc
 			}
 			return 0
 		})
+	reg.GaugeFunc("cod_index_epoch",
+		"Index epoch currently serving (0 for a locally built index).",
+		func() int64 {
+			if st := h.state.Load(); st != nil {
+				return int64(st.epoch)
+			}
+			return 0
+		})
+	reg.GaugeFunc("cod_index_stale_ms",
+		"Milliseconds this replica has failed to converge on the store's current epoch (0 = in sync).",
+		h.staleForMS)
 	if s != nil {
 		h.SetSearcher(s)
 	}
@@ -183,13 +238,65 @@ func NewHandler(g *cod.Graph, s *cod.Searcher, cfg Config) *Handler {
 	return h
 }
 
-// SetSearcher attaches the offline state, flipping the Handler to ready.
+// SetSearcher attaches a locally built Searcher, flipping the Handler to
+// ready. Local builds serve as epoch 0; store-fed replicas install real
+// epochs through SetServing.
 func (h *Handler) SetSearcher(s *cod.Searcher) {
-	h.searcher.Store(s)
-	if s != nil {
-		h.ready.Set(1)
-		h.indexBytes.Set(s.IndexBytes())
+	if s == nil {
+		return
 	}
+	h.SetServing(s, 0, s.IndexParams().Hash())
+}
+
+// SetServing atomically installs a fully verified Searcher as the serving
+// state — the hot-swap point. In-flight queries keep the state they loaded
+// at admission; new requests observe the new epoch immediately.
+func (h *Handler) SetServing(s *cod.Searcher, epoch uint64, paramsHash string) {
+	h.state.Store(&servingState{
+		s:          s,
+		g:          s.Graph(),
+		epoch:      epoch,
+		epochStr:   strconv.FormatUint(epoch, 10),
+		paramsHash: paramsHash,
+		since:      time.Now(),
+	})
+	h.ready.Set(1)
+	h.indexBytes.Set(s.IndexBytes())
+	h.clearStale()
+}
+
+// Serving returns the current serving state (nil while warming).
+func (h *Handler) Serving() *servingState { return h.state.Load() }
+
+// Epoch returns the serving epoch, or 0 while warming or for local builds.
+func (h *Handler) Epoch() uint64 {
+	if st := h.state.Load(); st != nil {
+		return st.epoch
+	}
+	return 0
+}
+
+// markStale records a failed convergence attempt: the replica keeps serving
+// its current epoch, and /readyz reports the divergence and its duration.
+func (h *Handler) markStale(err error) {
+	msg := err.Error()
+	h.staleErr.Store(&msg)
+	h.staleSince.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// clearStale records convergence with the store's current epoch.
+func (h *Handler) clearStale() {
+	h.staleSince.Store(0)
+	h.staleErr.Store(nil)
+}
+
+// staleForMS reports how long the replica has been stale (0 = in sync).
+func (h *Handler) staleForMS() int64 {
+	since := h.staleSince.Load()
+	if since == 0 {
+		return 0
+	}
+	return (time.Now().UnixNano() - since) / int64(time.Millisecond)
 }
 
 // Metrics exposes the registry backing /metrics so main can mount the same
@@ -249,15 +356,19 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // guard is the admission pipeline for query routes: readiness check, then
 // load shedding, then the per-request deadline. Only admitted requests
-// reach next, with a context the query pipelines poll.
-func (h *Handler) guard(next func(http.ResponseWriter, *http.Request, *cod.Searcher)) http.HandlerFunc {
+// reach next, with a context the query pipelines poll. The serving state is
+// loaded exactly once and rides along, so a request's searcher, graph, and
+// the X-Cod-Epoch header it reports are always one consistent epoch, even
+// when a hot swap lands mid-request.
+func (h *Handler) guard(next func(http.ResponseWriter, *http.Request, *servingState)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s := h.searcher.Load()
-		if s == nil {
+		st := h.state.Load()
+		if st == nil {
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, "offline phase in progress; not ready")
 			return
 		}
+		w.Header().Set("X-Cod-Epoch", st.epochStr)
 		select {
 		case h.inflight <- struct{}{}:
 			defer func() { <-h.inflight }()
@@ -272,7 +383,7 @@ func (h *Handler) guard(next func(http.ResponseWriter, *http.Request, *cod.Searc
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
-		next(w, r, s)
+		next(w, r, st)
 	}
 }
 
@@ -287,8 +398,8 @@ func (h *Handler) guard(next func(http.ResponseWriter, *http.Request, *cod.Searc
 // joins the caller's distributed trace); otherwise the library installs the
 // query's seed-derived ID; requests that never reach a seed draw (rejected
 // input) get a server-local fallback so every flight record is addressable.
-func (h *Handler) instrument(next func(http.ResponseWriter, *http.Request, *cod.Searcher)) func(http.ResponseWriter, *http.Request, *cod.Searcher) {
-	return func(w http.ResponseWriter, r *http.Request, s *cod.Searcher) {
+func (h *Handler) instrument(next func(http.ResponseWriter, *http.Request, *servingState)) func(http.ResponseWriter, *http.Request, *servingState) {
+	return func(w http.ResponseWriter, r *http.Request, st *servingState) {
 		trace := obs.NewTrace()
 		if id, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
 			trace.EnsureID(id)
@@ -297,8 +408,16 @@ func (h *Handler) instrument(next func(http.ResponseWriter, *http.Request, *cod.
 		r = r.WithContext(obs.WithRecorder(r.Context(), rec))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		next(sw, r, s)
+		next(sw, r, st)
 		d := time.Since(start)
+		// A query that straddles a hot swap — admitted on one epoch while a
+		// newer one was installed underneath — gets an index_swap step in its
+		// trace, so /debug/queries shows exactly which queries bridged the
+		// flip (and that they completed on their admission epoch).
+		if cur := h.state.Load(); cur != nil && cur.epoch != st.epoch {
+			step := rec.StartStep("index_swap", st.epochStr+"->"+cur.epochStr)
+			step.End("straddled")
+		}
 		trace.EnsureID(obs.SeedTraceID(uint64(start.UnixNano()) ^ h.traceSeq.Add(1)<<32))
 		h.querySecs.Observe(d.Seconds())
 		h.flight.Record(obs.NewQueryRecord(trace, r.URL.Path, r.URL.RawQuery, sw.status, start, d, nil))
@@ -318,14 +437,38 @@ func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write([]byte("ok"))
 }
 
+// readyzResponse is the machine-readable readiness contract. States:
+// "warming" (503: no index yet), "serving" (200: in sync with the source of
+// truth), "stale" (200: still answering queries, but the last attempt to
+// converge on the store's current epoch failed StaleForMS ago).
+type readyzResponse struct {
+	State      string `json:"state"`
+	Epoch      uint64 `json:"epoch"`
+	ParamsHash string `json:"params_hash,omitempty"`
+	StaleForMS int64  `json:"stale_for_ms"`
+	LastError  string `json:"last_error,omitempty"`
+}
+
 func (h *Handler) readyz(w http.ResponseWriter, _ *http.Request) {
-	if h.searcher.Load() == nil {
+	st := h.state.Load()
+	if st == nil {
 		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "offline phase in progress; not ready")
+		writeJSON(w, http.StatusServiceUnavailable, readyzResponse{State: "warming"})
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_, _ = w.Write([]byte("ready"))
+	resp := readyzResponse{
+		State:      "serving",
+		Epoch:      st.epoch,
+		ParamsHash: st.paramsHash,
+	}
+	if h.staleSince.Load() != 0 {
+		resp.State = "stale"
+		resp.StaleForMS = h.staleForMS()
+		if msg := h.staleErr.Load(); msg != nil {
+			resp.LastError = *msg
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 type statsResponse struct {
@@ -336,12 +479,12 @@ type statsResponse struct {
 	Weighted bool    `json:"weighted"`
 }
 
-func (h *Handler) stats(w http.ResponseWriter, _ *http.Request, s *cod.Searcher) {
+func (h *Handler) stats(w http.ResponseWriter, _ *http.Request, st *servingState) {
 	writeJSON(w, http.StatusOK, statsResponse{
-		Nodes:   h.g.N(),
-		Edges:   h.g.M(),
-		Attrs:   h.g.NumAttrs(),
-		IndexMB: float64(s.IndexBytes()) / (1 << 20),
+		Nodes:   st.g.N(),
+		Edges:   st.g.M(),
+		Attrs:   st.g.NumAttrs(),
+		IndexMB: float64(st.s.IndexBytes()) / (1 << 20),
 	})
 }
 
@@ -358,7 +501,8 @@ type discoverResponse struct {
 	Nodes       []int32 `json:"nodes,omitempty"`
 }
 
-func (h *Handler) discover(w http.ResponseWriter, r *http.Request, s *cod.Searcher) {
+func (h *Handler) discover(w http.ResponseWriter, r *http.Request, st *servingState) {
+	s := st.s
 	q, ok := intParam(w, r, "q")
 	if !ok {
 		return
@@ -398,9 +542,9 @@ func (h *Handler) discover(w http.ResponseWriter, r *http.Request, s *cod.Search
 	resp := discoverResponse{Query: q, Attr: attr, Method: method, Found: com.Found, FromIndex: com.FromIndex}
 	if com.Found {
 		resp.Size = com.Size()
-		resp.Density = h.g.TopologyDensity(com.Nodes)
-		resp.AttrDensity = h.g.AttributeDensity(com.Nodes, cod.AttrID(attr))
-		resp.Conductance = h.g.Conductance(com.Nodes)
+		resp.Density = st.g.TopologyDensity(com.Nodes)
+		resp.AttrDensity = st.g.AttributeDensity(com.Nodes, cod.AttrID(attr))
+		resp.Conductance = st.g.Conductance(com.Nodes)
 		if resp.Size <= 1000 {
 			resp.Nodes = com.Nodes
 		}
@@ -413,12 +557,12 @@ type influenceResponse struct {
 	Influence float64 `json:"influence"`
 }
 
-func (h *Handler) influence(w http.ResponseWriter, r *http.Request, s *cod.Searcher) {
+func (h *Handler) influence(w http.ResponseWriter, r *http.Request, st *servingState) {
 	q, ok := intParam(w, r, "q")
 	if !ok {
 		return
 	}
-	infl, err := s.EstimateInfluenceCtx(r.Context(), cod.NodeID(q))
+	infl, err := st.s.EstimateInfluenceCtx(r.Context(), cod.NodeID(q))
 	if err != nil {
 		queryError(w, err)
 		return
@@ -446,7 +590,8 @@ type batchItem struct {
 // DiscoverBatchCtx (bounded body, capped batch size). Invalid items are
 // rejected by the same up-front validation Discover applies — one error
 // shape across the scalar and batch routes — without consuming query work.
-func (h *Handler) batch(w http.ResponseWriter, r *http.Request, s *cod.Searcher) {
+func (h *Handler) batch(w http.ResponseWriter, r *http.Request, st *servingState) {
+	s := st.s
 	var req batchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"github.com/codsearch/cod"
+	"github.com/codsearch/cod/internal/blobstore"
 	"github.com/codsearch/cod/internal/obs"
 )
 
@@ -61,17 +62,26 @@ func main() {
 		debugAddr    = flag.String("debug-addr", "", "optional listen address for pprof + /metrics (off when empty)")
 		sampleCache  = flag.Int("sample-cache", 0, "per-attribute RR sample pools kept resident (0 = off); hits/misses on /metrics")
 		slowQuery    = flag.Duration("slow-query", obs.DefaultSlowAfter, "latency at which a query is retained in the /debug/queries slow ring")
+		indexStore   = flag.String("index-store", "", "blob store root directory to serve published index epochs from (skips the local offline build)")
+		indexWatch   = flag.Duration("index-watch", 10*time.Second, "poll cadence for new index epochs in the store (0 = fetch once at startup)")
+		indexDataset = flag.String("index-dataset", "", "dataset namespace within -index-store (defaults to -dataset)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	g, err := loadGraph(*graphFile, *datasetN, *seed)
-	if err != nil {
-		log.Fatal("codserve: ", err)
+	// With -index-store the graph and index both arrive inside published
+	// snapshots; nothing is built locally.
+	var g *cod.Graph
+	if *indexStore == "" {
+		var err error
+		g, err = loadGraph(*graphFile, *datasetN, *seed)
+		if err != nil {
+			log.Fatal("codserve: ", err)
+		}
+		log.Printf("graph loaded: n=%d m=%d attrs=%d", g.N(), g.M(), g.NumAttrs())
 	}
-	log.Printf("graph loaded: n=%d m=%d attrs=%d", g.N(), g.M(), g.NumAttrs())
 
 	reg := obs.NewRegistry()
 	h := NewHandler(g, nil, Config{QueryTimeout: *queryTimeout, MaxInFlight: *maxInFlight, Metrics: reg,
@@ -123,23 +133,47 @@ func main() {
 	log.Printf("listening on %s (queries answer 503 until the offline phase completes)", ln.Addr())
 
 	// The offline phase polls ctx, so a shutdown signal during warmup
-	// abandons the build instead of blocking the drain.
+	// abandons the build instead of blocking the drain. In -index-store
+	// mode no local build runs; the swapper goroutine fetches published
+	// epochs instead and keeps converging on the store for the process
+	// lifetime (buildDone then stays silent).
 	buildDone := make(chan error, 1)
-	go func() {
-		// Metrics-only recorder: the offline phase reports its stage timings
-		// (rr_sample, hac_merge, himor_build) on /metrics before the first
-		// query ever arrives.
-		bctx := obs.WithRecorder(ctx, obs.NewRecorder(h.qm, nil))
-		s, err := cod.NewSearcherCtx(bctx, g, cod.Options{K: *k, Theta: *theta, Seed: *seed,
-			SampleCache: *sampleCache, CacheHierarchies: *sampleCache > 0})
-		if err != nil {
-			buildDone <- err
-			return
+	if *indexStore != "" {
+		dataset := *indexDataset
+		if dataset == "" {
+			dataset = *datasetN
 		}
-		h.SetSearcher(s)
-		log.Printf("offline phase done; index %.2f MB; ready", float64(s.IndexBytes())/(1<<20))
-		buildDone <- nil
-	}()
+		store, err := blobstore.NewFS(*indexStore)
+		if err != nil {
+			log.Fatal("codserve: ", err)
+		}
+		sw := &Swapper{
+			Store:    store,
+			Dataset:  dataset,
+			Interval: *indexWatch,
+			Base: cod.Options{SampleCache: *sampleCache,
+				CacheHierarchies: *sampleCache > 0},
+			H: h,
+		}
+		log.Printf("serving index epochs for dataset %q from %s (watch %v)", dataset, *indexStore, *indexWatch)
+		go sw.Run(ctx)
+	} else {
+		go func() {
+			// Metrics-only recorder: the offline phase reports its stage timings
+			// (rr_sample, hac_merge, himor_build) on /metrics before the first
+			// query ever arrives.
+			bctx := obs.WithRecorder(ctx, obs.NewRecorder(h.qm, nil))
+			s, err := cod.NewSearcherCtx(bctx, g, cod.Options{K: *k, Theta: *theta, Seed: *seed,
+				SampleCache: *sampleCache, CacheHierarchies: *sampleCache > 0})
+			if err != nil {
+				buildDone <- err
+				return
+			}
+			h.SetSearcher(s)
+			log.Printf("offline phase done; index %.2f MB; ready", float64(s.IndexBytes())/(1<<20))
+			buildDone <- nil
+		}()
+	}
 
 	select {
 	case err := <-serveErr:

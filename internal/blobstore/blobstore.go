@@ -1,0 +1,111 @@
+// Package blobstore is the artifact-distribution layer of the COD serving
+// stack: a pluggable Store interface (local filesystem now, S3/GCS-shaped
+// later) over which one offline builder publishes index snapshots and every
+// serving replica fetches them, plus the integrity machinery that makes the
+// exchange safe under partial failure — per-artifact CRC-32s recorded in a
+// manifest, a params hash pinning the offline semantics, read-back
+// verification on publish, and bounded deterministic retries on fetch.
+//
+// Layout under a store (keys are slash-separated, one namespace per
+// dataset):
+//
+//	<dataset>/CURRENT                                   -> Current (JSON)
+//	<dataset>/epoch-<%016x epoch>-<params-hash>/manifest.json
+//	<dataset>/epoch-<%016x epoch>-<params-hash>/<artifact>
+//
+// Epochs are immutable once published: a publisher writes every artifact,
+// verifies each by reading it back, writes the manifest, and only then
+// atomically replaces CURRENT. A fetcher therefore either observes the old
+// epoch or the complete new one — never a torn mix — and every byte it
+// trusts has passed a CRC check first (DESIGN.md §15).
+package blobstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrNotExist reports a key absent from the store. Fetch helpers do not
+// retry it: absence is state, not a transient fault.
+var ErrNotExist = errors.New("blobstore: key does not exist")
+
+// ErrVerify reports content that failed integrity verification: a CRC or
+// size mismatch against the manifest, or a params hash that does not match
+// the params it claims to summarize. Fetch helpers do retry it — read-side
+// corruption (a bit flip on the wire or medium) can be transient — but a
+// verify failure never propagates unverified bytes to the caller.
+var ErrVerify = errors.New("blobstore: verification failed")
+
+// Store is the minimal blob interface the distribution layer needs. Keys
+// are slash-separated paths of safe segments (see ValidKey). Implementations
+// must make Put atomic: a crash mid-Put leaves either the old value or no
+// value, never a partial one readers can observe. All methods must be safe
+// for concurrent use.
+type Store interface {
+	// Put atomically publishes the full contents of r under key,
+	// replacing any existing value.
+	Put(ctx context.Context, key string, r io.Reader) error
+	// Open returns a reader for key's content. The caller must Close it.
+	// A missing key reports ErrNotExist (possibly wrapped).
+	Open(ctx context.Context, key string) (io.ReadCloser, error)
+	// List returns the keys under prefix in lexicographic order.
+	List(ctx context.Context, prefix string) ([]string, error)
+	// Delete removes key. Deleting a missing key reports ErrNotExist.
+	Delete(ctx context.Context, key string) error
+}
+
+// ValidSegment reports whether s may be used as one path segment of a store
+// key (a dataset name or artifact name): non-empty, and only ASCII letters,
+// digits, '.', '_' and '-', never "." or "..". The character set is the
+// intersection of what POSIX filesystems and S3-style object stores accept
+// without escaping.
+func ValidSegment(s string) bool {
+	if s == "" || s == "." || s == ".." {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ValidKey reports whether key is a well-formed store key: one or more
+// valid segments joined by '/'.
+func ValidKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	for _, seg := range strings.Split(key, "/") {
+		if !ValidSegment(seg) {
+			return false
+		}
+	}
+	return true
+}
+
+// CurrentKey returns the key of the dataset's CURRENT pointer.
+func CurrentKey(dataset string) string { return dataset + "/CURRENT" }
+
+// EpochPrefix returns the key prefix under which one epoch's artifacts and
+// manifest live.
+func EpochPrefix(dataset string, epoch uint64, paramsHash string) string {
+	return fmt.Sprintf("%s/epoch-%016x-%s", dataset, epoch, paramsHash)
+}
+
+// ManifestKey returns the key of one epoch's manifest.
+func ManifestKey(dataset string, epoch uint64, paramsHash string) string {
+	return EpochPrefix(dataset, epoch, paramsHash) + "/manifest.json"
+}
+
+// ArtifactKey returns the key of one named artifact within an epoch.
+func ArtifactKey(dataset string, epoch uint64, paramsHash, name string) string {
+	return EpochPrefix(dataset, epoch, paramsHash) + "/" + name
+}

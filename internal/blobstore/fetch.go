@@ -1,0 +1,109 @@
+package blobstore
+
+import (
+	"context"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// FetchCurrent reads and validates the dataset's CURRENT pointer under
+// pol's bounded retries. A dataset nothing was ever published to reports
+// ErrNotExist (not retried).
+func FetchCurrent(ctx context.Context, s Store, dataset string, pol RetryPolicy) (Current, error) {
+	var cur Current
+	err := pol.Do(ctx, "fetch CURRENT "+dataset, func(ctx context.Context) error {
+		b, err := readAll(ctx, s, CurrentKey(dataset), 1<<20)
+		if err != nil {
+			return err
+		}
+		cur, err = DecodeCurrent(b)
+		return err
+	})
+	if err != nil {
+		return Current{}, err
+	}
+	return cur, nil
+}
+
+// FetchManifest reads the manifest cur references, verifying its CRC-32
+// against the one CURRENT recorded and its identity (epoch, params hash,
+// recomputed params hash) against cur, under pol's bounded retries. A torn
+// or stale CURRENT/manifest pair can therefore never yield a manifest.
+func FetchManifest(ctx context.Context, s Store, cur Current, pol RetryPolicy) (*Manifest, error) {
+	var m *Manifest
+	err := pol.Do(ctx, "fetch "+cur.ManifestKey, func(ctx context.Context) error {
+		b, err := readAll(ctx, s, cur.ManifestKey, 64<<20)
+		if err != nil {
+			return err
+		}
+		if got := crc32.ChecksumIEEE(b); got != cur.ManifestCRC {
+			return fmt.Errorf("%w: manifest %s crc %08x, CURRENT records %08x",
+				ErrVerify, cur.ManifestKey, got, cur.ManifestCRC)
+		}
+		m, err = DecodeManifest(b) // validates ParamsHash == Params.Hash()
+		if err != nil {
+			return err
+		}
+		if m.Epoch != cur.Epoch || m.ParamsHash != cur.ParamsHash {
+			return fmt.Errorf("%w: manifest %s is epoch %d hash %s, CURRENT names epoch %d hash %s",
+				ErrVerify, cur.ManifestKey, m.Epoch, m.ParamsHash, cur.Epoch, cur.ParamsHash)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FetchArtifact reads one manifest-listed artifact, verifying its size and
+// CRC-32 against the manifest entry under pol's bounded retries. The
+// returned bytes have always passed verification; corruption surfaces as an
+// ErrVerify-wrapped error after the retry budget, never as data.
+func FetchArtifact(ctx context.Context, s Store, m *Manifest, name string, pol RetryPolicy) ([]byte, error) {
+	a, err := m.Artifact(name)
+	if err != nil {
+		return nil, err
+	}
+	key := ArtifactKey(m.Dataset, m.Epoch, m.ParamsHash, a.Name)
+	var payload []byte
+	err = pol.Do(ctx, "fetch "+key, func(ctx context.Context) error {
+		b, err := readAll(ctx, s, key, a.Bytes+1)
+		if err != nil {
+			return err
+		}
+		if int64(len(b)) != a.Bytes {
+			return fmt.Errorf("%w: artifact %s has %d bytes, manifest records %d",
+				ErrVerify, key, len(b), a.Bytes)
+		}
+		if got := crc32.ChecksumIEEE(b); got != a.CRC32 {
+			return fmt.Errorf("%w: artifact %s crc %08x, manifest records %08x",
+				ErrVerify, key, got, a.CRC32)
+		}
+		payload = b
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// readAll opens key and reads at most limit+1 bytes (so oversize content is
+// detected without unbounded allocation), closing the reader either way.
+func readAll(ctx context.Context, s Store, key string, limit int64) ([]byte, error) {
+	rc, err := s.Open(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(io.LimitReader(rc, limit+1))
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: reading %s: %w", key, err)
+	}
+	if int64(len(b)) > limit {
+		return nil, fmt.Errorf("%w: %s exceeds %d bytes", ErrVerify, key, limit)
+	}
+	return b, nil
+}

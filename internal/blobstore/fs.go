@@ -1,0 +1,227 @@
+package blobstore
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Hooks are the FS store's fault-injection seam, consulted on every
+// operation. Production stores carry the zero value (no overhead beyond a
+// nil check); tests wire internal/faultfs wrappers through them to model
+// torn writes, fsync failures, transport errors, and read-side bit rot
+// deterministically. All hook functions must be safe for concurrent use.
+type Hooks struct {
+	// BeforeOp, when non-nil, runs before each operation ("put", "open",
+	// "list", "delete") and may fail it outright — a transport-level fault.
+	BeforeOp func(op, key string) error
+	// WrapWriter, when non-nil, wraps the writer a Put streams into — the
+	// seam for short and torn writes.
+	WrapWriter func(key string, w io.Writer) io.Writer
+	// WrapReader, when non-nil, wraps the reader an Open returns — the seam
+	// for read corruption and truncation.
+	WrapReader func(key string, r io.Reader) io.Reader
+	// SyncError, when non-nil, may inject a failure at Put's fsync point
+	// (after the bytes were written, before the atomic rename).
+	SyncError func(key string) error
+}
+
+// FS is a local-filesystem Store rooted at a directory. Put is atomic
+// (temp file + fsync + rename, the same discipline as SaveIndexAtomic), so
+// concurrent readers observe either the previous blob or the complete new
+// one. FS is the reference Store implementation; an S3 or GCS store slots
+// in behind the same interface with conditional-put in place of rename.
+type FS struct {
+	root  string
+	hooks Hooks
+}
+
+// NewFS returns an FS store rooted at dir (created if missing).
+func NewFS(dir string) (*FS, error) {
+	return NewFSWithHooks(dir, Hooks{})
+}
+
+// stagingDir is where in-flight Put temp files live: inside the store (so
+// the final rename stays on one filesystem and atomic) but outside the key
+// namespace, so a crashed Put can never surface as a listable key.
+const stagingDir = ".staging"
+
+// NewFSWithHooks is NewFS with a fault-injection seam; see Hooks.
+func NewFSWithHooks(dir string, hooks Hooks) (*FS, error) {
+	if err := os.MkdirAll(filepath.Join(dir, stagingDir), 0o755); err != nil {
+		return nil, fmt.Errorf("blobstore: creating store root: %w", err)
+	}
+	return &FS{root: dir, hooks: hooks}, nil
+}
+
+// Root returns the store's root directory.
+func (s *FS) Root() string { return s.root }
+
+// path maps a validated key onto the filesystem.
+func (s *FS) path(key string) (string, error) {
+	if !ValidKey(key) {
+		return "", fmt.Errorf("blobstore: invalid key %q", key)
+	}
+	return filepath.Join(s.root, filepath.FromSlash(key)), nil
+}
+
+// Put implements Store. The blob is streamed into a temp file in the target
+// directory, fsynced, and renamed over the key — a crash or injected fault
+// at any point leaves either the old blob or no blob, never a readable
+// partial.
+func (s *FS) Put(ctx context.Context, key string, r io.Reader) (err error) {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.hooks.BeforeOp != nil {
+		if err := s.hooks.BeforeOp("put", key); err != nil {
+			return err
+		}
+	}
+	dir := filepath.Dir(p)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("blobstore: creating %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.root, stagingDir), filepath.Base(p)+".*")
+	if err != nil {
+		return fmt.Errorf("blobstore: creating temp for %s: %w", key, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	var w io.Writer = tmp
+	if s.hooks.WrapWriter != nil {
+		w = s.hooks.WrapWriter(key, w)
+	}
+	if _, err = io.Copy(w, r); err != nil {
+		return fmt.Errorf("blobstore: writing %s: %w", key, err)
+	}
+	if s.hooks.SyncError != nil {
+		if serr := s.hooks.SyncError(key); serr != nil {
+			err = fmt.Errorf("blobstore: syncing %s: %w", key, serr)
+			return err
+		}
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("blobstore: syncing %s: %w", key, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("blobstore: closing %s: %w", key, err)
+	}
+	if err = os.Rename(tmp.Name(), p); err != nil {
+		return fmt.Errorf("blobstore: publishing %s: %w", key, err)
+	}
+	// Sync the directory so the rename survives a crash; filesystems that
+	// reject directory fsync still rename atomically, so failure here is
+	// not fatal.
+	if d, dErr := os.Open(dir); dErr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// hookedReader threads a wrapped reader over the file's Close.
+type hookedReader struct {
+	io.Reader
+	c io.Closer
+}
+
+func (h hookedReader) Close() error { return h.c.Close() }
+
+// Open implements Store.
+func (s *FS) Open(ctx context.Context, key string) (io.ReadCloser, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.hooks.BeforeOp != nil {
+		if err := s.hooks.BeforeOp("open", key); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, key)
+		}
+		return nil, fmt.Errorf("blobstore: opening %s: %w", key, err)
+	}
+	if s.hooks.WrapReader != nil {
+		return hookedReader{Reader: s.hooks.WrapReader(key, f), c: f}, nil
+	}
+	return f, nil
+}
+
+// List implements Store: all keys under prefix, sorted.
+func (s *FS) List(ctx context.Context, prefix string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if s.hooks.BeforeOp != nil {
+		if err := s.hooks.BeforeOp("list", prefix); err != nil {
+			return nil, err
+		}
+	}
+	var keys []string
+	err := filepath.WalkDir(s.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		rel, err := filepath.Rel(s.root, p)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, stagingDir+"/") {
+			return nil
+		}
+		if strings.HasPrefix(key, prefix) && ValidKey(key) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: listing %s: %w", prefix, err)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Delete implements Store.
+func (s *FS) Delete(ctx context.Context, key string) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.hooks.BeforeOp != nil {
+		if err := s.hooks.BeforeOp("delete", key); err != nil {
+			return err
+		}
+	}
+	if err := os.Remove(p); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s", ErrNotExist, key)
+		}
+		return fmt.Errorf("blobstore: deleting %s: %w", key, err)
+	}
+	return nil
+}

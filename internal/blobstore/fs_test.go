@@ -1,0 +1,261 @@
+package blobstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/codsearch/cod/internal/faultfs"
+)
+
+func fsStore(t *testing.T) *FS {
+	t.Helper()
+	s, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func putStr(t *testing.T, s Store, key, val string) {
+	t.Helper()
+	if err := s.Put(context.Background(), key, strings.NewReader(val)); err != nil {
+		t.Fatalf("Put %s: %v", key, err)
+	}
+}
+
+func getStr(t *testing.T, s Store, key string) string {
+	t.Helper()
+	rc, err := s.Open(context.Background(), key)
+	if err != nil {
+		t.Fatalf("Open %s: %v", key, err)
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatalf("read %s: %v", key, err)
+	}
+	return string(b)
+}
+
+func TestFSPutOpenRoundTrip(t *testing.T) {
+	s := fsStore(t)
+	putStr(t, s, "ds/epoch-1-x/blob", "hello")
+	if got := getStr(t, s, "ds/epoch-1-x/blob"); got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	// Overwrite replaces atomically.
+	putStr(t, s, "ds/epoch-1-x/blob", "world")
+	if got := getStr(t, s, "ds/epoch-1-x/blob"); got != "world" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+}
+
+func TestFSOpenDeleteMissing(t *testing.T) {
+	s := fsStore(t)
+	if _, err := s.Open(context.Background(), "ds/none"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Open missing: %v", err)
+	}
+	if err := s.Delete(context.Background(), "ds/none"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Delete missing: %v", err)
+	}
+	putStr(t, s, "ds/some", "x")
+	if err := s.Delete(context.Background(), "ds/some"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Open(context.Background(), "ds/some"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Open after delete: %v", err)
+	}
+}
+
+func TestFSRejectsInvalidKeys(t *testing.T) {
+	s := fsStore(t)
+	for _, key := range []string{"", "../escape", "a/../b", "a//b", "/abs", "a b"} {
+		if err := s.Put(context.Background(), key, strings.NewReader("x")); err == nil {
+			t.Errorf("Put %q accepted", key)
+		}
+		if _, err := s.Open(context.Background(), key); err == nil {
+			t.Errorf("Open %q accepted", key)
+		}
+	}
+}
+
+func TestFSList(t *testing.T) {
+	s := fsStore(t)
+	putStr(t, s, "ds/epoch-1-x/b", "1")
+	putStr(t, s, "ds/epoch-1-x/a", "2")
+	putStr(t, s, "ds/CURRENT", "3")
+	putStr(t, s, "other/epoch-1-x/a", "4")
+	got, err := s.List(context.Background(), "ds/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"ds/CURRENT", "ds/epoch-1-x/a", "ds/epoch-1-x/b"}
+	if len(got) != len(want) {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFSFailedPutLeavesNoTrace(t *testing.T) {
+	// A Put that dies mid-write must neither replace the old value nor leak
+	// a temp file into List — the atomicity contract under torn writes.
+	fail := errors.New("disk died")
+	s, err := NewFSWithHooks(t.TempDir(), Hooks{
+		WrapWriter: func(key string, w io.Writer) io.Writer {
+			if strings.HasSuffix(key, "/victim") {
+				return &faultfs.ErrWriter{W: w, FailAfter: 2, Err: fail}
+			}
+			return w
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	putStr(t, s, "ds/other", "keep")
+	if err := s.Put(context.Background(), "ds/victim", strings.NewReader("doomed")); !errors.Is(err, fail) {
+		t.Fatalf("Put: %v, want injected fault", err)
+	}
+	if _, err := s.Open(context.Background(), "ds/victim"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("victim visible after failed Put: %v", err)
+	}
+	keys, err := s.List(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "ds/other" {
+		t.Fatalf("List after failed Put = %v", keys)
+	}
+	// And no temp file lingers in staging.
+	ents, err := os.ReadDir(filepath.Join(s.Root(), stagingDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("staging dir not empty: %v", ents)
+	}
+}
+
+func TestFSSyncErrorAborts(t *testing.T) {
+	fail := errors.New("fsync: I/O error")
+	s, err := NewFSWithHooks(t.TempDir(), Hooks{
+		SyncError: func(key string) error { return fail },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(context.Background(), "ds/k", strings.NewReader("x")); !errors.Is(err, fail) {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := s.Open(context.Background(), "ds/k"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("blob visible after failed fsync: %v", err)
+	}
+}
+
+func TestFSBeforeOpFaults(t *testing.T) {
+	fail := errors.New("transport down")
+	deny := true
+	s, err := NewFSWithHooks(t.TempDir(), Hooks{
+		BeforeOp: func(op, key string) error {
+			if deny {
+				return fail
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Put(ctx, "ds/k", strings.NewReader("x")); !errors.Is(err, fail) {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := s.Open(ctx, "ds/k"); !errors.Is(err, fail) {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := s.List(ctx, "ds/"); !errors.Is(err, fail) {
+		t.Fatalf("List: %v", err)
+	}
+	if err := s.Delete(ctx, "ds/k"); !errors.Is(err, fail) {
+		t.Fatalf("Delete: %v", err)
+	}
+	deny = false
+	putStr(t, s, "ds/k", "x")
+	if got := getStr(t, s, "ds/k"); got != "x" {
+		t.Fatalf("after heal: %q", got)
+	}
+}
+
+func TestFSWrapReaderCorruption(t *testing.T) {
+	s, err := NewFSWithHooks(t.TempDir(), Hooks{
+		WrapReader: func(key string, r io.Reader) io.Reader {
+			return &faultfs.FlipReader{R: r, Offset: 1, Mask: 0x80}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	putStr(t, s, "ds/k", "abc")
+	// The write path read nothing; the read path sees the flipped byte.
+	got := getStr(t, s, "ds/k")
+	want := string([]byte{'a', 'b' ^ 0x80, 'c'})
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestFSContextCancelled(t *testing.T) {
+	s := fsStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Put(ctx, "ds/k", strings.NewReader("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := s.Open(ctx, "ds/k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := s.List(ctx, ""); !errors.Is(err, context.Canceled) {
+		t.Fatalf("List: %v", err)
+	}
+	if err := s.Delete(ctx, "ds/k"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Delete: %v", err)
+	}
+}
+
+func TestFSPutConcurrentSameKey(t *testing.T) {
+	// Concurrent Puts to one key must each leave a complete value; readers
+	// never observe a mix. (Run under -race this also proves data-race
+	// freedom of the staging scheme.)
+	s := fsStore(t)
+	const writers = 8
+	done := make(chan error, writers)
+	for i := 0; i < writers; i++ {
+		val := bytes.Repeat([]byte{byte('a' + i)}, 4096)
+		go func() {
+			done <- s.Put(context.Background(), "ds/k", bytes.NewReader(val))
+		}()
+	}
+	for i := 0; i < writers; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	got := getStr(t, s, "ds/k")
+	if len(got) != 4096 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatalf("torn value: byte %d is %q, byte 0 is %q", i, got[i], got[0])
+		}
+	}
+}

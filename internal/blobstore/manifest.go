@@ -1,0 +1,195 @@
+package blobstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// ParamsSpec records the offline parameters an index snapshot was built
+// with, in a representation that round-trips exactly through JSON: Beta is
+// carried as its IEEE-754 bits, so the hash and the later header comparison
+// at load time agree bit-for-bit with the builder's value. Nodes pins the
+// graph the index spans.
+type ParamsSpec struct {
+	K        int    `json:"k"`
+	Theta    int    `json:"theta"`
+	BetaBits uint64 `json:"beta_bits"`
+	Linkage  int    `json:"linkage"`
+	Model    int    `json:"model"`
+	Balanced bool   `json:"balanced"`
+	Seed     uint64 `json:"seed"`
+	Nodes    int64  `json:"nodes"`
+}
+
+// Hash returns the params hash: 16 hex characters of SHA-256 over the
+// canonical fixed-width little-endian encoding of every field. The hash
+// names the epoch's key prefix and is re-derived from the fetched manifest
+// before any swap, so a replica can never adopt an index whose recorded
+// semantics disagree with the manifest that delivered it.
+func (p ParamsSpec) Hash() string {
+	var buf [57]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(int64(p.K)))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(p.Theta)))
+	binary.LittleEndian.PutUint64(buf[16:], p.BetaBits)
+	binary.LittleEndian.PutUint64(buf[24:], uint64(int64(p.Linkage)))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(int64(p.Model)))
+	if p.Balanced {
+		buf[40] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[41:], p.Seed)
+	binary.LittleEndian.PutUint64(buf[49:], uint64(p.Nodes))
+	sum := sha256.Sum256(buf[:])
+	return hex.EncodeToString(sum[:8])
+}
+
+// Artifact is one named blob of an epoch, with the size and CRC-32 (IEEE)
+// the fetcher must observe before trusting the content.
+type Artifact struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+	CRC32 uint32 `json:"crc32"`
+}
+
+// Manifest describes one published epoch: which dataset and epoch it is,
+// the offline parameters (and their hash) the artifacts were built under,
+// and the artifact inventory with per-artifact integrity data.
+type Manifest struct {
+	Dataset    string     `json:"dataset"`
+	Epoch      uint64     `json:"epoch"`
+	ParamsHash string     `json:"params_hash"`
+	Params     ParamsSpec `json:"params"`
+	Artifacts  []Artifact `json:"artifacts"`
+}
+
+// Current is the content of a dataset's CURRENT pointer: the epoch serving
+// replicas should converge to, plus the manifest's key and CRC so a torn or
+// stale CURRENT/manifest pair is detected before any artifact is fetched.
+type Current struct {
+	Epoch       uint64 `json:"epoch"`
+	ParamsHash  string `json:"params_hash"`
+	ManifestKey string `json:"manifest_key"`
+	ManifestCRC uint32 `json:"manifest_crc32"`
+}
+
+// Validate checks the manifest's internal consistency: well-formed dataset
+// and artifact names, a nonzero epoch, a params hash that matches the
+// recorded params, and a duplicate-free artifact inventory with sane sizes.
+func (m *Manifest) Validate() error {
+	if !ValidSegment(m.Dataset) {
+		return fmt.Errorf("%w: bad dataset name %q", ErrVerify, m.Dataset)
+	}
+	if m.Epoch == 0 {
+		return fmt.Errorf("%w: epoch 0 is reserved (epochs start at 1)", ErrVerify)
+	}
+	if got := m.Params.Hash(); got != m.ParamsHash {
+		return fmt.Errorf("%w: params hash %s, recorded params hash to %s", ErrVerify, m.ParamsHash, got)
+	}
+	if len(m.Artifacts) == 0 {
+		return fmt.Errorf("%w: manifest lists no artifacts", ErrVerify)
+	}
+	seen := make(map[string]bool, len(m.Artifacts))
+	for _, a := range m.Artifacts {
+		if !ValidSegment(a.Name) || a.Name == "manifest.json" || a.Name == "CURRENT" {
+			return fmt.Errorf("%w: bad artifact name %q", ErrVerify, a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("%w: duplicate artifact %q", ErrVerify, a.Name)
+		}
+		seen[a.Name] = true
+		if a.Bytes < 0 {
+			return fmt.Errorf("%w: artifact %q has negative size %d", ErrVerify, a.Name, a.Bytes)
+		}
+	}
+	return nil
+}
+
+// Artifact returns the inventory entry named name, or an ErrVerify-wrapped
+// error when the manifest does not list it.
+func (m *Manifest) Artifact(name string) (Artifact, error) {
+	for _, a := range m.Artifacts {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return Artifact{}, fmt.Errorf("%w: manifest for %s epoch %d lists no artifact %q",
+		ErrVerify, m.Dataset, m.Epoch, name)
+}
+
+// Encode renders the manifest as canonical JSON (fixed field order, indented
+// for human inspection in the store). The CRC-32 of these exact bytes is
+// what CURRENT records as ManifestCRC.
+func (m *Manifest) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: encoding manifest: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeManifest parses and validates manifest bytes. Unknown fields are
+// rejected: a manifest from a newer, incompatible writer must fail loudly
+// here rather than half-load.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	var m Manifest
+	if err := strictUnmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%w: decoding manifest: %v", ErrVerify, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Encode renders the CURRENT pointer as canonical JSON.
+func (c Current) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("blobstore: encoding CURRENT: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeCurrent parses and validates CURRENT bytes.
+func DecodeCurrent(b []byte) (Current, error) {
+	var c Current
+	if err := strictUnmarshal(b, &c); err != nil {
+		return Current{}, fmt.Errorf("%w: decoding CURRENT: %v", ErrVerify, err)
+	}
+	if c.Epoch == 0 {
+		return Current{}, fmt.Errorf("%w: CURRENT names epoch 0", ErrVerify)
+	}
+	if !ValidKey(c.ManifestKey) {
+		return Current{}, fmt.Errorf("%w: CURRENT names bad manifest key %q", ErrVerify, c.ManifestKey)
+	}
+	return c, nil
+}
+
+// CurrentFor derives the CURRENT pointer publishing m would install.
+// manifestBytes must be m.Encode()'s output (its CRC is recorded).
+func CurrentFor(m *Manifest, manifestBytes []byte) Current {
+	return Current{
+		Epoch:       m.Epoch,
+		ParamsHash:  m.ParamsHash,
+		ManifestKey: ManifestKey(m.Dataset, m.Epoch, m.ParamsHash),
+		ManifestCRC: crc32.ChecksumIEEE(manifestBytes),
+	}
+}
+
+// strictUnmarshal is json.Unmarshal with unknown fields rejected.
+func strictUnmarshal(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// A second document in the stream is as suspect as an unknown field.
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON document")
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package blobstore
+
+import (
+	"errors"
+	"hash/crc32"
+	"strings"
+	"testing"
+)
+
+func testParams() ParamsSpec {
+	return ParamsSpec{
+		K: 8, Theta: 3, BetaBits: 0x3fe0000000000000, // 0.5
+		Linkage: 1, Model: 2, Balanced: true, Seed: 42, Nodes: 120,
+	}
+}
+
+func testManifest(t *testing.T) (*Manifest, []byte) {
+	t.Helper()
+	m := &Manifest{
+		Dataset:    "tiny",
+		Epoch:      3,
+		ParamsHash: testParams().Hash(),
+		Params:     testParams(),
+		Artifacts: []Artifact{
+			{Name: "graph.codg", Bytes: 100, CRC32: 0xdeadbeef},
+			{Name: "index.codindx2", Bytes: 2048, CRC32: 0x01020304},
+		},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fixture manifest invalid: %v", err)
+	}
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return m, b
+}
+
+func TestParamsHashStable(t *testing.T) {
+	// The hash is part of the on-store key layout; it must never drift
+	// between releases or epochs become unaddressable.
+	h := testParams().Hash()
+	if len(h) != 16 {
+		t.Fatalf("hash %q: want 16 hex chars", h)
+	}
+	if h != testParams().Hash() {
+		t.Fatalf("hash not deterministic")
+	}
+	// Every field participates.
+	mutations := []func(*ParamsSpec){
+		func(p *ParamsSpec) { p.K++ },
+		func(p *ParamsSpec) { p.Theta++ },
+		func(p *ParamsSpec) { p.BetaBits++ },
+		func(p *ParamsSpec) { p.Linkage++ },
+		func(p *ParamsSpec) { p.Model++ },
+		func(p *ParamsSpec) { p.Balanced = !p.Balanced },
+		func(p *ParamsSpec) { p.Seed++ },
+		func(p *ParamsSpec) { p.Nodes++ },
+	}
+	for i, mut := range mutations {
+		p := testParams()
+		mut(&p)
+		if p.Hash() == h {
+			t.Errorf("mutation %d did not change the hash", i)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m, b := testManifest(t)
+	got, err := DecodeManifest(b)
+	if err != nil {
+		t.Fatalf("DecodeManifest: %v", err)
+	}
+	if got.Dataset != m.Dataset || got.Epoch != m.Epoch || got.ParamsHash != m.ParamsHash {
+		t.Fatalf("identity mismatch: %+v vs %+v", got, m)
+	}
+	if got.Params != m.Params {
+		t.Fatalf("params mismatch: %+v vs %+v", got.Params, m.Params)
+	}
+	if len(got.Artifacts) != len(m.Artifacts) {
+		t.Fatalf("artifact count %d, want %d", len(got.Artifacts), len(m.Artifacts))
+	}
+	for i := range got.Artifacts {
+		if got.Artifacts[i] != m.Artifacts[i] {
+			t.Fatalf("artifact %d mismatch: %+v vs %+v", i, got.Artifacts[i], m.Artifacts[i])
+		}
+	}
+	// Re-encoding is byte-identical — required for CURRENT's manifest CRC.
+	b2, err := got.Encode()
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if string(b2) != string(b) {
+		t.Fatalf("Encode not canonical:\n%s\nvs\n%s", b2, b)
+	}
+}
+
+func TestDecodeManifestRejects(t *testing.T) {
+	_, good := testManifest(t)
+	cases := map[string]string{
+		"unknown field": strings.Replace(string(good), `"dataset"`, `"surprise": 1, "dataset"`, 1),
+		"trailing data": string(good) + "{}",
+		"wrong hash":    strings.Replace(string(good), testParams().Hash(), "0000000000000000", 1),
+		"not json":      "hello",
+		"empty":         "",
+	}
+	for name, raw := range cases {
+		if _, err := DecodeManifest([]byte(raw)); !errors.Is(err, ErrVerify) {
+			t.Errorf("%s: got %v, want ErrVerify", name, err)
+		}
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	base, _ := testManifest(t)
+	cases := map[string]func(m *Manifest){
+		"bad dataset":     func(m *Manifest) { m.Dataset = "a/b" },
+		"empty dataset":   func(m *Manifest) { m.Dataset = "" },
+		"dotdot dataset":  func(m *Manifest) { m.Dataset = ".." },
+		"epoch zero":      func(m *Manifest) { m.Epoch = 0 },
+		"hash mismatch":   func(m *Manifest) { m.Params.Seed++ },
+		"no artifacts":    func(m *Manifest) { m.Artifacts = nil },
+		"dup artifact":    func(m *Manifest) { m.Artifacts = append(m.Artifacts, m.Artifacts[0]) },
+		"reserved name":   func(m *Manifest) { m.Artifacts[0].Name = "manifest.json" },
+		"reserved name 2": func(m *Manifest) { m.Artifacts[0].Name = "CURRENT" },
+		"bad name":        func(m *Manifest) { m.Artifacts[0].Name = "a b" },
+		"negative size":   func(m *Manifest) { m.Artifacts[0].Bytes = -1 },
+	}
+	for name, mut := range cases {
+		m := *base
+		m.Artifacts = append([]Artifact(nil), base.Artifacts...)
+		mut(&m)
+		if err := m.Validate(); !errors.Is(err, ErrVerify) {
+			t.Errorf("%s: got %v, want ErrVerify", name, err)
+		}
+	}
+}
+
+func TestCurrentRoundTrip(t *testing.T) {
+	m, mb := testManifest(t)
+	cur := CurrentFor(m, mb)
+	if cur.ManifestCRC != crc32.ChecksumIEEE(mb) {
+		t.Fatalf("CurrentFor CRC mismatch")
+	}
+	if cur.ManifestKey != ManifestKey(m.Dataset, m.Epoch, m.ParamsHash) {
+		t.Fatalf("CurrentFor key %q", cur.ManifestKey)
+	}
+	b, err := cur.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeCurrent(b)
+	if err != nil {
+		t.Fatalf("DecodeCurrent: %v", err)
+	}
+	if got != cur {
+		t.Fatalf("round trip %+v, want %+v", got, cur)
+	}
+	for name, raw := range map[string]string{
+		"epoch zero": `{"epoch":0,"params_hash":"x","manifest_key":"a/b","manifest_crc32":1}` + "\n",
+		"bad key":    `{"epoch":1,"params_hash":"x","manifest_key":"../b","manifest_crc32":1}` + "\n",
+		"unknown":    `{"epoch":1,"params_hash":"x","manifest_key":"a/b","manifest_crc32":1,"z":2}` + "\n",
+	} {
+		if _, err := DecodeCurrent([]byte(raw)); !errors.Is(err, ErrVerify) {
+			t.Errorf("%s: got %v, want ErrVerify", name, err)
+		}
+	}
+}
+
+func TestKeyHelpers(t *testing.T) {
+	if got, want := EpochPrefix("tiny", 255, "abcd"), "tiny/epoch-00000000000000ff-abcd"; got != want {
+		t.Fatalf("EpochPrefix = %q, want %q", got, want)
+	}
+	if got, want := CurrentKey("tiny"), "tiny/CURRENT"; got != want {
+		t.Fatalf("CurrentKey = %q, want %q", got, want)
+	}
+	valid := []string{"a", "a/b", "tiny/epoch-1-x/index.codindx2", "A-1_2.x"}
+	invalid := []string{"", "/", "a/", "/a", "a//b", "..", "a/../b", "a b", "a\x00b", "ä"}
+	for _, k := range valid {
+		if !ValidKey(k) {
+			t.Errorf("ValidKey(%q) = false, want true", k)
+		}
+	}
+	for _, k := range invalid {
+		if ValidKey(k) {
+			t.Errorf("ValidKey(%q) = true, want false", k)
+		}
+	}
+}
+
+// FuzzManifestRoundTrip asserts the decode→encode→decode loop is a fixpoint:
+// any bytes DecodeManifest accepts must re-encode canonically and decode to
+// the same manifest. Random inputs mostly exercise the rejection paths; the
+// seed corpus exercises acceptance.
+func FuzzManifestRoundTrip(f *testing.F) {
+	p := ParamsSpec{K: 8, Theta: 3, BetaBits: 0x3fe0000000000000, Linkage: 1, Model: 2, Balanced: true, Seed: 42, Nodes: 120}
+	seed := &Manifest{
+		Dataset: "tiny", Epoch: 3, ParamsHash: p.Hash(), Params: p,
+		Artifacts: []Artifact{{Name: "index.codindx2", Bytes: 10, CRC32: 7}},
+	}
+	sb, err := seed.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sb)
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"dataset":"a","epoch":1}`))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeManifest(b)
+		if err != nil {
+			return
+		}
+		b2, err := m.Encode()
+		if err != nil {
+			t.Fatalf("accepted manifest failed to encode: %v", err)
+		}
+		m2, err := DecodeManifest(b2)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		b3, err := m2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if string(b2) != string(b3) {
+			t.Fatalf("encode not a fixpoint:\n%s\nvs\n%s", b2, b3)
+		}
+	})
+}

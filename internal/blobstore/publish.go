@@ -1,0 +1,139 @@
+package blobstore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+)
+
+// Publish writes one epoch's artifacts, its manifest, and finally the
+// dataset's CURRENT pointer, in that order, and returns the manifest it
+// installed. Every blob is verified by reading it back and checking its
+// CRC-32 before the next step proceeds — the defense against torn writes
+// that report success — and each write+verify runs under pol's bounded
+// retries. Because CURRENT is written last and atomically, a fetcher
+// observes either the previous epoch or the complete new one; a publisher
+// crash mid-way leaves unreferenced artifacts, never a referenced partial.
+//
+// Epochs must be monotone per dataset: replicas refuse to swap backward, so
+// a rollback is published as a *new* epoch carrying the old artifacts.
+func Publish(ctx context.Context, s Store, dataset string, epoch uint64, params ParamsSpec, artifacts map[string][]byte, pol RetryPolicy) (*Manifest, error) {
+	m := &Manifest{
+		Dataset:    dataset,
+		Epoch:      epoch,
+		ParamsHash: params.Hash(),
+		Params:     params,
+	}
+	names := make([]string, 0, len(artifacts))
+	for name := range artifacts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m.Artifacts = append(m.Artifacts, Artifact{
+			Name:  name,
+			Bytes: int64(len(artifacts[name])),
+			CRC32: crc32.ChecksumIEEE(artifacts[name]),
+		})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+
+	for _, a := range m.Artifacts {
+		key := ArtifactKey(dataset, epoch, m.ParamsHash, a.Name)
+		if err := putVerified(ctx, s, key, artifacts[a.Name], pol); err != nil {
+			return nil, err
+		}
+	}
+	mb, err := m.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := putVerified(ctx, s, ManifestKey(dataset, epoch, m.ParamsHash), mb, pol); err != nil {
+		return nil, err
+	}
+	cb, err := CurrentFor(m, mb).Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := putVerified(ctx, s, CurrentKey(dataset), cb, pol); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// putVerified writes payload under key and reads it back, comparing length
+// and CRC-32; a mismatch (e.g. a torn write the store reported as success)
+// fails the attempt, and the whole write+verify cycle retries under pol.
+func putVerified(ctx context.Context, s Store, key string, payload []byte, pol RetryPolicy) error {
+	want := crc32.ChecksumIEEE(payload)
+	return pol.Do(ctx, "put "+key, func(ctx context.Context) error {
+		if err := s.Put(ctx, key, bytes.NewReader(payload)); err != nil {
+			return err
+		}
+		got, err := readAll(ctx, s, key, int64(len(payload)))
+		if err != nil {
+			return err
+		}
+		if len(got) != len(payload) || crc32.ChecksumIEEE(got) != want {
+			return fmt.Errorf("%w: read-back of %s: %d bytes crc %08x, wrote %d bytes crc %08x",
+				ErrVerify, key, len(got), crc32.ChecksumIEEE(got), len(payload), want)
+		}
+		return nil
+	})
+}
+
+// Prune deletes the oldest published epochs of a dataset, keeping the most
+// recent keep epochs and never the one CURRENT references. It returns the
+// epoch prefixes it removed. Fetchers racing a prune retry onto the fresh
+// CURRENT, which Prune leaves intact by construction.
+func Prune(ctx context.Context, s Store, dataset string, keep int, pol RetryPolicy) ([]string, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	cur, err := FetchCurrent(ctx, s, dataset, pol)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := s.List(ctx, dataset+"/epoch-")
+	if err != nil {
+		return nil, err
+	}
+	// Group keys by epoch prefix; prefixes sort by their zero-padded hex
+	// epoch, i.e. chronologically.
+	byPrefix := map[string][]string{}
+	prefixes := []string{}
+	for _, key := range keys {
+		i := strings.Index(key[len(dataset)+1:], "/")
+		if i < 0 {
+			continue
+		}
+		prefix := key[:len(dataset)+1+i]
+		if _, ok := byPrefix[prefix]; !ok {
+			prefixes = append(prefixes, prefix)
+		}
+		byPrefix[prefix] = append(byPrefix[prefix], key)
+	}
+	sort.Strings(prefixes)
+	if len(prefixes) <= keep {
+		return nil, nil
+	}
+	curPrefix := EpochPrefix(dataset, cur.Epoch, cur.ParamsHash)
+	var removed []string
+	for _, prefix := range prefixes[:len(prefixes)-keep] {
+		if prefix == curPrefix {
+			continue
+		}
+		for _, key := range byPrefix[prefix] {
+			if err := s.Delete(ctx, key); err != nil {
+				return removed, err
+			}
+		}
+		removed = append(removed, prefix)
+	}
+	return removed, nil
+}

@@ -1,0 +1,450 @@
+package blobstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/codsearch/cod/internal/faultfs"
+)
+
+// fastPolicy retries without real sleeping so fault-mode tests stay fast.
+func fastPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		Sleep:       func(ctx context.Context, d time.Duration) error { return ctx.Err() },
+		Jitter:      func(int, time.Duration) time.Duration { return 0 },
+	}
+}
+
+func testArtifacts() map[string][]byte {
+	return map[string][]byte{
+		"graph.codg":     []byte("graph bytes: edges and attributes"),
+		"index.codindx2": bytes.Repeat([]byte("index"), 100),
+	}
+}
+
+func publishEpoch(t *testing.T, s Store, epoch uint64) *Manifest {
+	t.Helper()
+	m, err := Publish(context.Background(), s, "tiny", epoch, testParams(), testArtifacts(), fastPolicy())
+	if err != nil {
+		t.Fatalf("Publish epoch %d: %v", epoch, err)
+	}
+	return m
+}
+
+func fetchAll(t *testing.T, s Store) (Current, *Manifest, map[string][]byte) {
+	t.Helper()
+	ctx := context.Background()
+	pol := fastPolicy()
+	cur, err := FetchCurrent(ctx, s, "tiny", pol)
+	if err != nil {
+		t.Fatalf("FetchCurrent: %v", err)
+	}
+	m, err := FetchManifest(ctx, s, cur, pol)
+	if err != nil {
+		t.Fatalf("FetchManifest: %v", err)
+	}
+	got := map[string][]byte{}
+	for _, a := range m.Artifacts {
+		b, err := FetchArtifact(ctx, s, m, a.Name, pol)
+		if err != nil {
+			t.Fatalf("FetchArtifact %s: %v", a.Name, err)
+		}
+		got[a.Name] = b
+	}
+	return cur, m, got
+}
+
+func TestPublishFetchRoundTrip(t *testing.T) {
+	s := fsStore(t)
+	m := publishEpoch(t, s, 1)
+	cur, m2, got := fetchAll(t, s)
+	if cur.Epoch != 1 || cur.ParamsHash != m.ParamsHash {
+		t.Fatalf("CURRENT %+v", cur)
+	}
+	if m2.Epoch != m.Epoch || m2.ParamsHash != m.ParamsHash || m2.Params != m.Params {
+		t.Fatalf("manifest mismatch: %+v vs %+v", m2, m)
+	}
+	for name, want := range testArtifacts() {
+		if !bytes.Equal(got[name], want) {
+			t.Fatalf("artifact %s: %d bytes, want %d", name, len(got[name]), len(want))
+		}
+	}
+	// A second epoch moves CURRENT; the old epoch stays fetchable.
+	publishEpoch(t, s, 2)
+	cur2, _, _ := fetchAll(t, s)
+	if cur2.Epoch != 2 {
+		t.Fatalf("CURRENT epoch %d after second publish", cur2.Epoch)
+	}
+	if _, err := s.Open(context.Background(), ManifestKey("tiny", 1, m.ParamsHash)); err != nil {
+		t.Fatalf("old epoch manifest gone: %v", err)
+	}
+}
+
+func TestFetchCurrentMissingDataset(t *testing.T) {
+	s := fsStore(t)
+	_, err := FetchCurrent(context.Background(), s, "ghost", fastPolicy())
+	if !errors.Is(err, ErrNotExist) {
+		t.Fatalf("got %v, want ErrNotExist", err)
+	}
+}
+
+// every reports a fault on every k-th sequenced operation. With k > 1 a
+// bounded retry always converges: consecutive attempts draw consecutive
+// sequence numbers, so no logical operation fails twice in a row for k >= 2.
+func every(k int64, fault error) func(int64) error {
+	return func(n int64) error {
+		if n%k == 0 {
+			return fault
+		}
+		return nil
+	}
+}
+
+func TestPublishFetchUnderTransportFaults(t *testing.T) {
+	// Every 3rd store operation dies at the transport layer, publish and
+	// fetch both still converge under retries.
+	seq := faultfs.NewSeq(every(3, errors.New("transport reset")))
+	s, err := NewFSWithHooks(t.TempDir(), Hooks{
+		BeforeOp: func(op, key string) error { return seq.Next() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishEpoch(t, s, 1)
+	_, _, got := fetchAll(t, s)
+	if !bytes.Equal(got["graph.codg"], testArtifacts()["graph.codg"]) {
+		t.Fatal("fetched bytes differ")
+	}
+	if seq.Count() == 0 {
+		t.Fatal("fault schedule never consulted")
+	}
+}
+
+func TestPublishDetectsTornWrite(t *testing.T) {
+	// The store tears every other write at 10 bytes but reports success —
+	// only read-back verification can catch it. Publish must converge (the
+	// retry's second write is healthy) and the final content must be intact.
+	seq := faultfs.NewSeq(every(2, errors.New("tear")))
+	s, err := NewFSWithHooks(t.TempDir(), Hooks{
+		WrapWriter: func(key string, w io.Writer) io.Writer {
+			if seq.Next() != nil {
+				return &faultfs.TornWriter{W: w, Keep: 10}
+			}
+			return w
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishEpoch(t, s, 1)
+	_, _, got := fetchAll(t, s)
+	for name, want := range testArtifacts() {
+		if !bytes.Equal(got[name], want) {
+			t.Fatalf("artifact %s corrupted by torn write", name)
+		}
+	}
+}
+
+func TestPublishTornWriteNeverReferenced(t *testing.T) {
+	// Every write is torn: publish must fail, and CURRENT must never come
+	// to exist — a reader keeps seeing ErrNotExist, not a broken epoch.
+	s, err := NewFSWithHooks(t.TempDir(), Hooks{
+		WrapWriter: func(key string, w io.Writer) io.Writer {
+			return &faultfs.TornWriter{W: w, Keep: 10}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Publish(context.Background(), s, "tiny", 1, testParams(), testArtifacts(), fastPolicy())
+	if !errors.Is(err, ErrVerify) {
+		t.Fatalf("Publish: %v, want ErrVerify", err)
+	}
+	if _, err := FetchCurrent(context.Background(), s, "tiny", fastPolicy()); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("CURRENT exists after failed publish: %v", err)
+	}
+}
+
+func TestPublishUnderShortWrites(t *testing.T) {
+	// Short writes surface as errors (io.Copy turns them into
+	// io.ErrShortWrite); every other write heals, so retries converge.
+	seq := faultfs.NewSeq(every(2, errors.New("short")))
+	s, err := NewFSWithHooks(t.TempDir(), Hooks{
+		WrapWriter: func(key string, w io.Writer) io.Writer {
+			if seq.Next() != nil {
+				return &faultfs.ShortWriter{W: w, Max: 7}
+			}
+			return w
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishEpoch(t, s, 1)
+	_, _, got := fetchAll(t, s)
+	if !bytes.Equal(got["index.codindx2"], testArtifacts()["index.codindx2"]) {
+		t.Fatal("fetched bytes differ")
+	}
+}
+
+func TestPublishUnderFsyncErrors(t *testing.T) {
+	seq := faultfs.NewSeq(every(2, errors.New("fsync: I/O error")))
+	s, err := NewFSWithHooks(t.TempDir(), Hooks{
+		SyncError: func(key string) error { return seq.Next() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishEpoch(t, s, 1)
+	_, _, got := fetchAll(t, s)
+	if !bytes.Equal(got["graph.codg"], testArtifacts()["graph.codg"]) {
+		t.Fatal("fetched bytes differ")
+	}
+}
+
+func TestFetchUnderBitFlips(t *testing.T) {
+	// Clean store, then every other read suffers bit rot. CRC verification
+	// rejects the corrupt copy and the retry's clean read wins; corrupted
+	// bytes never reach the caller.
+	dir := t.TempDir()
+	clean, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishEpoch(t, clean, 1)
+	seq := faultfs.NewSeq(every(2, errors.New("rot")))
+	rotten, err := NewFSWithHooks(dir, Hooks{
+		WrapReader: func(key string, r io.Reader) io.Reader {
+			if seq.Next() != nil {
+				return &faultfs.BitErrReader{R: r, Offsets: []int64{3, 17}, Mask: 0x40}
+			}
+			return r
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, got := fetchAll(t, rotten)
+	for name, want := range testArtifacts() {
+		if !bytes.Equal(got[name], want) {
+			t.Fatalf("artifact %s: corruption leaked through CRC verification", name)
+		}
+	}
+}
+
+func TestFetchArtifactPermanentCorruption(t *testing.T) {
+	// Corruption on every read: the retry budget exhausts and the caller
+	// gets ErrVerify — never the corrupt bytes.
+	dir := t.TempDir()
+	clean, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := publishEpoch(t, clean, 1)
+	rotten, err := NewFSWithHooks(dir, Hooks{
+		WrapReader: func(key string, r io.Reader) io.Reader {
+			if strings.HasSuffix(key, "/index.codindx2") {
+				return &faultfs.FlipReader{R: r, Offset: 5}
+			}
+			return r
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = FetchArtifact(context.Background(), rotten, m, "index.codindx2", fastPolicy())
+	if !errors.Is(err, ErrVerify) {
+		t.Fatalf("got %v, want ErrVerify", err)
+	}
+}
+
+func TestFetchManifestTruncated(t *testing.T) {
+	dir := t.TempDir()
+	clean, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishEpoch(t, clean, 1)
+	trunc, err := NewFSWithHooks(dir, Hooks{
+		WrapReader: func(key string, r io.Reader) io.Reader {
+			if strings.HasSuffix(key, "/manifest.json") {
+				return &faultfs.TruncateReader{R: r, N: 20}
+			}
+			return r
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := FetchCurrent(context.Background(), trunc, "tiny", fastPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FetchManifest(context.Background(), trunc, cur, fastPolicy()); !errors.Is(err, ErrVerify) {
+		t.Fatalf("got %v, want ErrVerify", err)
+	}
+}
+
+func TestFetchManifestCrossChecksCurrent(t *testing.T) {
+	// A stale CURRENT naming the wrong epoch for an otherwise valid
+	// manifest must be rejected by the identity cross-check.
+	s := fsStore(t)
+	m := publishEpoch(t, s, 1)
+	mb, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := CurrentFor(m, mb)
+	cur.Epoch = 9 // lies about which epoch the manifest is
+	if _, err := FetchManifest(context.Background(), s, cur, fastPolicy()); !errors.Is(err, ErrVerify) {
+		t.Fatalf("got %v, want ErrVerify", err)
+	}
+	cur = CurrentFor(m, mb)
+	cur.ManifestCRC++ // torn CURRENT/manifest pair
+	if _, err := FetchManifest(context.Background(), s, cur, fastPolicy()); !errors.Is(err, ErrVerify) {
+		t.Fatalf("got %v, want ErrVerify", err)
+	}
+}
+
+func TestFetchArtifactUnknownName(t *testing.T) {
+	s := fsStore(t)
+	m := publishEpoch(t, s, 1)
+	if _, err := FetchArtifact(context.Background(), s, m, "nonesuch", fastPolicy()); !errors.Is(err, ErrVerify) {
+		t.Fatalf("got %v, want ErrVerify", err)
+	}
+}
+
+func TestPublishRejectsBadInput(t *testing.T) {
+	s := fsStore(t)
+	ctx := context.Background()
+	if _, err := Publish(ctx, s, "bad/name", 1, testParams(), testArtifacts(), fastPolicy()); !errors.Is(err, ErrVerify) {
+		t.Fatalf("bad dataset: %v", err)
+	}
+	if _, err := Publish(ctx, s, "tiny", 0, testParams(), testArtifacts(), fastPolicy()); !errors.Is(err, ErrVerify) {
+		t.Fatalf("epoch 0: %v", err)
+	}
+	if _, err := Publish(ctx, s, "tiny", 1, testParams(), map[string][]byte{}, fastPolicy()); !errors.Is(err, ErrVerify) {
+		t.Fatalf("no artifacts: %v", err)
+	}
+	if _, err := Publish(ctx, s, "tiny", 1, testParams(), map[string][]byte{"CURRENT": nil}, fastPolicy()); !errors.Is(err, ErrVerify) {
+		t.Fatalf("reserved artifact name: %v", err)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	s := fsStore(t)
+	for e := uint64(1); e <= 5; e++ {
+		publishEpoch(t, s, e)
+	}
+	removed, err := Prune(context.Background(), s, "tiny", 2, fastPolicy())
+	if err != nil {
+		t.Fatalf("Prune: %v", err)
+	}
+	if len(removed) != 3 {
+		t.Fatalf("removed %v, want 3 prefixes", removed)
+	}
+	// The newest two epochs survive, CURRENT still resolves end to end.
+	cur, _, got := fetchAll(t, s)
+	if cur.Epoch != 5 {
+		t.Fatalf("CURRENT epoch %d", cur.Epoch)
+	}
+	if !bytes.Equal(got["graph.codg"], testArtifacts()["graph.codg"]) {
+		t.Fatal("fetch after prune failed")
+	}
+	ph := testParams().Hash()
+	if _, err := s.Open(context.Background(), ManifestKey("tiny", 4, ph)); err != nil {
+		t.Fatalf("epoch 4 pruned: %v", err)
+	}
+	if _, err := s.Open(context.Background(), ManifestKey("tiny", 1, ph)); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("epoch 1 survived: %v", err)
+	}
+	// Idempotent: nothing more to remove.
+	removed, err = Prune(context.Background(), s, "tiny", 2, fastPolicy())
+	if err != nil || len(removed) != 0 {
+		t.Fatalf("second Prune: %v %v", removed, err)
+	}
+}
+
+func TestPruneNeverRemovesCurrent(t *testing.T) {
+	// Even with keep=1 and CURRENT pointing at the *oldest* epoch (a
+	// republish-as-rollback gone sideways), the referenced epoch survives.
+	s := fsStore(t)
+	for e := uint64(1); e <= 3; e++ {
+		publishEpoch(t, s, e)
+	}
+	// Point CURRENT back at epoch 1 by hand.
+	raw, err := readAll(context.Background(), s, ManifestKey("tiny", 1, testParams().Hash()), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := DecodeManifest(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := CurrentFor(mm, raw).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(context.Background(), CurrentKey("tiny"), bytes.NewReader(cb)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Prune(context.Background(), s, "tiny", 1, fastPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	cur, _, got := fetchAll(t, s)
+	if cur.Epoch != 1 {
+		t.Fatalf("CURRENT epoch %d", cur.Epoch)
+	}
+	if !bytes.Equal(got["index.codindx2"], testArtifacts()["index.codindx2"]) {
+		t.Fatal("CURRENT's epoch was pruned")
+	}
+}
+
+func TestReadAllOversize(t *testing.T) {
+	s := fsStore(t)
+	putStr(t, s, "ds/big", strings.Repeat("x", 100))
+	if _, err := readAll(context.Background(), s, "ds/big", 99); !errors.Is(err, ErrVerify) {
+		t.Fatalf("oversize: %v", err)
+	}
+	b, err := readAll(context.Background(), s, "ds/big", 100)
+	if err != nil || len(b) != 100 {
+		t.Fatalf("exact: %v len %d", err, len(b))
+	}
+}
+
+func TestRetryCountsObserved(t *testing.T) {
+	// The OnRetry hook sees transport-level retries during a faulty fetch —
+	// this is the seam the serving layer's retry counter hangs off.
+	seq := faultfs.NewSeq(every(2, errors.New("flaky")))
+	dir := t.TempDir()
+	clean, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	publishEpoch(t, clean, 1)
+	s, err := NewFSWithHooks(dir, Hooks{
+		BeforeOp: func(op, key string) error { return seq.Next() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := fastPolicy()
+	retries := 0
+	pol.OnRetry = func(op string, attempt int, err error) { retries++ }
+	cur, err := FetchCurrent(context.Background(), s, "tiny", pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FetchManifest(context.Background(), s, cur, pol); err != nil {
+		t.Fatal(err)
+	}
+	if retries == 0 {
+		t.Fatal("no retries observed under a faulting schedule")
+	}
+}

@@ -1,0 +1,150 @@
+package blobstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Retry defaults: four attempts with 50ms → 2s capped exponential backoff
+// and a 10s per-attempt timeout keep a replica's fetch bounded at a few
+// seconds of retrying before it falls back to the serving epoch.
+const (
+	DefaultMaxAttempts       = 4
+	DefaultBaseDelay         = 50 * time.Millisecond
+	DefaultMaxDelay          = 2 * time.Second
+	DefaultPerAttemptTimeout = 10 * time.Second
+)
+
+// RetryPolicy bounds and paces retries of store operations. The zero value
+// selects the defaults above. The clock and jitter are injectable so tests
+// replay fault schedules deterministically (no wall-clock sleeps, no global
+// randomness — the determinism analyzers hold for this package too).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (first attempt included);
+	// <= 0 selects DefaultMaxAttempts.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// retry up to MaxDelay. <= 0 selects the defaults.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff.
+	MaxDelay time.Duration
+	// PerAttemptTimeout bounds each attempt's context; <= 0 selects
+	// DefaultPerAttemptTimeout. The parent context still bounds the whole
+	// retry loop.
+	PerAttemptTimeout time.Duration
+	// Sleep waits for d or until ctx is done, returning ctx's error in the
+	// latter case. Nil selects a timer-backed sleep; tests inject a manual
+	// clock.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Jitter returns the extra delay added to attempt's backoff, in
+	// [0, max]. Nil selects a deterministic SplitMix64-derived jitter — the
+	// same on every replica and every run, which keeps tests replayable;
+	// deployments that want decorrelated replicas inject their own seeded
+	// source.
+	Jitter func(attempt int, max time.Duration) time.Duration
+	// OnRetry, when non-nil, observes each failed attempt that will be
+	// retried (metrics hook; it must not block).
+	OnRetry func(op string, attempt int, err error)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.PerAttemptTimeout <= 0 {
+		p.PerAttemptTimeout = DefaultPerAttemptTimeout
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	if p.Jitter == nil {
+		p.Jitter = splitmixJitter
+	}
+	return p
+}
+
+// backoff returns the pre-jitter delay before retry attempt (attempt 1 is
+// the first retry).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	return min(d, p.MaxDelay)
+}
+
+// Do runs fn with bounded retries: each attempt gets its own deadline, and
+// failed attempts back off exponentially (capped, jittered) before the
+// next. Permanent conditions are not retried: ErrNotExist (absence is
+// state, not a fault) and the caller's context expiring. ErrVerify is
+// retried — read-side corruption can be transient, and the loop never
+// returns unverified bytes either way. The returned error is the last
+// attempt's, wrapped with the op name and attempt count.
+func (p RetryPolicy) Do(ctx context.Context, op string, fn func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	var last error
+	for attempt := 1; ; attempt++ {
+		actx, cancel := context.WithTimeout(ctx, p.PerAttemptTimeout)
+		err := fn(actx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		last = err
+		if errors.Is(err, ErrNotExist) || ctx.Err() != nil {
+			break
+		}
+		if attempt >= p.MaxAttempts {
+			break
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(op, attempt, err)
+		}
+		delay := p.backoff(attempt)
+		if err := p.Sleep(ctx, delay+p.Jitter(attempt, delay/2)); err != nil {
+			break
+		}
+	}
+	return fmt.Errorf("blobstore: %s failed: %w", op, last)
+}
+
+// sleepCtx is the production Sleep: a timer raced against ctx.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// splitmixJitter derives a deterministic jitter in [0, max] from the
+// attempt number alone (SplitMix64 finalizer). No randomness source is
+// consumed, so retried fetches replay identically under test and the
+// detrand/detflow analyzers stay clean.
+func splitmixJitter(attempt int, max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	z := uint64(attempt) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return time.Duration(z % uint64(max+1))
+}

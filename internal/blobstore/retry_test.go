@@ -1,0 +1,179 @@
+package blobstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// testPolicy returns a policy whose sleeps record into *slept instead of
+// blocking, with zero jitter so backoff values are exact.
+func testPolicy(slept *[]time.Duration) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			*slept = append(*slept, d)
+			return ctx.Err()
+		},
+		Jitter: func(int, time.Duration) time.Duration { return 0 },
+	}
+}
+
+func TestRetrySucceedsAfterTransientFaults(t *testing.T) {
+	var slept []time.Duration
+	pol := testPolicy(&slept)
+	calls := 0
+	err := pol.Do(context.Background(), "op", func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("%w: bit flip", ErrVerify)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", slept, want)
+		}
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	var slept []time.Duration
+	pol := testPolicy(&slept)
+	var retried []int
+	pol.OnRetry = func(op string, attempt int, err error) { retried = append(retried, attempt) }
+	calls := 0
+	boom := errors.New("boom")
+	err := pol.Do(context.Background(), "op", func(ctx context.Context) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want MaxAttempts=4", calls)
+	}
+	if len(retried) != 3 {
+		t.Fatalf("OnRetry fired %v, want attempts 1..3", retried)
+	}
+}
+
+func TestRetryBackoffCaps(t *testing.T) {
+	var slept []time.Duration
+	pol := testPolicy(&slept)
+	pol.MaxAttempts = 8
+	pol.MaxDelay = 150 * time.Millisecond
+	_ = pol.Do(context.Background(), "op", func(ctx context.Context) error {
+		return errors.New("always")
+	})
+	// 50, 100, then pinned at the 150ms cap.
+	if len(slept) != 7 {
+		t.Fatalf("slept %v, want 7 entries", slept)
+	}
+	for i, d := range slept {
+		if d > pol.MaxDelay {
+			t.Fatalf("sleep %d = %v exceeds cap %v", i, d, pol.MaxDelay)
+		}
+	}
+	if slept[0] != 50*time.Millisecond || slept[2] != 150*time.Millisecond || slept[6] != 150*time.Millisecond {
+		t.Fatalf("backoff sequence %v", slept)
+	}
+}
+
+func TestRetryNotExistIsPermanent(t *testing.T) {
+	var slept []time.Duration
+	pol := testPolicy(&slept)
+	calls := 0
+	err := pol.Do(context.Background(), "op", func(ctx context.Context) error {
+		calls++
+		return fmt.Errorf("%w: tiny/CURRENT", ErrNotExist)
+	})
+	if !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+	if calls != 1 || len(slept) != 0 {
+		t.Fatalf("calls=%d slept=%v; absence must not be retried", calls, slept)
+	}
+}
+
+func TestRetryStopsOnCallerContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var slept []time.Duration
+	pol := testPolicy(&slept)
+	calls := 0
+	err := pol.Do(ctx, "op", func(ctx context.Context) error {
+		calls++
+		cancel() // the caller gives up mid-attempt
+		return errors.New("transient")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d; an expired parent context must not retry", calls)
+	}
+}
+
+func TestRetryPerAttemptTimeout(t *testing.T) {
+	var slept []time.Duration
+	pol := testPolicy(&slept)
+	pol.PerAttemptTimeout = time.Millisecond
+	deadlines := 0
+	err := pol.Do(context.Background(), "op", func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			deadlines++
+		}
+		return errors.New("slow")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if deadlines != pol.MaxAttempts {
+		t.Fatalf("deadlines = %d, want one per attempt (%d)", deadlines, pol.MaxAttempts)
+	}
+}
+
+func TestSplitmixJitterBoundedAndDeterministic(t *testing.T) {
+	max := 100 * time.Millisecond
+	for attempt := 0; attempt < 64; attempt++ {
+		j := splitmixJitter(attempt, max)
+		if j < 0 || j > max {
+			t.Fatalf("jitter(%d) = %v out of [0,%v]", attempt, j, max)
+		}
+		if j != splitmixJitter(attempt, max) {
+			t.Fatalf("jitter(%d) not deterministic", attempt)
+		}
+	}
+	if splitmixJitter(3, 0) != 0 {
+		t.Fatal("jitter with max 0 must be 0")
+	}
+}
+
+func TestSleepCtx(t *testing.T) {
+	if err := sleepCtx(context.Background(), 0); err != nil {
+		t.Fatalf("zero sleep: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sleepCtx(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sleep: %v", err)
+	}
+	if err := sleepCtx(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("short sleep: %v", err)
+	}
+}

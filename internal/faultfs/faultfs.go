@@ -9,6 +9,7 @@ package faultfs
 import (
 	"errors"
 	"io"
+	"sync/atomic"
 	"time"
 )
 
@@ -177,3 +178,101 @@ func (r *LatencyReader) Read(p []byte) (int, error) {
 	time.Sleep(r.Delay)
 	return r.R.Read(p)
 }
+
+// TornWriter passes the first Keep bytes through to W and silently discards
+// everything after, while reporting complete success to the caller — the
+// most insidious write fault: a torn write (power loss between a page write
+// and its tail, a lying RAID cache) that the writing process cannot observe.
+// Only read-back verification catches it, which is exactly what the
+// blobstore publish path does.
+type TornWriter struct {
+	W    io.Writer
+	Keep int64
+
+	written int64
+}
+
+// Write implements io.Writer.
+func (w *TornWriter) Write(p []byte) (int, error) {
+	remain := w.Keep - w.written
+	if remain <= 0 {
+		w.written += int64(len(p))
+		return len(p), nil
+	}
+	keep := int64(len(p))
+	if keep > remain {
+		keep = remain
+	}
+	n, err := w.W.Write(p[:keep])
+	w.written += int64(n)
+	if err != nil || int64(n) < keep {
+		// The underlying device failed before the tear point; surface that
+		// honestly rather than masking a real error with fake success.
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return n, err
+	}
+	w.written += int64(len(p)) - keep
+	return len(p), nil
+}
+
+// BitErrReader passes R through with one bit flipped at each stream offset
+// in Offsets (bit Mask; 0 flips the low bit), generalizing FlipReader to
+// multi-bit rot across a stream. Offsets must be ascending.
+type BitErrReader struct {
+	R       io.Reader
+	Offsets []int64
+	Mask    byte
+
+	read int64
+}
+
+// Read implements io.Reader.
+func (r *BitErrReader) Read(p []byte) (int, error) {
+	n, err := r.R.Read(p)
+	for _, off := range r.Offsets {
+		if i := off - r.read; i >= 0 && i < int64(n) {
+			mask := r.Mask
+			if mask == 0 {
+				mask = 1
+			}
+			p[i] ^= mask
+		}
+	}
+	r.read += int64(n)
+	return n, err
+}
+
+// Seq schedules faults deterministically across a numbered sequence of
+// operations: the n-th Next call (counting from 1) fails iff ShouldFail(n)
+// reports an error. It is safe for concurrent use — concurrent callers draw
+// distinct sequence numbers — which makes it the clock of chaos tests: wire
+// ShouldFail to a pure function of n (e.g. "every 5th operation") and the
+// fault schedule replays identically while never failing the same logical
+// operation twice in a row (a retry draws a fresh n).
+type Seq struct {
+	n atomic.Int64
+	// ShouldFail maps an operation's sequence number to the fault it
+	// suffers (nil = healthy). It must be a pure function for the schedule
+	// to be deterministic.
+	ShouldFail func(n int64) error
+}
+
+// NewSeq returns a Seq driven by shouldFail.
+func NewSeq(shouldFail func(n int64) error) *Seq {
+	return &Seq{ShouldFail: shouldFail}
+}
+
+// Next draws the next sequence number and returns its scheduled fault, if
+// any.
+func (s *Seq) Next() error {
+	n := s.n.Add(1)
+	if s.ShouldFail == nil {
+		return nil
+	}
+	return s.ShouldFail(n)
+}
+
+// Count returns how many operations have drawn a sequence number so far.
+func (s *Seq) Count() int64 { return s.n.Load() }

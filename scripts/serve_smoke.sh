@@ -47,14 +47,22 @@ echo "serve-smoke: server at $base"
 code=$(curl -s -o /dev/null -w '%{http_code}' "$base/healthz") || fail "healthz unreachable"
 [ "$code" = 200 ] || fail "healthz returned $code before ready"
 
+# /readyz is a JSON contract: {"state":"warming"} at 503 during warmup,
+# then {"state":"serving",...} at 200.
 ready=""
 for _ in $(seq 1 100); do
-    code=$(curl -s -o /dev/null -w '%{http_code}' "$base/readyz" || echo 000)
+    code=$(curl -s -o "$workdir/readyz.json" -w '%{http_code}' "$base/readyz" || echo 000)
     if [ "$code" = 200 ]; then ready=yes; break; fi
     [ "$code" = 503 ] || [ "$code" = 000 ] || fail "readyz returned $code during warmup"
+    if [ "$code" = 503 ]; then
+        grep -q '"state":"warming"' "$workdir/readyz.json" \
+            || fail "503 readyz body is not state=warming: $(cat "$workdir/readyz.json")"
+    fi
     sleep 0.1
 done
 [ -n "$ready" ] || fail "server never became ready"
+grep -q '"state":"serving"' "$workdir/readyz.json" || fail "ready readyz missing state=serving"
+grep -q '"stale_for_ms":0' "$workdir/readyz.json" || fail "ready readyz missing stale_for_ms"
 echo "serve-smoke: ready"
 
 # Query endpoints: success, JSON error for bad input, batch. The first
@@ -103,4 +111,69 @@ else
     fail "server exited nonzero on SIGTERM"
 fi
 grep -q "drained cleanly" "$workdir/server.log" || fail "drain not logged"
+echo "serve-smoke: phase 1 (local build) ok"
+
+# --- Phase 2: store-fed serving -------------------------------------------
+# codpublish publishes a verified snapshot into a blob store; codserve
+# -index-store fetches it, serves it, and hot-swaps when a newer epoch
+# lands — all observable through /readyz, X-Cod-Epoch, and /metrics.
+echo "serve-smoke: building codpublish"
+go build -o "$workdir/codpublish" ./cmd/codpublish
+store="$workdir/store"
+
+"$workdir/codpublish" -store "$store" -dataset tiny -theta 4 -seed 1 \
+    >>"$workdir/server.log" 2>&1 || fail "codpublish epoch 1"
+
+"$workdir/codserve" -dataset tiny -addr 127.0.0.1:0 -addr-file "$workdir/addr2" \
+    -index-store "$store" -index-watch 200ms -query-timeout 5s -shutdown-grace 5s \
+    >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+for _ in $(seq 1 50); do
+    [ -s "$workdir/addr2" ] && break
+    kill -0 "$server_pid" 2>/dev/null || fail "store-fed server exited during startup"
+    sleep 0.1
+done
+[ -s "$workdir/addr2" ] || fail "store-fed addr file never appeared"
+base="http://$(cat "$workdir/addr2")"
+echo "serve-smoke: store-fed server at $base"
+
+ready=""
+for _ in $(seq 1 100); do
+    code=$(curl -s -o "$workdir/readyz.json" -w '%{http_code}' "$base/readyz" || echo 000)
+    if [ "$code" = 200 ]; then ready=yes; break; fi
+    sleep 0.1
+done
+[ -n "$ready" ] || fail "store-fed server never became ready"
+grep -q '"state":"serving"' "$workdir/readyz.json" || fail "store-fed readyz missing state=serving"
+grep -q '"epoch":1' "$workdir/readyz.json" || fail "store-fed readyz not on epoch 1"
+grep -q '"params_hash":"' "$workdir/readyz.json" || fail "store-fed readyz missing params_hash"
+
+# Responses name the epoch that answered them.
+curl -sf -D "$workdir/headers.txt" -o /dev/null "$base/discover?q=0" || fail "store-fed discover"
+grep -iq '^x-cod-epoch: 1' "$workdir/headers.txt" \
+    || fail "X-Cod-Epoch not 1: $(grep -i x-cod-epoch "$workdir/headers.txt" || echo missing)"
+
+# Publish a newer epoch; the watcher must converge and swap without a restart.
+"$workdir/codpublish" -store "$store" -dataset tiny -theta 4 -seed 2 \
+    >>"$workdir/server.log" 2>&1 || fail "codpublish epoch 2"
+swapped=""
+for _ in $(seq 1 100); do
+    if curl -s "$base/readyz" | grep -q '"epoch":2'; then swapped=yes; break; fi
+    sleep 0.1
+done
+[ -n "$swapped" ] || fail "server never swapped to epoch 2"
+curl -sf -D "$workdir/headers.txt" -o /dev/null "$base/discover?q=0" || fail "post-swap discover"
+grep -iq '^x-cod-epoch: 2' "$workdir/headers.txt" || fail "queries not served from epoch 2 after swap"
+curl -sf "$base/metrics" >"$workdir/metrics.txt" || fail "metrics unreachable"
+grep -q '^cod_index_swap_ok_total 2' "$workdir/metrics.txt" || fail "swap counter not at 2"
+grep -q '^cod_index_epoch 2' "$workdir/metrics.txt" || fail "epoch gauge not at 2"
+echo "serve-smoke: hot swap ok"
+
+kill -TERM "$server_pid"
+if wait "$server_pid"; then
+    server_pid=""
+else
+    fail "store-fed server exited nonzero on SIGTERM"
+fi
 echo "serve-smoke: PASS"

@@ -344,6 +344,11 @@ func (s *Searcher) validate(q NodeID, attr AttrID) error {
 // Engine exposes the underlying query engine (epoch, caches, plan API).
 func (s *Searcher) Engine() *engine.Engine { return s.eng }
 
+// Graph returns the attributed graph this Searcher queries. Index
+// distribution serializes it alongside the index so a fetched snapshot is
+// self-contained.
+func (s *Searcher) Graph() *Graph { return s.g }
+
 // nextSeed derives a fresh deterministic per-query seed. The sequence
 // counter is atomic, so concurrent queries each get a distinct stream; the
 // mapping from arrival order to stream is first-come-first-seeded. The seed
