@@ -7,7 +7,7 @@ CODVET  := $(BIN)/codvet
 PKGS    := ./...
 FUZZTIME ?= 10s
 
-.PHONY: all build test race lint vet codvet codvet-path codvet-self fmt fmt-check bench bench-check fuzz serve-smoke check clean
+.PHONY: all build test race lint vet codvet codvet-path codvet-self fmt fmt-check bench bench-check cover-check fuzz serve-smoke check clean
 
 all: build
 
@@ -64,6 +64,11 @@ bench:
 # stops producing parseable output; no performance thresholds.
 bench-check:
 	sh scripts/bench_check.sh
+
+# Per-package coverage floors for the statistical packages (accuracy
+# harness, influence sampling); no global gate.
+cover-check:
+	sh scripts/cover_check.sh
 
 # Short smoke of each parser fuzz target; regressions caught by the seed
 # corpus and a few seconds of mutation. Raise FUZZTIME for a deeper run.

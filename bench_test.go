@@ -10,6 +10,7 @@ package cod
 // shape of each result (who wins, by how much) is visible in bench output.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -293,6 +294,40 @@ func BenchmarkCODLQuery(b *testing.B) {
 		if _, err := codl.Query(q.Node, q.Attr, graph.NewRand(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCODLQueryAdaptive measures the realized-budget savings of
+// bounded-error staged evaluation against the same engine with it off. Both
+// modes share one offline build; θ is higher than BenchmarkCODLQuery's so
+// the stage-1 pool is large enough for the concentration bound to certify
+// (at toy budgets the radius never shrinks below ε and "on" degenerates to
+// "off" plus the staging overhead).
+func BenchmarkCODLQueryAdaptive(b *testing.B) {
+	g := loadBenchGraph(b, "cora")
+	p := engine.Params{K: 5, Theta: 20, Seed: 4}
+	base, err := engine.Build(context.Background(), g, p, engine.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := dataset.Queries(g, 16, graph.NewRand(5))
+	for _, mode := range []struct {
+		name string
+		cfg  engine.Config
+	}{
+		{"off", engine.Config{}},
+		{"on", engine.Config{Adaptive: engine.Adaptive{Enabled: true}}},
+	} {
+		eng := engine.New(g, base.Tree(), base.Index(), p, mode.cfg)
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				q := qs[i%len(qs)]
+				if _, err := eng.Execute(context.Background(),
+					eng.Compile(engine.VariantCODL, q.Node, q.Attr), graph.NewRand(uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/codsearch/cod/internal/accuracy"
 	"github.com/codsearch/cod/internal/dataset"
 	"github.com/codsearch/cod/internal/eval"
 )
@@ -52,8 +54,19 @@ func main() {
 			"baseline JSON report to diff the -check-bench report against (ns/op + allocs/op, min of runs)")
 		compareThresh = flag.Float64("compare-threshold", 0.25,
 			"fractional regression vs -compare-bench that fails the diff (0.25 = +25%)")
+
+		accuracySweep = flag.Bool("accuracy", false,
+			"run the bounded-error accuracy sweep (internal/accuracy) over -datasets at several (ε, δ); fails if any observed error rate exceeds its δ")
 	)
 	flag.Parse()
+
+	if *accuracySweep {
+		if err := runAccuracy(*datasets, *queries, *theta, *k, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "codbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *parseBench {
 		if err := writeBenchReport(os.Stdin, *benchOut); err != nil {
@@ -202,4 +215,46 @@ func parseInts(s string) []int {
 		}
 	}
 	return out
+}
+
+// runAccuracy sweeps the bounded-error accuracy harness over datasets and a
+// grid of (ε, δ), printing one summary line per cell. The sweep fails when
+// any cell's observed rank-k error rate exceeds its δ — the statistical
+// acceptance gate of the bounded-error evaluation contract (DESIGN.md §16).
+func runAccuracy(datasetsFlag string, queries, theta, k int, seed uint64) error {
+	sets := []string{"cora", "citeseer", "pubmed", "retweet"}
+	switch datasetsFlag {
+	case "":
+	case "all":
+		sets = dataset.EffectivenessNames()
+	default:
+		sets = strings.Split(datasetsFlag, ",")
+	}
+	grid := []struct{ eps, delta float64 }{
+		{0.05, 0.05},
+		{0.02, 0.05},
+		{0.10, 0.10},
+	}
+	failed := false
+	for _, ds := range sets {
+		for _, cell := range grid {
+			start := time.Now()
+			r, err := accuracy.Run(context.Background(), accuracy.Config{
+				Dataset: ds, Seed: seed, NumQueries: queries,
+				K: k, Theta: theta, Eps: cell.eps, Delta: cell.delta})
+			if err != nil {
+				return err
+			}
+			status := "ok"
+			if r.ErrorRate > r.Delta {
+				status = "FAIL"
+				failed = true
+			}
+			fmt.Printf("%s  [%s in %v]\n", r, status, time.Since(start).Round(10*time.Millisecond))
+		}
+	}
+	if failed {
+		return fmt.Errorf("accuracy sweep: observed error rate exceeded delta")
+	}
+	return nil
 }

@@ -22,16 +22,18 @@ import (
 
 func main() {
 	var (
-		graphFile = flag.String("graph", "", "graph file in cod text format (overrides -dataset)")
-		datasetN  = flag.String("dataset", "cora", "built-in dataset name")
-		q         = flag.Int("q", 0, "query node id")
-		attr      = flag.Int("attr", -1, "query attribute id (-1: first attribute of q)")
-		k         = flag.Int("k", 5, "required influence rank k")
-		theta     = flag.Int("theta", 10, "RR graphs per node (θ)")
-		seed      = flag.Uint64("seed", 42, "random seed")
-		method    = flag.String("method", "codl", "codl|codu|codr")
-		timeout   = flag.Duration("timeout", 0, "overall deadline for offline build + query (0 = none)")
-		trace     = flag.Bool("trace", false, "print the query's plan-step trace (trace ID, step outcomes, stage spans)")
+		graphFile     = flag.String("graph", "", "graph file in cod text format (overrides -dataset)")
+		datasetN      = flag.String("dataset", "cora", "built-in dataset name")
+		q             = flag.Int("q", 0, "query node id")
+		attr          = flag.Int("attr", -1, "query attribute id (-1: first attribute of q)")
+		k             = flag.Int("k", 5, "required influence rank k")
+		theta         = flag.Int("theta", 10, "RR graphs per node (θ)")
+		seed          = flag.Uint64("seed", 42, "random seed")
+		method        = flag.String("method", "codl", "codl|codu|codr")
+		timeout       = flag.Duration("timeout", 0, "overall deadline for offline build + query (0 = none)")
+		trace         = flag.Bool("trace", false, "print the query's plan-step trace (trace ID, step outcomes, stage spans)")
+		adaptiveEps   = flag.Float64("adaptive-eps", 0.05, "indifference width ε for bounded-error adaptive sampling (used when -adaptive-delta > 0)")
+		adaptiveDelta = flag.Float64("adaptive-delta", 0, "certification failure probability δ; > 0 enables bounded-error adaptive sampling")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -40,7 +42,8 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	if err := run(ctx, *graphFile, *datasetN, *q, *attr, *k, *theta, *seed, *method, *trace); err != nil {
+	adaptive := cod.AdaptiveOptions{Enabled: *adaptiveDelta > 0, Eps: *adaptiveEps, Delta: *adaptiveDelta}
+	if err := run(ctx, *graphFile, *datasetN, *q, *attr, *k, *theta, *seed, *method, *trace, adaptive); err != nil {
 		var ce *cod.CanceledError
 		if errors.As(err, &ce) {
 			fmt.Fprintf(os.Stderr, "codquery: deadline expired during %s after %d/%d samples\n",
@@ -52,7 +55,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, graphFile, datasetN string, q, attr, k, theta int, seed uint64, method string, trace bool) error {
+func run(ctx context.Context, graphFile, datasetN string, q, attr, k, theta int, seed uint64, method string, trace bool, adaptive cod.AdaptiveOptions) error {
 	var (
 		g   *cod.Graph
 		err error
@@ -87,7 +90,7 @@ func run(ctx context.Context, graphFile, datasetN string, q, attr, k, theta int,
 
 	fmt.Printf("graph: n=%d m=%d attrs=%d\n", g.N(), g.M(), g.NumAttrs())
 	start := time.Now()
-	s, err := cod.NewSearcherCtx(ctx, g, cod.Options{K: k, Theta: theta, Seed: seed})
+	s, err := cod.NewSearcherCtx(ctx, g, cod.Options{K: k, Theta: theta, Seed: seed, Adaptive: adaptive})
 	if err != nil {
 		return err
 	}

@@ -6,31 +6,33 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/codsearch/cod"
 )
 
 func TestRunOnBuiltinDataset(t *testing.T) {
-	if err := run(context.Background(), "", "tiny", 5, -1, 5, 3, 7, "codl", false); err != nil {
+	if err := run(context.Background(), "", "tiny", 5, -1, 5, 3, 7, "codl", false, cod.AdaptiveOptions{}); err != nil {
 		t.Fatalf("codl run: %v", err)
 	}
-	if err := run(context.Background(), "", "tiny", 5, 0, 5, 3, 7, "codu", false); err != nil {
+	if err := run(context.Background(), "", "tiny", 5, 0, 5, 3, 7, "codu", false, cod.AdaptiveOptions{}); err != nil {
 		t.Fatalf("codu run: %v", err)
 	}
-	if err := run(context.Background(), "", "tiny", 5, 0, 5, 3, 7, "codr", false); err != nil {
+	if err := run(context.Background(), "", "tiny", 5, 0, 5, 3, 7, "codr", false, cod.AdaptiveOptions{}); err != nil {
 		t.Fatalf("codr run: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), "", "no-such-dataset", 0, 0, 5, 3, 7, "codl", false); err == nil {
+	if err := run(context.Background(), "", "no-such-dataset", 0, 0, 5, 3, 7, "codl", false, cod.AdaptiveOptions{}); err == nil {
 		t.Error("unknown dataset accepted")
 	}
-	if err := run(context.Background(), "", "tiny", 10_000, 0, 5, 3, 7, "codl", false); err == nil {
+	if err := run(context.Background(), "", "tiny", 10_000, 0, 5, 3, 7, "codl", false, cod.AdaptiveOptions{}); err == nil {
 		t.Error("out-of-range query node accepted")
 	}
-	if err := run(context.Background(), "", "tiny", 5, 0, 5, 3, 7, "warp", false); err == nil {
+	if err := run(context.Background(), "", "tiny", 5, 0, 5, 3, 7, "warp", false, cod.AdaptiveOptions{}); err == nil {
 		t.Error("unknown method accepted")
 	}
-	if err := run(context.Background(), filepath.Join(t.TempDir(), "absent.txt"), "", 0, 0, 5, 3, 7, "codl", false); err == nil {
+	if err := run(context.Background(), filepath.Join(t.TempDir(), "absent.txt"), "", 0, 0, 5, 3, 7, "codl", false, cod.AdaptiveOptions{}); err == nil {
 		t.Error("missing graph file accepted")
 	}
 }
@@ -42,11 +44,11 @@ func TestRunOnGraphFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(context.Background(), path, "", 0, 0, 2, 20, 1, "codl", false); err != nil {
+	if err := run(context.Background(), path, "", 0, 0, 2, 20, 1, "codl", false, cod.AdaptiveOptions{}); err != nil {
 		t.Fatalf("graph file run: %v", err)
 	}
 	// node without attributes and no -attr
-	if err := run(context.Background(), path, "", 3, -1, 2, 20, 1, "codl", false); err == nil {
+	if err := run(context.Background(), path, "", 3, -1, 2, 20, 1, "codl", false, cod.AdaptiveOptions{}); err == nil {
 		t.Error("attribute-less node without -attr accepted")
 	}
 }
@@ -59,7 +61,7 @@ func TestRunOnGraphFile(t *testing.T) {
 func TestRunTimeoutSurfacesCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	err := run(ctx, "", "tiny", 5, -1, 5, 3, 7, "codl", false)
+	err := run(ctx, "", "tiny", 5, -1, 5, 3, 7, "codl", false, cod.AdaptiveOptions{})
 	if err == nil {
 		t.Fatal("canceled run returned no error")
 	}

@@ -49,24 +49,33 @@ import (
 
 func main() {
 	var (
-		graphFile    = flag.String("graph", "", "graph file in cod text format (overrides -dataset)")
-		datasetN     = flag.String("dataset", "cora", "built-in dataset name")
-		addr         = flag.String("addr", ":8080", "listen address")
-		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening")
-		k            = flag.Int("k", 5, "required influence rank k")
-		theta        = flag.Int("theta", 10, "RR graphs per node (θ)")
-		seed         = flag.Uint64("seed", 42, "random seed")
-		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-request query deadline (0 = none)")
-		maxInFlight  = flag.Int("max-inflight", 64, "concurrent query cap before shedding with 429")
-		grace        = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight queries on shutdown")
-		debugAddr    = flag.String("debug-addr", "", "optional listen address for pprof + /metrics (off when empty)")
-		sampleCache  = flag.Int("sample-cache", 0, "per-attribute RR sample pools kept resident (0 = off); hits/misses on /metrics")
-		slowQuery    = flag.Duration("slow-query", obs.DefaultSlowAfter, "latency at which a query is retained in the /debug/queries slow ring")
-		indexStore   = flag.String("index-store", "", "blob store root directory to serve published index epochs from (skips the local offline build)")
-		indexWatch   = flag.Duration("index-watch", 10*time.Second, "poll cadence for new index epochs in the store (0 = fetch once at startup)")
-		indexDataset = flag.String("index-dataset", "", "dataset namespace within -index-store (defaults to -dataset)")
+		graphFile     = flag.String("graph", "", "graph file in cod text format (overrides -dataset)")
+		datasetN      = flag.String("dataset", "cora", "built-in dataset name")
+		addr          = flag.String("addr", ":8080", "listen address")
+		addrFile      = flag.String("addr-file", "", "write the bound address to this file once listening")
+		k             = flag.Int("k", 5, "required influence rank k")
+		theta         = flag.Int("theta", 10, "RR graphs per node (θ)")
+		seed          = flag.Uint64("seed", 42, "random seed")
+		queryTimeout  = flag.Duration("query-timeout", 30*time.Second, "per-request query deadline (0 = none)")
+		maxInFlight   = flag.Int("max-inflight", 64, "concurrent query cap before shedding with 429")
+		grace         = flag.Duration("shutdown-grace", 10*time.Second, "drain window for in-flight queries on shutdown")
+		debugAddr     = flag.String("debug-addr", "", "optional listen address for pprof + /metrics (off when empty)")
+		sampleCache   = flag.Int("sample-cache", 0, "per-attribute RR sample pools kept resident (0 = off); hits/misses on /metrics")
+		slowQuery     = flag.Duration("slow-query", obs.DefaultSlowAfter, "latency at which a query is retained in the /debug/queries slow ring")
+		indexStore    = flag.String("index-store", "", "blob store root directory to serve published index epochs from (skips the local offline build)")
+		indexWatch    = flag.Duration("index-watch", 10*time.Second, "poll cadence for new index epochs in the store (0 = fetch once at startup)")
+		indexDataset  = flag.String("index-dataset", "", "dataset namespace within -index-store (defaults to -dataset)")
+		adaptiveEps   = flag.Float64("adaptive-eps", 0.05, "indifference width ε for bounded-error adaptive sampling (used when -adaptive-delta > 0)")
+		adaptiveDelta = flag.Float64("adaptive-delta", 0, "certification failure probability δ; > 0 enables bounded-error adaptive sampling")
 	)
 	flag.Parse()
+
+	// δ > 0 opts into bounded-error staged sampling; ε alone changes nothing,
+	// so the default answers stay byte-identical to earlier releases.
+	adaptive := cod.AdaptiveOptions{Enabled: *adaptiveDelta > 0, Eps: *adaptiveEps, Delta: *adaptiveDelta}
+	if adaptive.Enabled {
+		log.Printf("adaptive sampling on: eps=%g delta=%g", *adaptiveEps, *adaptiveDelta)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -152,7 +161,7 @@ func main() {
 			Dataset:  dataset,
 			Interval: *indexWatch,
 			Base: cod.Options{SampleCache: *sampleCache,
-				CacheHierarchies: *sampleCache > 0},
+				CacheHierarchies: *sampleCache > 0, Adaptive: adaptive},
 			H: h,
 		}
 		log.Printf("serving index epochs for dataset %q from %s (watch %v)", dataset, *indexStore, *indexWatch)
@@ -164,7 +173,7 @@ func main() {
 			// query ever arrives.
 			bctx := obs.WithRecorder(ctx, obs.NewRecorder(h.qm, nil))
 			s, err := cod.NewSearcherCtx(bctx, g, cod.Options{K: *k, Theta: *theta, Seed: *seed,
-				SampleCache: *sampleCache, CacheHierarchies: *sampleCache > 0})
+				SampleCache: *sampleCache, CacheHierarchies: *sampleCache > 0, Adaptive: adaptive})
 			if err != nil {
 				buildDone <- err
 				return

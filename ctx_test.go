@@ -168,3 +168,79 @@ func TestDiscoverBatchValidationMatchesDiscover(t *testing.T) {
 		}
 	}
 }
+
+// errFlipCtx flips Err() to Canceled after a fixed number of calls, placing
+// the cancellation at a deterministic point in the middle of a run.
+type errFlipCtx struct {
+	context.Context
+	calls, nilFor int
+}
+
+func (c *errFlipCtx) Err() error {
+	c.calls++
+	if c.calls > c.nilFor {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestAdaptiveCanceledMidStageFlushesPartialTrace extends the flush-on-
+// cancel contract to staged sampling: a cancel landing in the middle of an
+// adaptive query's stage schedule must surface a *CanceledError with the
+// cumulative cross-stage progress, and every stage the query entered must
+// have flushed its per-stage rr_sample span — the span item counts sum to
+// exactly the samples the error reports paid for.
+func TestAdaptiveCanceledMidStageFlushesPartialTrace(t *testing.T) {
+	g := buildTestGraph(t)
+	opts := Options{K: 3, Theta: 4, Seed: 5}
+	// Uncertifiable thresholds force the full multi-stage schedule.
+	opts.Adaptive = AdaptiveOptions{Enabled: true, Eps: 1e-300, Delta: 1e-300}
+	s, err := NewSearcher(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := determinismQueries(g)[0]
+
+	// Walk the flip point forward until the cancel lands strictly inside the
+	// sampling schedule. Each nilFor value replays deterministically, so the
+	// first partial run found is a stable test case.
+	for nilFor := 1; nilFor < 100; nilFor++ {
+		tr := obs.NewTrace()
+		base := obs.WithRecorder(context.Background(), obs.NewRecorder(nil, tr))
+		fc := &errFlipCtx{Context: base, nilFor: nilFor}
+		_, err := s.DiscoverUnattributedCtx(fc, q.Node)
+		if err == nil {
+			t.Fatalf("nilFor=%d: adaptive query completed before any cancel landed", nilFor)
+		}
+		var ce *CanceledError
+		if !errors.As(err, &ce) {
+			t.Fatalf("nilFor=%d: error %T is not *CanceledError (err=%v)", nilFor, err, err)
+		}
+		if ce.Done == 0 || ce.Op != "influence: rr batch" {
+			// Canceled before sampling started, or inside a non-sampling
+			// stage (e.g. the fold, whose Done counts folded RR graphs, not
+			// drawn samples); flip later until the cancel lands mid-draw.
+			continue
+		}
+		if ce.Done >= ce.Total {
+			t.Fatalf("nilFor=%d: progress %d/%d is not partial", nilFor, ce.Done, ce.Total)
+		}
+		var items int64
+		spans := 0
+		for _, sp := range tr.Spans() {
+			if sp.Stage == obs.StageRRSample {
+				items += sp.Items
+				spans++
+			}
+		}
+		if items != int64(ce.Done) {
+			t.Errorf("nilFor=%d: rr_sample spans carry %d items across %d stages, want the %d samples the error reports",
+				nilFor, items, spans, ce.Done)
+		}
+		if spans == 0 {
+			t.Error("no rr_sample stage span flushed")
+		}
+		return
+	}
+	t.Fatal("no flip point produced a mid-sampling cancel")
+}

@@ -281,6 +281,119 @@ func TestDiscoverWithFlightRecorderByteIdentical(t *testing.T) {
 	}
 }
 
+// TestAdaptiveExhaustedByteIdentical locks the PR-8 staged-sampling
+// determinism contract at the public API: an adaptive Searcher whose
+// thresholds can never certify (subnormal ε and δ survive the >0 default
+// checks) runs every stage to exhaustion, and must then be byte-identical
+// to the non-adaptive Searcher — same communities on every path and worker
+// count, and the same replayed trace IDs, because the staged draws consume
+// the per-query PCG stream in exactly the full-budget order.
+func TestAdaptiveExhaustedByteIdentical(t *testing.T) {
+	g := buildTestGraph(t)
+	queries := determinismQueries(g)
+	if len(queries) == 0 {
+		t.Fatal("no attributed query nodes in test graph")
+	}
+	base := Options{K: 3, Theta: 4, Seed: 97}
+	exhaustive := base
+	exhaustive.Adaptive = AdaptiveOptions{Enabled: true, Eps: 1e-300, Delta: 1e-300}
+
+	s1, err := NewSearcher(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewSearcher(g, exhaustive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		want := batchBytes(s1.DiscoverBatch(queries, workers))
+		got := batchBytes(s2.DiscoverBatch(queries, workers))
+		if got != want {
+			t.Errorf("workers=%d: exhausted adaptive batch differs from non-adaptive:\n--- plain\n%s--- adaptive\n%s",
+				workers, want, got)
+		}
+	}
+
+	// Trace IDs are seed-derived; the adaptive searcher must replay the
+	// plain searcher's IDs, with only the step outcomes differing.
+	s3, err := NewSearcher(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := NewSearcher(g, exhaustive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		tr1, tr2 := obs.NewTrace(), obs.NewTrace()
+		ctx1 := obs.WithRecorder(context.Background(), obs.NewRecorder(nil, tr1))
+		ctx2 := obs.WithRecorder(context.Background(), obs.NewRecorder(nil, tr2))
+		if _, err := s3.DiscoverCtx(ctx1, q.Node, q.Attr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s4.DiscoverCtx(ctx2, q.Node, q.Attr); err != nil {
+			t.Fatal(err)
+		}
+		if tr1.ID() != tr2.ID() {
+			t.Errorf("query %+v: adaptive trace ID %s differs from plain %s", q, tr2.ID(), tr1.ID())
+		}
+		for _, st := range tr2.Steps() {
+			if st.Kind == "sample" {
+				if st.Outcome != "exhausted" {
+					t.Errorf("query %+v: exhaustive adaptive sample outcome %q, want exhausted", q, st.Outcome)
+				}
+				if st.Stages < 1 {
+					t.Errorf("query %+v: sample step records %d stages", q, st.Stages)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveEarlyStopInFlightRecorder checks the /debug/queries surface:
+// a query that certifies early must show up in the flight recorder with the
+// early_stop outcome and its realized stage count on the sample step. A huge
+// ε makes the indifference rule fire at the first certification check, so
+// the early stop is guaranteed even on the tiny test graph.
+func TestAdaptiveEarlyStopInFlightRecorder(t *testing.T) {
+	g := buildTestGraph(t)
+	queries := determinismQueries(g)
+	if len(queries) == 0 {
+		t.Fatal("no attributed query nodes in test graph")
+	}
+	opts := Options{K: 3, Theta: 4, Seed: 97}
+	opts.Adaptive = AdaptiveOptions{Enabled: true, Eps: 2, Delta: 0.05}
+	s, err := NewSearcher(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight := obs.NewFlightRecorder(len(queries), 4, obs.DefaultSlowAfter)
+	for _, q := range queries {
+		tr := obs.NewTrace()
+		rctx := obs.WithRecorder(context.Background(), obs.NewRecorder(nil, tr))
+		_, err := s.DiscoverCtx(rctx, q.Node, q.Attr)
+		flight.Record(obs.NewQueryRecord(tr, "discover", "", 0, time.Now(), 0, err))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	stops := 0
+	for _, rec := range flight.Recent() {
+		for _, st := range rec.Steps {
+			if st.Kind == "sample" && st.Outcome == "early_stop" {
+				stops++
+				if st.Stages < 1 {
+					t.Errorf("trace %s: early_stop sample step records %d stages", rec.TraceID, st.Stages)
+				}
+			}
+		}
+	}
+	if stops == 0 {
+		t.Error("no early_stop outcome reached the flight recorder at ε=2")
+	}
+}
+
 func TestSearcherReplayAcrossOfflineWorkerCounts(t *testing.T) {
 	// Two Searchers built independently with the same seed but different
 	// offline sampling parallelism must answer identically: construction

@@ -1,0 +1,65 @@
+package accuracy
+
+import (
+	"context"
+	"testing"
+)
+
+// TestHarnessTinyWithinDelta is the in-tree slice of the statistical
+// acceptance gate (the full eval-set sweep runs via codbench -accuracy):
+// at several (ε, δ) on the tiny dataset the observed rank-k error rate must
+// stay within δ, and at the shipping defaults the run must actually realize
+// savings — early stops happen and the mean budget fraction drops well
+// below 1 — or the bound is too loose to be worth its complexity.
+func TestHarnessTinyWithinDelta(t *testing.T) {
+	for _, cfg := range []Config{
+		{Eps: 0.05, Delta: 0.05},
+		{Eps: 0.02, Delta: 0.10},
+	} {
+		cfg.NumQueries = 30
+		r, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Log(r)
+		if r.Sampled == 0 {
+			t.Fatalf("%s: no (query, variant) pair took the sampling path", r)
+		}
+		if r.ErrorRate > r.Delta {
+			t.Errorf("%s: error rate exceeds delta", r)
+		}
+		if r.Mismatches < r.Errors {
+			t.Errorf("%s: more errors than mismatches", r)
+		}
+	}
+
+	defaults, err := Run(context.Background(), Config{NumQueries: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(defaults)
+	if defaults.EarlyStops == 0 {
+		t.Errorf("%s: no early stops at the default (ε, δ)", defaults)
+	}
+	if defaults.MeanBudget <= 0 || defaults.MeanBudget > 0.8 {
+		t.Errorf("%s: mean realized budget %.2f outside (0, 0.8]", defaults, defaults.MeanBudget)
+	}
+}
+
+// TestHarnessExhaustiveIsExact pins the degenerate corner: thresholds that
+// can never certify force every stage to run, so the adaptive engine must
+// agree with the exact one on every single pair and realize 100% of the
+// budget.
+func TestHarnessExhaustiveIsExact(t *testing.T) {
+	r, err := Run(context.Background(), Config{NumQueries: 20, Eps: 1e-300, Delta: 1e-300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(r)
+	if r.Mismatches != 0 || r.Errors != 0 || r.EarlyStops != 0 {
+		t.Errorf("%s: exhaustive run disagreed with the exact engine", r)
+	}
+	if r.Sampled > 0 && r.MeanBudget != 1 {
+		t.Errorf("%s: exhaustive run realized %.2f of the budget, want 1", r, r.MeanBudget)
+	}
+}

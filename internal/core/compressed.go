@@ -103,11 +103,8 @@ func CompressedEvaluateScratchCtx(ctx context.Context, ch *Chain, rrs []*influen
 	sc.prepare(L)
 	buckets := sc.buckets[:L]
 
-	// Stage 1: shared sample generation (HFS over every RR graph). Every
-	// pushed node lands at the current or a later level, so sweeping h from
-	// the source level upward processes (and then resets) each queue once.
+	// Stage 1: shared sample generation (HFS over every RR graph).
 	induce := rec.StartSpan(obs.StageRRInduce)
-	queues := sc.queues[:L] // per-level queues of RR positions, reused across RR graphs
 	entries := 0
 	for ri, r := range rrs {
 		if ri%influence.PollEvery == 0 {
@@ -117,38 +114,7 @@ func CompressedEvaluateScratchCtx(ctx context.Context, ch *Chain, rrs []*influen
 					Op: "core: compressed evaluation", Done: ri, Total: len(rrs), Cause: err}
 			}
 		}
-		srcLevel := ch.Level(r.Source())
-		if srcLevel >= L {
-			continue // source outside the chain's universe
-		}
-		visited := sc.visitedFor(r.Len())
-		visited[0] = true
-		queues[srcLevel] = append(queues[srcLevel], 0)
-		for h := srcLevel; h < L; h++ {
-			q := queues[h]
-			for qi := 0; qi < len(q); qi++ {
-				p := q[qi]
-				node := r.Nodes[p]
-				buckets[h][node]++
-				entries++
-				for _, t := range r.Adj[r.Off[p]:r.Off[p+1]] {
-					if visited[t] {
-						continue
-					}
-					visited[t] = true
-					lvl := ch.Level(r.Nodes[t])
-					if lvl >= L {
-						continue
-					}
-					if lvl < h {
-						lvl = h
-					}
-					queues[lvl] = append(queues[lvl], t)
-					q = queues[h] // re-read: the append above may have grown level h
-				}
-			}
-			queues[h] = q[:0]
-		}
+		entries += sc.foldRR(ch, L, r)
 	}
 
 	induce.EndItems(entries)
@@ -170,6 +136,51 @@ func CompressedEvaluateScratchCtx(ctx context.Context, ch *Chain, rrs []*influen
 	}
 	sweep.EndItems(len(tau))
 	return EvalResult{Level: best, QCount: int(tau[ch.q]), Buckets: entries}, nil
+}
+
+// foldRR runs the HFS pass of one RR graph, adding its node occurrences to
+// the per-level buckets, and returns the bucket entries it produced. Every
+// pushed node lands at the current or a later level, so sweeping h from the
+// source level upward processes (and then resets) each queue once. The fold
+// is purely additive per RR graph, which is what lets StagedEval grow the
+// pool across stages at the same total HFS cost as a single full pass.
+func (sc *EvalScratch) foldRR(ch *Chain, L int, r *influence.RRGraph) int {
+	srcLevel := ch.Level(r.Source())
+	if srcLevel >= L {
+		return 0 // source outside the chain's universe
+	}
+	buckets := sc.buckets[:L]
+	queues := sc.queues[:L]
+	entries := 0
+	visited := sc.visitedFor(r.Len())
+	visited[0] = true
+	queues[srcLevel] = append(queues[srcLevel], 0)
+	for h := srcLevel; h < L; h++ {
+		q := queues[h]
+		for qi := 0; qi < len(q); qi++ {
+			p := q[qi]
+			node := r.Nodes[p]
+			buckets[h][node]++
+			entries++
+			for _, t := range r.Adj[r.Off[p]:r.Off[p+1]] {
+				if visited[t] {
+					continue
+				}
+				visited[t] = true
+				lvl := ch.Level(r.Nodes[t])
+				if lvl >= L {
+					continue
+				}
+				if lvl < h {
+					lvl = h
+				}
+				queues[lvl] = append(queues[lvl], t)
+				q = queues[h] // re-read: the append above may have grown level h
+			}
+		}
+		queues[h] = q[:0]
+	}
+	return entries
 }
 
 // topK maintains the k nodes with the largest counts seen so far. k is small
@@ -216,11 +227,38 @@ func (t *topK) offer(v graph.NodeID, cnt int32) {
 // than k tracked nodes are ahead of q under the canonical influence order
 // (count descending, ties by smaller node ID), matching rankOf.
 func (t *topK) isTopK(q graph.NodeID, qCnt int32) bool {
+	return t.aheadOf(q, qCnt) < t.k
+}
+
+// aheadOf counts tracked nodes other than q ranked strictly ahead of
+// (q, qCnt) under the canonical influence order.
+func (t *topK) aheadOf(q graph.NodeID, qCnt int32) int {
 	ahead := 0
 	for i, n := range t.nodes {
 		if n != q && (t.cnts[i] > qCnt || (t.cnts[i] == qCnt && n < q)) {
 			ahead++
 		}
 	}
-	return ahead < t.k
+	return ahead
+}
+
+// reset empties the tracked set, keeping capacity.
+func (t *topK) reset() {
+	t.nodes = t.nodes[:0]
+	t.cnts = t.cnts[:0]
+}
+
+// boundary returns the smallest tracked count — the rank-k boundary when k
+// nodes are tracked — or 0 while fewer than k nodes have been offered.
+func (t *topK) boundary() int32 {
+	if len(t.cnts) < t.k {
+		return 0
+	}
+	min := t.cnts[0]
+	for _, c := range t.cnts[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return min
 }

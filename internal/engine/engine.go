@@ -27,6 +27,13 @@ type Config struct {
 	// resident. Reclustering is deterministic, so caching never changes
 	// answers; it only trades memory for the per-query recluster.
 	CacheAttrTrees bool
+	// Adaptive enables bounded-error staged evaluation (DESIGN.md §16):
+	// sample steps grow the RR pool in geometric stages and stop once the
+	// rank-k decision is certified at confidence 1−Delta. It lives in Config
+	// rather than Params because it changes how much of the budget a query
+	// realizes, not the offline state or the full-budget answer — persisted
+	// index manifests stay comparable across adaptive settings.
+	Adaptive Adaptive
 }
 
 // Engine executes compiled query plans over one graph's offline state. All

@@ -186,6 +186,12 @@ type execState struct {
 	ch       *core.Chain
 	rrs      []*influence.RRGraph
 	res      core.EvalResult
+	// staged marks that an adaptive sample step already produced res (the
+	// evaluate step then passes through); stages and gap annotate the sample
+	// step's trace record and are cleared once recorded.
+	staged bool
+	stages int
+	gap    float64
 }
 
 // Execute runs a compiled plan. rng is the query's deterministic stream;
@@ -208,7 +214,11 @@ func (e *Engine) Execute(ctx context.Context, pl *Plan, rng *rand.Rand) (Communi
 	for _, step := range pl.Steps {
 		sp := r.StartStep(variant, step.Kind.String())
 		com, outcome, done, err := e.runStep(ctx, pl, step, sc, rng, &st)
-		sp.End(outcome)
+		// A staged sample step annotates its record with the realized stage
+		// count and certified gap; every other step records zeros, which
+		// EndStaged treats exactly as End.
+		sp.EndStaged(outcome, st.stages, st.gap)
+		st.stages, st.gap = 0, 0
 		if err != nil {
 			// Historical error shapes: a weight failure returns the zero
 			// Community, sampling/evaluation failures mark Level -1.
@@ -270,6 +280,18 @@ func (e *Engine) runStep(ctx context.Context, pl *Plan, step Step, sc *queryScra
 		return Community{}, "unknown", false, nil
 
 	case StepSample:
+		if e.cfg.Adaptive.Enabled {
+			// Bounded-error mode fuses sampling and evaluation: the pool
+			// grows in stages, each swept and tested for certification, so
+			// the step's outcome is the decision (early_stop/exhausted)
+			// rather than the pool's provenance.
+			outcome, stages, gap, err := e.runStaged(ctx, pl, step, sc, rng, st)
+			st.staged, st.stages, st.gap = true, stages, gap
+			if err != nil {
+				return Community{}, outcome, false, err
+			}
+			return Community{}, outcome, false, nil
+		}
 		if step.Sample == SampleRestricted {
 			rrs, err := e.sampleRestricted(ctx, sc, st.rec, rng)
 			if err != nil {
@@ -286,6 +308,10 @@ func (e *Engine) runStep(ctx context.Context, pl *Plan, step Step, sc *queryScra
 		return Community{}, outcome, false, nil
 
 	case StepEvaluate:
+		if st.staged {
+			// The adaptive sample step already evaluated; st.res is final.
+			return Community{}, "staged", false, nil
+		}
 		res, err := core.CompressedEvaluateScratchCtx(ctx, st.ch, st.rrs, e.p.K, sc.eval)
 		if err != nil {
 			return Community{}, errOutcome(err), false, err

@@ -3,11 +3,7 @@ package influence
 import (
 	"context"
 	"fmt"
-	"math/rand/v2"
-	"sync"
-	"sync/atomic"
 
-	"github.com/codsearch/cod/internal/graph"
 	"github.com/codsearch/cod/internal/obs"
 )
 
@@ -79,62 +75,4 @@ func BatchIntoCtx(ctx context.Context, s ArenaSampler, count int, a *Arena) ([]*
 	}
 	span.EndItems(count)
 	return a.Finalize(), nil
-}
-
-// ParallelBatchCtx is ParallelBatch with bounded-interval cancellation:
-// every worker checks ctx.Err() once per PollEvery samples and stops early
-// when the context is done. An uncancelled call returns the same pool as
-// ParallelBatch for the same arguments; a canceled call returns a
-// *CanceledError counting the samples that completed across all workers
-// (the pool slice has holes, so it is withheld). The fan-in always flushes
-// the completed-sample total through the context Recorder — on early cancel
-// the per-worker counts used to vanish with the discarded pool, which left
-// metrics blind to how much sampling a shed query had already paid for.
-func ParallelBatchCtx(ctx context.Context, g *graph.Graph, model Model, count int, seed uint64, workers int) ([]*RRGraph, error) {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > count {
-		workers = count
-	}
-	span := obs.FromContext(ctx).StartSpan(obs.StageRRSample)
-	out := make([]*RRGraph, count)
-	if count == 0 {
-		span.EndItems(0)
-		return out, nil
-	}
-	per := count / workers
-	extra := count % workers
-	var done atomic.Int64
-	var wg sync.WaitGroup
-	start := 0
-	for w := 0; w < workers; w++ {
-		n := per
-		if w < extra {
-			n++
-		}
-		lo, hi := start, start+n
-		start = hi
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			src := graph.NewPCG(0)
-			s := NewSampler(g, model, rand.New(src))
-			for i := lo; i < hi; i++ {
-				if (i-lo)%PollEvery == 0 && ctx.Err() != nil {
-					return
-				}
-				graph.SeedPCG(src, graph.ItemSeed(seed, i))
-				out[i] = s.RRGraph()
-				done.Add(1)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	span.EndItems(int(done.Load()))
-	if err := ctx.Err(); err != nil && int(done.Load()) < count {
-		return nil, &CanceledError{Op: "influence: parallel rr batch",
-			Done: int(done.Load()), Total: count, Cause: err}
-	}
-	return out, nil
 }

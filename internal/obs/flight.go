@@ -118,12 +118,16 @@ type SpanView struct {
 // StepView is a plan-step snapshot: the step's labels plus the stage spans
 // recorded while it ran.
 type StepView struct {
-	Variant string     `json:"variant"`
-	Kind    string     `json:"kind"`
-	Outcome string     `json:"outcome"`
-	DurNS   int64      `json:"dur_ns"`
-	Dur     string     `json:"dur"`
-	Spans   []SpanView `json:"spans,omitempty"`
+	Variant string `json:"variant"`
+	Kind    string `json:"kind"`
+	Outcome string `json:"outcome"`
+	DurNS   int64  `json:"dur_ns"`
+	Dur     string `json:"dur"`
+	// Stages and Gap carry a bounded-error adaptive sample step's realized
+	// stage count and certified margin; absent for non-staged steps.
+	Stages int        `json:"stages,omitempty"`
+	Gap    float64    `json:"gap,omitempty"`
+	Spans  []SpanView `json:"spans,omitempty"`
 }
 
 // QueryRecord is the immutable snapshot of one completed query held by the
@@ -186,6 +190,8 @@ func NewQueryRecord(tr *Trace, op, detail string, status int, start time.Time, d
 			Outcome: st.Outcome,
 			DurNS:   int64(st.Duration),
 			Dur:     st.Duration.String(),
+			Stages:  st.Stages,
+			Gap:     st.Gap,
 		}
 		lo, hi := st.SpanStart, st.SpanEnd
 		if lo < 0 {
@@ -230,7 +236,11 @@ func (q *QueryRecord) WriteText(w io.Writer) {
 	}
 	fmt.Fprintf(w, "%s\n", flag)
 	for _, st := range q.Steps {
-		fmt.Fprintf(w, "  step %s/%s outcome=%s dur=%s\n", st.Variant, st.Kind, st.Outcome, st.Dur)
+		fmt.Fprintf(w, "  step %s/%s outcome=%s dur=%s", st.Variant, st.Kind, st.Outcome, st.Dur)
+		if st.Stages > 0 {
+			fmt.Fprintf(w, " stages=%d gap=%.4f", st.Stages, st.Gap)
+		}
+		fmt.Fprintln(w)
 		for _, sp := range st.Spans {
 			fmt.Fprintf(w, "    span %s dur=%s items=%d\n", sp.Stage, sp.Dur, sp.Items)
 		}

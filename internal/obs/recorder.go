@@ -27,10 +27,26 @@ type QueryMetrics struct {
 	CacheMisses *Counter
 	// CacheEvictions counts sample pools dropped to respect the cache bound.
 	CacheEvictions *Counter
+	// AdaptiveEarlyStops counts staged sample steps whose rank-k decision
+	// was certified before the full budget (outcome early_stop).
+	AdaptiveEarlyStops *Counter
+	// AdaptiveStages is the distribution of realized stage counts of staged
+	// sample steps (1 = decided on the first geometric stage).
+	AdaptiveStages *Histogram
+	// AdaptiveSamplesUsed counts the RR samples staged evaluations actually
+	// consumed; AdaptiveSamplesBudget the full budgets those evaluations
+	// were allowed. Their ratio is the realized budget fraction reported by
+	// the cod_adaptive_realized_budget_percent gauge.
+	AdaptiveSamplesUsed   *Counter
+	AdaptiveSamplesBudget *Counter
 
 	stageSeconds [NumStages]*Histogram
 	stageItems   [NumStages]*Counter
 }
+
+// adaptiveStageBuckets bounds the cod_adaptive_stage histogram: stage
+// counts are tiny integers (the default schedule has 4 stages).
+var adaptiveStageBuckets = []float64{1, 2, 3, 4, 5, 6, 7, 8}
 
 // NewQueryMetrics registers the pipeline metrics in reg (idempotently) and
 // returns the pre-resolved bundle.
@@ -43,7 +59,24 @@ func NewQueryMetrics(reg *Registry) *QueryMetrics {
 		CacheHits:       reg.Counter("cod_rr_cache_hits_total", "Shared-pool sample requests served from the RR sample cache."),
 		CacheMisses:     reg.Counter("cod_rr_cache_misses_total", "Shared-pool sample requests that sampled a fresh pool."),
 		CacheEvictions:  reg.Counter("cod_rr_cache_evictions_total", "RR sample pools evicted to respect the cache bound."),
+		AdaptiveEarlyStops: reg.Counter("cod_adaptive_early_stop_total",
+			"Staged sample steps certified before exhausting the sample budget."),
+		AdaptiveStages: reg.Histogram("cod_adaptive_stage",
+			"Realized stage count of staged (bounded-error) sample steps.", adaptiveStageBuckets),
+		AdaptiveSamplesUsed: reg.Counter("cod_adaptive_samples_used_total",
+			"RR samples consumed by staged evaluations."),
+		AdaptiveSamplesBudget: reg.Counter("cod_adaptive_samples_budget_total",
+			"Full RR sample budgets of staged evaluations."),
 	}
+	reg.GaugeFunc("cod_adaptive_realized_budget_percent",
+		"Percent of the full RR sample budget staged evaluations consumed (cumulative).",
+		func() int64 {
+			b := m.AdaptiveSamplesBudget.Value()
+			if b == 0 {
+				return 0
+			}
+			return 100 * m.AdaptiveSamplesUsed.Value() / b
+		})
 	for s := Stage(0); s < NumStages; s++ {
 		m.stageSeconds[s] = reg.Histogram(
 			"cod_stage_"+s.String()+"_seconds",
@@ -161,7 +194,11 @@ func (r *Recorder) StartStep(variant, kind string) StepSpan {
 
 // End completes the step with its outcome, recording the step and the index
 // range of stage spans the trace gained while it ran.
-func (s StepSpan) End(outcome string) {
+func (s StepSpan) End(outcome string) { s.EndStaged(outcome, 0, 0) }
+
+// EndStaged is End carrying a staged sample step's realized stage count and
+// certified gap; stages 0 records a plain (non-staged) step.
+func (s StepSpan) EndStaged(outcome string, stages int, gap float64) {
 	if s.r == nil {
 		return
 	}
@@ -174,6 +211,8 @@ func (s StepSpan) End(outcome string) {
 		Duration:  d,
 		SpanStart: s.spanStart,
 		SpanEnd:   t.Len(),
+		Stages:    stages,
+		Gap:       gap,
 	})
 }
 
@@ -228,6 +267,21 @@ func (r *Recorder) CountIndexHit() {
 		return
 	}
 	r.m.IndexHits.Inc()
+}
+
+// CountAdaptive records one finished staged evaluation: the 1-based stage
+// its decision landed on, the RR samples it consumed, and the full budget it
+// was allowed. earlyStop marks a certified stop before the final stage.
+func (r *Recorder) CountAdaptive(earlyStop bool, stage int, used, budget int64) {
+	if r == nil || r.m == nil {
+		return
+	}
+	if earlyStop {
+		r.m.AdaptiveEarlyStops.Inc()
+	}
+	r.m.AdaptiveStages.Observe(float64(stage))
+	r.m.AdaptiveSamplesUsed.Add(used)
+	r.m.AdaptiveSamplesBudget.Add(budget)
 }
 
 // CountCacheHit records a shared-pool request served from the sample cache.

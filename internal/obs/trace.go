@@ -88,6 +88,14 @@ type StepRecord struct {
 	// spans; under a concurrent batch sharing one Trace it is approximate
 	// (spans from sibling workers may interleave).
 	SpanStart, SpanEnd int
+	// Stages is the number of sampling stages a bounded-error adaptive
+	// sample step realized before its decision (early_stop/exhausted);
+	// 0 for every non-staged step.
+	Stages int
+	// Gap is the certified normalized influence gap an adaptive sample step
+	// stopped on (the smallest decisive per-level margin); 0 when the step
+	// is not staged or exhausted the budget without certifying.
+	Gap float64
 }
 
 // Trace collects the stage spans of one query (or one offline build). It is

@@ -290,7 +290,8 @@ func loadSearcherV1(g *Graph, r io.Reader, opts Options) (*Searcher, error) {
 func searcherWithState(g *Graph, t *hier.Tree, idx *core.Himor, opts Options) *Searcher {
 	params := engine.Params{K: opts.K, Theta: opts.Theta, Beta: opts.Beta, Linkage: opts.Linkage,
 		Seed: opts.Seed, Model: opts.Model, Balanced: opts.Balanced, Workers: opts.Workers}
-	cfg := engine.Config{SampleCache: opts.SampleCache, CacheAttrTrees: opts.CacheHierarchies}
+	cfg := engine.Config{SampleCache: opts.SampleCache, CacheAttrTrees: opts.CacheHierarchies,
+		Adaptive: opts.Adaptive}
 	return &Searcher{
 		g:    g,
 		opts: opts,

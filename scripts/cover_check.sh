@@ -1,0 +1,42 @@
+#!/bin/sh
+# Per-package coverage floors for the statistical packages: the accuracy
+# harness and the influence sampling layer carry the bounded-error
+# evaluation contract (DESIGN.md §16), so their tests must keep exercising
+# the code that enforces it. Floors are per-package only — no global gate —
+# and sit well under the measured coverage so they catch collapses (a
+# skipped suite, a gutted test), not ordinary refactors.
+#
+#   scripts/cover_check.sh
+#
+# Run via `make cover-check`; needs only the go toolchain.
+set -eu
+
+# package floor%
+floors="
+github.com/codsearch/cod/internal/accuracy 60
+github.com/codsearch/cod/internal/influence 90
+"
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+fail=0
+echo "$floors" | while read -r pkg floor; do
+    [ -n "$pkg" ] || continue
+    profile="$workdir/$(basename "$pkg").out"
+    go test -coverprofile="$profile" "$pkg" >/dev/null
+    total=$(go tool cover -func="$profile" | awk '/^total:/ {gsub(/%/, "", $3); print $3}')
+    if [ -z "$total" ]; then
+        echo "cover-check: FAIL: no coverage total for $pkg" >&2
+        exit 1
+    fi
+    ok=$(awk -v t="$total" -v f="$floor" 'BEGIN {print (t >= f) ? 1 : 0}')
+    if [ "$ok" != 1 ]; then
+        echo "cover-check: FAIL: $pkg at ${total}% (floor ${floor}%)" >&2
+        exit 1
+    fi
+    echo "cover-check: $pkg ${total}% (floor ${floor}%)"
+done || fail=1
+
+[ "$fail" = 0 ] || exit 1
+echo "cover-check: PASS"

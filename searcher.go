@@ -86,7 +86,20 @@ type Options struct {
 	// resident across DiscoverGlobal calls. Reclustering is deterministic,
 	// so caching never changes answers — it trades memory for latency.
 	CacheHierarchies bool
+	// Adaptive enables bounded-error staged evaluation: queries grow their
+	// RR sample pool in geometric stages and stop as soon as the rank-k
+	// decision is certified at confidence 1−Delta (within an Eps margin
+	// slack). Off by default; when off, behavior and results are
+	// byte-identical to prior releases. A run that reaches the final stage
+	// consumes the query stream in exactly the full-budget draw order, so
+	// its answer equals the non-adaptive one.
+	Adaptive AdaptiveOptions
 }
+
+// AdaptiveOptions configures bounded-error staged evaluation (see
+// Options.Adaptive); the zero value is off, and an enabled zero value uses
+// ε = δ = 0.05 with 4 geometric stages.
+type AdaptiveOptions = engine.Adaptive
 
 // Community is the result of a characteristic-community query.
 type Community struct {
@@ -138,7 +151,8 @@ func NewSearcherCtx(ctx context.Context, g *Graph, opts Options) (*Searcher, err
 	}
 	params := engine.Params{K: opts.K, Theta: opts.Theta, Beta: opts.Beta, Linkage: opts.Linkage,
 		Seed: opts.Seed, Model: opts.Model, Balanced: opts.Balanced, Workers: opts.Workers}
-	cfg := engine.Config{SampleCache: opts.SampleCache, CacheAttrTrees: opts.CacheHierarchies}
+	cfg := engine.Config{SampleCache: opts.SampleCache, CacheAttrTrees: opts.CacheHierarchies,
+		Adaptive: opts.Adaptive}
 	eng, err := engine.Build(ctx, g.internalGraph(), params, cfg)
 	if err != nil {
 		return nil, err
