@@ -44,7 +44,7 @@ vet: $(CODVET)
 # must satisfy the contracts they enforce (the interprocedural ones
 # exercise their own facts plumbing doing it).
 codvet-self: $(CODVET)
-	$(GO) vet -vettool=$(abspath $(CODVET)) ./internal/analysis/... ./cmd/...
+	$(GO) vet -vettool=$(abspath $(CODVET)) ./internal/analysis/... ./internal/query/... ./cmd/...
 
 fmt:
 	gofmt -w .
@@ -77,6 +77,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzReadEdgeList$$ -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run=^$$ -fuzz=FuzzReadAttrFile$$ -fuzztime=$(FUZZTIME) ./internal/graph/
 	$(GO) test -run=^$$ -fuzz=FuzzManifestRoundTrip$$ -fuzztime=$(FUZZTIME) ./internal/blobstore/
+	$(GO) test -run=^$$ -fuzz=FuzzParseQuery$$ -fuzztime=$(FUZZTIME) ./internal/query/
 
 # Boots codserve on a random port and drives the serving contract end to
 # end: readiness split, query endpoints, JSON errors, SIGTERM drain.

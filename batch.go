@@ -9,10 +9,15 @@ import (
 	"github.com/codsearch/cod/internal/obs"
 )
 
-// Query pairs a node with a query attribute for batch discovery.
+// Query pairs a node with a query attribute for batch discovery. Expr, when
+// non-empty, replaces Attr with a full query expression (predicate, filters,
+// knobs — see PreparedQuery); Node still supplies the query node unless the
+// expression carries a node= knob. Queries with an empty Expr run the legacy
+// single-attribute CODL path byte-identically.
 type Query struct {
 	Node NodeID
 	Attr AttrID
+	Expr string
 }
 
 // BatchResult is one query's outcome within DiscoverBatch.
@@ -46,10 +51,32 @@ func (s *Searcher) DiscoverBatchCtx(ctx context.Context, queries []Query, worker
 		return out
 	}
 	// Up-front validation: one error shape for node and attribute, applied
-	// before any pipeline is consulted.
+	// before any pipeline is consulted. Expression queries are prepared here
+	// too — once per distinct expression — so workers never parse and a
+	// malformed expression rejects before any query work.
+	prepared := make(map[string]*PreparedQuery)
+	specs := make([]*PreparedQuery, len(queries))
 	for i, q := range queries {
 		out[i].Query = q
-		out[i].Err = s.validate(q.Node, q.Attr)
+		if q.Expr == "" {
+			out[i].Err = s.validate(q.Node, q.Attr)
+			continue
+		}
+		pq, ok := prepared[q.Expr]
+		if !ok {
+			var err error
+			if pq, err = s.Prepare(q.Expr); err != nil {
+				out[i].Err = err
+				continue
+			}
+			prepared[q.Expr] = pq
+		}
+		specs[i] = pq
+		node := q.Node
+		if pq.hasNode {
+			node = pq.node
+		}
+		out[i].Err = s.validate(node, pq.attr)
 	}
 	if workers <= 0 {
 		workers = len(queries)
@@ -88,14 +115,24 @@ func (s *Searcher) DiscoverBatchCtx(ctx context.Context, queries []Query, worker
 				}
 				q := queries[i]
 				rng := graph.NewRand(graph.ItemSeed(s.opts.Seed, i))
-				pl := s.eng.Compile(engine.VariantCODL, q.Node, q.Attr)
+				var pl *engine.Plan
+				if pq := specs[i]; pq != nil {
+					node := q.Node
+					if pq.hasNode {
+						node = pq.node
+					}
+					pl = s.eng.CompileSpec(pq.spec(node))
+				} else {
+					pl = s.eng.Compile(engine.VariantCODL, q.Node, q.Attr)
+				}
 				com, err := s.eng.Execute(ctx, pl, rng)
 				rec.CountQuery(err)
 				if err != nil {
 					out[i].Err = err
 					continue
 				}
-				out[i].Community = Community{Nodes: com.Nodes, Found: com.Found, FromIndex: com.FromIndex}
+				out[i].Community = Community{Nodes: com.Nodes, Found: com.Found,
+					FromIndex: com.FromIndex, Rank: com.Rank}
 			}
 		}()
 	}

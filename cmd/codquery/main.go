@@ -2,18 +2,25 @@
 // synthetic dataset and prints the characteristic community with its
 // quality measures.
 //
-// Usage:
+// The -q flag accepts either a numeric node id (legacy single-attribute
+// mode, paired with -attr and -method) or a query expression in the
+// attribute-predicate DSL, which carries its own node= knob:
 //
 //	codquery -dataset cora -q 42 -attr 1 -k 5
 //	codquery -graph mygraph.txt -q 10 -attr 0 -method codr
+//	codquery -dataset cora -q 'Neural_Networks and (Theory or 4) and size>=10 and node=42'
+//	codquery -dataset tiny -q 'ML and node=5' -json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"time"
 
 	"github.com/codsearch/cod"
@@ -21,20 +28,20 @@ import (
 )
 
 func main() {
-	var (
-		graphFile     = flag.String("graph", "", "graph file in cod text format (overrides -dataset)")
-		datasetN      = flag.String("dataset", "cora", "built-in dataset name")
-		q             = flag.Int("q", 0, "query node id")
-		attr          = flag.Int("attr", -1, "query attribute id (-1: first attribute of q)")
-		k             = flag.Int("k", 5, "required influence rank k")
-		theta         = flag.Int("theta", 10, "RR graphs per node (θ)")
-		seed          = flag.Uint64("seed", 42, "random seed")
-		method        = flag.String("method", "codl", "codl|codu|codr")
-		timeout       = flag.Duration("timeout", 0, "overall deadline for offline build + query (0 = none)")
-		trace         = flag.Bool("trace", false, "print the query's plan-step trace (trace ID, step outcomes, stage spans)")
-		adaptiveEps   = flag.Float64("adaptive-eps", 0.05, "indifference width ε for bounded-error adaptive sampling (used when -adaptive-delta > 0)")
-		adaptiveDelta = flag.Float64("adaptive-delta", 0, "certification failure probability δ; > 0 enables bounded-error adaptive sampling")
-	)
+	var o runOpts
+	flag.StringVar(&o.graphFile, "graph", "", "graph file in cod text format (overrides -dataset)")
+	flag.StringVar(&o.dataset, "dataset", "cora", "built-in dataset name")
+	flag.StringVar(&o.query, "q", "0", "query node id, or a query expression (predicate, filters, node=/k=/variant= knobs)")
+	flag.IntVar(&o.attr, "attr", -1, "query attribute id for a numeric -q (-1: first attribute of q)")
+	flag.IntVar(&o.k, "k", 5, "required influence rank k")
+	flag.IntVar(&o.theta, "theta", 10, "RR graphs per node (θ)")
+	flag.Uint64Var(&o.seed, "seed", 42, "random seed")
+	flag.StringVar(&o.method, "method", "codl", "codl|codu|codr (numeric -q only; expressions use variant=)")
+	flag.BoolVar(&o.trace, "trace", false, "print the query's plan-step trace (trace ID, step outcomes, stage spans)")
+	flag.BoolVar(&o.jsonOut, "json", false, "emit the result as one JSON object (community, rank, trace id)")
+	timeout := flag.Duration("timeout", 0, "overall deadline for offline build + query (0 = none)")
+	adaptiveEps := flag.Float64("adaptive-eps", 0.05, "indifference width ε for bounded-error adaptive sampling (used when -adaptive-delta > 0)")
+	adaptiveDelta := flag.Float64("adaptive-delta", 0, "certification failure probability δ; > 0 enables bounded-error adaptive sampling")
 	flag.Parse()
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -42,26 +49,68 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	adaptive := cod.AdaptiveOptions{Enabled: *adaptiveDelta > 0, Eps: *adaptiveEps, Delta: *adaptiveDelta}
-	if err := run(ctx, *graphFile, *datasetN, *q, *attr, *k, *theta, *seed, *method, *trace, adaptive); err != nil {
+	o.adaptive = cod.AdaptiveOptions{Enabled: *adaptiveDelta > 0, Eps: *adaptiveEps, Delta: *adaptiveDelta}
+	if err := run(ctx, o); err != nil {
 		var ce *cod.CanceledError
-		if errors.As(err, &ce) {
+		var pe *cod.ParseError
+		switch {
+		case errors.As(err, &ce):
 			fmt.Fprintf(os.Stderr, "codquery: deadline expired during %s after %d/%d samples\n",
 				ce.Op, ce.Done, ce.Total)
-		} else {
+		case errors.As(err, &pe):
+			fmt.Fprintf(os.Stderr, "codquery: %v\n%s\n", pe, pe.Caret())
+		default:
 			fmt.Fprintln(os.Stderr, "codquery:", err)
 		}
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, graphFile, datasetN string, q, attr, k, theta int, seed uint64, method string, trace bool, adaptive cod.AdaptiveOptions) error {
+// runOpts bundles codquery's invocation: flags plus the output sink (nil =
+// stdout), so tests drive run without a process.
+type runOpts struct {
+	graphFile string
+	dataset   string
+	query     string // numeric node id or DSL expression
+	attr      int
+	k         int
+	theta     int
+	seed      uint64
+	method    string
+	trace     bool
+	jsonOut   bool
+	adaptive  cod.AdaptiveOptions
+	out       io.Writer
+}
+
+// jsonResult is the -json output shape: one object per query.
+type jsonResult struct {
+	Query       int          `json:"query"`
+	Expr        string       `json:"expr,omitempty"`
+	Method      string       `json:"method"`
+	Found       bool         `json:"found"`
+	Rank        int          `json:"rank,omitempty"`
+	TraceID     string       `json:"trace_id"`
+	Size        int          `json:"size"`
+	Nodes       []cod.NodeID `json:"nodes,omitempty"`
+	Density     float64      `json:"density"`
+	AttrDensity *float64     `json:"attr_density,omitempty"`
+	Conductance float64      `json:"conductance"`
+	FromIndex   bool         `json:"from_index,omitempty"`
+	ElapsedMS   float64      `json:"elapsed_ms"`
+}
+
+func run(ctx context.Context, o runOpts) error {
+	out := o.out
+	if out == nil {
+		out = os.Stdout
+	}
 	var (
 		g   *cod.Graph
 		err error
 	)
-	if graphFile != "" {
-		f, err := os.Open(graphFile)
+	if o.graphFile != "" {
+		f, err := os.Open(o.graphFile)
 		if err != nil {
 			return err
 		}
@@ -71,76 +120,152 @@ func run(ctx context.Context, graphFile, datasetN string, q, attr, k, theta int,
 			return err
 		}
 	} else {
-		g, err = cod.GenerateDataset(datasetN, seed)
+		g, err = cod.GenerateDataset(o.dataset, o.seed)
 		if err != nil {
 			return err
 		}
 	}
-	if q < 0 || q >= g.N() {
-		return fmt.Errorf("query node %d out of range [0,%d)", q, g.N())
-	}
-	node := cod.NodeID(q)
-	if attr < 0 {
-		attrs := g.Attrs(node)
-		if len(attrs) == 0 {
-			return fmt.Errorf("node %d has no attributes; pass -attr", q)
+
+	// Dual-mode -q: an integer is the legacy node id; anything else is a
+	// query expression (mode decided before any offline work).
+	nodeArg, nodeErr := strconv.Atoi(o.query)
+	legacy := nodeErr == nil
+	attr := o.attr
+	if legacy {
+		if nodeArg < 0 || nodeArg >= g.N() {
+			return fmt.Errorf("query node %d out of range [0,%d)", nodeArg, g.N())
 		}
-		attr = int(attrs[0])
+		if attr < 0 {
+			attrs := g.Attrs(cod.NodeID(nodeArg))
+			if len(attrs) == 0 {
+				return fmt.Errorf("node %d has no attributes; pass -attr", nodeArg)
+			}
+			attr = int(attrs[0])
+		}
+		switch o.method {
+		case "codl", "codu", "codr":
+		default:
+			return fmt.Errorf("unknown method %q", o.method)
+		}
 	}
 
-	fmt.Printf("graph: n=%d m=%d attrs=%d\n", g.N(), g.M(), g.NumAttrs())
+	if !o.jsonOut {
+		fmt.Fprintf(out, "graph: n=%d m=%d attrs=%d\n", g.N(), g.M(), g.NumAttrs())
+	}
 	start := time.Now()
-	s, err := cod.NewSearcherCtx(ctx, g, cod.Options{K: k, Theta: theta, Seed: seed, Adaptive: adaptive})
+	s, err := cod.NewSearcherCtx(ctx, g, cod.Options{K: o.k, Theta: o.theta, Seed: o.seed, Adaptive: o.adaptive})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("offline (clustering + HIMOR): %v, index %0.2f MB\n",
-		time.Since(start).Round(time.Millisecond), float64(s.IndexBytes())/(1<<20))
+	if !o.jsonOut {
+		fmt.Fprintf(out, "offline (clustering + HIMOR): %v, index %0.2f MB\n",
+			time.Since(start).Round(time.Millisecond), float64(s.IndexBytes())/(1<<20))
+	}
 
-	// -trace attaches a trace-only Recorder for the query: the printed
-	// breakdown is the same flight-recorder rendering codserve serves on
-	// /debug/queries?format=text. Instrumentation never changes the answer.
+	method, expr := o.method, ""
+	var pq *cod.PreparedQuery
+	node := cod.NodeID(nodeArg)
+	if !legacy {
+		if pq, err = s.Prepare(o.query); err != nil {
+			return err
+		}
+		n, ok := pq.Node()
+		if !ok {
+			return fmt.Errorf("query expression needs a node= knob (e.g. %q)", o.query+" and node=0")
+		}
+		node, expr = n, pq.Expr()
+		method = toLowerASCII(pq.Variant())
+	}
+
+	// The trace is attached for -trace (printed breakdown) and for -json
+	// (trace id field); instrumentation never changes the answer.
 	var tr *obs.Trace
 	qctx := ctx
-	if trace {
+	if o.trace || o.jsonOut {
 		tr = obs.NewTrace()
 		qctx = obs.WithRecorder(ctx, obs.NewRecorder(nil, tr))
 	}
 	start = time.Now()
 	var com cod.Community
-	switch method {
-	case "codl":
-		com, err = s.DiscoverCtx(qctx, node, cod.AttrID(attr))
-	case "codu":
-		com, err = s.DiscoverUnattributedCtx(qctx, node)
-	case "codr":
-		com, err = s.DiscoverGlobalCtx(qctx, node, cod.AttrID(attr))
-	default:
-		return fmt.Errorf("unknown method %q", method)
+	if pq != nil {
+		com, err = pq.DiscoverCtx(qctx, node)
+	} else {
+		switch method {
+		case "codl":
+			com, err = s.DiscoverCtx(qctx, node, cod.AttrID(attr))
+		case "codu":
+			com, err = s.DiscoverUnattributedCtx(qctx, node)
+		case "codr":
+			com, err = s.DiscoverGlobalCtx(qctx, node, cod.AttrID(attr))
+		}
 	}
 	elapsed := time.Since(start)
-	if tr != nil {
-		fmt.Println("query trace:")
-		obs.NewQueryRecord(tr, method, fmt.Sprintf("q=%d attr=%d", q, attr), 0, start, elapsed, err).WriteText(os.Stdout)
+	if o.trace && tr != nil {
+		fmt.Fprintln(out, "query trace:")
+		detail := fmt.Sprintf("q=%d attr=%d", node, attr)
+		if expr != "" {
+			detail = fmt.Sprintf("q=%d expr=%s", node, expr)
+		}
+		obs.NewQueryRecord(tr, method, detail, 0, start, elapsed, err).WriteText(out)
 	}
 	if err != nil {
+		// Partial progress surfaces uniformly for every variant: the typed
+		// *cod.CanceledError (with done/total sample counts) propagates to
+		// main's printer whether the query ran CODL, CODU, CODR or a staged
+		// adaptive plan.
 		return err
 	}
 
+	if o.jsonOut {
+		res := jsonResult{Query: int(node), Expr: expr, Method: method, Found: com.Found,
+			Rank: com.Rank, TraceID: tr.ID(), Size: com.Size(), Nodes: com.Nodes,
+			FromIndex: com.FromIndex, ElapsedMS: float64(elapsed.Microseconds()) / 1000}
+		if com.Found {
+			res.Density = g.TopologyDensity(com.Nodes)
+			res.Conductance = g.Conductance(com.Nodes)
+			if legacy {
+				ad := g.AttributeDensity(com.Nodes, cod.AttrID(attr))
+				res.AttrDensity = &ad
+			}
+		}
+		enc := json.NewEncoder(out)
+		return enc.Encode(res)
+	}
+
 	if !com.Found {
-		fmt.Printf("no characteristic community: node %d is not top-%d influential in any hierarchy community (%v)\n", q, k, elapsed.Round(time.Microsecond))
+		fmt.Fprintf(out, "no characteristic community: node %d is not top-%d influential in any hierarchy community (%v)\n", node, o.k, elapsed.Round(time.Microsecond))
 		return nil
 	}
-	fmt.Printf("characteristic community of node %d (attr %d, k=%d, %s): %d nodes in %v\n",
-		q, attr, k, method, com.Size(), elapsed.Round(time.Microsecond))
-	fmt.Printf("  topology density  ρ = %.4f\n", g.TopologyDensity(com.Nodes))
-	fmt.Printf("  attribute density φ = %.4f\n", g.AttributeDensity(com.Nodes, cod.AttrID(attr)))
-	fmt.Printf("  conductance         = %.4f\n", g.Conductance(com.Nodes))
+	if expr != "" {
+		fmt.Fprintf(out, "characteristic community of node %d (query %s, %s): %d nodes in %v\n",
+			node, expr, method, com.Size(), elapsed.Round(time.Microsecond))
+	} else {
+		fmt.Fprintf(out, "characteristic community of node %d (attr %d, k=%d, %s): %d nodes in %v\n",
+			node, attr, o.k, method, com.Size(), elapsed.Round(time.Microsecond))
+	}
+	fmt.Fprintf(out, "  topology density  ρ = %.4f\n", g.TopologyDensity(com.Nodes))
+	if legacy {
+		fmt.Fprintf(out, "  attribute density φ = %.4f\n", g.AttributeDensity(com.Nodes, cod.AttrID(attr)))
+	}
+	fmt.Fprintf(out, "  conductance         = %.4f\n", g.Conductance(com.Nodes))
+	if com.Rank > 0 {
+		fmt.Fprintf(out, "  influence rank      = %d\n", com.Rank)
+	}
 	if com.FromIndex {
-		fmt.Println("  answered directly from the HIMOR index")
+		fmt.Fprintln(out, "  answered directly from the HIMOR index")
 	}
 	if com.Size() <= 40 {
-		fmt.Printf("  members: %v\n", com.Nodes)
+		fmt.Fprintf(out, "  members: %v\n", com.Nodes)
 	}
 	return nil
+}
+
+func toLowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
 }

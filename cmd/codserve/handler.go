@@ -405,7 +405,8 @@ func (h *Handler) instrument(next func(http.ResponseWriter, *http.Request, *serv
 			trace.EnsureID(id)
 		}
 		rec := obs.NewRecorder(h.qm, trace)
-		r = r.WithContext(obs.WithRecorder(r.Context(), rec))
+		note := &exprNote{}
+		r = r.WithContext(context.WithValue(obs.WithRecorder(r.Context(), rec), exprNoteKey{}, note))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next(sw, r, st)
@@ -420,15 +421,38 @@ func (h *Handler) instrument(next func(http.ResponseWriter, *http.Request, *serv
 		}
 		trace.EnsureID(obs.SeedTraceID(uint64(start.UnixNano()) ^ h.traceSeq.Add(1)<<32))
 		h.querySecs.Observe(d.Seconds())
-		h.flight.Record(obs.NewQueryRecord(trace, r.URL.Path, r.URL.RawQuery, sw.status, start, d, nil))
+		// Expression queries carry their normalized form into the flight
+		// record and the structured log, so /debug/queries and the logs show
+		// the canonical query — one spelling per semantic query — rather than
+		// whatever URL-escaped variant the caller sent.
+		detail := r.URL.RawQuery
+		if note.expr != "" {
+			detail += " expr=" + note.expr
+		}
+		h.flight.Record(obs.NewQueryRecord(trace, r.URL.Path, detail, sw.status, start, d, nil))
 		slog.Info("query",
 			"path", r.URL.Path,
 			"query", r.URL.RawQuery,
+			"expr", note.expr,
 			"status", sw.status,
 			"dur", d,
 			"trace_id", trace.ID(),
 			"stages", trace.String(),
 		)
+	}
+}
+
+// exprNote carries a query expression's normalized form from the route
+// handler back up to the instrumentation wrapper (same goroutine, so a plain
+// field suffices). The wrapper installs it in the request context; handlers
+// publish through setExprNote.
+type exprNote struct{ expr string }
+
+type exprNoteKey struct{}
+
+func setExprNote(ctx context.Context, expr string) {
+	if note, ok := ctx.Value(exprNoteKey{}).(*exprNote); ok {
+		note.expr = expr
 	}
 }
 
@@ -489,20 +513,39 @@ func (h *Handler) stats(w http.ResponseWriter, _ *http.Request, st *servingState
 }
 
 type discoverResponse struct {
-	Query       int     `json:"query"`
-	Attr        int     `json:"attr"`
-	Method      string  `json:"method"`
-	Found       bool    `json:"found"`
-	FromIndex   bool    `json:"from_index,omitempty"`
-	Size        int     `json:"size"`
-	Density     float64 `json:"topology_density"`
-	AttrDensity float64 `json:"attribute_density"`
-	Conductance float64 `json:"conductance"`
-	Nodes       []int32 `json:"nodes,omitempty"`
+	Query       int      `json:"query"`
+	Attr        int      `json:"attr"`
+	Expr        string   `json:"expr,omitempty"`
+	Method      string   `json:"method"`
+	Found       bool     `json:"found"`
+	FromIndex   bool     `json:"from_index,omitempty"`
+	Rank        int      `json:"rank,omitempty"`
+	Size        int      `json:"size"`
+	Density     float64  `json:"topology_density"`
+	AttrDensity *float64 `json:"attribute_density,omitempty"`
+	Conductance float64  `json:"conductance"`
+	Nodes       []int32  `json:"nodes,omitempty"`
 }
 
+// discover answers GET /discover. The q parameter is dual-mode: an integer
+// runs the legacy single-attribute path (with attr= and method= parameters),
+// anything else is a URL-escaped query expression (predicate over attribute
+// names or ids, community filters, node=/k=/variant= knobs) prepared against
+// the serving epoch's graph. In expression mode the attr/method parameters
+// are ignored — the expression itself carries the variant — and the response
+// echoes the normalized expression, so semantically equal spellings answer
+// with one canonical form.
 func (h *Handler) discover(w http.ResponseWriter, r *http.Request, st *servingState) {
 	s := st.s
+	rawQ := r.URL.Query().Get("q")
+	if rawQ == "" {
+		httpError(w, http.StatusBadRequest, "missing parameter %q", "q")
+		return
+	}
+	if _, err := strconv.Atoi(rawQ); err != nil {
+		h.discoverExpr(w, r, st, rawQ)
+		return
+	}
 	q, ok := intParam(w, r, "q")
 	if !ok {
 		return
@@ -539,17 +582,65 @@ func (h *Handler) discover(w http.ResponseWriter, r *http.Request, st *servingSt
 		queryError(w, err)
 		return
 	}
-	resp := discoverResponse{Query: q, Attr: attr, Method: method, Found: com.Found, FromIndex: com.FromIndex}
+	resp := discoverResponse{Query: q, Attr: attr, Method: method,
+		Found: com.Found, FromIndex: com.FromIndex, Rank: com.Rank}
 	if com.Found {
 		resp.Size = com.Size()
 		resp.Density = st.g.TopologyDensity(com.Nodes)
-		resp.AttrDensity = st.g.AttributeDensity(com.Nodes, cod.AttrID(attr))
+		ad := st.g.AttributeDensity(com.Nodes, cod.AttrID(attr))
+		resp.AttrDensity = &ad
 		resp.Conductance = st.g.Conductance(com.Nodes)
 		if resp.Size <= 1000 {
 			resp.Nodes = com.Nodes
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// discoverExpr is /discover's expression mode: prepare once against the
+// serving epoch, require a node= knob (the q parameter holds the
+// expression), and answer with the canonical form, the community, and its
+// influence rank. Attribute density is omitted — a compound predicate has no
+// single attribute to measure against.
+func (h *Handler) discoverExpr(w http.ResponseWriter, r *http.Request, st *servingState, expr string) {
+	pq, err := st.s.Prepare(expr)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	node, ok := pq.Node()
+	if !ok {
+		httpError(w, http.StatusBadRequest, "query expression needs a node= knob (e.g. %q)", expr+" and node=0")
+		return
+	}
+	setExprNote(r.Context(), pq.Expr())
+	com, err := pq.DiscoverCtx(r.Context(), node)
+	if err != nil {
+		queryError(w, err)
+		return
+	}
+	resp := discoverResponse{Query: int(node), Attr: -1, Expr: pq.Expr(),
+		Method: toLowerASCII(pq.Variant()), Found: com.Found,
+		FromIndex: com.FromIndex, Rank: com.Rank}
+	if com.Found {
+		resp.Size = com.Size()
+		resp.Density = st.g.TopologyDensity(com.Nodes)
+		resp.Conductance = st.g.Conductance(com.Nodes)
+		if resp.Size <= 1000 {
+			resp.Nodes = com.Nodes
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func toLowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
 }
 
 type influenceResponse struct {
@@ -572,8 +663,9 @@ func (h *Handler) influence(w http.ResponseWriter, r *http.Request, st *servingS
 
 type batchRequest struct {
 	Queries []struct {
-		Q    int32 `json:"q"`
-		Attr int32 `json:"attr"`
+		Q    int32  `json:"q"`
+		Attr int32  `json:"attr"`
+		Expr string `json:"expr,omitempty"`
 	} `json:"queries"`
 	Workers int `json:"workers,omitempty"`
 }
@@ -581,7 +673,9 @@ type batchRequest struct {
 type batchItem struct {
 	Query int32  `json:"query"`
 	Attr  int32  `json:"attr"`
+	Expr  string `json:"expr,omitempty"`
 	Found bool   `json:"found"`
+	Rank  int    `json:"rank,omitempty"`
 	Size  int    `json:"size"`
 	Error string `json:"error,omitempty"`
 }
@@ -604,7 +698,7 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request, st *servingState
 	}
 	queries := make([]cod.Query, len(req.Queries))
 	for i, q := range req.Queries {
-		queries[i] = cod.Query{Node: q.Q, Attr: q.Attr}
+		queries[i] = cod.Query{Node: q.Q, Attr: q.Attr, Expr: q.Expr}
 	}
 	results := s.DiscoverBatchCtx(r.Context(), queries, req.Workers)
 	// A deadline that fires mid-batch leaves every unfinished item carrying
@@ -618,12 +712,13 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request, st *servingState
 	}
 	out := make([]batchItem, len(results))
 	for i, res := range results {
-		out[i] = batchItem{Query: res.Query.Node, Attr: res.Query.Attr}
+		out[i] = batchItem{Query: res.Query.Node, Attr: res.Query.Attr, Expr: res.Query.Expr}
 		if res.Err != nil {
 			out[i].Error = res.Err.Error()
 			continue
 		}
 		out[i].Found = res.Community.Found
+		out[i].Rank = res.Community.Rank
 		out[i].Size = res.Community.Size()
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -632,13 +727,30 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request, st *servingState
 // queryError maps a query failure onto the serving contract: deadline
 // expiry is 504, cancellation (shutdown) is 503, anything else is caller
 // error. Partial-progress detail from cod.CanceledError rides along in the
-// JSON body.
+// JSON body. Typed caller errors keep their structure: a *cod.ParseError
+// answers with the byte offset and a caret rendering, and a *cod.RangeError
+// with the out-of-range field, its bounds, and the known attribute names —
+// machine-actionable 400s rather than opaque strings.
 func queryError(w http.ResponseWriter, err error) {
+	var pe *cod.ParseError
+	var re *cod.RangeError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		httpError(w, http.StatusGatewayTimeout, "query timed out: %v", err)
 	case errors.Is(err, context.Canceled):
 		httpError(w, http.StatusServiceUnavailable, "query canceled: %v", err)
+	case errors.As(err, &pe):
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": pe.Error(), "pos": pe.Pos, "caret": pe.Caret(),
+		})
+	case errors.As(err, &re):
+		body := map[string]any{
+			"error": re.Error(), "what": re.What, "value": re.Value, "n": re.N,
+		}
+		if len(re.Known) > 0 {
+			body["known"] = re.Known
+		}
+		writeJSON(w, http.StatusBadRequest, body)
 	default:
 		httpError(w, http.StatusBadRequest, "%v", err)
 	}

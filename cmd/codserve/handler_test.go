@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -47,13 +49,14 @@ func getJSON(t *testing.T, url string, wantStatus int, out any) {
 	if ct := resp.Header.Get("Content-Type"); ct == "" {
 		t.Errorf("GET %s: missing Content-Type", url)
 	}
-	// Every non-2xx body is a JSON error object per the serving contract.
+	// Every non-2xx body is a JSON error object per the serving contract
+	// (typed errors add structured fields next to "error").
 	if wantStatus >= 400 {
-		var body map[string]string
+		var body map[string]any
 		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 			t.Fatalf("GET %s: non-JSON error body: %v", url, err)
 		}
-		if body["error"] == "" {
+		if msg, _ := body["error"].(string); msg == "" {
 			t.Errorf("GET %s: error body without message", url)
 		}
 		return
@@ -125,6 +128,107 @@ func TestDiscoverEndpoint(t *testing.T) {
 		if dr.Method != m {
 			t.Errorf("method echo = %q", dr.Method)
 		}
+	}
+}
+
+// TestDiscoverExpression locks /discover's expression mode: a URL-escaped
+// query expression in ?q= answers with the canonical form, the influence
+// rank, and — repeated — a byte-identical body (the serving determinism
+// contract extends to compound queries).
+func TestDiscoverExpression(t *testing.T) {
+	srv, _ := testServer(t)
+	expr := url.QueryEscape("(ML or DB) and size>=1 and node=5")
+	var dr discoverResponse
+	getJSON(t, srv.URL+"/discover?q="+expr, http.StatusOK, &dr)
+	if dr.Query != 5 || dr.Method != "codl" {
+		t.Errorf("response %+v", dr)
+	}
+	if dr.Expr != "(0|1) and size>=1 and node=5" {
+		t.Errorf("expr echo = %q, want canonical form", dr.Expr)
+	}
+	if dr.AttrDensity != nil {
+		t.Error("compound predicate answered with attribute_density")
+	}
+	if dr.Found && dr.Rank < 1 {
+		t.Errorf("found community with rank %d", dr.Rank)
+	}
+	// Same expression, different spelling, same position in the query
+	// sequence (each server's first query): byte-identical bodies. Two
+	// independent servers isolate the per-searcher deterministic seed
+	// sequence — consecutive queries on one server draw different seeds by
+	// design.
+	srvA, _ := testServer(t)
+	srvB, _ := testServer(t)
+	body1 := getBody(t, srvA.URL+"/discover?q="+expr)
+	body2 := getBody(t, srvB.URL+"/discover?q="+url.QueryEscape("size>=1 and (db | ml) and node=5"))
+	if body1 != body2 {
+		t.Errorf("equal queries answered differently:\n%s\n%s", body1, body2)
+	}
+
+	// Name-based single-attribute expressions lower to the legacy attr.
+	getJSON(t, srv.URL+"/discover?q="+url.QueryEscape("ML and node=5"), http.StatusOK, &dr)
+	if dr.Expr != "0 and node=5" {
+		t.Errorf("lowered expr = %q", dr.Expr)
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestDiscoverExpressionErrors locks the typed 400 contract: parse errors
+// answer with the byte offset and caret rendering, range errors with the
+// field, bounds, and known attribute names.
+func TestDiscoverExpressionErrors(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/discover?q=" + url.QueryEscape("ML AND and node=0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("parse error: status %d, want 400", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if msg, _ := body["error"].(string); msg == "" || body["caret"] == nil || body["pos"] == nil {
+		t.Errorf("parse-error body missing error/pos/caret: %v", body)
+	}
+
+	// Expression without node= is rejected with a hint.
+	getJSON(t, srv.URL+"/discover?q="+url.QueryEscape("ML and size>=2"), http.StatusBadRequest, nil)
+
+	// Out-of-range attribute: structured RangeError body with the attribute
+	// registry, not a bare 500.
+	resp2, err := http.Get(srv.URL + "/discover?q=5&attr=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("range error: status %d, want 400", resp2.StatusCode)
+	}
+	var rbody map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&rbody); err != nil {
+		t.Fatal(err)
+	}
+	if rbody["what"] != "attribute" || rbody["value"] != float64(99) {
+		t.Errorf("range-error body = %v", rbody)
+	}
+	if known, ok := rbody["known"].([]any); !ok || len(known) == 0 || known[0] != "ML" {
+		t.Errorf("range-error body missing known attributes: %v", rbody["known"])
 	}
 }
 
@@ -210,6 +314,42 @@ func TestBatchEndpoint(t *testing.T) {
 	}
 }
 
+// TestBatchExpr locks the batch route's expression items: an "expr" field
+// replaces q/attr (the node= knob supplies the node), the item echoes the
+// expression, and a malformed expression errors per item without failing
+// the batch.
+func TestBatchExpr(t *testing.T) {
+	srv, _ := testServer(t)
+	body := `{"queries":[{"expr":"(ML or DB) and node=5"},{"q":5,"expr":"ML"},{"expr":"ML AND"}],"workers":2}`
+	resp, err := http.Post(srv.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var items []batchItem
+	if err := json.NewDecoder(resp.Body).Decode(&items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if items[0].Error != "" || items[0].Expr != "(ML or DB) and node=5" {
+		t.Errorf("expr item 0: %+v", items[0])
+	}
+	if items[1].Error != "" {
+		t.Errorf("expr item with q node errored: %s", items[1].Error)
+	}
+	if items[2].Error == "" || !strings.Contains(items[2].Error, "parse") && !strings.Contains(items[2].Error, "expect") {
+		t.Errorf("malformed expr item did not report a parse error: %+v", items[2])
+	}
+	if items[0].Found && items[0].Rank < 1 {
+		t.Errorf("found item with rank %d", items[0].Rank)
+	}
+}
+
 func TestBatchValidationMatchesDiscoverShape(t *testing.T) {
 	// The /batch route must reject an out-of-range node with the same error
 	// text /discover produces for it: one validation shape across routes.
@@ -229,12 +369,12 @@ func TestBatchValidationMatchesDiscoverShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer discResp.Body.Close()
-	var discBody map[string]string
+	var discBody map[string]any
 	if err := json.NewDecoder(discResp.Body).Decode(&discBody); err != nil {
 		t.Fatal(err)
 	}
 	if items[0].Error == "" || items[0].Error != discBody["error"] {
-		t.Errorf("validation shapes differ:\n batch:    %q\n discover: %q", items[0].Error, discBody["error"])
+		t.Errorf("validation shapes differ:\n batch:    %q\n discover: %v", items[0].Error, discBody["error"])
 	}
 }
 

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -69,4 +70,24 @@ func main() {
 
 	fmt.Println("\ninterpretation: CODL's community is the invitation list — the widest")
 	fmt.Println("group, dense on the workshop's area, in which the chair is top-5 influential.")
+
+	// A cross-area workshop as one query expression: the built-in cora
+	// dataset registers its class names, so the predicate can say
+	// "Neural_Networks or Theory" directly, add a minimum invitation-list
+	// size, and relax k — all without touching the Searcher's options.
+	if len(chairs) > 0 {
+		expr := fmt.Sprintf("(Neural_Networks or Theory) and size>=10 and k=7 and node=%d", chairs[0])
+		com, err := s.DiscoverQuery(context.Background(), cod.Query{Expr: expr})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ncompound query %q:\n", expr)
+		if com.Found {
+			fmt.Printf("  %d invitees, chair ranked #%d, ρ=%.4f conductance=%.4f\n",
+				com.Size(), com.Rank,
+				g.TopologyDensity(com.Nodes), g.Conductance(com.Nodes))
+		} else {
+			fmt.Println("  no community of that size has the chair in its top-7")
+		}
+	}
 }

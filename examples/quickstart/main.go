@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,6 +45,10 @@ func main() {
 		}
 	}
 	g := b.Build()
+	// Register attribute names so query expressions can reference them.
+	if err := g.SetAttrNames("DB", "ML"); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("graph: %d nodes, %d edges, %d attributes\n", g.N(), g.M(), g.NumAttrs())
 
 	// Offline phase: hierarchical clustering + HIMOR index.
@@ -78,6 +83,31 @@ func main() {
 	} else {
 		fmt.Println("node 1 is not top-1 influential in any community")
 	}
+
+	// The same queries in the expression DSL: attribute names, boolean
+	// predicates, community filters, and execution knobs in one string.
+	// A single-attribute expression runs byte-identically to Discover.
+	pq, err := s.Prepare("DB and node=0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	comQ, err := pq.Discover(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %q (canonical %q): found=%t nodes=%v\n", "DB and node=0", pq.Expr(), comQ.Found, comQ.Nodes)
+
+	// A compound predicate with a community filter: nodes on either topic,
+	// but only accept a community with at least 3 members. Filtered queries
+	// always certify by sampling (the index probe cannot honor filters), and
+	// equal predicates normalize to one canonical form — and one
+	// sample-cache entry — however they are spelled.
+	const orExpr = "(DB or ML) and size>=3"
+	comOr, err := s.DiscoverQuery(context.Background(), cod.Query{Node: 0, Expr: orExpr})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %q: found=%t rank=%d nodes=%v\n", orExpr, comOr.Found, comOr.Rank, comOr.Nodes)
 
 	// Influence introspection via the HIMOR index.
 	infl, err := s.EstimateInfluence(0)

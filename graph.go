@@ -1,7 +1,9 @@
 package cod
 
 import (
+	"fmt"
 	"io"
+	"strings"
 
 	"github.com/codsearch/cod/internal/dataset"
 	"github.com/codsearch/cod/internal/graph"
@@ -14,9 +16,16 @@ type NodeID = graph.NodeID
 type AttrID = graph.AttrID
 
 // Graph is an immutable undirected attributed graph. Construct one with a
-// GraphBuilder, LoadGraph, or GenerateDataset.
+// GraphBuilder, LoadGraph, or GenerateDataset. The optional attribute-name
+// registry (SetAttrNames) is query metadata, not part of the topology: it
+// lets the query DSL reference attributes by name and is not serialized by
+// WriteTo.
 type Graph struct {
 	g *graph.Graph
+	// names is the optional attribute-name registry (index = AttrID);
+	// byName maps lowercased names back to ids.
+	names  []string
+	byName map[string]AttrID
 }
 
 // GraphBuilder accumulates edges and node attributes for a Graph.
@@ -85,7 +94,13 @@ func GenerateDataset(name string, seed uint64) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{g: ds.G}, nil
+	g := &Graph{g: ds.G}
+	if len(ds.AttrNames) > 0 {
+		if err := g.SetAttrNames(ds.AttrNames...); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
 }
 
 // DatasetNames lists the full-scale built-in datasets in Table I order.
@@ -111,6 +126,56 @@ func (g *Graph) Attrs(v NodeID) []AttrID { return g.g.Attrs(v) }
 
 // HasAttr reports whether v carries attribute a.
 func (g *Graph) HasAttr(v NodeID, a AttrID) bool { return g.g.HasAttr(v, a) }
+
+// SetAttrNames installs the attribute-name registry: names[i] names
+// attribute i. Every attribute must be named, names must be unique
+// case-insensitively and non-empty. Named attributes can be referenced by
+// name in query expressions (case-insensitive); without a registry,
+// expressions reference attributes by numeric id only.
+func (g *Graph) SetAttrNames(names ...string) error {
+	if len(names) != g.NumAttrs() {
+		return fmt.Errorf("cod: %d attribute names for %d attributes", len(names), g.NumAttrs())
+	}
+	byName := make(map[string]AttrID, len(names))
+	for i, name := range names {
+		if name == "" {
+			return fmt.Errorf("cod: attribute %d has an empty name", i)
+		}
+		key := strings.ToLower(name)
+		if prev, dup := byName[key]; dup {
+			return fmt.Errorf("cod: attribute name %q duplicates attribute %d (names are case-insensitive)", name, prev)
+		}
+		byName[key] = AttrID(i)
+	}
+	g.names = append([]string(nil), names...)
+	g.byName = byName
+	return nil
+}
+
+// AttrNames returns the attribute-name registry (index = AttrID), nil when
+// none was installed. The slice is a copy.
+func (g *Graph) AttrNames() []string {
+	if g.names == nil {
+		return nil
+	}
+	return append([]string(nil), g.names...)
+}
+
+// AttrName returns the registered name of attribute a, "" and false when the
+// graph has no registry or a is out of range.
+func (g *Graph) AttrName(a AttrID) (string, bool) {
+	if a < 0 || int(a) >= len(g.names) {
+		return "", false
+	}
+	return g.names[a], true
+}
+
+// AttrByName resolves an attribute name case-insensitively against the
+// registry.
+func (g *Graph) AttrByName(name string) (AttrID, bool) {
+	a, ok := g.byName[strings.ToLower(name)]
+	return a, ok
+}
 
 // WriteTo serializes the graph in the cod text format.
 func (g *Graph) WriteTo(w io.Writer) (int64, error) { return g.g.WriteTo(w) }

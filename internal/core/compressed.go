@@ -26,6 +26,37 @@ type EvalResult struct {
 	// bounded by the total number of RR-graph nodes (Lemma 2) and is exposed
 	// for tests and instrumentation.
 	Buckets int
+	// TopK reports, per chain level, whether the query node ranked top-k
+	// there. Backed by the evaluation's scratch: valid until the scratch's
+	// next evaluation.
+	TopK []bool
+	// Ranks holds, per chain level, q's empirical influence rank (1 = most
+	// influential). Exact when TopK of that level is true; a lower bound
+	// otherwise (the sweep tracks only the k largest competitors). Backed by
+	// the evaluation's scratch, like TopK.
+	Ranks []int32
+}
+
+// Equal reports full equality of two results, comparing the scratch-backed
+// per-level slices element-wise.
+func (r EvalResult) Equal(o EvalResult) bool {
+	if r.Level != o.Level || r.QCount != o.QCount || r.Buckets != o.Buckets {
+		return false
+	}
+	if len(r.TopK) != len(o.TopK) || len(r.Ranks) != len(o.Ranks) {
+		return false
+	}
+	for i := range r.TopK {
+		if r.TopK[i] != o.TopK[i] {
+			return false
+		}
+	}
+	for i := range r.Ranks {
+		if r.Ranks[i] != o.Ranks[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // CompressedEvaluate runs Algorithm 1 over the chain using the given shared
@@ -50,6 +81,8 @@ type EvalScratch struct {
 	queues  [][]int32
 	visited []bool
 	tau     map[graph.NodeID]int32
+	topk    []bool
+	ranks   []int32
 }
 
 // NewEvalScratch returns an empty scratch.
@@ -74,6 +107,12 @@ func (sc *EvalScratch) prepare(L int) {
 	} else {
 		clear(sc.tau)
 	}
+	if cap(sc.topk) < L {
+		sc.topk = make([]bool, L)
+		sc.ranks = make([]int32, L)
+	}
+	sc.topk = sc.topk[:L]
+	sc.ranks = sc.ranks[:L]
 }
 
 // visitedFor returns a cleared visited buffer of length n.
@@ -130,12 +169,16 @@ func CompressedEvaluateScratchCtx(ctx context.Context, ch *Chain, rrs []*influen
 			tau[v] = nv
 			top.offer(v, nv)
 		}
-		if top.isTopK(ch.q, tau[ch.q]) {
+		ahead := top.aheadOf(ch.q, tau[ch.q])
+		sc.ranks[h] = int32(ahead) + 1
+		sc.topk[h] = ahead < k
+		if sc.topk[h] {
 			best = h
 		}
 	}
 	sweep.EndItems(len(tau))
-	return EvalResult{Level: best, QCount: int(tau[ch.q]), Buckets: entries}, nil
+	return EvalResult{Level: best, QCount: int(tau[ch.q]), Buckets: entries,
+		TopK: sc.topk[:L], Ranks: sc.ranks[:L]}, nil
 }
 
 // foldRR runs the HFS pass of one RR graph, adding its node occurrences to

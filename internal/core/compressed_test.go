@@ -368,7 +368,7 @@ func TestCompressedEvaluateCtxMatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !got.Equal(want) {
 		t.Errorf("CompressedEvaluateCtx = %+v, want %+v", got, want)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -396,7 +396,7 @@ func TestCompressedEvaluateScratchReuse(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != want {
+		if !got.Equal(want) {
 			t.Errorf("q=%d: scratch eval = %+v, want %+v", q, got, want)
 		}
 	}

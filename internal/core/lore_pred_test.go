@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/hac"
+)
+
+// attrMask materializes the membership mask of one attribute: the reduction
+// under which the predicate variants must reproduce the legacy functions.
+func attrMask(g *graph.Graph, attr graph.AttrID) []bool {
+	in := make([]bool, g.N())
+	for v := range in {
+		in[v] = g.HasAttr(graph.NodeID(v), attr)
+	}
+	return in
+}
+
+func TestPredWeightedMatchesAttributeWeighted(t *testing.T) {
+	g := fig5Graph(t)
+	want := AttributeWeighted(g, 0, 1)
+	got := PredWeighted(g, attrMask(g, 0), 1)
+	for v := graph.NodeID(0); int(v) < g.N(); v++ {
+		ns, ws := got.Neighbors(v), got.Weights(v)
+		wns, wws := want.Neighbors(v), want.Weights(v)
+		if len(ns) != len(wns) {
+			t.Fatalf("adjacency differs at %d", v)
+		}
+		for i := range ns {
+			if ns[i] != wns[i] {
+				t.Fatalf("neighbor order differs at %d", v)
+			}
+			w1, w2 := 1.0, 1.0
+			if ws != nil {
+				w1 = ws[i]
+			}
+			if wws != nil {
+				w2 = wws[i]
+			}
+			if w1 != w2 {
+				t.Fatalf("weight differs at (%d,%d): %g vs %g", v, ns[i], w1, w2)
+			}
+		}
+	}
+}
+
+func TestReclusterScoresPredMatchesLegacy(t *testing.T) {
+	g := fig5Graph(t)
+	tr := fig2Tree(t)
+	for attr := graph.AttrID(0); attr < 2; attr++ {
+		wantScores, wantBest := ReclusterScores(g, tr, 0, attr)
+		gotScores, gotBest := ReclusterScoresPred(g, tr, 0, attrMask(g, attr))
+		if gotBest != wantBest {
+			t.Fatalf("attr %d: best = %d, want %d", attr, gotBest, wantBest)
+		}
+		for i := range wantScores {
+			if gotScores[i] != wantScores[i] {
+				t.Fatalf("attr %d: score %d = %v, want %v", attr, i, gotScores[i], wantScores[i])
+			}
+		}
+	}
+}
+
+func TestLorePredMatchesLegacy(t *testing.T) {
+	g := fig5Graph(t)
+	tr := fig2Tree(t)
+	want, err := Lore(g, tr, 0, 0, 1, hac.UnweightedAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LorePredCtx(context.Background(), g, tr, 0, attrMask(g, 0), 1, hac.UnweightedAverage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CL != want.CL || got.ChainIndex != want.ChainIndex {
+		t.Fatalf("C_ℓ = (%d,%d), want (%d,%d)", got.CL, got.ChainIndex, want.CL, want.ChainIndex)
+	}
+	wm, gm := MergedChain(g, tr, want, 0), MergedChain(g, tr, got, 0)
+	if wm.Len() != gm.Len() {
+		t.Fatalf("merged chain length %d, want %d", gm.Len(), wm.Len())
+	}
+	for u := 0; u < g.N(); u++ {
+		if wm.Level(graph.NodeID(u)) != gm.Level(graph.NodeID(u)) {
+			t.Fatalf("level of node %d differs: %d vs %d",
+				u, gm.Level(graph.NodeID(u)), wm.Level(graph.NodeID(u)))
+		}
+	}
+}
+
+func TestLorePredCompoundMask(t *testing.T) {
+	// A disjunctive mask (attr 0 OR attr 1 covers every node of fig5Graph)
+	// boosts every edge, so scores count all chain-incident edges.
+	g := fig5Graph(t)
+	tr := fig2Tree(t)
+	in := make([]bool, g.N())
+	for v := range in {
+		in[v] = true
+	}
+	scores, best := ReclusterScoresPred(g, tr, 0, in)
+	only0, _ := ReclusterScoresPred(g, tr, 0, attrMask(g, 0))
+	if best < 1 {
+		t.Fatalf("best = %d", best)
+	}
+	ge := false
+	for i := range scores {
+		if scores[i] < only0[i] {
+			t.Fatalf("all-true mask score %d (%v) below single-attr score (%v)", i, scores[i], only0[i])
+		}
+		if scores[i] > only0[i] {
+			ge = true
+		}
+	}
+	if !ge {
+		t.Fatal("widening the mask never increased any score")
+	}
+
+	gw := PredWeighted(g, in, 1)
+	if w := gw.EdgeWeight(0, 1); w != 2 {
+		t.Fatalf("compound-mask edge weight = %g, want 2", w)
+	}
+}

@@ -108,14 +108,18 @@ func (se *StagedEval) Sweep(ctx context.Context) (EvalResult, []LevelMargin) {
 				se.top.offer(v, nv)
 			}
 		}
+		ahead := se.top.aheadOf(q, tau[q])
+		sc.ranks[h] = int32(ahead) + 1
+		sc.topk[h] = ahead < se.k
 		m := &se.margins[h]
 		m.QCount = tau[q]
 		m.Boundary = se.top.boundary()
-		m.InTopK = se.top.aheadOf(q, tau[q]) < se.k
+		m.InTopK = sc.topk[h]
 		if m.InTopK {
 			best = h
 		}
 	}
 	sweep.EndItems(len(tau))
-	return EvalResult{Level: best, QCount: int(tau[q]), Buckets: se.entries}, se.margins
+	return EvalResult{Level: best, QCount: int(tau[q]), Buckets: se.entries,
+		TopK: sc.topk[:L], Ranks: sc.ranks[:L]}, se.margins
 }

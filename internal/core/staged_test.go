@@ -60,7 +60,7 @@ func TestStagedMatchesCompressed(t *testing.T) {
 			if se.Folded() != 400 {
 				t.Fatalf("folded = %d, want 400", se.Folded())
 			}
-			if res != want {
+			if !res.Equal(want) {
 				t.Fatalf("seed=%d k=%d: staged = %+v, want %+v", seed, k, res, want)
 			}
 		}
@@ -81,10 +81,10 @@ func TestStagedFoldIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	res2, _ := se.Sweep(ctx)
-	if res1 != res2 {
+	if !res1.Equal(res2) {
 		t.Fatalf("refold changed the result: %+v vs %+v", res1, res2)
 	}
-	if res1 != CompressedEvaluate(ch, rrs, 2) {
+	if !res1.Equal(CompressedEvaluate(ch, rrs, 2)) {
 		t.Fatalf("staged = %+v, want %+v", res1, CompressedEvaluate(ch, rrs, 2))
 	}
 }
@@ -135,7 +135,7 @@ func TestStagedFoldCanceled(t *testing.T) {
 		t.Fatal(err)
 	}
 	res, _ := se.Sweep(context.Background())
-	if res != CompressedEvaluate(ch, rrs, 2) {
+	if !res.Equal(CompressedEvaluate(ch, rrs, 2)) {
 		t.Fatalf("resumed staged = %+v, want %+v", res, CompressedEvaluate(ch, rrs, 2))
 	}
 }

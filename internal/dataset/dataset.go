@@ -24,6 +24,9 @@ type Dataset struct {
 	// Comms is the planted ground-truth community of each node; nil when the
 	// generator does not plant communities (retweet).
 	Comms []int
+	// AttrNames names the attribute universe (index = AttrID); nil when the
+	// dataset's labels are anonymous.
+	AttrNames []string
 }
 
 // PaperScale records the original network statistics from Table I for
@@ -48,7 +51,11 @@ type Spec struct {
 	// AttrFidelity is the probability a node carries its community's primary
 	// attribute (citation-style datasets only).
 	AttrFidelity float64
-	Paper        PaperScale
+	// AttrNames optionally names the attribute universe (index = AttrID) so
+	// queries can reference attributes by name; nil when the original
+	// network's labels have no natural names at this scale.
+	AttrNames []string
+	Paper     PaperScale
 	// ScaleNote documents any down-scaling versus the original.
 	ScaleNote string
 }
@@ -64,23 +71,41 @@ const (
 // specs is the dataset registry, ordered as in Table I.
 var specs = []Spec{
 	{Name: "cora", N: 2485, M: 5069, NumAttrs: 7, Kind: citationLike, NumComms: 60, HubBias: 0.3, Pendants: 0.15, AttrFidelity: 0.85,
-		Paper: PaperScale{2485, 5069, 7, 18.5}},
+		AttrNames: coraClasses, Paper: PaperScale{2485, 5069, 7, 18.5}},
 	{Name: "citeseer", N: 2110, M: 3668, NumAttrs: 6, Kind: citationLike, NumComms: 55, HubBias: 0.3, Pendants: 0.15, AttrFidelity: 0.85,
-		Paper: PaperScale{2110, 3668, 6, 18.9}},
+		AttrNames: citeseerClasses, Paper: PaperScale{2110, 3668, 6, 18.9}},
 	{Name: "pubmed", N: 19717, M: 44327, NumAttrs: 3, Kind: citationLike, NumComms: 180, HubBias: 0.55, Pendants: 0.4, AttrFidelity: 0.85,
-		Paper: PaperScale{19717, 44327, 3, 34.2}},
+		AttrNames: pubmedClasses, Paper: PaperScale{19717, 44327, 3, 34.2}},
 	{Name: "retweet", N: 18470, M: 48053, NumAttrs: 2, Kind: retweetLike,
 		Paper: PaperScale{18470, 48053, 2, 165.3}},
 	{Name: "amazon", N: 33486, M: 92587, NumAttrs: 33, Kind: groundTruth, NumComms: 2580, HubBias: 0.35,
 		Paper: PaperScale{334863, 925872, 33, 54.8}, ScaleNote: "1/10 of SNAP com-Amazon"},
 	{Name: "dblp", N: 31708, M: 104987, NumAttrs: 31, Kind: groundTruth, NumComms: 1580, HubBias: 0.35,
-		Paper: PaperScale{317080, 1049866, 31, 47.9}, ScaleNote: "1/10 of SNAP com-DBLP"},
+		AttrNames: dblpVenues, Paper: PaperScale{317080, 1049866, 31, 47.9}, ScaleNote: "1/10 of SNAP com-DBLP"},
 	{Name: "livejournal", N: 99949, M: 867030, NumAttrs: 400, Kind: groundTruth, NumComms: 4000, HubBias: 0.5,
 		Paper: PaperScale{3997962, 34681189, 400, 271.17}, ScaleNote: "1/40 of SNAP com-LiveJournal"},
 	// Reduced-size variants for unit tests and quick benchmarks.
-	{Name: "tiny", N: 120, M: 320, NumAttrs: 4, Kind: citationLike, NumComms: 6, HubBias: 0.2, AttrFidelity: 0.9},
-	{Name: "small", N: 600, M: 1500, NumAttrs: 5, Kind: citationLike, NumComms: 15, HubBias: 0.3, AttrFidelity: 0.85},
+	{Name: "tiny", N: 120, M: 320, NumAttrs: 4, Kind: citationLike, NumComms: 6, HubBias: 0.2, AttrFidelity: 0.9,
+		AttrNames: []string{"ML", "DB", "IR", "AI"}},
+	{Name: "small", N: 600, M: 1500, NumAttrs: 5, Kind: citationLike, NumComms: 15, HubBias: 0.3, AttrFidelity: 0.85,
+		AttrNames: []string{"ML", "DB", "IR", "AI", "SE"}},
 }
+
+// Attribute-name registries for datasets whose labels have natural names:
+// the citation datasets' document classes and a venue universe for the
+// DBLP stand-in. Amazon/LiveJournal ground-truth labels and the retweet
+// regions are anonymous; those specs stay unnamed and their attributes are
+// referenced by numeric id.
+var (
+	coraClasses = []string{"Case_Based", "Genetic_Algorithms", "Neural_Networks",
+		"Probabilistic_Methods", "Reinforcement_Learning", "Rule_Learning", "Theory"}
+	citeseerClasses = []string{"Agents", "AI", "DB", "IR", "ML", "HCI"}
+	pubmedClasses   = []string{"Diabetes_Experimental", "Diabetes_Type1", "Diabetes_Type2"}
+	dblpVenues      = []string{"ICDE", "KDD", "SIGMOD", "VLDB", "WWW", "WSDM", "CIKM",
+		"ICDM", "SDM", "PKDD", "ECML", "IJCAI", "AAAI", "NIPS", "ICML", "ACL", "EMNLP",
+		"NAACL", "SIGIR", "RECSYS", "EDBT", "PODS", "DASFAA", "APWEB", "WAIM", "SSDBM",
+		"STOC", "FOCS", "SODA", "ICALP", "ESA"}
+)
 
 // Names returns the registry names in Table I order (excluding test sizes).
 func Names() []string {
@@ -110,14 +135,17 @@ func Load(name string, seed uint64) (*Dataset, error) {
 		return nil, err
 	}
 	rng := graph.NewRand(seed ^ hashName(name))
+	var ds *Dataset
 	switch spec.Kind {
 	case retweetLike:
-		return genRetweet(spec, rng), nil
+		ds = genRetweet(spec, rng)
 	case groundTruth:
-		return genGroundTruth(spec, rng), nil
+		ds = genGroundTruth(spec, rng)
 	default:
-		return genCitation(spec, rng), nil
+		ds = genCitation(spec, rng)
 	}
+	ds.AttrNames = spec.AttrNames
+	return ds, nil
 }
 
 func hashName(s string) uint64 {

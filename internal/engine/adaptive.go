@@ -166,8 +166,8 @@ type stagedDraw func(ctx context.Context, cum int) ([]*influence.RRGraph, error)
 // non-adaptive evaluation of the full pool. It stores the evaluation result
 // in st and returns the sample step's outcome plus the realized stage count
 // and certified gap for the step trace.
-func (e *Engine) runStaged(ctx context.Context, pl *Plan, step Step, sc *queryScratch, rng *rand.Rand, st *execState) (outcome string, stages int, gap float64, err error) {
-	ad := e.cfg.Adaptive.withDefaults()
+func (e *Engine) runStaged(ctx context.Context, pl *Plan, step Step, sc *queryScratch, rng *rand.Rand, st *execState, ad Adaptive) (outcome string, stages int, gap float64, err error) {
+	ad = ad.withDefaults()
 	rec := obs.FromContext(ctx)
 
 	var total int
@@ -175,10 +175,10 @@ func (e *Engine) runStaged(ctx context.Context, pl *Plan, step Step, sc *querySc
 	if step.Sample == SampleRestricted {
 		total, draw = e.stagedRestricted(sc, st.rec, rng)
 	} else {
-		total, draw = e.stagedShared(sc, pl.Attr)
+		total, draw = e.stagedShared(sc, pl.predCacheKey())
 	}
 
-	se := core.NewStagedEval(st.ch, e.p.K, sc.eval)
+	se := core.NewStagedEval(st.ch, pl.K, sc.eval)
 	sched := stageSchedule(total, ad.Stages)
 	for si, cum := range sched {
 		rrs, err := draw(ctx, cum)
@@ -189,12 +189,19 @@ func (e *Engine) runStaged(ctx context.Context, pl *Plan, step Step, sc *querySc
 			return errOutcome(err), si, 0, err
 		}
 		res, margins := se.Sweep(ctx)
+		// Community filters may promote any in-top-k level to the answer, so
+		// the empirical best no longer bounds which decisions matter: force
+		// every level decisive before certifying.
+		decisive := res.Level
+		if len(pl.Filters) > 0 {
+			decisive = -1
+		}
 		if si == len(sched)-1 {
 			st.res = res
 			rec.CountAdaptive(false, si+1, int64(cum), int64(total))
-			return "exhausted", si + 1, minGap(margins, res.Level, cum), nil
+			return "exhausted", si + 1, minGap(margins, decisive, cum), nil
 		}
-		if ok, gap := ad.certify(margins, res.Level, cum, len(sched)); ok {
+		if ok, gap := ad.certify(margins, decisive, cum, len(sched)); ok {
 			st.res = res
 			rec.CountAdaptive(true, si+1, int64(cum), int64(total))
 			return "early_stop", si + 1, gap, nil
@@ -238,13 +245,13 @@ func (e *Engine) stagedRestricted(sc *queryScratch, rec *core.Reclustering, rng 
 // growing prefixes of it; without a cache, stages continue the query-rng
 // sampling loop exactly where the previous stage paused, matching the
 // influence.BatchIntoCtx draw order.
-func (e *Engine) stagedShared(sc *queryScratch, attr graph.AttrID) (int, stagedDraw) {
+func (e *Engine) stagedShared(sc *queryScratch, pk predKey) (int, stagedDraw) {
 	total := e.p.Theta * e.g.N()
 	if e.cache != nil {
 		var pool []*influence.RRGraph
 		return total, func(ctx context.Context, cum int) ([]*influence.RRGraph, error) {
 			if pool == nil {
-				rrs, _, err := e.cache.get(ctx, e, attr, total)
+				rrs, _, err := e.cache.get(ctx, e, pk, total)
 				if err != nil {
 					return nil, err
 				}

@@ -10,15 +10,18 @@ import (
 	"github.com/codsearch/cod/internal/obs"
 )
 
-// sampleCache is the bounded per-attribute RR sample-pool cache: queries
-// that share a query attribute sample once and evaluate many times — the
+// sampleCache is the bounded per-predicate RR sample-pool cache: queries
+// that share a query predicate sample once and evaluate many times — the
 // RIS-sketch reuse trick applied to the COD serving path.
 //
-// Keying and determinism: entries are keyed by (attribute, epoch), where
-// the epoch is bumped on every Rebind (dynamic update), so a pool sampled
-// over a stale graph can never answer for the updated one. Pool content is
-// a pure function of the key: sample i draws from a PCG seeded with
-// ItemSeed(poolSeed(seed, attr, epoch), i), never from a query's rng — so
+// Keying and determinism: entries are keyed by (predicate key, epoch),
+// where the predicate key is (attr, 0) for single-attribute queries — the
+// legacy keying, so existing pools stay hot across the DSL migration — or
+// (-1, normal-form hash) for compound predicates, and the epoch is bumped
+// on every Rebind (dynamic update), so a pool sampled over a stale graph
+// can never answer for the updated one. Pool content is a pure function of
+// the key: sample i draws from a PCG seeded with
+// ItemSeed(poolSeed(seed, key, epoch), i), never from a query's rng — so
 // a cache hit is byte-identical to a miss, and answers are independent of
 // query arrival order, worker count, and eviction history.
 //
@@ -41,8 +44,17 @@ type sampleCache struct {
 	rrgraphs int64
 }
 
+// predKey is the predicate identity of a shared sample pool: attr with hash
+// 0 for single-attribute queries (preserving the legacy pool seeds exactly),
+// attr -1 with the predicate's canonical normal-form hash for compound ones
+// (semantically equal predicates share it, however spelled).
+type predKey struct {
+	attr graph.AttrID
+	hash uint64
+}
+
 type cacheKey struct {
-	attr  graph.AttrID
+	pred  predKey
 	epoch uint64
 }
 
@@ -66,12 +78,19 @@ func newSampleCache(max int) *sampleCache {
 	return &sampleCache{max: max, entries: map[cacheKey]*poolEntry{}}
 }
 
-// poolSeed derives the sampling seed of one (attr, epoch) pool. The +1
+// poolSeed derives the sampling seed of one (predicate, epoch) pool. The +1
 // keeps attribute 0 distinct from the base stream, and the constant keeps
 // pool streams disjoint from the offline (seed^0x51ed) and per-query
-// (ItemSeed(seed, i)) families.
-func poolSeed(seed uint64, attr graph.AttrID, epoch uint64) uint64 {
-	return graph.ItemSeed(graph.ItemSeed(seed^0xcac4ed, int(attr)+1), int(epoch))
+// (ItemSeed(seed, i)) families. A zero hash (single-attribute pool)
+// reproduces the pre-DSL seeds exactly; compound predicates fold their
+// canonical hash in through a Weyl-constant multiply so distinct predicates
+// get well-separated streams.
+func poolSeed(seed uint64, pk predKey, epoch uint64) uint64 {
+	base := seed ^ 0xcac4ed
+	if pk.hash != 0 {
+		base ^= pk.hash * 0x9e3779b97f4a7c15
+	}
+	return graph.ItemSeed(graph.ItemSeed(base, int(pk.attr)+1), int(epoch))
 }
 
 // get returns the pool for attr at the engine's current epoch, sampling it
@@ -82,9 +101,9 @@ func poolSeed(seed uint64, attr graph.AttrID, epoch uint64) uint64 {
 // waiter can see it, so no partial pool is ever served or built upon:
 // waiters that were blocked on a withdrawn entry loop back to the map and
 // converge on the single live replacement entry.
-func (c *sampleCache) get(ctx context.Context, e *Engine, attr graph.AttrID, count int) ([]*influence.RRGraph, bool, error) {
+func (c *sampleCache) get(ctx context.Context, e *Engine, pk predKey, count int) ([]*influence.RRGraph, bool, error) {
 	rec := obs.FromContext(ctx)
-	key := cacheKey{attr: attr, epoch: e.epoch.Load()}
+	key := cacheKey{pred: pk, epoch: e.epoch.Load()}
 
 	for {
 		c.mu.Lock()
@@ -115,7 +134,7 @@ func (c *sampleCache) get(ctx context.Context, e *Engine, attr graph.AttrID, cou
 			continue
 		}
 		rec.CountCacheMiss()
-		err := c.populate(ctx, e, attr, key, entry, count)
+		err := c.populate(ctx, e, key, entry, count)
 		if err == nil {
 			// Account occupancy while entry.mu pins ready=true: the entry
 			// counts only if it is still the published one (an eviction racing
@@ -147,7 +166,7 @@ func (c *sampleCache) get(ctx context.Context, e *Engine, attr graph.AttrID, cou
 
 // populate samples the pool with per-item seeding into the entry's arena.
 // entry.mu is held by the caller.
-func (c *sampleCache) populate(ctx context.Context, e *Engine, attr graph.AttrID, key cacheKey, entry *poolEntry, count int) error {
+func (c *sampleCache) populate(ctx context.Context, e *Engine, key cacheKey, entry *poolEntry, count int) error {
 	// A canceled attempt leaves partial samples behind; entries are
 	// withdrawn on failure so no second attempt should ever reach a dirty
 	// arena, but a stale sample surviving here would silently corrupt the
@@ -157,7 +176,7 @@ func (c *sampleCache) populate(ctx context.Context, e *Engine, attr graph.AttrID
 	span := obs.FromContext(ctx).StartSpan(obs.StageRRSample)
 	src := graph.NewPCG(0)
 	smp := newArenaSampler(e.g, e.p.Model, rand.New(src))
-	base := poolSeed(e.p.Seed, attr, key.epoch)
+	base := poolSeed(e.p.Seed, key.pred, key.epoch)
 	for i := 0; i < count; i++ {
 		if i%influence.PollEvery == 0 {
 			if err := ctx.Err(); err != nil {
@@ -191,8 +210,8 @@ func (c *sampleCache) evictLocked(keep cacheKey) int {
 			// lastUse ticks are unique under c.mu, but tie-break on the key
 			// anyway so the victim never depends on map iteration order.
 			if !found || en.lastUse < oldest ||
-				(en.lastUse == oldest && (k.epoch < victim.epoch ||
-					(k.epoch == victim.epoch && k.attr < victim.attr))) {
+				(en.lastUse == oldest && cacheKeyLess(k, victim)) {
+				//codvet:ignore maporder deterministic tie-break via cacheKeyLess in the guard
 				victim, oldest, found = k, en.lastUse, true
 			}
 		}
@@ -204,6 +223,17 @@ func (c *sampleCache) evictLocked(keep cacheKey) int {
 		evicted++
 	}
 	return evicted
+}
+
+// cacheKeyLess is the deterministic eviction tie-break order over keys.
+func cacheKeyLess(a, b cacheKey) bool {
+	if a.epoch != b.epoch {
+		return a.epoch < b.epoch
+	}
+	if a.pred.attr != b.pred.attr {
+		return a.pred.attr < b.pred.attr
+	}
+	return a.pred.hash < b.pred.hash
 }
 
 // uncountLocked reverses an entry's occupancy contribution (a no-op for

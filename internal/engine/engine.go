@@ -11,6 +11,7 @@ import (
 	"github.com/codsearch/cod/internal/hac"
 	"github.com/codsearch/cod/internal/hier"
 	"github.com/codsearch/cod/internal/influence"
+	"github.com/codsearch/cod/internal/query"
 )
 
 // Config tunes a query engine beyond the paper parameters.
@@ -57,7 +58,7 @@ type Engine struct {
 	scratchAlloc atomic.Int64
 
 	attrMu    sync.Mutex
-	attrTrees map[graph.AttrID]*hier.Tree
+	attrTrees map[treeKey]*hier.Tree
 
 	cache *sampleCache // nil when Config.SampleCache == 0
 
@@ -70,7 +71,7 @@ type Engine struct {
 // that do not need them) without doing offline work.
 func New(g *graph.Graph, tree *hier.Tree, index *core.Himor, p Params, cfg Config) *Engine {
 	e := &Engine{g: g, tree: tree, index: index, p: p.withDefaults(), cfg: cfg,
-		attrTrees: map[graph.AttrID]*hier.Tree{}}
+		attrTrees: map[treeKey]*hier.Tree{}}
 	if cfg.SampleCache > 0 {
 		e.cache = newSampleCache(cfg.SampleCache)
 	}
@@ -135,20 +136,45 @@ func (e *Engine) Rebind(g *graph.Graph, tree *hier.Tree, index *core.Himor) {
 	e.scratch = sync.Pool{}
 }
 
+// treeKey identifies a cached reclustered hierarchy: (attr, 0) for a
+// single-attribute weighting, (-1, predicate hash) for a compound predicate.
+// Semantically equal predicates share a canonical hash, so they share a tree.
+type treeKey struct {
+	attr graph.AttrID
+	hash uint64
+}
+
 // AttrTree returns the attribute-weighted hierarchy for attr, reclustering
 // g_ℓ unless cached. The cached flag selects whether the per-attribute
 // cache is consulted and populated; a bypassing call always reclusters.
 // Canceled builds are never cached.
 func (e *Engine) AttrTree(ctx context.Context, attr graph.AttrID, cached bool) (*hier.Tree, error) {
+	return e.predTree(ctx, attr, nil, cached, nil)
+}
+
+// predTree is AttrTree generalized to compound predicates: with pred nil the
+// weighting is the legacy single-attribute one; otherwise edges whose
+// endpoints both satisfy pred are boosted. sc (optional) lends its mask
+// buffer to the predicate evaluation.
+func (e *Engine) predTree(ctx context.Context, attr graph.AttrID, pred *query.DNF, cached bool, sc *queryScratch) (*hier.Tree, error) {
+	key := treeKey{attr: attr}
+	if pred != nil {
+		key = treeKey{attr: -1, hash: pred.Hash64()}
+	}
 	if cached {
 		e.attrMu.Lock()
-		t, ok := e.attrTrees[attr]
+		t, ok := e.attrTrees[key]
 		e.attrMu.Unlock()
 		if ok {
 			return t, nil
 		}
 	}
-	gl := core.AttributeWeighted(e.g, attr, e.p.Beta)
+	var gl *graph.Graph
+	if pred != nil {
+		gl = core.PredWeighted(e.g, e.predMask(sc, pred), e.p.Beta)
+	} else {
+		gl = core.AttributeWeighted(e.g, attr, e.p.Beta)
+	}
 	t, err := hac.ClusterCtx(ctx, gl, e.p.Linkage)
 	if err != nil {
 		return nil, err
@@ -157,10 +183,10 @@ func (e *Engine) AttrTree(ctx context.Context, attr graph.AttrID, cached bool) (
 		e.attrMu.Lock()
 		// A concurrent builder may have won the race; keep the first tree so
 		// repeated Hierarchy calls observe one stable pointer.
-		if prev, ok := e.attrTrees[attr]; ok {
+		if prev, ok := e.attrTrees[key]; ok {
 			t = prev
 		} else {
-			e.attrTrees[attr] = t
+			e.attrTrees[key] = t
 		}
 		e.attrMu.Unlock()
 	}

@@ -385,7 +385,7 @@ func TestSampleCacheCanceledPopulateRetriesClean(t *testing.T) {
 
 	// First attempt: cancellation fires with PollEvery samples already in
 	// the entry's arena.
-	_, _, err := eng.cache.get(&cancelAfterErrs{Context: rctx, left: 1}, eng, 0, count)
+	_, _, err := eng.cache.get(&cancelAfterErrs{Context: rctx, left: 1}, eng, predKey{}, count)
 	var ce *influence.CanceledError
 	if !errors.As(err, &ce) {
 		t.Fatalf("canceled populate returned %v, want CanceledError", err)
@@ -395,7 +395,7 @@ func TestSampleCacheCanceledPopulateRetriesClean(t *testing.T) {
 	}
 
 	// The retry must serve a clean full pool...
-	got, _, err := eng.cache.get(rctx, eng, 0, count)
+	got, _, err := eng.cache.get(rctx, eng, predKey{}, count)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +404,7 @@ func TestSampleCacheCanceledPopulateRetriesClean(t *testing.T) {
 	}
 	// ...byte-identical to an engine that never failed.
 	fresh := build()
-	want, _, err := fresh.cache.get(rctx, fresh, 0, count)
+	want, _, err := fresh.cache.get(rctx, fresh, predKey{}, count)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +412,7 @@ func TestSampleCacheCanceledPopulateRetriesClean(t *testing.T) {
 		t.Error("pool after canceled populate differs from never-canceled pool")
 	}
 	// The retried pool was cached under the live key: next get is a hit.
-	if _, _, err := eng.cache.get(rctx, eng, 0, count); err != nil {
+	if _, _, err := eng.cache.get(rctx, eng, predKey{}, count); err != nil {
 		t.Fatal(err)
 	}
 	if m.CacheHits.Value() != 1 || m.CacheMisses.Value() != 3 {
@@ -461,7 +461,7 @@ func TestSampleCacheWaiterSurvivesCanceledPopulate(t *testing.T) {
 	}
 	ref := build()
 	count := ref.p.Theta * g.N()
-	refPool, _, err := ref.cache.get(context.Background(), ref, 0, count)
+	refPool, _, err := ref.cache.get(context.Background(), ref, predKey{}, count)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +471,7 @@ func TestSampleCacheWaiterSurvivesCanceledPopulate(t *testing.T) {
 	gctx := &gateCtx{Context: context.Background(), polled: make(chan struct{}), release: make(chan struct{})}
 	popErr := make(chan error, 1)
 	go func() {
-		_, _, err := eng.cache.get(gctx, eng, 0, count)
+		_, _, err := eng.cache.get(gctx, eng, predKey{}, count)
 		popErr <- err
 	}()
 	<-gctx.polled // populator is inside populate, holding entry.mu
@@ -482,7 +482,7 @@ func TestSampleCacheWaiterSurvivesCanceledPopulate(t *testing.T) {
 	}
 	waiterRes := make(chan res, 1)
 	go func() {
-		rrs, _, err := eng.cache.get(context.Background(), eng, 0, count)
+		rrs, _, err := eng.cache.get(context.Background(), eng, predKey{}, count)
 		if err != nil {
 			waiterRes <- res{err: err}
 			return
@@ -525,7 +525,7 @@ func TestSampleCacheWaiterSurvivesCanceledPopulate(t *testing.T) {
 	reg := obs.NewRegistry()
 	m := obs.NewQueryMetrics(reg)
 	rctx := obs.WithRecorder(context.Background(), obs.NewRecorder(m, nil))
-	if _, _, err := eng.cache.get(rctx, eng, 0, count); err != nil {
+	if _, _, err := eng.cache.get(rctx, eng, predKey{}, count); err != nil {
 		t.Fatal(err)
 	}
 	if m.CacheHits.Value() != 1 {
@@ -550,7 +550,7 @@ func TestSampleCacheConcurrentCancelConvergence(t *testing.T) {
 	}
 	ref := build()
 	count := ref.p.Theta * g.N()
-	refPool, _, err := ref.cache.get(context.Background(), ref, 0, count)
+	refPool, _, err := ref.cache.get(context.Background(), ref, predKey{}, count)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -570,7 +570,7 @@ func TestSampleCacheConcurrentCancelConvergence(t *testing.T) {
 			wg.Add(1)
 			go func(slot int, ctx context.Context) {
 				defer wg.Done()
-				rrs, _, err := eng.cache.get(ctx, eng, 0, count)
+				rrs, _, err := eng.cache.get(ctx, eng, predKey{}, count)
 				if err != nil {
 					errs[slot] = err
 					return

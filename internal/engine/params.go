@@ -123,6 +123,10 @@ type Community struct {
 	Level int
 	// FromIndex is true when the HIMOR index answered without evaluation.
 	FromIndex bool
+	// Rank is q's influence rank within the chosen community (1 = most
+	// influential); 0 when unknown (not found, or a legacy evaluation that
+	// did not track ranks).
+	Rank int
 }
 
 // Size returns |C*| (0 when not found).

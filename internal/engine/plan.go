@@ -10,6 +10,7 @@ import (
 	"github.com/codsearch/cod/internal/hier"
 	"github.com/codsearch/cod/internal/influence"
 	"github.com/codsearch/cod/internal/obs"
+	"github.com/codsearch/cod/internal/query"
 )
 
 // Variant names the COD pipeline a plan realizes (§V-A of the paper, plus
@@ -59,6 +60,10 @@ const (
 	StepSample
 	// StepEvaluate runs the compressed COD evaluation (Algorithm 1).
 	StepEvaluate
+	// StepFilter re-chooses the answering chain level under the plan's
+	// community-level filters (largest level where q is top-k AND every
+	// filter accepts). Compiled only when the plan carries filters.
+	StepFilter
 	// StepExtract materializes the community from the winning chain level.
 	StepExtract
 )
@@ -76,6 +81,8 @@ func (k StepKind) String() string {
 		return "sample"
 	case StepEvaluate:
 		return "evaluate"
+	case StepFilter:
+		return "filter"
 	case StepExtract:
 		return "extract"
 	}
@@ -132,10 +139,45 @@ type Plan struct {
 	Variant Variant
 	Q       graph.NodeID
 	Attr    graph.AttrID
+	// Pred is the compound attribute predicate, nil for single-attribute
+	// plans (CompileSpec lowers a single positive-literal predicate onto
+	// Attr, so the legacy pipeline — and its cache keys — serve it).
+	Pred *query.DNF
+	// Filters are the community-level constraints; non-empty filters compile
+	// a StepFilter between evaluate and extract and drop the index probe
+	// (the probe's answer ignores filters).
+	Filters []query.Filter
+	// K is the required influence rank for this plan (CompileSpec fills the
+	// engine default when the query has no k= override).
+	K int
+	// Adaptive overrides the engine's adaptive configuration for this plan;
+	// nil inherits the engine config.
+	Adaptive *Adaptive
 	// CacheAttrTree lets a CODR plan reuse the per-attribute reclustered
 	// hierarchy across queries (deterministic either way).
 	CacheAttrTree bool
 	Steps         []Step
+}
+
+// Spec is a typed query for CompileSpec: the variant and query node plus the
+// optional predicate, community filters, rank override, and adaptive
+// override the query DSL can carry. The zero values of the optional fields
+// mean "engine default", so a Spec holding only (Variant, Q, Attr) compiles
+// to exactly the legacy Compile plan.
+type Spec struct {
+	Variant Variant
+	Q       graph.NodeID
+	// Attr is the query attribute for predicate-less plans (and the target
+	// of single-positive-literal predicate lowering).
+	Attr graph.AttrID
+	// Pred is the normalized attribute predicate, nil for none.
+	Pred *query.DNF
+	// Filters are community-level constraints (size/density/conductance).
+	Filters []query.Filter
+	// K overrides the required influence rank; 0 uses the engine default.
+	K int
+	// Adaptive overrides the engine's adaptive config; nil inherits it.
+	Adaptive *Adaptive
 }
 
 // planSteps is the fixed stage list per variant; slices are shared,
@@ -174,9 +216,61 @@ var planSteps = map[Variant][]Step{
 // Compile lowers a query onto the variant's stage list. CODR plans inherit
 // the engine's attribute-tree caching configuration.
 func (e *Engine) Compile(v Variant, q graph.NodeID, attr graph.AttrID) *Plan {
-	return &Plan{Variant: v, Q: q, Attr: attr,
-		CacheAttrTree: v == VariantCODR && e.cfg.CacheAttrTrees,
-		Steps:         planSteps[v]}
+	return e.CompileSpec(Spec{Variant: v, Q: q, Attr: attr})
+}
+
+// CompileSpec lowers a typed query onto the variant's stage list. A
+// single-positive-literal predicate is lowered to its attribute, so those
+// queries compile to — and cache like — the legacy single-attribute plans.
+// Filters drop the index probe (whose answer would ignore them) and insert a
+// filter step between evaluate and extract.
+func (e *Engine) CompileSpec(sp Spec) *Plan {
+	attr, pred := sp.Attr, sp.Pred
+	if pred != nil {
+		if a, ok := pred.Single(); ok {
+			attr, pred = a, nil
+		}
+	}
+	k := sp.K
+	if k <= 0 {
+		k = e.p.K
+	}
+	pl := &Plan{Variant: sp.Variant, Q: sp.Q, Attr: attr, Pred: pred,
+		Filters: sp.Filters, K: k, Adaptive: sp.Adaptive,
+		CacheAttrTree: sp.Variant == VariantCODR && e.cfg.CacheAttrTrees,
+		Steps:         planSteps[sp.Variant]}
+	if len(pl.Filters) > 0 {
+		steps := make([]Step, 0, len(pl.Steps)+1)
+		for _, st := range pl.Steps {
+			if st.Kind == StepIndexProbe {
+				continue
+			}
+			if st.Kind == StepExtract {
+				steps = append(steps, Step{Kind: StepFilter})
+			}
+			steps = append(steps, st)
+		}
+		pl.Steps = steps
+	}
+	return pl
+}
+
+// predCacheKey is the plan's shared-pool cache identity: single-attribute
+// plans keep the legacy (attr, hash 0) key so existing pools stay hot;
+// compound predicates key by their canonical normal-form hash.
+func (pl *Plan) predCacheKey() predKey {
+	if pl.Pred != nil {
+		return predKey{attr: -1, hash: pl.Pred.Hash64()}
+	}
+	return predKey{attr: pl.Attr}
+}
+
+// adaptiveFor returns the adaptive configuration in effect for pl.
+func (e *Engine) adaptiveFor(pl *Plan) Adaptive {
+	if pl.Adaptive != nil {
+		return *pl.Adaptive
+	}
+	return e.cfg.Adaptive
 }
 
 // execState threads intermediate results between plan stages.
@@ -242,12 +336,24 @@ func (e *Engine) runStep(ctx context.Context, pl *Plan, step Step, sc *queryScra
 	switch step.Kind {
 	case StepWeight:
 		if step.Weight == WeightGlobal {
-			t, err := e.AttrTree(ctx, pl.Attr, pl.CacheAttrTree)
+			t, err := e.predTree(ctx, pl.Attr, pl.Pred, pl.CacheAttrTree, sc)
 			if err != nil {
 				return Community{}, errOutcome(err), false, err
 			}
 			st.attrTree = t
+			if pl.Pred != nil {
+				return Community{}, "predicate", false, nil
+			}
 			return Community{}, "global", false, nil
+		}
+		if pl.Pred != nil {
+			in := e.predMask(sc, pl.Pred)
+			rec, err := core.LorePredCtx(ctx, e.g, e.tree, pl.Q, in, e.p.Beta, e.p.Linkage)
+			if err != nil {
+				return Community{}, errOutcome(err), false, err
+			}
+			st.rec = rec
+			return Community{}, "predicate", false, nil
 		}
 		rec, err := core.LoreCtx(ctx, e.g, e.tree, pl.Q, pl.Attr, e.p.Beta, e.p.Linkage)
 		if err != nil {
@@ -257,7 +363,7 @@ func (e *Engine) runStep(ctx context.Context, pl *Plan, step Step, sc *queryScra
 		return Community{}, "lore", false, nil
 
 	case StepIndexProbe:
-		if com, ok := e.probeIndex(ctx, pl.Q, st.rec); ok {
+		if com, ok := e.probeIndex(ctx, pl.Q, pl.K, st.rec); ok {
 			return com, "hit", true, nil
 		}
 		return Community{}, "miss", false, nil
@@ -280,12 +386,12 @@ func (e *Engine) runStep(ctx context.Context, pl *Plan, step Step, sc *queryScra
 		return Community{}, "unknown", false, nil
 
 	case StepSample:
-		if e.cfg.Adaptive.Enabled {
+		if ad := e.adaptiveFor(pl); ad.Enabled {
 			// Bounded-error mode fuses sampling and evaluation: the pool
 			// grows in stages, each swept and tested for certification, so
 			// the step's outcome is the decision (early_stop/exhausted)
 			// rather than the pool's provenance.
-			outcome, stages, gap, err := e.runStaged(ctx, pl, step, sc, rng, st)
+			outcome, stages, gap, err := e.runStaged(ctx, pl, step, sc, rng, st, ad)
 			st.staged, st.stages, st.gap = true, stages, gap
 			if err != nil {
 				return Community{}, outcome, false, err
@@ -300,7 +406,7 @@ func (e *Engine) runStep(ctx context.Context, pl *Plan, step Step, sc *queryScra
 			st.rrs = rrs
 			return Community{}, "restricted", false, nil
 		}
-		rrs, outcome, err := e.sampleShared(ctx, sc, pl.Attr)
+		rrs, outcome, err := e.sampleShared(ctx, sc, pl.predCacheKey())
 		if err != nil {
 			return Community{}, errOutcome(err), false, err
 		}
@@ -312,12 +418,20 @@ func (e *Engine) runStep(ctx context.Context, pl *Plan, step Step, sc *queryScra
 			// The adaptive sample step already evaluated; st.res is final.
 			return Community{}, "staged", false, nil
 		}
-		res, err := core.CompressedEvaluateScratchCtx(ctx, st.ch, st.rrs, e.p.K, sc.eval)
+		res, err := core.CompressedEvaluateScratchCtx(ctx, st.ch, st.rrs, pl.K, sc.eval)
 		if err != nil {
 			return Community{}, errOutcome(err), false, err
 		}
 		st.res = res
 		return Community{}, "ok", false, nil
+
+	case StepFilter:
+		lvl := e.applyFilters(st.ch, st.res, pl.Filters)
+		if lvl == st.res.Level {
+			return Community{}, "pass", false, nil
+		}
+		st.res.Level = lvl
+		return Community{}, "cut", false, nil
 
 	case StepExtract:
 		com := communityFromChain(st.ch, st.res)
@@ -340,7 +454,10 @@ func errOutcome(err error) string {
 
 // probeIndex scans the HIMOR index top-down over the ancestors of C_ℓ (root
 // first, C_ℓ last); the largest community where q is top-k answers directly.
-func (e *Engine) probeIndex(ctx context.Context, q graph.NodeID, rec *core.Reclustering) (Community, bool) {
+// HIMOR ranks are exact sorted positions, so the probe is valid for any
+// per-plan k override (plans with community filters skip it instead: the
+// probe cannot honor them).
+func (e *Engine) probeIndex(ctx context.Context, q graph.NodeID, k int, rec *core.Reclustering) (Community, bool) {
 	r := obs.FromContext(ctx)
 	lookup := r.StartSpan(obs.StageHimorLookup)
 	anc := e.tree.Ancestors(rec.CL)
@@ -349,26 +466,28 @@ func (e *Engine) probeIndex(ctx context.Context, q graph.NodeID, rec *core.Reclu
 		if i >= 0 {
 			v = anc[i]
 		}
-		if e.index.Rank(q, v) < e.p.K {
+		if rk := e.index.Rank(q, v); rk < k {
 			lookup.EndItems(len(anc) - i)
 			r.CountIndexHit()
-			return Community{Nodes: e.tree.Members(v), Found: true, Level: -1, FromIndex: true}, true
+			return Community{Nodes: e.tree.Members(v), Found: true, Level: -1,
+				FromIndex: true, Rank: rk + 1}, true
 		}
 	}
 	lookup.EndItems(len(anc) + 1)
 	return Community{}, false
 }
 
-// sampleShared fills the θ·N whole-graph pool: from the per-attribute cache
+// sampleShared fills the θ·N whole-graph pool: from the per-predicate cache
 // when enabled (the query rng is then unused — pool content is a pure
-// function of seed, attribute and epoch), else from the query rng (already
-// bound to the scratch sampler) into the scratch arena, byte-identical to
-// the historical influence.BatchCtx stream. The outcome labels the step
-// span: cache_hit/cache_miss through the cache, sampled without one.
-func (e *Engine) sampleShared(ctx context.Context, sc *queryScratch, attr graph.AttrID) ([]*influence.RRGraph, string, error) {
+// function of seed, predicate key and epoch), else from the query rng
+// (already bound to the scratch sampler) into the scratch arena,
+// byte-identical to the historical influence.BatchCtx stream. The outcome
+// labels the step span: cache_hit/cache_miss through the cache, sampled
+// without one.
+func (e *Engine) sampleShared(ctx context.Context, sc *queryScratch, pk predKey) ([]*influence.RRGraph, string, error) {
 	count := e.p.Theta * e.g.N()
 	if e.cache != nil {
-		rrs, hit, err := e.cache.get(ctx, e, attr, count)
+		rrs, hit, err := e.cache.get(ctx, e, pk, count)
 		if hit {
 			return rrs, "cache_hit", err
 		}
@@ -405,5 +524,112 @@ func communityFromChain(ch *core.Chain, res core.EvalResult) Community {
 	if res.Level < 0 {
 		return Community{Found: false, Level: -1}
 	}
-	return Community{Nodes: ch.Members(res.Level), Found: true, Level: res.Level}
+	com := Community{Nodes: ch.Members(res.Level), Found: true, Level: res.Level}
+	if res.Ranks != nil {
+		com.Rank = int(res.Ranks[res.Level])
+	}
+	return com
+}
+
+// predMask evaluates the predicate over every node into the scratch's mask
+// (or a fresh slice when sc is nil). Consumers must finish with the mask
+// before the scratch's member mask is next taken — both share storage.
+func (e *Engine) predMask(sc *queryScratch, d *query.DNF) []bool {
+	var in []bool
+	if sc != nil {
+		clear(sc.mask)
+		in = sc.mask
+	} else {
+		in = make([]bool, e.g.N())
+	}
+	var node graph.NodeID
+	has := func(a graph.AttrID) bool { return e.g.HasAttr(node, a) }
+	for v := range in {
+		node = graph.NodeID(v)
+		in[v] = d.Eval(has)
+	}
+	return in
+}
+
+// applyFilters returns the largest chain level where q is top-k AND every
+// community filter accepts the level's measures (-1 when none qualifies).
+// Measures follow graph/metrics.go exactly: density = edges within / node
+// pairs (0 below two nodes), conductance = cut / min(vol, 2M−vol) (0 for a
+// whole zero-cut side, 1 otherwise on zero volume). All levels are measured
+// in one O(N + M) pass: an edge is inside C_h iff both endpoint levels are
+// ≤ h, and crosses C_h's cut iff exactly one is.
+func (e *Engine) applyFilters(ch *core.Chain, res core.EvalResult, filters []query.Filter) int {
+	L := ch.Len()
+	if L == 0 || res.TopK == nil {
+		return res.Level
+	}
+	within := make([]int64, L)  // edges whose outermost endpoint level is h
+	cutDiff := make([]int64, L) // cut-interval difference array
+	degSum := make([]int64, L)  // degree mass entering at level h
+	e.g.ForEachEdge(func(u, v graph.NodeID, _ float64) {
+		lo, hi := int(ch.Level(u)), int(ch.Level(v))
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi < L {
+			within[hi]++
+		}
+		if lo < L && lo != hi {
+			cutDiff[lo]++
+			if hi < L {
+				cutDiff[hi]--
+			}
+		}
+	})
+	for u := 0; u < e.g.N(); u++ {
+		if l := int(ch.Level(graph.NodeID(u))); l < L {
+			degSum[l] += int64(e.g.Degree(graph.NodeID(u)))
+		}
+	}
+	total := 2 * int64(e.g.M())
+	best := -1
+	var withinCum, cutCum, volCum int64
+	for h := 0; h < L; h++ {
+		withinCum += within[h]
+		cutCum += cutDiff[h]
+		volCum += degSum[h]
+		if !res.TopK[h] {
+			continue
+		}
+		if filtersAccept(filters, ch.Size(h), withinCum, cutCum, volCum, total) {
+			best = h
+		}
+	}
+	return best
+}
+
+// filtersAccept evaluates every filter against one community's measures.
+func filtersAccept(filters []query.Filter, size int, within, cut, vol, total int64) bool {
+	for _, f := range filters {
+		var v float64
+		switch f.Field {
+		case query.FieldSize:
+			v = float64(size)
+		case query.FieldDensity:
+			if size >= 2 {
+				pairs := float64(size) * float64(size-1) / 2
+				v = float64(within) / pairs
+			}
+		case query.FieldConductance:
+			minVol := vol
+			if out := total - vol; out < minVol {
+				minVol = out
+			}
+			switch {
+			case minVol > 0:
+				v = float64(cut) / float64(minVol)
+			case cut != 0:
+				v = 1
+			}
+		}
+		if !f.Accept(v) {
+			return false
+		}
+	}
+	return true
 }

@@ -13,11 +13,12 @@ import (
 // and an outcome from the step's documented vocabulary.
 
 var stepOutcomes = map[string]map[string]bool{
-	"weight":      {"lore": true, "global": true},
+	"weight":      {"lore": true, "global": true, "predicate": true},
 	"index_probe": {"hit": true, "miss": true},
 	"chain":       {"tree": true, "attr": true, "inner": true, "merged": true},
 	"sample":      {"restricted": true, "cache_hit": true, "cache_miss": true, "sampled": true},
-	"evaluate":    {"ok": true},
+	"evaluate":    {"ok": true, "staged": true},
+	"filter":      {"pass": true, "cut": true},
 	"extract":     {"found": true, "not_found": true},
 }
 

@@ -1,0 +1,410 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"github.com/codsearch/cod/internal/graph"
+	"github.com/codsearch/cod/internal/obs"
+	"github.com/codsearch/cod/internal/query"
+)
+
+// These tests lock the PR-9 typed-query contract at the engine layer:
+// CompileSpec lowering, predicate weighting, community filters, and the
+// predicate-keyed sample cache.
+
+// specDNF parses and normalizes a numeric-ID predicate expression.
+func specDNF(t *testing.T, expr string) *query.DNF {
+	t.Helper()
+	p, err := query.Parse(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	if err := p.Resolve(nil, 1<<20); err != nil {
+		t.Fatalf("resolve %q: %v", expr, err)
+	}
+	d, err := query.Normalize(p.Pred)
+	if err != nil {
+		t.Fatalf("normalize %q: %v", expr, err)
+	}
+	return d
+}
+
+// specFilters parses the filters out of a full query expression.
+func specFilters(t *testing.T, expr string) []query.Filter {
+	t.Helper()
+	p, err := query.Parse(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	return p.Filters
+}
+
+// execSpec executes a compiled spec under a step trace and returns the
+// community plus the recorded step spans.
+func execSpec(t *testing.T, eng *Engine, sp Spec, seed uint64) (Community, []obs.StepRecord) {
+	t.Helper()
+	tr := obs.NewTrace()
+	ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(nil, tr))
+	com, err := eng.Execute(ctx, eng.CompileSpec(sp), graph.NewRand(seed))
+	if err != nil {
+		t.Fatalf("execute spec %+v: %v", sp, err)
+	}
+	return com, tr.Steps()
+}
+
+// outcomeOf returns the recorded outcome of the first step of the kind,
+// or "" when the step never ran.
+func outcomeOf(steps []obs.StepRecord, kind string) string {
+	for _, st := range steps {
+		if st.Kind == kind {
+			return st.Outcome
+		}
+	}
+	return ""
+}
+
+func specEngine(t *testing.T, cfg Config) (*Engine, *graph.Graph) {
+	t.Helper()
+	g, _ := attrGraph(t, 21)
+	eng, err := Build(context.Background(), g, Params{K: 3, Theta: 3, Seed: 21}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, g
+}
+
+// TestCompileSpecLowersSingleLiteral: a single-positive-literal predicate
+// compiles to exactly the legacy single-attribute plan, and executes
+// byte-identically to it.
+func TestCompileSpecLowersSingleLiteral(t *testing.T) {
+	eng, g := specEngine(t, Config{})
+	d := specDNF(t, "1")
+	for _, variant := range []Variant{VariantCODU, VariantCODR, VariantCODL, VariantCODLNoIndex} {
+		for _, q := range queryNodes(g, 3) {
+			legacy := eng.Compile(variant, q, 1)
+			lowered := eng.CompileSpec(Spec{Variant: variant, Q: q, Pred: d})
+			if lowered.Attr != 1 || lowered.Pred != nil {
+				t.Fatalf("%v: single literal not lowered: attr=%d pred=%v",
+					variant, lowered.Attr, lowered.Pred)
+			}
+			if lowered.K != legacy.K || len(lowered.Steps) != len(legacy.Steps) {
+				t.Fatalf("%v: lowered plan shape differs: K=%d/%d steps=%d/%d",
+					variant, lowered.K, legacy.K, len(lowered.Steps), len(legacy.Steps))
+			}
+			if lowered.predCacheKey() != legacy.predCacheKey() {
+				t.Fatalf("%v: lowered cache key %+v != legacy %+v",
+					variant, lowered.predCacheKey(), legacy.predCacheKey())
+			}
+			want, err := eng.Execute(context.Background(), legacy, graph.NewRand(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.Execute(context.Background(), lowered, graph.NewRand(7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if comBytes(got) != comBytes(want) {
+				t.Errorf("%v q=%d: lowered DSL run differs:\n got %s\nwant %s",
+					variant, q, comBytes(got), comBytes(want))
+			}
+		}
+	}
+}
+
+// TestCompileSpecFiltersReshapeSteps: filters drop the index probe and
+// insert a filter step immediately before extract; the K override and
+// per-plan adaptive override are carried through.
+func TestCompileSpecFiltersReshapeSteps(t *testing.T) {
+	eng, _ := specEngine(t, Config{})
+	fs := specFilters(t, "0 and size>=3")
+	ad := &Adaptive{Enabled: true}
+	pl := eng.CompileSpec(Spec{Variant: VariantCODL, Q: 0, Attr: 0, Filters: fs, K: 2, Adaptive: ad})
+	if pl.K != 2 {
+		t.Errorf("K override lost: %d", pl.K)
+	}
+	if pl.Adaptive != ad {
+		t.Errorf("adaptive override lost")
+	}
+	var kinds []string
+	for _, st := range pl.Steps {
+		kinds = append(kinds, st.Kind.String())
+	}
+	want := []string{"weight", "chain", "sample", "evaluate", "filter", "extract"}
+	if len(kinds) != len(want) {
+		t.Fatalf("filtered CODL steps %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("filtered CODL steps %v, want %v", kinds, want)
+		}
+	}
+	// Without filters the probe stays and no filter step is compiled.
+	plain := eng.CompileSpec(Spec{Variant: VariantCODL, Q: 0, Attr: 0})
+	if plain.K != eng.Params().K {
+		t.Errorf("default K not filled: %d", plain.K)
+	}
+	for _, st := range plain.Steps {
+		if st.Kind == StepFilter {
+			t.Fatalf("unfiltered plan compiled a filter step")
+		}
+	}
+}
+
+// TestPredCacheKey locks the cache identity: single-attribute plans keep the
+// legacy (attr, 0) key, compound predicates key by canonical hash —
+// however the predicate was spelled.
+func TestPredCacheKey(t *testing.T) {
+	eng, _ := specEngine(t, Config{})
+	single := eng.CompileSpec(Spec{Variant: VariantCODU, Q: 0, Attr: 1})
+	if k := single.predCacheKey(); k != (predKey{attr: 1}) {
+		t.Errorf("single-attr key %+v, want {1 0}", k)
+	}
+	a := eng.CompileSpec(Spec{Variant: VariantCODU, Q: 0, Pred: specDNF(t, "0 OR 1")})
+	b := eng.CompileSpec(Spec{Variant: VariantCODU, Q: 0, Pred: specDNF(t, "1 | 0")})
+	ka, kb := a.predCacheKey(), b.predCacheKey()
+	if ka != kb {
+		t.Errorf("equivalent predicates key differently: %+v vs %+v", ka, kb)
+	}
+	if ka.attr != -1 || ka.hash == 0 {
+		t.Errorf("compound key %+v, want attr -1 and nonzero hash", ka)
+	}
+}
+
+// TestPoolSeedPreservesLegacySingleAttrSeeds: a zero predicate hash must
+// reproduce the pre-DSL pool seed formula exactly, so pools for
+// single-attribute queries stay hot across the migration.
+func TestPoolSeedPreservesLegacySingleAttrSeeds(t *testing.T) {
+	for _, seed := range []uint64{0, 21, 1 << 40} {
+		for _, attr := range []graph.AttrID{0, 1, 7} {
+			for _, epoch := range []uint64{0, 1, 9} {
+				got := poolSeed(seed, predKey{attr: attr}, epoch)
+				want := graph.ItemSeed(graph.ItemSeed(seed^0xcac4ed, int(attr)+1), int(epoch))
+				if got != want {
+					t.Fatalf("poolSeed(%d, attr=%d, epoch=%d) = %#x, want legacy %#x",
+						seed, attr, epoch, got, want)
+				}
+			}
+		}
+	}
+	// Distinct compound hashes must separate streams.
+	a := poolSeed(21, predKey{attr: -1, hash: 0x1234}, 0)
+	b := poolSeed(21, predKey{attr: -1, hash: 0x5678}, 0)
+	if a == b {
+		t.Errorf("distinct predicate hashes share a pool seed")
+	}
+}
+
+// TestPredicateWeightOutcomes: compound predicates run the predicate
+// weighting in every weighted variant, deterministically, with step
+// outcomes inside the documented vocabulary.
+func TestPredicateWeightOutcomes(t *testing.T) {
+	eng, g := specEngine(t, Config{})
+	d := specDNF(t, "0 | 1")
+	for _, variant := range []Variant{VariantCODR, VariantCODL, VariantCODLNoIndex} {
+		for _, q := range queryNodes(g, 3) {
+			sp := Spec{Variant: variant, Q: q, Pred: d}
+			com, steps := execSpec(t, eng, sp, 7)
+			if got := outcomeOf(steps, "weight"); got != "predicate" {
+				t.Errorf("%v q=%d: weight outcome %q, want predicate", variant, q, got)
+			}
+			for _, st := range steps {
+				valid := stepOutcomes[st.Kind]
+				if valid == nil || !valid[st.Outcome] {
+					t.Errorf("%v q=%d: step %s outcome %q outside vocabulary",
+						variant, q, st.Kind, st.Outcome)
+				}
+			}
+			again, _ := execSpec(t, eng, sp, 7)
+			if comBytes(again) != comBytes(com) {
+				t.Errorf("%v q=%d: predicate run not deterministic:\n got %s\nwant %s",
+					variant, q, comBytes(again), comBytes(com))
+			}
+		}
+	}
+}
+
+// TestFilterPassAndCut: a trivially satisfied filter records pass and leaves
+// the answer unchanged; an unsatisfiable one records cut and forces
+// not-found.
+func TestFilterPassAndCut(t *testing.T) {
+	eng, g := specEngine(t, Config{})
+	passed, cut := 0, 0
+	for _, q := range queryNodes(g, 5) {
+		base, _ := execSpec(t, eng, Spec{Variant: VariantCODU, Q: q, Attr: 0}, 7)
+
+		com, steps := execSpec(t, eng,
+			Spec{Variant: VariantCODU, Q: q, Attr: 0, Filters: specFilters(t, "0 and size>=1")}, 7)
+		if got := outcomeOf(steps, "filter"); got != "pass" {
+			t.Errorf("q=%d: size>=1 filter outcome %q, want pass", q, got)
+		} else {
+			passed++
+		}
+		if comBytes(com) != comBytes(base) {
+			t.Errorf("q=%d: size>=1 filter changed the answer:\n got %s\nwant %s",
+				q, comBytes(com), comBytes(base))
+		}
+
+		com, steps = execSpec(t, eng,
+			Spec{Variant: VariantCODU, Q: q, Attr: 0, Filters: specFilters(t, "0 and size>=100000")}, 7)
+		if com.Found {
+			t.Errorf("q=%d: impossible size filter still found %s", q, comBytes(com))
+		}
+		if base.Found {
+			if got := outcomeOf(steps, "filter"); got != "cut" {
+				t.Errorf("q=%d: impossible filter outcome %q, want cut", q, got)
+			} else {
+				cut++
+			}
+		}
+	}
+	if passed == 0 || cut == 0 {
+		t.Fatalf("filter outcomes not exercised: pass=%d cut=%d", passed, cut)
+	}
+}
+
+// TestFilteredCommunitySatisfiesFilters cross-checks applyFilters against
+// the ground-truth metrics: every community returned under filters must
+// satisfy them when re-measured with graph.TopologyDensity / Conductance
+// on the extracted node set.
+func TestFilteredCommunitySatisfiesFilters(t *testing.T) {
+	eng, g := specEngine(t, Config{})
+	fs := specFilters(t, "0 and size>=3 and density>=0.05 and conductance<=0.95")
+	found := 0
+	for _, variant := range []Variant{VariantCODU, VariantCODR, VariantCODL, VariantCODLNoIndex} {
+		for _, q := range queryNodes(g, 5) {
+			com, _ := execSpec(t, eng, Spec{Variant: variant, Q: q, Attr: 0, Filters: fs}, 7)
+			if !com.Found {
+				continue
+			}
+			found++
+			size := float64(com.Size())
+			den := graph.TopologyDensity(g, com.Nodes)
+			con := graph.Conductance(g, com.Nodes)
+			for _, f := range fs {
+				v := 0.0
+				switch f.Field {
+				case query.FieldSize:
+					v = size
+				case query.FieldDensity:
+					v = den
+				case query.FieldConductance:
+					v = con
+				}
+				if !f.Accept(v) {
+					t.Errorf("%v q=%d: community violates %s (measured %g): %s",
+						variant, q, f, v, comBytes(com))
+				}
+			}
+		}
+	}
+	if found == 0 {
+		t.Fatal("no filtered query found a community; filters never validated")
+	}
+}
+
+// TestCompoundPredSampleCacheShared: semantically equal compound predicates
+// share one cached sample pool — the second spelling hits — and a lowered
+// single-literal DSL query hits the pool a legacy query populated.
+func TestCompoundPredSampleCacheShared(t *testing.T) {
+	eng, g := specEngine(t, Config{SampleCache: 4})
+	q := queryNodes(g, 1)[0]
+
+	first, steps := execSpec(t, eng, Spec{Variant: VariantCODLNoIndex, Q: q, Pred: specDNF(t, "0 OR 1")}, 7)
+	if got := outcomeOf(steps, "sample"); got != "cache_miss" {
+		t.Fatalf("first compound query sample outcome %q, want cache_miss", got)
+	}
+	second, steps := execSpec(t, eng, Spec{Variant: VariantCODLNoIndex, Q: q, Pred: specDNF(t, "1 | 0")}, 7)
+	if got := outcomeOf(steps, "sample"); got != "cache_hit" {
+		t.Errorf("respelled compound query sample outcome %q, want cache_hit", got)
+	}
+	if comBytes(second) != comBytes(first) {
+		t.Errorf("cache hit differs from miss:\n got %s\nwant %s", comBytes(second), comBytes(first))
+	}
+
+	// Legacy single-attribute pool, then the lowered DSL equivalent hits it.
+	want, err := eng.Execute(context.Background(), eng.Compile(VariantCODU, q, 1), graph.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, steps := execSpec(t, eng, Spec{Variant: VariantCODU, Q: q, Pred: specDNF(t, "1")}, 9)
+	if o := outcomeOf(steps, "sample"); o != "cache_hit" {
+		t.Errorf("lowered single-literal query sample outcome %q, want cache_hit", o)
+	}
+	if comBytes(got) != comBytes(want) {
+		t.Errorf("lowered DSL run differs from legacy over the shared pool:\n got %s\nwant %s",
+			comBytes(got), comBytes(want))
+	}
+}
+
+// TestKOverrideMonotone: k=1 is strictly harder than the default k=3 over
+// the same chain and pool, so any k=1 find implies a k=3 find and carries
+// rank 1.
+func TestKOverrideMonotone(t *testing.T) {
+	eng, g := specEngine(t, Config{})
+	for _, q := range queryNodes(g, 6) {
+		strict, _ := execSpec(t, eng, Spec{Variant: VariantCODU, Q: q, Attr: 0, K: 1}, 7)
+		loose, _ := execSpec(t, eng, Spec{Variant: VariantCODU, Q: q, Attr: 0, K: 3}, 7)
+		if strict.Found {
+			if !loose.Found {
+				t.Errorf("q=%d: found at k=1 but not k=3", q)
+			}
+			if strict.Rank != 1 {
+				t.Errorf("q=%d: k=1 community has rank %d, want 1", q, strict.Rank)
+			}
+		}
+	}
+}
+
+// TestRankReported: found communities report q's influence rank within
+// [1, k] on the evaluation path.
+func TestRankReported(t *testing.T) {
+	eng, g := specEngine(t, Config{})
+	checked := 0
+	for _, q := range queryNodes(g, 6) {
+		com, _ := execSpec(t, eng, Spec{Variant: VariantCODU, Q: q, Attr: 0}, 7)
+		if !com.Found {
+			continue
+		}
+		checked++
+		if com.Rank < 1 || com.Rank > eng.Params().K {
+			t.Errorf("q=%d: rank %d outside [1, %d]", q, com.Rank, eng.Params().K)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no community found; rank reporting never checked")
+	}
+}
+
+// TestAdaptivePerPlanOverride: a single-stage per-plan adaptive override on
+// a non-adaptive engine exhausts the full budget and is byte-identical to
+// the plain evaluation; filters compose with the staged path.
+func TestAdaptivePerPlanOverride(t *testing.T) {
+	eng, g := specEngine(t, Config{})
+	for _, q := range queryNodes(g, 4) {
+		want, _ := execSpec(t, eng, Spec{Variant: VariantCODU, Q: q, Attr: 0}, 7)
+		sp := Spec{Variant: VariantCODU, Q: q, Attr: 0, Adaptive: &Adaptive{Enabled: true, Stages: 1}}
+		got, steps := execSpec(t, eng, sp, 7)
+		if o := outcomeOf(steps, "sample"); o != "exhausted" {
+			t.Errorf("q=%d: single-stage adaptive sample outcome %q, want exhausted", q, o)
+		}
+		if o := outcomeOf(steps, "evaluate"); o != "staged" {
+			t.Errorf("q=%d: adaptive evaluate outcome %q, want staged", q, o)
+		}
+		if comBytes(got) != comBytes(want) {
+			t.Errorf("q=%d: single-stage adaptive differs:\n got %s\nwant %s",
+				q, comBytes(got), comBytes(want))
+		}
+	}
+	// Adaptive + filters: the staged path must honor filters too.
+	fs := specFilters(t, "0 and size>=100000")
+	for _, q := range queryNodes(g, 3) {
+		sp := Spec{Variant: VariantCODU, Q: q, Attr: 0, Filters: fs,
+			Adaptive: &Adaptive{Enabled: true}}
+		com, _ := execSpec(t, eng, sp, 7)
+		if com.Found {
+			t.Errorf("q=%d: impossible filter passed under adaptive evaluation: %s",
+				q, comBytes(com))
+		}
+	}
+}

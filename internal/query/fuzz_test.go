@@ -1,0 +1,73 @@
+package query
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// FuzzParseQuery asserts the parser never panics on arbitrary input, and that
+// a successfully parsed, resolved, and normalized predicate round-trips: the
+// canonical serialization re-parses and re-normalizes to the identical string
+// and hash (the fixed point the cache keying depends on).
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		"", "0", "ML", "0 AND 1", "a & !b | c",
+		"ML AND (ICDE OR KDD) AND size>=20",
+		"NOT (0 OR 1) AND conductance<=0.3",
+		"node=42 AND k=5 AND variant=codl AND adaptive=true",
+		"density>=0.5 AND eps=0.1 AND delta=0.05",
+		"((0|1)&(2|3))", "0 AND NOT 0", "size>=", "1.5.2", ")(", "a @ b",
+		"!!!!a", "0&&1||2", "k=0", "variant=warp",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input) // must not panic
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse(%q) error %T is not *ParseError", input, err)
+			}
+			_ = pe.Caret() // must not panic either
+			return
+		}
+		// Resolve names against a tiny universe; numeric ids against a large
+		// one so most parses survive to the normalize stage.
+		lookup := func(name string) (graph.AttrID, bool) {
+			switch len(name) % 3 {
+			case 0:
+				return 0, true
+			case 1:
+				return 1, true
+			}
+			return -1, false
+		}
+		if err := p.Resolve(lookup, 1<<20); err != nil {
+			return
+		}
+		d, err := Normalize(p.Pred)
+		if err != nil || d == nil {
+			return
+		}
+		s := d.String()
+		p2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", s, input, err)
+		}
+		if err := p2.Resolve(nil, 1<<20); err != nil {
+			t.Fatalf("canonical form %q does not re-resolve: %v", s, err)
+		}
+		d2, err := Normalize(p2.Pred)
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-normalize: %v", s, err)
+		}
+		if d2.String() != s {
+			t.Fatalf("round trip not a fixed point: %q -> %q (input %q)", s, d2.String(), input)
+		}
+		if d2.Hash64() != d.Hash64() {
+			t.Fatalf("round-trip hash changed for %q", input)
+		}
+	})
+}

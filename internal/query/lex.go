@@ -1,0 +1,172 @@
+package query
+
+import "fmt"
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tLParen
+	tRParen
+	tIdent  // attribute/filter/knob name
+	tNumber // integer or decimal literal
+	tAnd    // AND, &, &&
+	tOr     // OR, |, ||
+	tNot    // NOT, !
+	tCmp    // >= <= > <
+	tEq     // =
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of expression"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tIdent:
+		return "identifier"
+	case tNumber:
+		return "number"
+	case tAnd:
+		return "AND"
+	case tOr:
+		return "OR"
+	case tNot:
+		return "NOT"
+	case tCmp:
+		return "comparison"
+	case tEq:
+		return "'='"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset in the input
+}
+
+// lex tokenizes the expression; errors are positioned *ParseError values.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tRParen, ")", i})
+			i++
+		case c == '!':
+			toks = append(toks, token{tNot, "!", i})
+			i++
+		case c == '&':
+			start := i
+			i++
+			if i < len(input) && input[i] == '&' {
+				i++
+			}
+			toks = append(toks, token{tAnd, input[start:i], start})
+		case c == '|':
+			start := i
+			i++
+			if i < len(input) && input[i] == '|' {
+				i++
+			}
+			toks = append(toks, token{tOr, input[start:i], start})
+		case c == '>' || c == '<':
+			start := i
+			i++
+			if i < len(input) && input[i] == '=' {
+				i++
+			}
+			toks = append(toks, token{tCmp, input[start:i], start})
+		case c == '=':
+			start := i
+			i++
+			if i < len(input) && input[i] == '=' { // tolerate ==
+				i++
+			}
+			toks = append(toks, token{tEq, input[start:i], start})
+		case c >= '0' && c <= '9':
+			start := i
+			dot := false
+			for i < len(input) {
+				if input[i] >= '0' && input[i] <= '9' {
+					i++
+					continue
+				}
+				if input[i] == '.' && !dot {
+					dot = true
+					i++
+					continue
+				}
+				break
+			}
+			if input[i-1] == '.' {
+				return nil, &ParseError{Input: input, Pos: start,
+					Msg: fmt.Sprintf("malformed number %q", input[start:i])}
+			}
+			toks = append(toks, token{tNumber, input[start:i], start})
+		case isIdentStart(c):
+			start := i
+			for i < len(input) && isIdentPart(input[i]) {
+				i++
+			}
+			word := input[start:i]
+			switch lowerASCII(word) {
+			case "and":
+				toks = append(toks, token{tAnd, word, start})
+			case "or":
+				toks = append(toks, token{tOr, word, start})
+			case "not":
+				toks = append(toks, token{tNot, word, start})
+			default:
+				toks = append(toks, token{tIdent, word, start})
+			}
+		default:
+			return nil, &ParseError{Input: input, Pos: i,
+				Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, token{tEOF, "", len(input)})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// isIdentPart admits '-' so venue- and class-style names (e.g. "codl-",
+// "Rule-Learning") lex as one identifier; there is no numeric minus in the
+// grammar to collide with.
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '-'
+}
+
+func lowerASCII(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,309 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// MaxClauses bounds the clause count of a normalized predicate; expressions
+// whose DNF expansion exceeds it are rejected rather than silently served
+// slowly (the cross-product of nested disjunctions grows exponentially).
+const MaxClauses = 64
+
+// Literal is one (attribute, polarity) pair of a normalized clause.
+type Literal struct {
+	Attr graph.AttrID
+	Neg  bool
+}
+
+// Clause is a conjunction of literals, sorted by (Attr, polarity) with
+// positive literals first, deduplicated, and contradiction-free.
+type Clause []Literal
+
+// DNF is the canonical disjunctive normal form of a resolved predicate:
+// clauses sorted and deduplicated, absorbed supersets removed. Semantically
+// equal predicates — however spelled — normalize to one DNF, one String,
+// and one Hash: the property cache keying depends on.
+type DNF struct {
+	clauses []Clause
+}
+
+// ErrUnsatisfiable reports a predicate no node can satisfy (every clause
+// contained some attribute and its negation).
+var ErrUnsatisfiable = fmt.Errorf("query: predicate is unsatisfiable")
+
+// Normalize lowers a resolved predicate to its canonical DNF. A nil
+// predicate returns a nil DNF (no attribute constraint). Errors:
+// ErrUnsatisfiable for contradictions, a clause-budget error for expansions
+// beyond MaxClauses.
+func Normalize(e Expr) (*DNF, error) {
+	if e == nil {
+		return nil, nil
+	}
+	clauses, err := dnfOf(e, false)
+	if err != nil {
+		return nil, err
+	}
+	canon := make([]Clause, 0, len(clauses))
+	for _, c := range clauses {
+		if cc, ok := canonClause(c); ok {
+			canon = append(canon, cc)
+		}
+	}
+	if len(canon) == 0 {
+		return nil, ErrUnsatisfiable
+	}
+	canon = absorb(canon)
+	if len(canon) > MaxClauses {
+		return nil, budgetErr(len(canon))
+	}
+	sort.Slice(canon, func(i, j int) bool { return clauseLess(canon[i], canon[j]) })
+	return &DNF{clauses: canon}, nil
+}
+
+// dnfOf returns the clause sets of e under an outer negation flag (NNF
+// push-down fused with the DNF expansion).
+func dnfOf(e Expr, neg bool) ([]Clause, error) {
+	switch t := e.(type) {
+	case *Attr:
+		return []Clause{{Literal{Attr: t.ID, Neg: neg}}}, nil
+	case *Not:
+		return dnfOf(t.X, !neg)
+	case *And:
+		if neg {
+			return unionOf(t.Xs, neg)
+		}
+		return crossOf(t.Xs, neg)
+	case *Or:
+		if neg {
+			return crossOf(t.Xs, neg)
+		}
+		return unionOf(t.Xs, neg)
+	}
+	return nil, fmt.Errorf("query: unknown expression node %T", e)
+}
+
+// unionOf concatenates the children's clause sets (OR, or negated AND).
+func unionOf(xs []Expr, neg bool) ([]Clause, error) {
+	var out []Clause
+	for _, x := range xs {
+		cs, err := dnfOf(x, neg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs...)
+		if len(out) > 4*MaxClauses {
+			return nil, budgetErr(len(out))
+		}
+	}
+	return out, nil
+}
+
+// crossOf distributes the children's clause sets (AND, or negated OR).
+func crossOf(xs []Expr, neg bool) ([]Clause, error) {
+	acc := []Clause{nil}
+	for _, x := range xs {
+		cs, err := dnfOf(x, neg)
+		if err != nil {
+			return nil, err
+		}
+		if len(acc)*len(cs) > 4*MaxClauses {
+			return nil, budgetErr(len(acc) * len(cs))
+		}
+		next := make([]Clause, 0, len(acc)*len(cs))
+		for _, a := range acc {
+			for _, c := range cs {
+				merged := make(Clause, 0, len(a)+len(c))
+				merged = append(merged, a...)
+				merged = append(merged, c...)
+				next = append(next, merged)
+			}
+		}
+		acc = next
+	}
+	return acc, nil
+}
+
+func budgetErr(n int) error {
+	return fmt.Errorf("query: predicate too complex: normal form needs %d+ clauses (limit %d)", n, MaxClauses)
+}
+
+// canonClause sorts and deduplicates a clause's literals; ok is false when
+// the clause is contradictory (contains an attribute and its negation).
+func canonClause(c Clause) (Clause, bool) {
+	out := make(Clause, len(c))
+	copy(out, c)
+	sort.Slice(out, func(i, j int) bool { return litLess(out[i], out[j]) })
+	w := 0
+	for _, l := range out {
+		if w > 0 {
+			prev := out[w-1]
+			if l == prev {
+				continue
+			}
+			if l.Attr == prev.Attr {
+				return nil, false // a & !a
+			}
+		}
+		out[w] = l
+		w++
+	}
+	return out[:w], true
+}
+
+func litLess(a, b Literal) bool {
+	if a.Attr != b.Attr {
+		return a.Attr < b.Attr
+	}
+	return !a.Neg && b.Neg
+}
+
+func clauseLess(a, b Clause) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return litLess(a[i], b[i])
+		}
+	}
+	return len(a) < len(b)
+}
+
+// absorb drops duplicate clauses and clauses subsumed by a subset clause
+// (A | A&B ≡ A). Input clauses must be canonical; output order is arbitrary
+// (Normalize sorts afterwards).
+func absorb(cs []Clause) []Clause {
+	// Shortest first: a subset is never longer than its superset.
+	sort.Slice(cs, func(i, j int) bool {
+		if len(cs[i]) != len(cs[j]) {
+			return len(cs[i]) < len(cs[j])
+		}
+		return clauseLess(cs[i], cs[j])
+	})
+	kept := cs[:0]
+	for _, c := range cs {
+		subsumed := false
+		for _, k := range kept {
+			if isSubset(k, c) {
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// isSubset reports whether every literal of sub occurs in sup (both sorted).
+func isSubset(sub, sup Clause) bool {
+	j := 0
+	for _, l := range sub {
+		for j < len(sup) && litLess(sup[j], l) {
+			j++
+		}
+		if j >= len(sup) || sup[j] != l {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// NumClauses returns the clause count.
+func (d *DNF) NumClauses() int { return len(d.clauses) }
+
+// Clauses returns the canonical clauses (shared storage; do not modify).
+func (d *DNF) Clauses() []Clause { return d.clauses }
+
+// String returns the stable canonical serialization: literals joined by '&'
+// ('!' marks negation), clauses joined by '|' — e.g. "0&!3|2". The output
+// re-parses to an equal DNF, and semantically equal predicates serialize
+// identically.
+func (d *DNF) String() string {
+	var b strings.Builder
+	for ci, c := range d.clauses {
+		if ci > 0 {
+			b.WriteByte('|')
+		}
+		for li, l := range c {
+			if li > 0 {
+				b.WriteByte('&')
+			}
+			if l.Neg {
+				b.WriteByte('!')
+			}
+			b.WriteString(strconv.Itoa(int(l.Attr)))
+		}
+	}
+	return b.String()
+}
+
+// Hash64 returns the FNV-64a hash of the canonical serialization: the
+// predicate's cache-key identity. It is never 0 for a valid DNF (engine
+// cache keys reserve 0 for "no compound predicate").
+func (d *DNF) Hash64() uint64 {
+	var h uint64 = 14695981039346656037
+	s := d.String()
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Hash returns Hash64 formatted as 16 hex digits.
+func (d *DNF) Hash() string { return fmt.Sprintf("%016x", d.Hash64()) }
+
+// Single reports whether the predicate is exactly one positive attribute —
+// the case the engine lowers onto the legacy single-attribute pipeline (and
+// its legacy cache keys).
+func (d *DNF) Single() (graph.AttrID, bool) {
+	if len(d.clauses) == 1 && len(d.clauses[0]) == 1 && !d.clauses[0][0].Neg {
+		return d.clauses[0][0].Attr, true
+	}
+	return -1, false
+}
+
+// Eval evaluates the predicate against one node's attribute membership.
+func (d *DNF) Eval(has func(graph.AttrID) bool) bool {
+	for _, c := range d.clauses {
+		ok := true
+		for _, l := range c {
+			if has(l.Attr) == l.Neg {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Attrs returns the distinct attributes the predicate references, ascending.
+func (d *DNF) Attrs() []graph.AttrID {
+	seen := map[graph.AttrID]bool{}
+	var out []graph.AttrID
+	for _, c := range d.clauses {
+		for _, l := range c {
+			if !seen[l.Attr] {
+				seen[l.Attr] = true
+				out = append(out, l.Attr)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

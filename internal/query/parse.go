@@ -1,0 +1,411 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseError is a positioned query-expression error: Pos is the byte offset
+// in Input where parsing (or resolution) failed. Caret renders the standard
+// two-line diagnostic front ends embed in error bodies.
+type ParseError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("query: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Caret renders the input with a caret under the error position.
+func (e *ParseError) Caret() string {
+	pos := e.Pos
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(e.Input) {
+		pos = len(e.Input)
+	}
+	return e.Input + "\n" + strings.Repeat(" ", pos) + "^"
+}
+
+// Variants lists the pipeline names the variant knob accepts.
+var Variants = []string{"codl", "codu", "codr", "codl-"}
+
+// Parse lexes and parses one query expression, separating the attribute
+// predicate from top-level filters and knobs. The predicate's attribute
+// atoms are unresolved (bind them with Resolve); filters and knobs are fully
+// validated. All errors are *ParseError values.
+func Parse(input string) (*Parsed, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{input: input, toks: toks}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if tok := p.peek(); tok.kind != tEOF {
+		return nil, p.errorf(tok.pos, "unexpected %s", tok.kind)
+	}
+	out := &Parsed{Input: input}
+	pred, err := p.hoist(root, out)
+	if err != nil {
+		return nil, err
+	}
+	out.Pred = pred
+	SortFilters(out.Filters)
+	return out, nil
+}
+
+// parser holds the token cursor plus the filter/knob atoms produced while
+// parsing (referenced back by hoist through the node pointers).
+type parser struct {
+	input string
+	toks  []token
+	i     int
+
+	filters map[Expr]Filter
+	knobs   map[Expr]knobSetting
+}
+
+type knobSetting struct {
+	name  string
+	value string
+	pos   int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(pos int, format string, args ...any) *ParseError {
+	return &ParseError{Input: p.input, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	x, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	var xs []Expr
+	pos := x.pos()
+	for p.peek().kind == tOr {
+		p.next()
+		y, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if xs == nil {
+			xs = []Expr{x}
+		}
+		xs = append(xs, y)
+	}
+	if xs == nil {
+		return x, nil
+	}
+	return &Or{Xs: xs, Pos: pos}, nil
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	x, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	var xs []Expr
+	pos := x.pos()
+	for p.peek().kind == tAnd {
+		p.next()
+		y, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if xs == nil {
+			xs = []Expr{x}
+		}
+		xs = append(xs, y)
+	}
+	if xs == nil {
+		return x, nil
+	}
+	return &And{Xs: xs, Pos: pos}, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	if tok := p.peek(); tok.kind == tNot {
+		p.next()
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{X: x, Pos: tok.pos}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	tok := p.next()
+	switch tok.kind {
+	case tLParen:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if closing := p.next(); closing.kind != tRParen {
+			return nil, p.errorf(closing.pos, "expected ')', got %s", closing.kind)
+		}
+		return x, nil
+
+	case tNumber:
+		id, err := strconv.Atoi(tok.text)
+		if err != nil {
+			return nil, p.errorf(tok.pos, "attribute id %q is not an integer", tok.text)
+		}
+		return &Attr{ID: int32(id), Pos: tok.pos}, nil
+
+	case tIdent:
+		switch p.peek().kind {
+		case tCmp:
+			return p.parseFilter(tok)
+		case tEq:
+			return p.parseKnob(tok)
+		}
+		return &Attr{Name: tok.text, ID: -1, Pos: tok.pos}, nil
+
+	case tEOF:
+		return nil, p.errorf(tok.pos, "expected an attribute, filter, or '(', got end of expression")
+	}
+	return nil, p.errorf(tok.pos, "expected an attribute, filter, or '(', got %s", tok.kind)
+}
+
+// parseFilter parses "<field> <cmp> <number>" with tok the field identifier
+// (already consumed, cmp pending).
+func (p *parser) parseFilter(tok token) (Expr, error) {
+	var field FilterField
+	switch lowerASCII(tok.text) {
+	case "size":
+		field = FieldSize
+	case "density":
+		field = FieldDensity
+	case "conductance":
+		field = FieldConductance
+	default:
+		return nil, p.errorf(tok.pos,
+			"%q is not a filter field (want size, density, or conductance)", tok.text)
+	}
+	opTok := p.next()
+	var op CmpOp
+	switch opTok.text {
+	case ">=":
+		op = CmpGE
+	case "<=":
+		op = CmpLE
+	case ">":
+		op = CmpGT
+	case "<":
+		op = CmpLT
+	default:
+		return nil, p.errorf(opTok.pos, "expected a comparison, got %q", opTok.text)
+	}
+	valTok := p.next()
+	if valTok.kind != tNumber {
+		return nil, p.errorf(valTok.pos, "expected a number after %s%s, got %s",
+			tok.text, opTok.text, valTok.kind)
+	}
+	val, err := strconv.ParseFloat(valTok.text, 64)
+	if err != nil || math.IsInf(val, 0) || math.IsNaN(val) {
+		return nil, p.errorf(valTok.pos, "malformed number %q", valTok.text)
+	}
+	switch field {
+	case FieldSize:
+		//codvet:ignore floatcmp exact integrality test; Trunc(v) == v iff v is an integer
+		if val != math.Trunc(val) {
+			return nil, p.errorf(valTok.pos, "size bound must be an integer, got %q", valTok.text)
+		}
+	case FieldDensity, FieldConductance:
+		if val < 0 || val > 1 {
+			return nil, p.errorf(valTok.pos, "%s bound %q out of range [0,1]", field, valTok.text)
+		}
+	}
+	f := Filter{Field: field, Op: op, Value: val, Pos: tok.pos}
+	marker := &Attr{Name: "\x00filter", ID: -1, Pos: tok.pos}
+	if p.filters == nil {
+		p.filters = map[Expr]Filter{}
+	}
+	p.filters[marker] = f
+	return marker, nil
+}
+
+// parseKnob parses "<name> = <value>" with tok the knob identifier.
+func (p *parser) parseKnob(tok token) (Expr, error) {
+	name := lowerASCII(tok.text)
+	switch name {
+	case "node", "k", "variant", "adaptive", "eps", "delta":
+	default:
+		return nil, p.errorf(tok.pos,
+			"%q is not a knob (want node, k, variant, adaptive, eps, or delta)", tok.text)
+	}
+	p.next() // the '='
+	valTok := p.next()
+	if valTok.kind != tNumber && valTok.kind != tIdent {
+		return nil, p.errorf(valTok.pos, "expected a value after %s=, got %s", tok.text, valTok.kind)
+	}
+	marker := &Attr{Name: "\x00knob", ID: -1, Pos: tok.pos}
+	if p.knobs == nil {
+		p.knobs = map[Expr]knobSetting{}
+	}
+	p.knobs[marker] = knobSetting{name: name, value: valTok.text, pos: valTok.pos}
+	return marker, nil
+}
+
+// hoist walks the top-level AND spine of the parse tree, extracting filter
+// and knob atoms into out and returning the residual attribute predicate
+// (nil when the expression carries none). A filter or knob found under OR,
+// NOT, or parenthesized disjunction is rejected with a positioned error.
+func (p *parser) hoist(e Expr, out *Parsed) (Expr, error) {
+	var preds []Expr
+	var walk func(e Expr) error
+	walk = func(e Expr) error {
+		if f, ok := p.filters[e]; ok {
+			out.Filters = append(out.Filters, f)
+			return nil
+		}
+		if k, ok := p.knobs[e]; ok {
+			return p.applyKnob(out, k)
+		}
+		if a, ok := e.(*And); ok {
+			for _, x := range a.Xs {
+				if err := walk(x); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Anything else is predicate structure; it must not hide filters or
+		// knobs below OR/NOT.
+		if err := p.rejectNested(e); err != nil {
+			return err
+		}
+		preds = append(preds, e)
+		return nil
+	}
+	if err := walk(e); err != nil {
+		return nil, err
+	}
+	switch len(preds) {
+	case 0:
+		return nil, nil
+	case 1:
+		return preds[0], nil
+	}
+	return &And{Xs: preds, Pos: preds[0].pos()}, nil
+}
+
+// rejectNested errors on any filter/knob marker below a non-AND node.
+func (p *parser) rejectNested(e Expr) error {
+	if f, ok := p.filters[e]; ok {
+		return p.errorf(f.Pos, "filter %s must be a top-level AND conjunct", f)
+	}
+	if k, ok := p.knobs[e]; ok {
+		return p.errorf(k.pos, "knob %s= must be a top-level AND conjunct", k.name)
+	}
+	switch t := e.(type) {
+	case *Not:
+		return p.rejectNested(t.X)
+	case *And:
+		for _, x := range t.Xs {
+			if err := p.rejectNested(x); err != nil {
+				return err
+			}
+		}
+	case *Or:
+		for _, x := range t.Xs {
+			if err := p.rejectNested(x); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyKnob validates one knob setting into out.Knobs, rejecting duplicates.
+func (p *parser) applyKnob(out *Parsed, k knobSetting) error {
+	switch k.name {
+	case "node":
+		if out.Knobs.HasNode {
+			return p.errorf(k.pos, "duplicate knob node=")
+		}
+		n, err := strconv.Atoi(k.value)
+		if err != nil || n < 0 {
+			return p.errorf(k.pos, "node= wants a non-negative integer, got %q", k.value)
+		}
+		out.Knobs.Node, out.Knobs.HasNode = n, true
+	case "k":
+		if out.Knobs.K != 0 {
+			return p.errorf(k.pos, "duplicate knob k=")
+		}
+		n, err := strconv.Atoi(k.value)
+		if err != nil || n < 1 {
+			return p.errorf(k.pos, "k= wants a positive integer, got %q", k.value)
+		}
+		out.Knobs.K = n
+	case "variant":
+		if out.Knobs.Variant != "" {
+			return p.errorf(k.pos, "duplicate knob variant=")
+		}
+		v := lowerASCII(k.value)
+		ok := false
+		for _, name := range Variants {
+			if v == name {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return p.errorf(k.pos, "variant= wants one of %s, got %q",
+				strings.Join(Variants, "/"), k.value)
+		}
+		out.Knobs.Variant = v
+	case "adaptive":
+		if out.Knobs.HasAdaptive {
+			return p.errorf(k.pos, "duplicate knob adaptive=")
+		}
+		switch lowerASCII(k.value) {
+		case "true", "on", "1":
+			out.Knobs.Adaptive = true
+		case "false", "off", "0":
+			out.Knobs.Adaptive = false
+		default:
+			return p.errorf(k.pos, "adaptive= wants true/false, got %q", k.value)
+		}
+		out.Knobs.HasAdaptive = true
+	case "eps", "delta":
+		v, err := strconv.ParseFloat(k.value, 64)
+		if err != nil || v <= 0 || v >= 1 {
+			return p.errorf(k.pos, "%s= wants a number in (0,1), got %q", k.name, k.value)
+		}
+		if k.name == "eps" {
+			if out.Knobs.Eps != 0 {
+				return p.errorf(k.pos, "duplicate knob eps=")
+			}
+			out.Knobs.Eps = v
+		} else {
+			if out.Knobs.Delta != 0 {
+				return p.errorf(k.pos, "duplicate knob delta=")
+			}
+			out.Knobs.Delta = v
+		}
+	}
+	return nil
+}

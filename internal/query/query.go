@@ -1,0 +1,305 @@
+// Package query is the typed query model behind the COD predicate DSL: a
+// lexer and recursive-descent parser for a small boolean expression grammar
+// over attributes, community-level filters and execution knobs, a validated
+// AST, and a canonical disjunctive normal form whose stable serialization
+// (and 16-hex hash) makes semantically equal predicates one cache key.
+//
+// Grammar (EBNF, operators case-insensitive):
+//
+//	query   = expr .
+//	expr    = term { ("OR" | "|" | "||") term } .
+//	term    = factor { ("AND" | "&" | "&&") factor } .
+//	factor  = { "NOT" | "!" } atom .
+//	atom    = "(" expr ")" | attribute | filter | knob .
+//	attribute = IDENT | INT .                     // name or numeric id
+//	filter  = ("size" | "density" | "conductance") cmp NUMBER .
+//	cmp     = ">=" | "<=" | ">" | "<" .
+//	knob    = ("node" | "k" | "variant" | "adaptive" | "eps" | "delta") "=" value .
+//
+// Filters and knobs may appear only as top-level conjuncts: they configure
+// the query, so negating them or placing them under OR has no meaning and is
+// rejected with a positioned error. The remaining boolean structure over
+// attributes is the predicate; Normalize lowers it to the canonical DNF.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// Expr is a node of the predicate AST. The concrete types are Attr, Not,
+// And, and Or.
+type Expr interface {
+	pos() int
+}
+
+// Attr is an attribute atom, referenced by name or numeric id. ID is -1
+// until Resolve binds a name against the graph's attribute universe.
+type Attr struct {
+	Name string       // empty for numeric references
+	ID   graph.AttrID // -1 while unresolved
+	Pos  int
+}
+
+// Not negates a sub-predicate.
+type Not struct {
+	X   Expr
+	Pos int
+}
+
+// And conjoins its children (n-ary, len >= 2).
+type And struct {
+	Xs  []Expr
+	Pos int
+}
+
+// Or disjoins its children (n-ary, len >= 2).
+type Or struct {
+	Xs  []Expr
+	Pos int
+}
+
+func (a *Attr) pos() int { return a.Pos }
+func (n *Not) pos() int  { return n.Pos }
+func (a *And) pos() int  { return a.Pos }
+func (o *Or) pos() int   { return o.Pos }
+
+// FilterField names a community-level measure a filter constrains.
+type FilterField int
+
+const (
+	// FieldSize is |C|, the community's node count.
+	FieldSize FilterField = iota
+	// FieldDensity is the topology density ρ(C) = edges / node pairs.
+	FieldDensity
+	// FieldConductance is the cut conductance of (C, V\C).
+	FieldConductance
+)
+
+// String returns the field's DSL spelling.
+func (f FilterField) String() string {
+	switch f {
+	case FieldSize:
+		return "size"
+	case FieldDensity:
+		return "density"
+	case FieldConductance:
+		return "conductance"
+	}
+	return "unknown"
+}
+
+// CmpOp is a filter comparison operator.
+type CmpOp int
+
+const (
+	// CmpGE is >=.
+	CmpGE CmpOp = iota
+	// CmpLE is <=.
+	CmpLE
+	// CmpGT is >.
+	CmpGT
+	// CmpLT is <.
+	CmpLT
+)
+
+// String returns the operator's DSL spelling.
+func (o CmpOp) String() string {
+	switch o {
+	case CmpGE:
+		return ">="
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpLT:
+		return "<"
+	}
+	return "?"
+}
+
+// Filter is one community-level constraint applied during the chain sweep:
+// the community answering the query must satisfy every filter.
+type Filter struct {
+	Field FilterField
+	Op    CmpOp
+	Value float64
+	// Pos is the filter's byte offset in the source expression (diagnostics).
+	Pos int
+}
+
+// Accept reports whether measure value v satisfies the filter.
+func (f Filter) Accept(v float64) bool {
+	switch f.Op {
+	case CmpGE:
+		return v >= f.Value
+	case CmpLE:
+		return v <= f.Value
+	case CmpGT:
+		return v > f.Value
+	case CmpLT:
+		return v < f.Value
+	}
+	return false
+}
+
+// String returns the filter's canonical DSL spelling.
+func (f Filter) String() string {
+	if f.Field == FieldSize {
+		return fmt.Sprintf("%s%s%d", f.Field, f.Op, int(f.Value))
+	}
+	return fmt.Sprintf("%s%s%s", f.Field, f.Op, strconv.FormatFloat(f.Value, 'g', -1, 64))
+}
+
+// SortFilters orders filters canonically: by field, then operator, then
+// value. Semantically equal filter sets serialize identically.
+func SortFilters(fs []Filter) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && filterLess(fs[j], fs[j-1]); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+func filterLess(a, b Filter) bool {
+	if a.Field != b.Field {
+		return a.Field < b.Field
+	}
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	return a.Value < b.Value
+}
+
+// Knobs are the execution settings an expression can carry as top-level
+// conjuncts. Zero fields are "unset" except where a Has flag disambiguates.
+type Knobs struct {
+	// Node is the query node when the expression carries node=N.
+	Node    int
+	HasNode bool
+	// K overrides the required influence rank (0 = searcher default).
+	K int
+	// Variant selects the pipeline: "codl", "codu", "codr" or "codl-".
+	Variant string
+	// Adaptive toggles bounded-error staged evaluation when HasAdaptive.
+	Adaptive    bool
+	HasAdaptive bool
+	// Eps and Delta tune adaptive certification (0 = default).
+	Eps   float64
+	Delta float64
+}
+
+// Parsed is the outcome of parsing one query expression: the boolean
+// attribute predicate (nil when the expression has none), the community
+// filters, and the execution knobs.
+type Parsed struct {
+	Pred    Expr
+	Filters []Filter
+	Knobs   Knobs
+	// Input is the source expression (caret rendering for late errors).
+	Input string
+}
+
+// Resolve binds every attribute atom of the predicate against a graph's
+// attribute universe: named atoms through lookup (nil means no names exist),
+// numeric atoms by range check against numAttrs. Errors are *ParseError
+// values positioned at the offending atom.
+func (p *Parsed) Resolve(lookup func(name string) (graph.AttrID, bool), numAttrs int) error {
+	if p.Pred == nil {
+		return nil
+	}
+	return resolveExpr(p.Pred, lookup, numAttrs, p.Input)
+}
+
+func resolveExpr(e Expr, lookup func(string) (graph.AttrID, bool), numAttrs int, input string) error {
+	switch t := e.(type) {
+	case *Attr:
+		if t.Name != "" {
+			if lookup == nil {
+				return &ParseError{Input: input, Pos: t.Pos,
+					Msg: fmt.Sprintf("graph has no attribute names; reference attribute %q by numeric id", t.Name)}
+			}
+			id, ok := lookup(t.Name)
+			if !ok {
+				return &ParseError{Input: input, Pos: t.Pos,
+					Msg: fmt.Sprintf("unknown attribute name %q", t.Name)}
+			}
+			t.ID = id
+			return nil
+		}
+		if t.ID < 0 || (numAttrs > 0 && int(t.ID) >= numAttrs) {
+			return &ParseError{Input: input, Pos: t.Pos,
+				Msg: fmt.Sprintf("attribute %d out of range [0,%d)", t.ID, numAttrs)}
+		}
+		return nil
+	case *Not:
+		return resolveExpr(t.X, lookup, numAttrs, input)
+	case *And:
+		for _, x := range t.Xs {
+			if err := resolveExpr(x, lookup, numAttrs, input); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Or:
+		for _, x := range t.Xs {
+			if err := resolveExpr(x, lookup, numAttrs, input); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("query: unknown expression node %T", e)
+}
+
+// renderExpr writes the predicate back in minimal-parenthesis DSL form
+// (diagnostics; Normalize's DNF is the canonical serialization).
+func renderExpr(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e, 0)
+	return b.String()
+}
+
+// precedence: Or=1, And=2, Not=3, Attr=4.
+func writeExpr(b *strings.Builder, e Expr, outer int) {
+	switch t := e.(type) {
+	case *Attr:
+		if t.Name != "" {
+			b.WriteString(t.Name)
+		} else {
+			fmt.Fprintf(b, "%d", t.ID)
+		}
+	case *Not:
+		b.WriteByte('!')
+		writeExpr(b, t.X, 3)
+	case *And:
+		if outer > 2 {
+			b.WriteByte('(')
+		}
+		for i, x := range t.Xs {
+			if i > 0 {
+				b.WriteByte('&')
+			}
+			writeExpr(b, x, 2)
+		}
+		if outer > 2 {
+			b.WriteByte(')')
+		}
+	case *Or:
+		if outer > 1 {
+			b.WriteByte('(')
+		}
+		for i, x := range t.Xs {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			writeExpr(b, x, 1)
+		}
+		if outer > 1 {
+			b.WriteByte(')')
+		}
+	}
+}

@@ -1,0 +1,392 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/codsearch/cod/internal/graph"
+)
+
+// testLookup resolves a small fixed name universe.
+func testLookup(name string) (graph.AttrID, bool) {
+	names := []string{"ML", "DB", "IR", "AI", "ICDE", "KDD"}
+	for i, n := range names {
+		if strings.EqualFold(n, name) {
+			return graph.AttrID(i), true
+		}
+	}
+	return -1, false
+}
+
+func mustParse(t *testing.T, expr string) *Parsed {
+	t.Helper()
+	p, err := Parse(expr)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	return p
+}
+
+func mustNormalize(t *testing.T, expr string) *DNF {
+	t.Helper()
+	p := mustParse(t, expr)
+	if err := p.Resolve(testLookup, 6); err != nil {
+		t.Fatalf("Resolve(%q): %v", expr, err)
+	}
+	d, err := Normalize(p.Pred)
+	if err != nil {
+		t.Fatalf("Normalize(%q): %v", expr, err)
+	}
+	return d
+}
+
+func TestParseCompound(t *testing.T) {
+	p := mustParse(t, "ML AND (ICDE OR KDD) AND size>=20 AND k=7")
+	if p.Pred == nil {
+		t.Fatal("no predicate parsed")
+	}
+	if len(p.Filters) != 1 || p.Filters[0].Field != FieldSize || p.Filters[0].Op != CmpGE || p.Filters[0].Value != 20 {
+		t.Fatalf("filters = %+v", p.Filters)
+	}
+	if p.Knobs.K != 7 {
+		t.Fatalf("k knob = %d, want 7", p.Knobs.K)
+	}
+	if err := p.Resolve(testLookup, 6); err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	d, err := Normalize(p.Pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := d.String(), "0&4|0&5"; got != want {
+		t.Fatalf("DNF = %q, want %q", got, want)
+	}
+}
+
+func TestParseOperatorSpellings(t *testing.T) {
+	// Keyword and symbol spellings are one grammar.
+	for _, expr := range []string{"ML AND NOT DB", "ML & !DB", "ml && not db", "ML&&!DB"} {
+		d := mustNormalize(t, expr)
+		if got := d.String(); got != "0&!1" {
+			t.Fatalf("%q normalized to %q, want 0&!1", expr, got)
+		}
+	}
+	for _, expr := range []string{"ML OR DB", "ML | DB", "ml || db"} {
+		d := mustNormalize(t, expr)
+		if got := d.String(); got != "0|1" {
+			t.Fatalf("%q normalized to %q, want 0|1", expr, got)
+		}
+	}
+}
+
+func TestParseKnobs(t *testing.T) {
+	p := mustParse(t, "node=42 AND variant=CODR AND adaptive=true AND eps=0.1 AND delta=0.05")
+	k := p.Knobs
+	if !k.HasNode || k.Node != 42 {
+		t.Fatalf("node knob = %+v", k)
+	}
+	if k.Variant != "codr" {
+		t.Fatalf("variant = %q", k.Variant)
+	}
+	if !k.HasAdaptive || !k.Adaptive || k.Eps != 0.1 || k.Delta != 0.05 {
+		t.Fatalf("adaptive knobs = %+v", k)
+	}
+	if p.Pred != nil {
+		t.Fatal("knob-only expression produced a predicate")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		expr string
+		want string // substring of the error
+	}{
+		{"", "end of expression"},
+		{"ML AND", "end of expression"},
+		{"(ML", "expected ')'"},
+		{"ML)", "unexpected"},
+		{"ML @ DB", "unexpected character"},
+		{"size>=", "expected a number"},
+		{"size>=2.5", "integer"},
+		{"density>=1.5", "out of range"},
+		{"bogus>=3", "not a filter field"},
+		{"bogus=3", "not a knob"},
+		{"k=0", "positive integer"},
+		{"node=-1", "unexpected character"},
+		{"variant=warp", "variant="},
+		{"adaptive=maybe", "true/false"},
+		{"k=3 AND k=4", "duplicate"},
+		{"NOT size>=3", "top-level"},
+		{"ML OR size>=3", "top-level"},
+		{"ML OR k=3", "top-level"},
+		{"(ML OR DB) AND NOT (IR AND conductance<=0.3)", "top-level"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.expr)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", tc.expr, tc.want)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) error %T is not *ParseError", tc.expr, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) = %q, want substring %q", tc.expr, err, tc.want)
+		}
+	}
+}
+
+func TestParseErrorCaret(t *testing.T) {
+	_, err := Parse("ML AND bogus>=3")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not *ParseError", err)
+	}
+	if pe.Pos != 7 {
+		t.Fatalf("Pos = %d, want 7", pe.Pos)
+	}
+	caret := pe.Caret()
+	lines := strings.Split(caret, "\n")
+	if len(lines) != 2 || lines[0] != "ML AND bogus>=3" || lines[1] != "       ^" {
+		t.Fatalf("Caret() = %q", caret)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	p := mustParse(t, "ML AND Quantum")
+	err := p.Resolve(testLookup, 6)
+	if err == nil || !strings.Contains(err.Error(), "unknown attribute name") {
+		t.Fatalf("unknown name error = %v", err)
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Pos != 7 {
+		t.Fatalf("unknown-name error not positioned at the atom: %v", err)
+	}
+
+	p = mustParse(t, "0 AND 9")
+	if err := p.Resolve(testLookup, 6); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range id error = %v", err)
+	}
+
+	p = mustParse(t, "ML")
+	if err := p.Resolve(nil, 6); err == nil || !strings.Contains(err.Error(), "no attribute names") {
+		t.Fatalf("nil lookup error = %v", err)
+	}
+}
+
+func TestFilterAccept(t *testing.T) {
+	cases := []struct {
+		f    Filter
+		v    float64
+		want bool
+	}{
+		{Filter{Field: FieldSize, Op: CmpGE, Value: 20}, 20, true},
+		{Filter{Field: FieldSize, Op: CmpGE, Value: 20}, 19, false},
+		{Filter{Field: FieldConductance, Op: CmpLE, Value: 0.3}, 0.3, true},
+		{Filter{Field: FieldConductance, Op: CmpLE, Value: 0.3}, 0.31, false},
+		{Filter{Field: FieldDensity, Op: CmpGT, Value: 0.5}, 0.5, false},
+		{Filter{Field: FieldDensity, Op: CmpLT, Value: 0.5}, 0.49, true},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Accept(tc.v); got != tc.want {
+			t.Errorf("%s.Accept(%v) = %v, want %v", tc.f, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestNormalizeCanonical(t *testing.T) {
+	cases := []struct {
+		exprs []string // all must normalize identically
+		want  string
+	}{
+		{[]string{"ML AND DB", "DB AND ML", "db & ml", "(ML) AND (DB)"}, "0&1"},
+		{[]string{"ML AND (IR OR NOT AI)", "(NOT AI OR IR) AND ML"}, "0&2|0&!3"},
+		{[]string{"IR OR (ICDE AND KDD)", "(KDD AND ICDE) OR IR", "IR OR IR OR ICDE AND KDD"}, "2|4&5"},
+		{[]string{"NOT (ML OR DB)", "NOT ML AND NOT DB"}, "!0&!1"},
+		{[]string{"NOT (ML AND DB)", "NOT ML OR NOT DB"}, "!0|!1"},
+		// Absorption: A | (A AND B) = A; duplicate literals collapse.
+		{[]string{"ML OR (ML AND DB)", "ML AND ML OR ML AND DB AND ML"}, "0"},
+		// Tautologous disjunct elimination is NOT performed (A | !A stays),
+		// but contradictions within a clause drop the clause.
+		{[]string{"ML AND (DB OR NOT DB AND DB)", "ML AND DB"}, "0&1"},
+	}
+	for _, tc := range cases {
+		for _, expr := range tc.exprs {
+			d := mustNormalize(t, expr)
+			if got := d.String(); got != tc.want {
+				t.Errorf("Normalize(%q) = %q, want %q", expr, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestNormalizeUnsatisfiable(t *testing.T) {
+	p := mustParse(t, "ML AND NOT ML")
+	if err := p.Resolve(testLookup, 6); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Normalize(p.Pred); !errors.Is(err, ErrUnsatisfiable) {
+		t.Fatalf("Normalize(ML AND NOT ML) error = %v, want ErrUnsatisfiable", err)
+	}
+}
+
+func TestNormalizeBlowupBudget(t *testing.T) {
+	// (a|b) AND (c|d) AND ... over 8 disjunction pairs = 2^8 = 256 clauses,
+	// beyond the 64-clause budget.
+	terms := make([]string, 8)
+	for i := range terms {
+		terms[i] = "(0 OR 1)"
+	}
+	expr := strings.Join(terms, " AND ")
+	p := mustParse(t, expr)
+	if err := p.Resolve(testLookup, 6); err != nil {
+		t.Fatal(err)
+	}
+	// Absorption collapses repeated pairs, so also pin the budget on fully
+	// distinct attributes: 8 disjoint pairs expand to 256 distinct clauses.
+	terms = terms[:0]
+	for i := 0; i < 16; i += 2 {
+		terms = append(terms, fmt.Sprintf("(%d|%d)", i, i+1))
+	}
+	p = mustParse(t, strings.Join(terms, "&"))
+	if err := p.Resolve(testLookup, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Normalize(p.Pred); err == nil || !strings.Contains(err.Error(), "too complex") {
+		t.Fatalf("blowup error = %v", err)
+	}
+}
+
+// TestGoldenHashes locks the 16-hex normal-form hashes: stable across field
+// reordering (the cache-key property) and across releases (the serialized
+// manifests property).
+func TestGoldenHashes(t *testing.T) {
+	golden := []struct {
+		exprs []string
+		hash  string
+	}{
+		{[]string{"ML AND DB", "DB AND ML", "(DB) & (ML)"}, "4e346d181d21dcce"},
+		{[]string{"ML AND NOT AI OR IR", "IR OR (NOT AI AND ML)"}, "0c62d57f6998e119"},
+		{[]string{"IR OR ICDE AND KDD", "(KDD & ICDE) | IR"}, "4906d94259338f8c"},
+		{[]string{"ML", "ml OR ML", "ML AND ML"}, "af63ad4c86019caf"},
+		{[]string{"DB AND IR AND AI", "AI & IR & DB", "IR & (AI & DB)"}, "324f7deb07c930ff"},
+	}
+	for _, tc := range golden {
+		for _, expr := range tc.exprs {
+			d := mustNormalize(t, expr)
+			if got := d.Hash(); got != tc.hash {
+				t.Errorf("Hash(%q) = %s, want %s (dnf %q)", expr, got, tc.hash, d.String())
+			}
+			if d.Hash64() == 0 {
+				t.Errorf("Hash64(%q) = 0, reserved for no-predicate", expr)
+			}
+		}
+	}
+}
+
+func TestSingle(t *testing.T) {
+	if a, ok := mustNormalize(t, "DB").Single(); !ok || a != 1 {
+		t.Fatalf("Single(DB) = %d, %v", a, ok)
+	}
+	for _, expr := range []string{"NOT DB", "ML AND DB", "ML OR DB"} {
+		if _, ok := mustNormalize(t, expr).Single(); ok {
+			t.Fatalf("Single(%q) unexpectedly true", expr)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	d := mustNormalize(t, "ML AND (ICDE OR KDD) AND NOT DB")
+	has := func(set ...graph.AttrID) func(graph.AttrID) bool {
+		return func(a graph.AttrID) bool {
+			for _, s := range set {
+				if s == a {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	cases := []struct {
+		attrs []graph.AttrID
+		want  bool
+	}{
+		{[]graph.AttrID{0, 4}, true},       // ML + ICDE
+		{[]graph.AttrID{0, 5}, true},       // ML + KDD
+		{[]graph.AttrID{0, 4, 1}, false},   // carries DB
+		{[]graph.AttrID{4, 5}, false},      // no ML
+		{[]graph.AttrID{0}, false},         // no venue
+		{[]graph.AttrID{0, 4, 5, 2}, true}, // extras fine
+	}
+	for _, tc := range cases {
+		if got := d.Eval(has(tc.attrs...)); got != tc.want {
+			t.Errorf("Eval(%v) = %v, want %v", tc.attrs, got, tc.want)
+		}
+	}
+	if got := mustNormalize(t, "NOT ML").Eval(has()); !got {
+		t.Error("Eval(NOT ML) on attribute-less node = false, want true")
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	d := mustNormalize(t, "KDD AND ML OR NOT IR")
+	got := d.Attrs()
+	want := []graph.AttrID{0, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Attrs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Attrs = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRoundTrip locks serialize→parse→normalize→serialize as the identity
+// on canonical forms (the fuzz target's property, pinned on real shapes).
+func TestRoundTrip(t *testing.T) {
+	for _, expr := range []string{
+		"ML", "NOT ML", "ML AND DB", "ML OR DB",
+		"ML AND (ICDE OR KDD) AND NOT DB",
+		"(ML OR DB) AND (IR OR AI) AND KDD",
+		"NOT (ML AND (DB OR NOT IR))",
+	} {
+		d := mustNormalize(t, expr)
+		s := d.String()
+		p2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("reparse(%q): %v", s, err)
+		}
+		if err := p2.Resolve(nil, 6); err != nil {
+			t.Fatalf("re-resolve(%q): %v", s, err)
+		}
+		d2, err := Normalize(p2.Pred)
+		if err != nil {
+			t.Fatalf("renormalize(%q): %v", s, err)
+		}
+		if d2.String() != s {
+			t.Fatalf("round trip %q -> %q -> %q", expr, s, d2.String())
+		}
+		if d2.Hash() != d.Hash() {
+			t.Fatalf("round-trip hash changed: %s -> %s", d.Hash(), d2.Hash())
+		}
+	}
+}
+
+func TestSortFiltersCanonical(t *testing.T) {
+	a := mustParse(t, "size>=20 AND conductance<=0.3 AND density>=0.1")
+	b := mustParse(t, "conductance<=0.3 AND density>=0.1 AND size>=20")
+	if len(a.Filters) != 3 || len(b.Filters) != 3 {
+		t.Fatalf("filters: %v / %v", a.Filters, b.Filters)
+	}
+	for i := range a.Filters {
+		af, bf := a.Filters[i], b.Filters[i]
+		if af.Field != bf.Field || af.Op != bf.Op || af.Value != bf.Value {
+			t.Fatalf("filter order not canonical: %v vs %v", a.Filters, b.Filters)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Per-package coverage floors for the statistical packages: the accuracy
-# harness and the influence sampling layer carry the bounded-error
-# evaluation contract (DESIGN.md §16), so their tests must keep exercising
-# the code that enforces it. Floors are per-package only — no global gate —
+# Per-package coverage floors for the contract-bearing packages: the
+# accuracy harness and the influence sampling layer carry the bounded-error
+# evaluation contract (DESIGN.md §16), and the query package carries the
+# parsing and normal-form contract (DESIGN.md §17), so their tests must keep
+# exercising the code that enforces them. Floors are per-package only — no
+# global gate —
 # and sit well under the measured coverage so they catch collapses (a
 # skipped suite, a gutted test), not ordinary refactors.
 #
@@ -15,6 +17,7 @@ set -eu
 floors="
 github.com/codsearch/cod/internal/accuracy 60
 github.com/codsearch/cod/internal/influence 90
+github.com/codsearch/cod/internal/query 75
 "
 
 workdir=$(mktemp -d)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"strings"
 	"sync/atomic"
 
 	"github.com/codsearch/cod/internal/engine"
@@ -109,6 +110,34 @@ type Community struct {
 	Found bool
 	// FromIndex is true when the HIMOR index answered the query directly.
 	FromIndex bool
+	// Rank is the query node's influence rank within the community (1 = most
+	// influential); 0 when not found.
+	Rank int
+}
+
+// RangeError reports a query argument outside the graph's range. Its message
+// keeps the historical "cod: <what> <value> out of range [0,<n>)" shape;
+// when the graph has an attribute-name registry, an attribute error also
+// lists the known names so callers can self-correct. HTTP front ends map it
+// to a 400 with the structured fields.
+type RangeError struct {
+	// What names the argument: "query node" or "attribute".
+	What string
+	// Value is the rejected argument.
+	Value int64
+	// N is the exclusive upper bound of the valid range.
+	N int
+	// Known lists the registered attribute names (attribute errors on graphs
+	// with a name registry only).
+	Known []string
+}
+
+func (e *RangeError) Error() string {
+	msg := fmt.Sprintf("cod: %s %d out of range [0,%d)", e.What, e.Value, e.N)
+	if len(e.Known) > 0 {
+		msg += fmt.Sprintf(" (known attributes: %s)", strings.Join(e.Known, ", "))
+	}
+	return msg
 }
 
 // Size returns |C*| (0 when not found).
@@ -174,19 +203,29 @@ func (s *Searcher) Discover(q NodeID, attr AttrID) (Community, error) {
 // the same Searcher draws a fresh stream. Uncancelled results are
 // byte-identical to Discover.
 func (s *Searcher) DiscoverCtx(ctx context.Context, q NodeID, attr AttrID) (Community, error) {
+	return s.discoverSpec(ctx, engine.Spec{Variant: engine.VariantCODL, Q: q, Attr: attr}, attr)
+}
+
+// discoverSpec runs one typed query through the engine, preserving the
+// historical sequence exactly: validate (counting rejects), draw the
+// per-query seed, stamp the trace ID, execute the compiled plan, count the
+// outcome. Every Discover entrypoint — legacy and DSL — routes through it,
+// so a single-attribute DSL query is byte-identical (trace IDs included) to
+// its legacy counterpart.
+func (s *Searcher) discoverSpec(ctx context.Context, sp engine.Spec, vattr AttrID) (Community, error) {
 	rec := obs.FromContext(ctx)
-	if err := s.validate(q, attr); err != nil {
+	if err := s.validate(sp.Q, vattr); err != nil {
 		rec.CountQuery(err)
 		return Community{}, err
 	}
 	seed := s.nextSeed()
 	rec.EnsureTraceID(seed)
-	com, err := s.eng.Execute(ctx, s.eng.Compile(engine.VariantCODL, q, attr), graph.NewRand(seed))
+	com, err := s.eng.Execute(ctx, s.eng.CompileSpec(sp), graph.NewRand(seed))
 	rec.CountQuery(err)
 	if err != nil {
 		return Community{}, err
 	}
-	return Community{Nodes: com.Nodes, Found: com.Found, FromIndex: com.FromIndex}, nil
+	return Community{Nodes: com.Nodes, Found: com.Found, FromIndex: com.FromIndex, Rank: com.Rank}, nil
 }
 
 // DiscoverUnattributed finds the characteristic community of q ignoring
@@ -198,19 +237,7 @@ func (s *Searcher) DiscoverUnattributed(q NodeID) (Community, error) {
 // DiscoverUnattributedCtx is DiscoverUnattributed with cancellation (see
 // DiscoverCtx).
 func (s *Searcher) DiscoverUnattributedCtx(ctx context.Context, q NodeID) (Community, error) {
-	rec := obs.FromContext(ctx)
-	if err := s.validate(q, 0); err != nil {
-		rec.CountQuery(err)
-		return Community{}, err
-	}
-	seed := s.nextSeed()
-	rec.EnsureTraceID(seed)
-	com, err := s.eng.Execute(ctx, s.eng.Compile(engine.VariantCODU, q, 0), graph.NewRand(seed))
-	rec.CountQuery(err)
-	if err != nil {
-		return Community{}, err
-	}
-	return Community{Nodes: com.Nodes, Found: com.Found}, nil
+	return s.discoverSpec(ctx, engine.Spec{Variant: engine.VariantCODU, Q: q}, 0)
 }
 
 // DiscoverGlobal finds the characteristic community of q by globally
@@ -224,19 +251,7 @@ func (s *Searcher) DiscoverGlobal(q NodeID, attr AttrID) (Community, error) {
 // recluster's merge loop, the sampling loop and the evaluation all poll
 // ctx.Err() at bounded intervals (see DiscoverCtx).
 func (s *Searcher) DiscoverGlobalCtx(ctx context.Context, q NodeID, attr AttrID) (Community, error) {
-	rec := obs.FromContext(ctx)
-	if err := s.validate(q, attr); err != nil {
-		rec.CountQuery(err)
-		return Community{}, err
-	}
-	seed := s.nextSeed()
-	rec.EnsureTraceID(seed)
-	com, err := s.eng.Execute(ctx, s.eng.Compile(engine.VariantCODR, q, attr), graph.NewRand(seed))
-	rec.CountQuery(err)
-	if err != nil {
-		return Community{}, err
-	}
-	return Community{Nodes: com.Nodes, Found: com.Found}, nil
+	return s.discoverSpec(ctx, engine.Spec{Variant: engine.VariantCODR, Q: q, Attr: attr}, attr)
 }
 
 // EstimateInfluence estimates σ_g(v), the expected IC spread of v over the
@@ -347,10 +362,11 @@ func (s *Searcher) Validate(q NodeID, attr AttrID) error { return s.validate(q, 
 
 func (s *Searcher) validate(q NodeID, attr AttrID) error {
 	if q < 0 || int(q) >= s.g.N() {
-		return fmt.Errorf("cod: query node %d out of range [0,%d)", q, s.g.N())
+		return &RangeError{What: "query node", Value: int64(q), N: s.g.N()}
 	}
 	if attr < 0 || (s.g.NumAttrs() > 0 && int(attr) >= s.g.NumAttrs()) {
-		return fmt.Errorf("cod: attribute %d out of range [0,%d)", attr, s.g.NumAttrs())
+		return &RangeError{What: "attribute", Value: int64(attr), N: s.g.NumAttrs(),
+			Known: s.g.AttrNames()}
 	}
 	return nil
 }
