@@ -1,0 +1,250 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/codsearch/cod"
+	"github.com/codsearch/cod/internal/obs"
+	"github.com/codsearch/cod/internal/obs/eventlog"
+)
+
+// writeLog persists events into a fresh log directory with sampling off.
+func writeLog(t *testing.T, events ...*eventlog.Event) string {
+	t.Helper()
+	dir := t.TempDir()
+	sink, err := eventlog.Open(eventlog.Options{Dir: dir, SampleRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		sink.Record(e)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func testEvent(i int, outcome string) *eventlog.Event {
+	e := &eventlog.Event{
+		TraceID: obs.SeedTraceID(uint64(i + 1)),
+		Time:    time.Date(2026, 8, 8, 12, 0, i, 0, time.UTC),
+		Op:      "/discover",
+		Epoch:   3,
+		Variant: "CODL",
+		Pred:    "attr:1",
+		Node:    int64(i),
+		Attr:    1,
+		Seed:    "7",
+		Status:  200,
+		Outcome: outcome,
+		DurNS:   int64(i+1) * int64(time.Millisecond),
+		Steps: []eventlog.Step{
+			{Variant: "CODL", Kind: "weight", Outcome: "weighted", DurNS: 1000},
+			{Variant: "CODL", Kind: "sample", Outcome: "cache_miss", DurNS: 2000},
+		},
+	}
+	if outcome != eventlog.OutcomeOK {
+		e.Status = 500
+		e.Err = "boom"
+	}
+	return e
+}
+
+func runOut(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(context.Background(), args, &sb)
+	return sb.String(), err
+}
+
+func TestTail(t *testing.T) {
+	dir := writeLog(t, testEvent(0, eventlog.OutcomeOK), testEvent(1, eventlog.OutcomeOK), testEvent(2, eventlog.OutcomeError))
+	out, err := runOut(t, "-log", dir, "tail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(out, "\n"); n != 3 {
+		t.Fatalf("tail printed %d lines, want 3:\n%s", n, out)
+	}
+	for _, want := range []string{obs.SeedTraceID(1), "variant=CODL", "pred=attr:1", "epoch=3", `err="boom"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tail output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = runOut(t, "-log", dir, "tail", "-n", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "\n") != 1 || !strings.Contains(out, obs.SeedTraceID(3)) {
+		t.Fatalf("tail -n 1 should print only the last event:\n%s", out)
+	}
+}
+
+func TestTailFollowStopsOnContext(t *testing.T) {
+	dir := writeLog(t, testEvent(0, eventlog.OutcomeOK))
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	var sb strings.Builder
+	if err := run(ctx, []string{"-log", dir, "tail", "-f", "-poll", "20ms"}, &sb); err != nil {
+		t.Fatalf("follow should end cleanly on context cancel: %v", err)
+	}
+	if !strings.Contains(sb.String(), obs.SeedTraceID(1)) {
+		t.Fatalf("follow missed the existing event:\n%s", sb.String())
+	}
+}
+
+func TestTopAndPercentiles(t *testing.T) {
+	dir := writeLog(t, testEvent(0, eventlog.OutcomeOK), testEvent(1, eventlog.OutcomeOK), testEvent(2, eventlog.OutcomeError))
+
+	out, err := runOut(t, "-log", dir, "top", "-by", "outcome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "OUTCOME") || !strings.Contains(out, "ok") || !strings.Contains(out, "error") {
+		t.Fatalf("top -by outcome output:\n%s", out)
+	}
+	if !strings.Contains(out, "3 event(s) in 1 file(s)") {
+		t.Fatalf("top should report the scan summary:\n%s", out)
+	}
+	if _, err := runOut(t, "-log", dir, "top", "-by", "bogus"); err == nil {
+		t.Fatal("top -by bogus should fail")
+	}
+
+	out, err = runOut(t, "-log", dir, "percentiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "CODL") || !strings.Contains(out, "attr:1") || !strings.Contains(out, "P99") {
+		t.Fatalf("percentiles output:\n%s", out)
+	}
+}
+
+func TestGrep(t *testing.T) {
+	dir := writeLog(t, testEvent(0, eventlog.OutcomeOK), testEvent(1, eventlog.OutcomeOK))
+	id := obs.SeedTraceID(2)
+
+	out, err := runOut(t, "-log", dir, "grep", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "trace="+id) || strings.Contains(out, obs.SeedTraceID(1)) {
+		t.Fatalf("grep should print exactly the matching event:\n%s", out)
+	}
+	if !strings.Contains(out, "step CODL/weight outcome=weighted") {
+		t.Fatalf("grep should expand plan steps:\n%s", out)
+	}
+
+	// A prefix resolves too, and -json dumps the raw record.
+	out, err = runOut(t, "-log", dir, "grep", "-json", id[:8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"trace_id": "`+id+`"`) {
+		t.Fatalf("grep -json output:\n%s", out)
+	}
+
+	if _, err := runOut(t, "-log", dir, "grep", "ffffffffffffffffffffffffffffffff"); err == nil {
+		t.Fatal("grep of an unknown trace ID should fail")
+	}
+}
+
+func TestRunDispatchErrors(t *testing.T) {
+	if _, err := runOut(t, "tail"); err == nil || !strings.Contains(err.Error(), "-log") {
+		t.Fatalf("missing -log should fail with guidance, got %v", err)
+	}
+	if _, err := runOut(t, "-log", t.TempDir(), "frobnicate"); err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("unknown command error, got %v", err)
+	}
+	if _, err := runOut(t, "-log", t.TempDir()); err == nil {
+		t.Fatal("bare invocation should print usage as an error")
+	}
+}
+
+func TestReplayExprReconstruction(t *testing.T) {
+	cases := []struct {
+		e    eventlog.Event
+		want string
+	}{
+		{eventlog.Event{Expr: "1 and node=4 and k=5", Node: 4}, "1 and node=4 and k=5"},
+		{eventlog.Event{Expr: "lang", Node: 4}, "lang and node=4"},
+		{eventlog.Event{Variant: "CODU", Node: 9}, "node=9 and variant=codu"},
+		{eventlog.Event{Variant: "CODR", Node: 9, Attr: 2}, "2 and node=9 and variant=codr"},
+		{eventlog.Event{Variant: "CODL", Node: 9, Attr: 2}, "2 and node=9"},
+		{eventlog.Event{Variant: "CODL-", Node: 9, Attr: 2}, "2 and node=9"},
+	}
+	for _, c := range cases {
+		got, err := replayExpr(&c.e)
+		if err != nil {
+			t.Errorf("replayExpr(%+v): %v", c.e, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("replayExpr(%+v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+	for _, bad := range []eventlog.Event{
+		{Node: -1},                           // nothing logged
+		{Variant: "CODR", Node: 3, Attr: -1}, // CODR without an attribute
+		{Variant: "batch", Node: 3},          // not a single-query variant
+	} {
+		if _, err := replayExpr(&bad); err == nil {
+			t.Errorf("replayExpr(%+v) should fail", bad)
+		}
+	}
+}
+
+// TestReplayRoundTrip serves the acceptance criterion end to end in-process:
+// a query executed the way codserve executes it is logged as a wide event,
+// then `codlog replay` rebuilds the index from the same flags, re-runs the
+// logged seed, and reports a byte-identical community with matching plan
+// steps.
+func TestReplayRoundTrip(t *testing.T) {
+	g, err := cod.GenerateDataset("tiny", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cod.NewSearcherCtx(context.Background(), g, cod.Options{K: 2, Theta: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := s.Prepare("1 and node=0 and k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTrace()
+	ctx := obs.WithRecorder(context.Background(), obs.NewRecorder(nil, tr))
+	start := time.Now()
+	com, err := pq.DiscoverCtx(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := eventlog.New(tr, "/discover", start, time.Since(start), 200)
+	ev.Expr = pq.Expr()
+	ev.Node = 0
+	ev.Result = &eventlog.Result{Found: com.Found, Rank: com.Rank, Size: len(com.Nodes), NodesFNV: eventlog.NodesSum(com.Nodes)}
+	if ev.Seed == "" {
+		t.Fatal("executed query left no seed on the trace")
+	}
+	dir := writeLog(t, ev)
+
+	out, err := runOut(t, "-log", dir, "replay", "-dataset", "tiny", "-theta", "4", "-k", "2", "-seed", "42", ev.TraceID)
+	if err != nil {
+		t.Fatalf("replay diverged: %v\n%s", err, out)
+	}
+	for _, want := range []string{"result: byte-identical", "plan:", "step(s) match", "replay OK"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A wrong build seed must be detected, not silently accepted.
+	out, err = runOut(t, "-log", dir, "replay", "-dataset", "tiny", "-theta", "4", "-k", "2", "-seed", "43", ev.TraceID)
+	if err == nil {
+		t.Fatalf("replay with a different index seed should diverge:\n%s", out)
+	}
+}

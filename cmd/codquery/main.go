@@ -98,6 +98,40 @@ type jsonResult struct {
 	Conductance float64      `json:"conductance"`
 	FromIndex   bool         `json:"from_index,omitempty"`
 	ElapsedMS   float64      `json:"elapsed_ms"`
+	Adaptive    *adaptiveOut `json:"adaptive,omitempty"`
+}
+
+// adaptiveOut surfaces a bounded-error staged run's realized statistics:
+// the stage the rank-k decision landed on, the certified normalized gap
+// (the realized ε), whether it stopped early, and the RR samples it
+// actually consumed against the full budget it was allowed.
+type adaptiveOut struct {
+	Stages        int     `json:"stages"`
+	Gap           float64 `json:"gap"`
+	EarlyStop     bool    `json:"early_stop"`
+	SamplesUsed   int64   `json:"samples_used"`
+	SamplesBudget int64   `json:"samples_budget"`
+}
+
+// adaptiveStats extracts the staged sample step's stats from the trace (nil
+// when the query ran no staged step — adaptive off, or answered by an index
+// probe before sampling).
+func adaptiveStats(tr *obs.Trace, qm *obs.QueryMetrics) *adaptiveOut {
+	if tr == nil {
+		return nil
+	}
+	for _, st := range tr.Steps() {
+		if st.Stages == 0 {
+			continue
+		}
+		a := &adaptiveOut{Stages: st.Stages, Gap: st.Gap, EarlyStop: st.Outcome == "early_stop"}
+		if qm != nil {
+			a.SamplesUsed = qm.AdaptiveSamplesUsed.Value()
+			a.SamplesBudget = qm.AdaptiveSamplesBudget.Value()
+		}
+		return a
+	}
+	return nil
 }
 
 func run(ctx context.Context, o runOpts) error {
@@ -178,12 +212,16 @@ func run(ctx context.Context, o runOpts) error {
 	}
 
 	// The trace is attached for -trace (printed breakdown) and for -json
-	// (trace id field); instrumentation never changes the answer.
+	// (trace id field); instrumentation never changes the answer. The
+	// metrics bundle rides along on a private registry so adaptive runs can
+	// report their realized sample budget — it sees only this query.
 	var tr *obs.Trace
+	var qm *obs.QueryMetrics
 	qctx := ctx
 	if o.trace || o.jsonOut {
 		tr = obs.NewTrace()
-		qctx = obs.WithRecorder(ctx, obs.NewRecorder(nil, tr))
+		qm = obs.NewQueryMetrics(obs.NewRegistry())
+		qctx = obs.WithRecorder(ctx, obs.NewRecorder(qm, tr))
 	}
 	start = time.Now()
 	var com cod.Community
@@ -207,6 +245,14 @@ func run(ctx context.Context, o runOpts) error {
 			detail = fmt.Sprintf("q=%d expr=%s", node, expr)
 		}
 		obs.NewQueryRecord(tr, method, detail, 0, start, elapsed, err).WriteText(out)
+		if a := adaptiveStats(tr, qm); a != nil {
+			fmt.Fprintf(out, "adaptive: stages=%d realized_eps=%.4f early_stop=%t samples=%d/%d",
+				a.Stages, a.Gap, a.EarlyStop, a.SamplesUsed, a.SamplesBudget)
+			if a.SamplesBudget > 0 {
+				fmt.Fprintf(out, " (%d%% of budget)", 100*a.SamplesUsed/a.SamplesBudget)
+			}
+			fmt.Fprintln(out)
+		}
 	}
 	if err != nil {
 		// Partial progress surfaces uniformly for every variant: the typed
@@ -219,7 +265,8 @@ func run(ctx context.Context, o runOpts) error {
 	if o.jsonOut {
 		res := jsonResult{Query: int(node), Expr: expr, Method: method, Found: com.Found,
 			Rank: com.Rank, TraceID: tr.ID(), Size: com.Size(), Nodes: com.Nodes,
-			FromIndex: com.FromIndex, ElapsedMS: float64(elapsed.Microseconds()) / 1000}
+			FromIndex: com.FromIndex, ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+			Adaptive: adaptiveStats(tr, qm)}
 		if com.Found {
 			res.Density = g.TopologyDensity(com.Nodes)
 			res.Conductance = g.Conductance(com.Nodes)

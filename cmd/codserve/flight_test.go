@@ -143,7 +143,7 @@ func TestDebugQueriesTextFormat(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := string(out)
-	for _, want := range []string{"slow threshold:", "/discover", "trace=", "step "} {
+	for _, want := range []string{"slow threshold:", "/discover", "trace=", "epoch=", "step "} {
 		if !strings.Contains(text, want) {
 			t.Errorf("text rendering missing %q:\n%s", want, text)
 		}

@@ -16,6 +16,7 @@ import (
 
 	"github.com/codsearch/cod"
 	"github.com/codsearch/cod/internal/obs"
+	"github.com/codsearch/cod/internal/obs/eventlog"
 )
 
 // Config tunes the Handler's serving guards.
@@ -36,6 +37,10 @@ type Config struct {
 	// flight recorder's slow ring (errored and 5xx queries are retained
 	// regardless); <= 0 selects obs.DefaultSlowAfter.
 	SlowQuery time.Duration
+	// Events is the durable query-event sink (-query-log); nil disables
+	// persistence. The in-process aggregator behind /debug/querystats and
+	// the cod_query_event_seconds series runs either way.
+	Events *eventlog.Sink
 }
 
 const defaultMaxInFlight = 64
@@ -117,18 +122,25 @@ type Handler struct {
 	// seed draw (e.g. rejected by validation).
 	flight   *obs.FlightRecorder
 	traceSeq atomic.Uint64
+
+	// agg digests every query event for /debug/querystats and the
+	// exemplar-carrying cod_query_event_seconds family; events persists the
+	// same events to the durable log (nil when -query-log is off).
+	agg    *eventlog.Aggregator
+	events *eventlog.Sink
 }
 
 // routeMethods drives the JSON 404/405 catch-all in ServeHTTP.
 var routeMethods = map[string][]string{
-	"/healthz":       {http.MethodGet},
-	"/readyz":        {http.MethodGet},
-	"/metrics":       {http.MethodGet},
-	"/stats":         {http.MethodGet},
-	"/discover":      {http.MethodGet},
-	"/influence":     {http.MethodGet},
-	"/batch":         {http.MethodPost},
-	"/debug/queries": {http.MethodGet},
+	"/healthz":          {http.MethodGet},
+	"/readyz":           {http.MethodGet},
+	"/metrics":          {http.MethodGet},
+	"/stats":            {http.MethodGet},
+	"/discover":         {http.MethodGet},
+	"/influence":        {http.MethodGet},
+	"/batch":            {http.MethodPost},
+	"/debug/queries":    {http.MethodGet},
+	"/debug/querystats": {http.MethodGet},
 }
 
 // NewHandler wires the endpoints. s may be nil; the Handler then reports
@@ -172,6 +184,23 @@ func NewHandler(g *cod.Graph, s *cod.Searcher, cfg Config) *Handler {
 		fetchRetries: reg.Counter("cod_index_fetch_retries_total", "Blobstore operations retried while fetching index artifacts."),
 
 		flight: obs.NewFlightRecorder(flightRecentN, flightSlowN, cfg.SlowQuery),
+		agg:    eventlog.NewAggregator(),
+		events: cfg.Events,
+	}
+	// The aggregator renders its labeled, exemplar-annotated histogram
+	// family through the registry's collector hook, so /metrics stays one
+	// endpoint with one sorted document.
+	reg.Collector(eventlog.MetricName, h.agg.WriteMetrics)
+	if h.events != nil {
+		reg.GaugeFunc("cod_query_events_written",
+			"Query events durably appended to the -query-log.",
+			func() int64 { return h.events.Stats().Written })
+		reg.GaugeFunc("cod_query_events_dropped",
+			"Query events lost to a full event-log queue.",
+			func() int64 { return h.events.Stats().Dropped })
+		reg.GaugeFunc("cod_query_events_sampled_out",
+			"OK query events skipped by deterministic sampling.",
+			func() int64 { return h.events.Stats().SampledOut })
 	}
 	// Runtime and occupancy gauges, sampled at scrape time. The engine-backed
 	// closures tolerate the not-ready window: they report 0 until SetSearcher
@@ -231,6 +260,7 @@ func NewHandler(g *cod.Graph, s *cod.Searcher, cfg Config) *Handler {
 	h.mux.HandleFunc("GET /readyz", h.readyz)
 	h.mux.Handle("GET /metrics", h.reg)
 	h.mux.Handle("GET /debug/queries", h.flight)
+	h.mux.Handle("GET /debug/querystats", h.agg)
 	h.mux.HandleFunc("GET /stats", h.guard(h.stats))
 	h.mux.HandleFunc("GET /discover", h.guard(h.instrument(h.discover)))
 	h.mux.HandleFunc("GET /influence", h.guard(h.instrument(h.influence)))
@@ -306,6 +336,10 @@ func (h *Handler) Metrics() *obs.Registry { return h.reg }
 // Flight exposes the flight recorder backing /debug/queries so main can
 // mount the same state on the debug listener.
 func (h *Handler) Flight() *obs.FlightRecorder { return h.flight }
+
+// QueryStats exposes the event aggregator backing /debug/querystats so main
+// can mount the same state on the debug listener.
+func (h *Handler) QueryStats() *eventlog.Aggregator { return h.agg }
 
 // statusWriter captures the response status for metrics and logs; handlers
 // that never call WriteHeader implicitly answer 200.
@@ -390,9 +424,11 @@ func (h *Handler) guard(next func(http.ResponseWriter, *http.Request, *servingSt
 // instrument runs inside guard on every query route: it attaches a fresh
 // per-query Trace plus the shared pipeline metrics to the request context,
 // times the request into cod_query_seconds, files the finished trace with
-// the flight recorder, and emits one structured log line carrying the trace
-// ID and the stage timings the pipelines recorded. The Trace is always
-// flushed — a canceled or timed-out query still logs the spans it finished.
+// the flight recorder, assembles the query's canonical wide event (digested
+// by the aggregator and, when -query-log is on, appended to the durable
+// log), and emits one structured log line carrying the trace ID and the
+// stage timings the pipelines recorded. The Trace is always flushed — a
+// canceled or timed-out query still logs the spans it finished.
 //
 // Trace-ID precedence: a well-formed W3C traceparent header wins (the trace
 // joins the caller's distributed trace); otherwise the library installs the
@@ -405,8 +441,8 @@ func (h *Handler) instrument(next func(http.ResponseWriter, *http.Request, *serv
 			trace.EnsureID(id)
 		}
 		rec := obs.NewRecorder(h.qm, trace)
-		note := &exprNote{}
-		r = r.WithContext(context.WithValue(obs.WithRecorder(r.Context(), rec), exprNoteKey{}, note))
+		note := &queryNote{node: -1, attr: -1}
+		r = r.WithContext(context.WithValue(obs.WithRecorder(r.Context(), rec), queryNoteKey{}, note))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next(sw, r, st)
@@ -421,15 +457,33 @@ func (h *Handler) instrument(next func(http.ResponseWriter, *http.Request, *serv
 		}
 		trace.EnsureID(obs.SeedTraceID(uint64(start.UnixNano()) ^ h.traceSeq.Add(1)<<32))
 		h.querySecs.Observe(d.Seconds())
+
+		// The wide event: everything the trace knows plus the serving
+		// context only this layer has (epoch, normalized expression,
+		// predicate key, result fingerprint).
+		ev := eventlog.New(trace, r.URL.Path, start, d, sw.status)
+		ev.Epoch = st.epoch
+		ev.Expr = note.expr
+		if note.pred != "" {
+			ev.Pred = note.pred
+		}
+		if note.variant != "" {
+			ev.Variant = note.variant
+		}
+		ev.Node, ev.Attr = note.node, note.attr
+		ev.Result = note.result
+		h.agg.Observe(ev)
+		h.events.Record(ev)
+
 		// Expression queries carry their normalized form into the flight
 		// record and the structured log, so /debug/queries and the logs show
 		// the canonical query — one spelling per semantic query — rather than
 		// whatever URL-escaped variant the caller sent.
 		detail := r.URL.RawQuery
-		if note.expr != "" {
-			detail += " expr=" + note.expr
-		}
-		h.flight.Record(obs.NewQueryRecord(trace, r.URL.Path, detail, sw.status, start, d, nil))
+		qr := obs.NewQueryRecord(trace, r.URL.Path, detail, sw.status, start, d, nil)
+		qr.Epoch = st.epoch
+		qr.Expr = note.expr
+		h.flight.Record(qr)
 		slog.Info("query",
 			"path", r.URL.Path,
 			"query", r.URL.RawQuery,
@@ -442,17 +496,39 @@ func (h *Handler) instrument(next func(http.ResponseWriter, *http.Request, *serv
 	}
 }
 
-// exprNote carries a query expression's normalized form from the route
-// handler back up to the instrumentation wrapper (same goroutine, so a plain
-// field suffices). The wrapper installs it in the request context; handlers
-// publish through setExprNote.
-type exprNote struct{ expr string }
+// queryNote carries query facts from the route handler back up to the
+// instrumentation wrapper (same goroutine, so plain fields suffice): the
+// normalized expression, the predicate aggregation key, the plan variant,
+// the query arguments, and the result fingerprint. The wrapper installs it
+// in the request context; handlers publish through noteFromContext.
+type queryNote struct {
+	expr    string
+	pred    string
+	variant string
+	node    int64
+	attr    int64
+	result  *eventlog.Result
+}
 
-type exprNoteKey struct{}
+type queryNoteKey struct{}
 
-func setExprNote(ctx context.Context, expr string) {
-	if note, ok := ctx.Value(exprNoteKey{}).(*exprNote); ok {
-		note.expr = expr
+// noteFromContext returns the request's queryNote; outside instrument (unit
+// tests driving handlers directly) it returns a writable discard note so
+// handlers never branch.
+func noteFromContext(ctx context.Context) *queryNote {
+	if note, ok := ctx.Value(queryNoteKey{}).(*queryNote); ok {
+		return note
+	}
+	return &queryNote{}
+}
+
+// noteResult fingerprints a successful discover answer into the note.
+func (n *queryNote) noteResult(com cod.Community) {
+	n.result = &eventlog.Result{
+		Found:    com.Found,
+		Rank:     com.Rank,
+		Size:     com.Size(),
+		NodesFNV: eventlog.NodesSum(com.Nodes),
 	}
 }
 
@@ -566,22 +642,28 @@ func (h *Handler) discover(w http.ResponseWriter, r *http.Request, st *servingSt
 	}
 
 	ctx := r.Context()
+	note := noteFromContext(ctx)
+	note.node = int64(q)
 	var (
 		com cod.Community
 		err error
 	)
 	switch method {
 	case "codl":
+		note.variant, note.pred, note.attr = "CODL", "attr:"+strconv.Itoa(attr), int64(attr)
 		com, err = s.DiscoverCtx(ctx, cod.NodeID(q), cod.AttrID(attr))
 	case "codu":
+		note.variant, note.pred = "CODU", "none"
 		com, err = s.DiscoverUnattributedCtx(ctx, cod.NodeID(q))
 	case "codr":
+		note.variant, note.pred, note.attr = "CODR", "attr:"+strconv.Itoa(attr), int64(attr)
 		com, err = s.DiscoverGlobalCtx(ctx, cod.NodeID(q), cod.AttrID(attr))
 	}
 	if err != nil {
 		queryError(w, err)
 		return
 	}
+	note.noteResult(com)
 	resp := discoverResponse{Query: q, Attr: attr, Method: method,
 		Found: com.Found, FromIndex: com.FromIndex, Rank: com.Rank}
 	if com.Found {
@@ -613,12 +695,17 @@ func (h *Handler) discoverExpr(w http.ResponseWriter, r *http.Request, st *servi
 		httpError(w, http.StatusBadRequest, "query expression needs a node= knob (e.g. %q)", expr+" and node=0")
 		return
 	}
-	setExprNote(r.Context(), pq.Expr())
+	note := noteFromContext(r.Context())
+	note.expr = pq.Expr()
+	note.pred = pq.PredKey()
+	note.variant = pq.Variant()
+	note.node = int64(node)
 	com, err := pq.DiscoverCtx(r.Context(), node)
 	if err != nil {
 		queryError(w, err)
 		return
 	}
+	note.noteResult(com)
 	resp := discoverResponse{Query: int(node), Attr: -1, Expr: pq.Expr(),
 		Method: toLowerASCII(pq.Variant()), Found: com.Found,
 		FromIndex: com.FromIndex, Rank: com.Rank}
@@ -653,6 +740,7 @@ func (h *Handler) influence(w http.ResponseWriter, r *http.Request, st *servingS
 	if !ok {
 		return
 	}
+	noteFromContext(r.Context()).node = int64(q)
 	infl, err := st.s.EstimateInfluenceCtx(r.Context(), cod.NodeID(q))
 	if err != nil {
 		queryError(w, err)
@@ -696,6 +784,7 @@ func (h *Handler) batch(w http.ResponseWriter, r *http.Request, st *servingState
 		httpError(w, http.StatusBadRequest, "batch size %d out of range [1,1024]", len(req.Queries))
 		return
 	}
+	noteFromContext(r.Context()).variant = "batch"
 	queries := make([]cod.Query, len(req.Queries))
 	for i, q := range req.Queries {
 		queries[i] = cod.Query{Node: q.Q, Attr: q.Attr, Expr: q.Expr}

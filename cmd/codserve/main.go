@@ -17,6 +17,12 @@
 //	GET  /influence?q=42
 //	POST /batch                          -> {"queries":[{"q":42,"attr":1},...]}
 //	GET  /debug/queries[?format=text]    -> recent + slow query traces (flight recorder)
+//	GET  /debug/querystats               -> streaming per-(variant, predicate, outcome) latency digests
+//
+// -query-log DIR appends one wide JSONL event per query to a size-rotated,
+// crash-tolerant log (analyzed offline with codlog); -query-log-sample sets
+// the deterministic keep rate for OK events (slow and errored events are
+// always kept).
 //
 // Serving contract: malformed input is 400, not-ready is 503, shed load is
 // 429 with Retry-After, an expired -query-timeout is 504, and every
@@ -45,6 +51,7 @@ import (
 	"github.com/codsearch/cod"
 	"github.com/codsearch/cod/internal/blobstore"
 	"github.com/codsearch/cod/internal/obs"
+	"github.com/codsearch/cod/internal/obs/eventlog"
 )
 
 func main() {
@@ -67,6 +74,9 @@ func main() {
 		indexDataset  = flag.String("index-dataset", "", "dataset namespace within -index-store (defaults to -dataset)")
 		adaptiveEps   = flag.Float64("adaptive-eps", 0.05, "indifference width ε for bounded-error adaptive sampling (used when -adaptive-delta > 0)")
 		adaptiveDelta = flag.Float64("adaptive-delta", 0, "certification failure probability δ; > 0 enables bounded-error adaptive sampling")
+		queryLog      = flag.String("query-log", "", "directory for the durable query-event log (JSONL, size-rotated; off when empty)")
+		queryLogRate  = flag.Float64("query-log-sample", 1.0, "deterministic keep rate for OK events in -query-log (slow/error events are always kept)")
+		queryLogBytes = flag.Int64("query-log-max-bytes", 64<<20, "rotate -query-log files at this size (fsync on rotate)")
 	)
 	flag.Parse()
 
@@ -92,9 +102,27 @@ func main() {
 		log.Printf("graph loaded: n=%d m=%d attrs=%d", g.N(), g.M(), g.NumAttrs())
 	}
 
+	// The event sink opens before the handler so the very first admitted
+	// query is captured; it closes after the drain so the log's tail is the
+	// last query served.
+	var events *eventlog.Sink
+	if *queryLog != "" {
+		var err error
+		events, err = eventlog.Open(eventlog.Options{
+			Dir:          *queryLog,
+			MaxFileBytes: *queryLogBytes,
+			SampleRate:   *queryLogRate,
+			SlowAfter:    *slowQuery,
+		})
+		if err != nil {
+			log.Fatal("codserve: ", err)
+		}
+		log.Printf("query-event log on %s (sample %.3g, rotate at %d bytes)", *queryLog, *queryLogRate, *queryLogBytes)
+	}
+
 	reg := obs.NewRegistry()
 	h := NewHandler(g, nil, Config{QueryTimeout: *queryTimeout, MaxInFlight: *maxInFlight, Metrics: reg,
-		SlowQuery: *slowQuery})
+		SlowQuery: *slowQuery, Events: events})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal("codserve: ", err)
@@ -113,6 +141,7 @@ func main() {
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.Handle("/metrics", reg)
 		dmux.Handle("/debug/queries", h.Flight())
+		dmux.Handle("/debug/querystats", h.QueryStats())
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			log.Fatal("codserve: debug listener: ", err)
@@ -213,6 +242,11 @@ func main() {
 	}
 	if debugSrv != nil {
 		_ = debugSrv.Shutdown(sctx)
+	}
+	// Every in-flight query has finished recording; flush and fsync the
+	// event log last so the final line on disk is the final query served.
+	if err := events.Close(); err != nil {
+		log.Printf("codserve: query-event log: %v", err)
 	}
 	log.Printf("drained cleanly; exiting")
 }

@@ -1,0 +1,156 @@
+package eventlog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// ErrStop may be returned by a Scan or Follow callback to end iteration
+// early without error.
+var ErrStop = errors.New("eventlog: stop")
+
+// Files lists the event-log files of dir in chronological (= lexical)
+// order. A missing directory yields an empty list, not an error: "no log
+// yet" is a normal state for every reader.
+func Files(dir string) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "events-*.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("eventlog: listing %s: %w", dir, err)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// ScanStats reports what a Scan saw: complete events delivered, torn final
+// lines skipped (the crash-tolerance contract), and corrupt complete lines
+// skipped (bit rot, partial page recovery).
+type ScanStats struct {
+	Files   int
+	Events  int
+	Torn    int
+	Corrupt int
+}
+
+// Scan replays every event of dir's log in write order, calling fn for
+// each. A file's final line missing its newline is a torn write from a
+// crash: it is skipped and counted, and every event before it is delivered
+// — the crash loses at most the one line that was in flight. A complete
+// line that fails to parse is counted corrupt and skipped. fn may return
+// ErrStop to end the scan early.
+func Scan(dir string, fn func(*Event) error) (ScanStats, error) {
+	files, err := Files(dir)
+	if err != nil {
+		return ScanStats{}, err
+	}
+	var st ScanStats
+	for _, path := range files {
+		st.Files++
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return st, fmt.Errorf("eventlog: reading %s: %w", path, err)
+		}
+		stop, err := scanBytes(data, &st, fn)
+		if err != nil || stop {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// scanBytes delivers the complete lines of one file's contents, reporting
+// whether the callback asked to stop.
+func scanBytes(data []byte, st *ScanStats, fn func(*Event) error) (bool, error) {
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// No terminating newline: the crash-torn tail. Skip it; every
+			// line before it was delivered intact.
+			st.Torn++
+			return false, nil
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			st.Corrupt++
+			continue
+		}
+		st.Events++
+		if err := fn(&e); err != nil {
+			if errors.Is(err, ErrStop) {
+				return true, nil
+			}
+			return true, err
+		}
+	}
+	return false, nil
+}
+
+// Follow is the tail -f of the event log: it delivers every complete event
+// already in dir, then polls for growth — new lines on the newest file, new
+// files from rotation — at the given interval until ctx is done (which
+// returns nil: following until canceled is the normal exit). Only complete
+// lines are delivered; a line still being written (or torn by a crash) is
+// retried on the next poll from the same offset, so rotation later makes
+// torn tails permanent skips exactly as Scan would.
+func Follow(ctx context.Context, dir string, poll time.Duration, fn func(*Event) error) error {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	offsets := map[string]int64{}
+	var st ScanStats
+	for {
+		files, err := Files(dir)
+		if err != nil {
+			return err
+		}
+		for _, path := range files {
+			stop, err := followFile(path, offsets, &st, fn)
+			if err != nil || stop {
+				return err
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(poll):
+		}
+	}
+}
+
+// followFile delivers the complete lines of path beyond the consumed
+// offset, advancing the offset only past delivered (or corrupt-skipped)
+// lines so an in-flight tail is re-examined next poll.
+func followFile(path string, offsets map[string]int64, st *ScanStats, fn func(*Event) error) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("eventlog: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	off := offsets[path]
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return false, fmt.Errorf("eventlog: seeking %s: %w", path, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return false, fmt.Errorf("eventlog: reading %s: %w", path, err)
+	}
+	nl := bytes.LastIndexByte(data, '\n')
+	if nl < 0 {
+		return false, nil
+	}
+	data = data[:nl+1]
+	offsets[path] = off + int64(len(data))
+	return scanBytes(data, st, fn)
+}

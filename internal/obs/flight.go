@@ -134,17 +134,23 @@ type StepView struct {
 // flight recorder. It is fully detached from the query's Trace and scratch
 // state, so retaining it pins no arenas or buffers.
 type QueryRecord struct {
-	TraceID string     `json:"trace_id"`
-	Op      string     `json:"op"`
-	Detail  string     `json:"detail,omitempty"`
-	Status  int        `json:"status,omitempty"`
-	Start   time.Time  `json:"start"`
-	DurNS   int64      `json:"dur_ns"`
-	Dur     string     `json:"dur"`
-	Err     string     `json:"err,omitempty"`
-	Slow    bool       `json:"slow"`
-	Steps   []StepView `json:"steps,omitempty"`
-	Spans   []SpanView `json:"spans,omitempty"`
+	TraceID string `json:"trace_id"`
+	Op      string `json:"op"`
+	Detail  string `json:"detail,omitempty"`
+	// Epoch is the index epoch that served the query (0 for local builds and
+	// non-serving contexts); Expr the normalized query expression, "" for
+	// legacy single-attribute queries. Both render in the JSON and the
+	// ?format=text forms alike — the two renderings carry the same fields.
+	Epoch  uint64     `json:"epoch"`
+	Expr   string     `json:"expr,omitempty"`
+	Status int        `json:"status,omitempty"`
+	Start  time.Time  `json:"start"`
+	DurNS  int64      `json:"dur_ns"`
+	Dur    string     `json:"dur"`
+	Err    string     `json:"err,omitempty"`
+	Slow   bool       `json:"slow"`
+	Steps  []StepView `json:"steps,omitempty"`
+	Spans  []SpanView `json:"spans,omitempty"`
 }
 
 func spanView(s SpanRecord) SpanView {
@@ -224,7 +230,10 @@ func (q *QueryRecord) WriteText(w io.Writer) {
 	if q.Slow {
 		flag = " SLOW"
 	}
-	fmt.Fprintf(w, "%s %s trace=%s dur=%s", q.Start.Format(time.RFC3339Nano), q.Op, q.TraceID, q.Dur)
+	fmt.Fprintf(w, "%s %s trace=%s epoch=%d dur=%s", q.Start.Format(time.RFC3339Nano), q.Op, q.TraceID, q.Epoch, q.Dur)
+	if q.Expr != "" {
+		fmt.Fprintf(w, " expr=%q", q.Expr)
+	}
 	if q.Detail != "" {
 		fmt.Fprintf(w, " %s", q.Detail)
 	}

@@ -233,7 +233,10 @@ func TestFlightServeHTTPText(t *testing.T) {
 	r := NewRecorder(nil, tr)
 	st := r.StartStep("codl", "weight")
 	st.End("lore")
-	f.Record(NewQueryRecord(tr, "/discover", "q=3", 200, time.Now(), time.Second, nil))
+	qr := NewQueryRecord(tr, "/discover", "q=3", 200, time.Now(), time.Second, nil)
+	qr.Epoch = 5
+	qr.Expr = "lang and node=3"
+	f.Record(qr)
 
 	rw := httptest.NewRecorder()
 	f.ServeHTTP(rw, httptest.NewRequest(http.MethodGet, "/debug/queries?format=text", nil))
@@ -247,6 +250,8 @@ func TestFlightServeHTTPText(t *testing.T) {
 	for _, want := range []string{
 		"slow threshold: 100ms",
 		"trace=" + SeedTraceID(7),
+		"epoch=5",
+		`expr="lang and node=3"`,
 		"step codl/weight outcome=lore",
 		" SLOW",
 	} {

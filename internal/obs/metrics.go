@@ -123,6 +123,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindGaugeFunc
+	kindCollector
 )
 
 type metricEntry struct {
@@ -132,6 +133,7 @@ type metricEntry struct {
 	g          *Gauge
 	h          *Histogram
 	gf         func() int64
+	col        func(io.Writer) error
 }
 
 // Registry holds named metrics and renders them in the Prometheus text
@@ -200,6 +202,22 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
 	r.mu.Unlock()
 }
 
+// Collector registers a raw exposition block rendered under name at scrape
+// time: fn writes complete Prometheus text lines (its own # TYPE included)
+// for series the fixed metric kinds cannot express — labeled families,
+// exemplar comments. The block sorts among the other metrics by name, so
+// output stays stable. fn must be safe for concurrent use; re-registering
+// replaces fn (last writer wins), mirroring GaugeFunc.
+func (r *Registry) Collector(name string, fn func(io.Writer) error) {
+	if fn == nil {
+		panic("obs: Collector needs a non-nil fn")
+	}
+	e := r.register(name, "", kindCollector)
+	r.mu.Lock()
+	e.col = fn
+	r.mu.Unlock()
+}
+
 // Histogram returns the histogram registered under name, creating it with
 // the given bounds on first use (later calls ignore bounds).
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
@@ -223,15 +241,24 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, name := range names {
 		entries = append(entries, r.entries[name])
 	}
-	// Snapshot the sampler funcs under the lock: GaugeFunc may replace one
-	// concurrently, and e.gf must not be read unsynchronized after unlock.
+	// Snapshot the sampler funcs under the lock: GaugeFunc/Collector may
+	// replace one concurrently, and e.gf/e.col must not be read
+	// unsynchronized after unlock.
 	funcs := make([]func() int64, len(entries))
+	cols := make([]func(io.Writer) error, len(entries))
 	for i, e := range entries {
 		funcs[i] = e.gf
+		cols[i] = e.col
 	}
 	r.mu.Unlock()
 
 	for i, e := range entries {
+		if e.kind == kindCollector {
+			if err := cols[i](w); err != nil {
+				return err
+			}
+			continue
+		}
 		if e.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
 				return err

@@ -225,6 +225,7 @@ func (r *Recorder) EnsureTraceID(seed uint64) {
 	if r == nil || r.t == nil {
 		return
 	}
+	r.t.SetSeed(seed)
 	r.t.EnsureID(SeedTraceID(seed))
 }
 

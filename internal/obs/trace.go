@@ -106,6 +106,8 @@ type StepRecord struct {
 type Trace struct {
 	mu    sync.Mutex
 	id    string
+	seed  uint64
+	seedO bool
 	spans []SpanRecord
 	steps []StepRecord
 }
@@ -139,6 +141,32 @@ func (t *Trace) EnsureID(id string) bool {
 		t.id = id
 	}
 	return t.id == id
+}
+
+// SetSeed records the query seed the trace's work was derived from. First
+// writer wins, mirroring EnsureID: a batch sharing one trace keeps the seed
+// of its first query. The seed is what makes a logged query replayable — a
+// propagated traceparent may own the ID, but the seed still identifies the
+// deterministic stream the query consumed.
+func (t *Trace) SetSeed(seed uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.seedO {
+		t.seed, t.seedO = seed, true
+	}
+	t.mu.Unlock()
+}
+
+// Seed returns the recorded query seed and whether one was set.
+func (t *Trace) Seed() (uint64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seed, t.seedO
 }
 
 // ID returns the trace ID, or "" when none was assigned.

@@ -178,6 +178,22 @@ func (pq *PreparedQuery) PredicateHash() string {
 	return pq.pred.Hash()
 }
 
+// PredKey returns the query's predicate aggregation key — the stable
+// identity query-event digests group by: the 16-hex canonical hash for
+// compound predicates, "attr:<id>" for lowered single-attribute queries
+// (matching what the legacy entrypoints would report), and "none" for
+// attribute-free (codu) queries.
+func (pq *PreparedQuery) PredKey() string {
+	switch {
+	case pq.pred != nil:
+		return pq.pred.Hash()
+	case pq.variant == engine.VariantCODU:
+		return "none"
+	default:
+		return "attr:" + strconv.Itoa(int(pq.attr))
+	}
+}
+
 // spec assembles the engine spec for a query against node q.
 func (pq *PreparedQuery) spec(q NodeID) engine.Spec {
 	return engine.Spec{Variant: pq.variant, Q: q, Attr: pq.attr, Pred: pq.pred,

@@ -10,13 +10,13 @@
 # producing parseable output.
 #
 #   scripts/bench_check.sh [out.json] [baseline.json]
-#   # defaults: BENCH_pr9.json vs baseline BENCH_pr8.json (skipped if absent)
+#   # defaults: BENCH_pr10.json vs baseline BENCH_pr9.json (skipped if absent)
 #
 # Run via `make bench-check`; needs only the go toolchain.
 set -eu
 
-out="${1:-BENCH_pr9.json}"
-baseline="${2:-BENCH_pr8.json}"
+out="${1:-BENCH_pr10.json}"
+baseline="${2:-BENCH_pr9.json}"
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 

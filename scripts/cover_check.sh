@@ -1,9 +1,10 @@
 #!/bin/sh
 # Per-package coverage floors for the contract-bearing packages: the
 # accuracy harness and the influence sampling layer carry the bounded-error
-# evaluation contract (DESIGN.md §16), and the query package carries the
-# parsing and normal-form contract (DESIGN.md §17), so their tests must keep
-# exercising the code that enforces them. Floors are per-package only — no
+# evaluation contract (DESIGN.md §16), the query package carries the
+# parsing and normal-form contract (DESIGN.md §17), and the eventlog
+# package plus the codlog CLI carry the query-event contract (DESIGN.md
+# §18), so their tests must keep exercising the code that enforces them. Floors are per-package only — no
 # global gate —
 # and sit well under the measured coverage so they catch collapses (a
 # skipped suite, a gutted test), not ordinary refactors.
@@ -18,6 +19,8 @@ floors="
 github.com/codsearch/cod/internal/accuracy 60
 github.com/codsearch/cod/internal/influence 90
 github.com/codsearch/cod/internal/query 75
+github.com/codsearch/cod/internal/obs/eventlog 65
+github.com/codsearch/cod/cmd/codlog 60
 "
 
 workdir=$(mktemp -d)

@@ -28,8 +28,10 @@ echo "serve-smoke: building codserve"
 go build -o "$workdir/codserve" ./cmd/codserve
 
 # Port :0 lets the kernel pick; -addr-file publishes the bound address.
+# -query-log turns on the durable wide-event log analyzed with codlog below.
 "$workdir/codserve" -dataset tiny -theta 4 -addr 127.0.0.1:0 \
     -addr-file "$workdir/addr" -query-timeout 5s -shutdown-grace 5s \
+    -query-log "$workdir/qlog" \
     >"$workdir/server.log" 2>&1 &
 server_pid=$!
 
@@ -78,6 +80,10 @@ curl -sf -X POST -d '{"queries":[{"q":0,"attr":0},{"q":1,"attr":0}]}' "$base/bat
     | grep -q '"query":1' || fail "batch"
 code=$(curl -s -o /dev/null -w '%{http_code}' "$base/nope")
 [ "$code" = 404 ] || fail "unknown route returned $code"
+# Expression mode: the normalized expression must flow into the wide event
+# and the flight recorder.
+curl -sf "$base/discover?q=0%20and%20node%3D0" \
+    | grep -q '"expr"' || fail "expression discover"
 echo "serve-smoke: endpoints ok"
 
 # Flight recorder: /debug/queries must retain the traced discover with the
@@ -88,13 +94,36 @@ grep -q "\"trace_id\": \"$trace_id\"" "$workdir/queries.json" \
     || fail "propagated traceparent id $trace_id not in /debug/queries"
 grep -q '"kind"' "$workdir/queries.json" || fail "no plan-step spans in /debug/queries"
 grep -q '"outcome"' "$workdir/queries.json" || fail "step spans carry no outcomes"
-curl -sf "$base/debug/queries?format=text" | grep -q "trace=$trace_id" \
+curl -sf "$base/debug/queries?format=text" >"$workdir/queries.txt" \
+    || fail "/debug/queries?format=text unreachable"
+grep -q "trace=$trace_id" "$workdir/queries.txt" \
     || fail "text rendering missing trace=$trace_id"
+grep -q "epoch=" "$workdir/queries.txt" || fail "text rendering missing epoch="
+grep -q 'expr="' "$workdir/queries.txt" \
+    || fail "text rendering missing the expression-mode expr="
 grep -q "trace_id=$trace_id" "$workdir/server.log" \
     || fail "server log line missing trace_id=$trace_id"
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$base/debug/queries")
 [ "$code" = 405 ] || fail "POST /debug/queries returned $code, want 405"
 echo "serve-smoke: flight recorder ok"
+
+# Query-event pipeline, live side: the streaming aggregator serves
+# /debug/querystats, and /metrics renders the event histogram with an
+# exemplar trace ID on a bucket.
+curl -sf "$base/debug/querystats" >"$workdir/querystats.json" \
+    || fail "/debug/querystats unreachable"
+grep -q '"groups"' "$workdir/querystats.json" || fail "querystats missing groups"
+grep -q '"p99_ms"' "$workdir/querystats.json" || fail "querystats missing percentiles"
+curl -sf "$base/metrics" >"$workdir/metrics1.txt" || fail "metrics unreachable"
+grep -q '^# TYPE cod_query_event_seconds histogram' "$workdir/metrics1.txt" \
+    || fail "metrics missing the query-event histogram"
+grep -q '# {trace_id="' "$workdir/metrics1.txt" \
+    || fail "metrics missing exemplar trace IDs"
+grep -q "trace_id=\"$trace_id\"" "$workdir/metrics1.txt" \
+    || fail "traced query $trace_id not an exemplar on any bucket"
+grep -q '^cod_query_events_written ' "$workdir/metrics1.txt" \
+    || fail "metrics missing the event-sink gauges"
+echo "serve-smoke: query-event pipeline ok"
 
 # Graceful drain: start a slow request (codr reclusters per query), give it
 # a moment to be admitted, then SIGTERM. The server must finish the
@@ -112,6 +141,36 @@ else
 fi
 grep -q "drained cleanly" "$workdir/server.log" || fail "drain not logged"
 echo "serve-smoke: phase 1 (local build) ok"
+
+# --- Query-event log, offline side ----------------------------------------
+# The drained server fsynced its event log; codlog must find the traced
+# query, summarize the log, and replay the logged query byte-identically
+# against an index rebuilt from the same flags.
+echo "serve-smoke: building codlog"
+go build -o "$workdir/codlog" ./cmd/codlog
+
+"$workdir/codlog" -log "$workdir/qlog" grep "$trace_id" >"$workdir/grep.txt" \
+    || fail "codlog grep $trace_id"
+grep -q "trace=$trace_id" "$workdir/grep.txt" || fail "codlog grep output missing the trace"
+grep -q "step " "$workdir/grep.txt" || fail "codlog grep output missing plan steps"
+
+"$workdir/codlog" -log "$workdir/qlog" top >"$workdir/top.txt" || fail "codlog top"
+grep -q "PRED" "$workdir/top.txt" || fail "codlog top missing header"
+grep -q "event(s) in" "$workdir/top.txt" || fail "codlog top missing scan summary"
+
+"$workdir/codlog" -log "$workdir/qlog" percentiles >"$workdir/pct.txt" \
+    || fail "codlog percentiles"
+grep -q "P99" "$workdir/pct.txt" || fail "codlog percentiles missing header"
+grep -q "CODL" "$workdir/pct.txt" || fail "codlog percentiles missing the CODL group"
+
+# Replay flags mirror the phase-1 server build (tiny, theta 4, defaults
+# elsewhere); the logged per-query seed makes the re-run deterministic.
+"$workdir/codlog" -log "$workdir/qlog" replay -dataset tiny -theta 4 "$trace_id" \
+    >"$workdir/replay.txt" || fail "codlog replay diverged: $(cat "$workdir/replay.txt")"
+grep -q "result: byte-identical" "$workdir/replay.txt" \
+    || fail "replay result not byte-identical: $(cat "$workdir/replay.txt")"
+grep -q "replay OK" "$workdir/replay.txt" || fail "replay did not report OK"
+echo "serve-smoke: codlog ok"
 
 # --- Phase 2: store-fed serving -------------------------------------------
 # codpublish publishes a verified snapshot into a blob store; codserve

@@ -218,7 +218,14 @@ func (s *Searcher) discoverSpec(ctx context.Context, sp engine.Spec, vattr AttrI
 		rec.CountQuery(err)
 		return Community{}, err
 	}
-	seed := s.nextSeed()
+	return s.discoverSeeded(ctx, sp, s.nextSeed())
+}
+
+// discoverSeeded executes a validated spec with an explicit per-query seed:
+// the shared tail of the live path (which draws the seed from the sequence)
+// and the replay path (which re-supplies a logged one).
+func (s *Searcher) discoverSeeded(ctx context.Context, sp engine.Spec, seed uint64) (Community, error) {
+	rec := obs.FromContext(ctx)
 	rec.EnsureTraceID(seed)
 	com, err := s.eng.Execute(ctx, s.eng.CompileSpec(sp), graph.NewRand(seed))
 	rec.CountQuery(err)
@@ -226,6 +233,28 @@ func (s *Searcher) discoverSpec(ctx context.Context, sp engine.Spec, vattr AttrI
 		return Community{}, err
 	}
 	return Community{Nodes: com.Nodes, Found: com.Found, FromIndex: com.FromIndex, Rank: com.Rank}, nil
+}
+
+// ReplaySeededCtx re-runs a previously logged query: expr is the query's
+// normalized expression (it must carry a node= knob — event logs record
+// one), seed the logged per-query seed. The query executes outside the
+// Searcher's seed sequence, so replays never perturb live traffic's
+// deterministic streams, and a replay on an identically built Searcher is
+// byte-identical to the original execution — community, rank, and
+// seed-derived trace ID alike.
+func (s *Searcher) ReplaySeededCtx(ctx context.Context, expr string, seed uint64) (Community, error) {
+	pq, err := s.Prepare(expr)
+	if err != nil {
+		return Community{}, err
+	}
+	if !pq.hasNode {
+		return Community{}, fmt.Errorf("cod: replay expression %q needs a node= knob", expr)
+	}
+	sp := pq.spec(pq.node)
+	if err := s.validate(sp.Q, pq.attr); err != nil {
+		return Community{}, err
+	}
+	return s.discoverSeeded(ctx, sp, seed)
 }
 
 // DiscoverUnattributed finds the characteristic community of q ignoring
